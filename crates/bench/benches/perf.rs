@@ -1,0 +1,115 @@
+//! Criterion performance benches (P1–P4 of DESIGN.md):
+//!
+//! * P1 — per-gate power-model evaluation (the optimizer's inner loop);
+//! * P2 — exhaustive reordering enumeration of the largest cell;
+//! * P3 — whole-circuit optimization (Fig. 3 traversal), sequential and
+//!   parallel;
+//! * P4 — switch-level simulator event throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use tr_bench::Harness;
+use tr_boolean::SignalStats;
+use tr_gatelib::CellKind;
+use tr_netlist::generators;
+use tr_power::scenario::Scenario;
+use tr_reorder::{optimize, optimize_parallel, Objective};
+use tr_sim::{simulate, SimConfig};
+use tr_spnet::pivot;
+
+fn p1_gate_power(c: &mut Criterion) {
+    let h = Harness::new();
+    let stats = [
+        SignalStats::new(0.3, 1.0e5),
+        SignalStats::new(0.7, 9.0e5),
+        SignalStats::new(0.5, 2.0e5),
+        SignalStats::new(0.4, 4.0e5),
+        SignalStats::new(0.6, 7.0e5),
+    ];
+    c.bench_function("p1_gate_power_oai221", |b| {
+        b.iter(|| {
+            std::hint::black_box(h.model.gate_power(
+                &CellKind::oai(&[2, 2, 1]),
+                0,
+                std::hint::black_box(&stats),
+                5.0e-15,
+            ))
+        })
+    });
+    c.bench_function("p1_best_and_worst_oai221", |b| {
+        b.iter(|| {
+            std::hint::black_box(h.model.best_and_worst(
+                &CellKind::oai(&[2, 2, 1]),
+                24,
+                std::hint::black_box(&stats),
+                5.0e-15,
+            ))
+        })
+    });
+}
+
+fn p2_enumeration(c: &mut Criterion) {
+    let h = Harness::new();
+    let aoi222 = h
+        .library
+        .cell_by_name("aoi222")
+        .expect("library cell")
+        .configurations()[0]
+        .clone();
+    c.bench_function("p2_enumerate_aoi222_48_configs", |b| {
+        b.iter(|| std::hint::black_box(pivot::find_all_reorderings(std::hint::black_box(&aoi222))))
+    });
+}
+
+fn p3_optimize(c: &mut Criterion) {
+    let h = Harness::new();
+    let rca16 = generators::ripple_carry_adder(16, &h.library);
+    let stats = Scenario::a().input_stats(rca16.primary_inputs().len(), 1);
+    c.bench_function("p3_optimize_rca16", |b| {
+        b.iter(|| {
+            std::hint::black_box(optimize(
+                &rca16,
+                &h.library,
+                &h.model,
+                &stats,
+                Objective::MinimizePower,
+            ))
+        })
+    });
+    c.bench_function("p3_optimize_rca16_parallel4", |b| {
+        b.iter(|| {
+            std::hint::black_box(optimize_parallel(
+                &rca16,
+                &h.library,
+                &h.model,
+                &stats,
+                Objective::MinimizePower,
+                4,
+            ))
+        })
+    });
+}
+
+fn p4_simulator(c: &mut Criterion) {
+    let h = Harness::new();
+    let parity = generators::parity_tree(8, &h.library);
+    let stats = vec![SignalStats::new(0.5, 1.0e6); 8];
+    let config = SimConfig {
+        duration: 5.0e-5,
+        warmup: 5.0e-6,
+        seed: 3,
+    };
+    c.bench_function("p4_simulate_parity8_50us", |b| {
+        b.iter_batched(
+            || config,
+            |cfg| {
+                std::hint::black_box(simulate(
+                    &parity, &h.library, &h.process, &h.timing, &stats, &cfg,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, p1_gate_power, p2_enumeration, p3_optimize, p4_simulator);
+criterion_main!(benches);

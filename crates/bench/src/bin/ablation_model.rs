@@ -1,0 +1,317 @@
+//! Model ablations (ours, motivated by the paper's §1/§2 discussion):
+//!
+//! 1. **Density-blind optimization** — what earlier input-reordering work
+//!    (Carlson'93 etc.) could do: optimize with equilibrium probabilities
+//!    only (every input density forced equal). The paper argues this
+//!    misses most of the opportunity; we quantify it.
+//! 2. **Output-only model** — ignore internal nodes (pre-paper power
+//!    models): the optimizer can then only exploit output-diffusion
+//!    differences and loses most of its signal.
+//! 3. **Load sweep** — savings versus external output load: as the output
+//!    capacitance dominates, the internal nodes (the paper's entire
+//!    optimization surface) matter less.
+//!
+//! Run: `cargo run -p tr-bench --release --bin ablation_model`
+
+use tr_bench::Harness;
+use tr_boolean::SignalStats;
+use tr_gatelib::FEMTO;
+use tr_netlist::{suite, Circuit};
+use tr_power::scenario::Scenario;
+use tr_power::{circuit_power, external_loads, propagate};
+use tr_reorder::{optimize, Objective};
+
+/// Model power of `circuit` under `stats`.
+fn model_power(h: &Harness, circuit: &Circuit, stats: &[SignalStats]) -> f64 {
+    let net_stats = propagate(circuit, &h.library, stats);
+    circuit_power(circuit, &h.model, &net_stats).total
+}
+
+/// A probability-only optimizer (what pre-Najm input-reordering work had
+/// to work with): every gate is explored with its true input
+/// *probabilities* but a uniform transition density on every pin, so
+/// activity gradients — including the ones the circuit itself creates,
+/// like carry chains — are invisible to the choice.
+fn optimize_density_blind(h: &Harness, circuit: &Circuit, stats: &[SignalStats]) -> Circuit {
+    let net_stats = propagate(circuit, &h.library, stats);
+    let loads = external_loads(circuit, &h.model);
+    let mut result = circuit.clone();
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let cell = h.library.cell(&gate.cell).expect("library cell");
+        let blind: Vec<SignalStats> = gate
+            .inputs
+            .iter()
+            .map(|n| SignalStats::new(net_stats[n.0].probability(), 1.0e5))
+            .collect();
+        let (best, _) = h.model.best_and_worst(
+            cell.kind(),
+            cell.configurations().len(),
+            &blind,
+            loads[gate.output.0],
+        );
+        result.set_config(tr_netlist::GateId(i), best);
+    }
+    result
+}
+
+fn main() {
+    let h = Harness::new();
+    let cases: Vec<_> = suite::quick_suite(&h.library)
+        .into_iter()
+        .filter(|c| c.circuit.gates().len() >= 20)
+        .collect();
+
+    for (scen_name, scenario) in [("A (P,D random)", Scenario::a()), ("B (P=0.5)", Scenario::b())] {
+    println!("Ablation 1: density-blind optimization, scenario {scen_name}");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "circuit", "full M%", "dens-blind M%", "headroom kept"
+    );
+    let mut full_sum = 0.0;
+    let mut blind_sum = 0.0;
+    for case in &cases {
+        let n = case.circuit.primary_inputs().len();
+        let stats = scenario.input_stats(n, 0xAB1);
+        // Full-information optimization.
+        let best = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MinimizePower,
+        );
+        let worst = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MaximizePower,
+        );
+        let full = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
+
+        // Density-blind: the optimizer sees true probabilities but a
+        // uniform density on every gate pin; evaluation uses the truth.
+        let blind_best = optimize_density_blind(&h, &case.circuit, &stats);
+        let p_blind = model_power(&h, &blind_best, &stats);
+        let p_best = model_power(&h, &best.circuit, &stats);
+        let p_worst = model_power(&h, &worst.circuit, &stats);
+        let blind = 100.0 * (p_worst - p_blind) / p_worst;
+        let kept = if p_worst > p_best {
+            (p_worst - p_blind) / (p_worst - p_best)
+        } else {
+            1.0
+        };
+        full_sum += full;
+        blind_sum += blind;
+        println!(
+            "{:<10} {:>10.1} {:>14.1} {:>13.0}%",
+            case.name,
+            full,
+            blind,
+            100.0 * kept
+        );
+    }
+    let n = cases.len().max(1) as f64;
+    println!(
+        "{:<10} {:>10.1} {:>14.1}   (averages)",
+        "AVG",
+        full_sum / n,
+        blind_sum / n
+    );
+    println!();
+    }
+    println!("Interpretation: at circuit level a probability-only optimizer stays");
+    println!("surprisingly competitive, because internal net *probabilities* vary");
+    println!("and correlate with activity. The density information is decisive");
+    println!("exactly where the paper's Table 1 lives: gates whose pins share one");
+    println!("probability but differ in activity. Ablation 1c isolates that:");
+    println!();
+
+    // Ablation 1c: the Table 1 gate — equal probabilities, skewed density.
+    {
+        let lib = &h.library;
+        let cell = lib.cell_by_name("oai21").expect("oai21");
+        let n_cfg = cell.configurations().len();
+        let blind_stats = [SignalStats::new(0.5, 1.0e5); 3];
+        let load = 8.0 * FEMTO;
+        let (blind_best, _) = h.model.best_and_worst(cell.kind(), n_cfg, &blind_stats, load);
+        println!("Ablation 1c: OAI21 with P=0.5 on every pin (the Table 1 setting):");
+        for (name, dens) in [
+            ("case (1)", [1.0e4, 1.0e5, 1.0e6]),
+            ("case (2)", [1.0e6, 1.0e5, 1.0e4]),
+        ] {
+            let true_stats: Vec<SignalStats> =
+                dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
+            let (full_best, worst) =
+                h.model.best_and_worst(cell.kind(), n_cfg, &true_stats, load);
+            let p = |c: usize| h.model.gate_power(cell.kind(), c, &true_stats, load).total;
+            println!(
+                "  {name}: full picks cfg {full_best} ({:.1}% below worst); blind picks cfg {blind_best} ({:.1}% below worst)",
+                100.0 * (p(worst) - p(full_best)) / p(worst),
+                100.0 * (p(worst) - p(blind_best)) / p(worst),
+            );
+        }
+        println!("  the blind choice cannot follow the activity skew — it keeps one");
+        println!("  fixed ordering, which forfeits roughly half the benefit when the");
+        println!("  hot input moves (case 2). That is the paper's §1.1 argument.");
+    }
+    println!();
+
+    // Ablation 2: output-only power model (the pre-paper baseline).
+    println!("Ablation 2: output-node-only model (internal nodes invisible)");
+    println!("{:<10} {:>10} {:>14} {:>14}", "circuit", "full M%", "out-only M%", "headroom kept");
+    let mut full_sum = 0.0;
+    let mut out_sum = 0.0;
+    for case in &cases {
+        let n = case.circuit.primary_inputs().len();
+        let stats = Scenario::a().input_stats(n, 0xAB1);
+        let best = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MinimizePower,
+        );
+        let worst = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MaximizePower,
+        );
+        // Output-only: per gate, choose the config minimizing *output node*
+        // power alone (what a classic gate-level model can see).
+        let net_stats = propagate(&case.circuit, &h.library, &stats);
+        let loads = external_loads(&case.circuit, &h.model);
+        let mut out_only = case.circuit.clone();
+        for (i, gate) in case.circuit.gates().iter().enumerate() {
+            let cell = h.library.cell(&gate.cell).expect("library cell");
+            let inputs: Vec<SignalStats> =
+                gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+            let best_cfg = (0..cell.configurations().len())
+                .min_by(|&a, &b| {
+                    let pa = h
+                        .model
+                        .gate_power(cell.kind(), a, &inputs, loads[gate.output.0])
+                        .output();
+                    let pb = h
+                        .model
+                        .gate_power(cell.kind(), b, &inputs, loads[gate.output.0])
+                        .output();
+                    pa.total_cmp(&pb)
+                })
+                .expect("at least one configuration");
+            out_only.set_config(tr_netlist::GateId(i), best_cfg);
+        }
+        let p_out = model_power(&h, &out_only, &stats);
+        let p_best = best.power_after;
+        let p_worst = worst.power_after;
+        let full = 100.0 * (p_worst - p_best) / p_worst;
+        let outm = 100.0 * (p_worst - p_out) / p_worst;
+        let kept = if p_worst > p_best {
+            100.0 * (p_worst - p_out) / (p_worst - p_best)
+        } else {
+            100.0
+        };
+        full_sum += full;
+        out_sum += outm;
+        println!("{:<10} {:>10.1} {:>14.1} {:>13.0}%", case.name, full, outm, kept);
+    }
+    let n = cases.len().max(1) as f64;
+    println!(
+        "{:<10} {:>10.1} {:>14.1}   (averages)",
+        "AVG",
+        full_sum / n,
+        out_sum / n
+    );
+    println!();
+    println!("Interpretation: a model that cannot see internal nodes captures only");
+    println!("the diffusion-at-output side effect of reordering and leaves most of");
+    println!("the headroom on the table — the paper's extended model is the point.");
+    println!();
+
+    // Ablation 4: rule-of-thumb reordering (Shen et al. [9]) vs the model.
+    println!("Ablation 4: rule-based reordering vs the stochastic model (Scenario A)");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "circuit", "model M%", "hot@output M%", "hot@rail M%"
+    );
+    let mut sums = (0.0f64, 0.0f64, 0.0f64);
+    for case in &cases {
+        let n = case.circuit.primary_inputs().len();
+        let stats = Scenario::a().input_stats(n, 0xAB1);
+        let best = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MinimizePower,
+        );
+        let worst = optimize(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            Objective::MaximizePower,
+        );
+        let span = |p: f64| 100.0 * (worst.power_after - p) / worst.power_after;
+        let out_rule = tr_reorder::optimize_rule_based(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            tr_reorder::Rule::HotNearOutput,
+        );
+        let rail_rule = tr_reorder::optimize_rule_based(
+            &case.circuit,
+            &h.library,
+            &h.model,
+            &stats,
+            tr_reorder::Rule::HotNearRail,
+        );
+        sums.0 += span(best.power_after);
+        sums.1 += span(out_rule.power_after);
+        sums.2 += span(rail_rule.power_after);
+        println!(
+            "{:<10} {:>10.1} {:>14.1} {:>14.1}",
+            case.name,
+            span(best.power_after),
+            span(out_rule.power_after),
+            span(rail_rule.power_after)
+        );
+    }
+    let n = cases.len().max(1) as f64;
+    println!(
+        "{:<10} {:>10.1} {:>14.1} {:>14.1}   (averages)",
+        "AVG",
+        sums.0 / n,
+        sums.1 / n,
+        sums.2 / n
+    );
+    println!();
+    println!("Interpretation: a fixed rule of thumb captures part of the headroom");
+    println!("but cannot adapt to probabilities, capacitance asymmetries or the");
+    println!("charge state; the paper's per-gate exhaustive search under the full");
+    println!("model recovers the rest — and never loses to either rule.");
+    println!();
+
+    // Ablation 3: load sweep on the motivating gate population (rca8).
+    println!("Ablation 3: Scenario-A savings vs external load per gate output");
+    println!("{:>12} {:>10}", "extra load", "M%");
+    let rca = tr_netlist::generators::ripple_carry_adder(8, &h.library);
+    let stats = Scenario::a().input_stats(rca.primary_inputs().len(), 0x10AD);
+    for extra_ff in [0.0, 5.0, 10.0, 20.0, 40.0, 80.0] {
+        // Emulate heavier wiring by scaling the process' output wire cap.
+        let mut process = h.process.clone();
+        process.c_wire_output += extra_ff * FEMTO;
+        let model = tr_power::PowerModel::new(&h.library, process);
+        let best = optimize(&rca, &h.library, &model, &stats, Objective::MinimizePower);
+        let worst = optimize(&rca, &h.library, &model, &stats, Objective::MaximizePower);
+        let m = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
+        println!("{:>10.0}fF {:>10.1}", extra_ff, m);
+    }
+    println!();
+    println!("Interpretation: reordering's leverage shrinks as the (fixed) output");
+    println!("load dominates — consistent with the paper's Sea-of-Gates setting");
+    println!("where internal diffusion is a substantial fraction of node charge.");
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Table 3** (and the Fig. 6 scenarios): for every benchmark
+//! circuit and both scenarios, the model-estimated power reduction (M),
+//! the switch-level-simulated reduction (S), and the delay increase (D)
+//! of the best-for-power netlist versus the original mapping.
+//!
+//! Paper headline: Scenario A averages S ≈ 12 % with delay ≈ +4 % and
+//! model estimate M ≈ 9 % (the model overestimates power by an offset);
+//! Scenario B savings are roughly half of Scenario A.
+//!
+//! Run: `cargo run -p tr-bench --release --bin table3_benchmarks [--quick] [--json PATH]`
+
+use std::collections::BTreeMap;
+use tr_bench::{render_table3, table3_row, Harness, Table3Row};
+use tr_netlist::suite;
+use tr_power::scenario::Scenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let h = Harness::new();
+    let cases = if quick {
+        suite::quick_suite(&h.library)
+    } else {
+        suite::standard_suite(&h.library)
+    };
+    eprintln!(
+        "table3: {} circuits, {} mode",
+        cases.len(),
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut results: BTreeMap<String, Vec<Table3Row>> = BTreeMap::new();
+    for (label, scenario) in [("A", Scenario::a()), ("B", Scenario::b())] {
+        let mut rows = Vec::new();
+        for (i, case) in cases.iter().enumerate() {
+            eprintln!("  scenario {label}: {} ({}/{})", case.name, i + 1, cases.len());
+            rows.push(table3_row(
+                &h,
+                &case.name,
+                &case.circuit,
+                scenario,
+                0xBEEF + i as u64,
+                quick,
+            ));
+        }
+        println!("{}", render_table3(label, &rows));
+        results.insert(label.to_string(), rows);
+    }
+
+    // Headline shape summary.
+    let avg = |rows: &[Table3Row], f: fn(&Table3Row) -> f64| -> f64 {
+        rows.iter().map(f).sum::<f64>() / rows.len().max(1) as f64
+    };
+    let a = &results["A"];
+    let b = &results["B"];
+    let (a_m, a_s, a_d) = (
+        avg(a, |r| r.model_reduction),
+        avg(a, |r| r.sim_reduction),
+        avg(a, |r| r.delay_increase),
+    );
+    let (b_m, b_s) = (avg(b, |r| r.model_reduction), avg(b, |r| r.sim_reduction));
+    println!("shape vs paper:");
+    println!("  Scenario A: S = {a_s:.1}% (paper ≈ 12%), M = {a_m:.1}% (paper ≈ 9%), D = {a_d:+.1}% (paper ≈ +4%)");
+    println!("  Scenario B: S = {b_s:.1}%, M = {b_m:.1}% (paper: ≈ half of Scenario A)");
+    println!(
+        "  B/A savings ratio: {:.2} (paper ≈ 0.5)",
+        if a_s != 0.0 { b_s / a_s } else { f64::NAN }
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("serializable");
+        std::fs::write(&path, json).expect("write json");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,235 @@
+//! Shared experiment-harness machinery for the table/figure binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1_motivation` | Table 1(b) + Fig. 1(a) |
+//! | `table2_library` | Table 2 |
+//! | `figure5_exploration` | Fig. 5 |
+//! | `table3_benchmarks` | Table 3 + Fig. 6 scenarios |
+//! | `ablation_model` | model ablations (ours) |
+//!
+//! This library holds the Table 3 row pipeline so it can be unit-tested
+//! and reused by the Criterion benches.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use tr_boolean::SignalStats;
+use tr_gatelib::{Library, Process};
+use tr_netlist::Circuit;
+use tr_power::scenario::Scenario;
+use tr_power::PowerModel;
+use tr_reorder::{optimize, Objective};
+use tr_sim::{simulate, SimConfig};
+use tr_timing::TimingModel;
+
+/// Everything the experiments need, constructed once.
+pub struct Harness {
+    /// The Table 2 cell library.
+    pub library: Library,
+    /// Process parameters.
+    pub process: Process,
+    /// The extended power model.
+    pub model: PowerModel,
+    /// The Elmore timing model.
+    pub timing: TimingModel,
+}
+
+impl Harness {
+    /// Builds the standard harness.
+    pub fn new() -> Self {
+        let library = Library::standard();
+        let process = Process::default();
+        let model = PowerModel::new(&library, process.clone());
+        let timing = TimingModel::new(&library, process.clone());
+        Harness {
+            library,
+            process,
+            model,
+            timing,
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One row of the Table 3 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Gate count (paper column G).
+    pub gates: usize,
+    /// Model-estimated reduction, best vs worst, percent (column M).
+    pub model_reduction: f64,
+    /// Switch-level simulated reduction, best vs worst, percent (column S).
+    pub sim_reduction: f64,
+    /// Delay increase of the best-power netlist vs the original mapping,
+    /// percent (column D).
+    pub delay_increase: f64,
+    /// Simulated power of the best netlist (W) — extra diagnostics.
+    pub sim_power_best: f64,
+    /// Simulated power of the worst netlist (W).
+    pub sim_power_worst: f64,
+}
+
+/// Simulation length heuristics: long enough for each input to toggle a
+/// few thousand times, bounded so the whole suite stays laptop-scale.
+pub fn sim_duration(stats: &[SignalStats], quick: bool) -> f64 {
+    let max_d = stats
+        .iter()
+        .map(SignalStats::density)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let target_toggles = if quick { 400.0 } else { 2000.0 };
+    (target_toggles / max_d).clamp(1.0e-6, 1.0e-2)
+}
+
+/// Computes one Table 3 row: optimize for best and worst power, measure
+/// both with the switch-level simulator, and compare delays.
+pub fn table3_row(
+    harness: &Harness,
+    name: &str,
+    circuit: &Circuit,
+    scenario: Scenario,
+    seed: u64,
+    quick: bool,
+) -> Table3Row {
+    let stats = scenario.input_stats(circuit.primary_inputs().len(), seed);
+    let best = optimize(
+        circuit,
+        &harness.library,
+        &harness.model,
+        &stats,
+        Objective::MinimizePower,
+    );
+    let worst = optimize(
+        circuit,
+        &harness.library,
+        &harness.model,
+        &stats,
+        Objective::MaximizePower,
+    );
+    let model_reduction =
+        100.0 * (worst.power_after - best.power_after) / worst.power_after.max(f64::MIN_POSITIVE);
+
+    let duration = sim_duration(&stats, quick);
+    let config = SimConfig {
+        duration,
+        warmup: duration * 0.1,
+        seed: seed ^ 0x5151,
+    };
+    let sim_best = simulate(
+        &best.circuit,
+        &harness.library,
+        &harness.process,
+        &harness.timing,
+        &stats,
+        &config,
+    );
+    let sim_worst = simulate(
+        &worst.circuit,
+        &harness.library,
+        &harness.process,
+        &harness.timing,
+        &stats,
+        &config,
+    );
+    let sim_reduction = 100.0 * (sim_worst.power - sim_best.power)
+        / sim_worst.power.max(f64::MIN_POSITIVE);
+
+    let delay_orig = tr_timing::critical_path_delay(circuit, &harness.timing);
+    let delay_best = tr_timing::critical_path_delay(&best.circuit, &harness.timing);
+    let delay_increase = 100.0 * (delay_best - delay_orig) / delay_orig.max(f64::MIN_POSITIVE);
+
+    Table3Row {
+        name: name.to_string(),
+        gates: circuit.gates().len(),
+        model_reduction,
+        sim_reduction,
+        delay_increase,
+        sim_power_best: sim_best.power,
+        sim_power_worst: sim_worst.power,
+    }
+}
+
+/// Formats rows as the paper-style text table, with averages.
+pub fn render_table3(scenario_name: &str, rows: &[Table3Row]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Scenario {scenario_name}:");
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>8} {:>8} {:>8}",
+        "circuit", "G", "M%", "S%", "D%"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>5} {:>8.1} {:>8.1} {:>8.1}",
+            r.name, r.gates, r.model_reduction, r.sim_reduction, r.delay_increase
+        );
+    }
+    let n = rows.len().max(1) as f64;
+    let avg_m: f64 = rows.iter().map(|r| r.model_reduction).sum::<f64>() / n;
+    let avg_s: f64 = rows.iter().map(|r| r.sim_reduction).sum::<f64>() / n;
+    let avg_d: f64 = rows.iter().map(|r| r.delay_increase).sum::<f64>() / n;
+    let _ = writeln!(
+        out,
+        "{:<10} {:>5} {:>8.1} {:>8.1} {:>8.1}   (averages)",
+        "AVG", "", avg_m, avg_s, avg_d
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_netlist::generators;
+
+    #[test]
+    fn table3_row_on_small_circuit() {
+        let h = Harness::new();
+        let c = generators::ripple_carry_adder(4, &h.library);
+        let row = table3_row(&h, "rca4", &c, Scenario::a(), 3, true);
+        assert_eq!(row.gates, c.gates().len());
+        // Model headroom must exist and simulation must agree on the sign.
+        assert!(row.model_reduction > 0.0);
+        assert!(row.sim_power_worst > 0.0);
+        assert!(
+            row.sim_reduction > -5.0,
+            "simulator strongly disagrees: {row:?}"
+        );
+    }
+
+    #[test]
+    fn durations_are_sane() {
+        let stats = vec![SignalStats::new(0.5, 1.0e6)];
+        let d = sim_duration(&stats, false);
+        assert!((1.0e-6..=1.0e-2).contains(&d));
+        let dq = sim_duration(&stats, true);
+        assert!(dq < d);
+    }
+
+    #[test]
+    fn render_contains_averages() {
+        let rows = vec![Table3Row {
+            name: "x".into(),
+            gates: 10,
+            model_reduction: 5.0,
+            sim_reduction: 7.0,
+            delay_increase: 1.0,
+            sim_power_best: 1.0,
+            sim_power_worst: 2.0,
+        }];
+        let s = render_table3("A", &rows);
+        assert!(s.contains("AVG"));
+        assert!(s.contains('x'));
+    }
+}

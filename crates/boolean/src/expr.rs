@@ -1,0 +1,233 @@
+//! Boolean expression trees.
+//!
+//! [`Expr`] is the human-facing companion of [`BoolFn`]: cell logic
+//! functions are *defined* as expressions, and extracted path functions are
+//! *rendered* as expressions. Evaluation lowers an expression to a dense
+//! [`BoolFn`].
+
+use crate::BoolFn;
+use std::fmt;
+
+/// A Boolean expression over numbered variables.
+///
+/// # Example
+///
+/// The OAI21 function `y = ¬((a₁+a₂)·b)` from the paper's Fig. 1:
+///
+/// ```
+/// use tr_boolean::Expr;
+///
+/// let y = Expr::not(Expr::and(vec![
+///     Expr::or(vec![Expr::var(0), Expr::var(1)]),
+///     Expr::var(2),
+/// ]));
+/// let f = y.to_boolfn(3);
+/// assert!(f.eval(&[false, false, false])); // pull-down off -> 1
+/// assert!(!f.eval(&[true, false, true]));
+/// assert_eq!(y.render(&["a1", "a2", "b"]), "!((a1 + a2)·b)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A constant.
+    Const(bool),
+    /// Variable reference by index.
+    Var(usize),
+    /// Logical complement.
+    Not(Box<Expr>),
+    /// Conjunction of one or more terms.
+    And(Vec<Expr>),
+    /// Disjunction of one or more terms.
+    Or(Vec<Expr>),
+}
+
+impl Expr {
+    /// Constant `true`/`false`.
+    pub fn constant(v: bool) -> Self {
+        Expr::Const(v)
+    }
+
+    /// Variable `i`.
+    pub fn var(i: usize) -> Self {
+        Expr::Var(i)
+    }
+
+    /// Complement of `e`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(e: Expr) -> Self {
+        Expr::Not(Box::new(e))
+    }
+
+    /// Conjunction of `terms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty; use [`Expr::constant`] for constants.
+    pub fn and(terms: Vec<Expr>) -> Self {
+        assert!(!terms.is_empty(), "Expr::and needs at least one term");
+        Expr::And(terms)
+    }
+
+    /// Disjunction of `terms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `terms` is empty; use [`Expr::constant`] for constants.
+    pub fn or(terms: Vec<Expr>) -> Self {
+        assert!(!terms.is_empty(), "Expr::or needs at least one term");
+        Expr::Or(terms)
+    }
+
+    /// Largest variable index referenced, plus one (0 for constant
+    /// expressions).
+    pub fn min_nvars(&self) -> usize {
+        match self {
+            Expr::Const(_) => 0,
+            Expr::Var(i) => i + 1,
+            Expr::Not(e) => e.min_nvars(),
+            Expr::And(ts) | Expr::Or(ts) => ts.iter().map(Expr::min_nvars).max().unwrap_or(0),
+        }
+    }
+
+    /// Lowers the expression to a truth table over `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a variable `>= nvars` or
+    /// `nvars > MAX_VARS`.
+    pub fn to_boolfn(&self, nvars: usize) -> BoolFn {
+        match self {
+            Expr::Const(true) => BoolFn::one(nvars),
+            Expr::Const(false) => BoolFn::zero(nvars),
+            Expr::Var(i) => BoolFn::var(nvars, *i),
+            Expr::Not(e) => e.to_boolfn(nvars).not(),
+            Expr::And(ts) => {
+                let mut acc = BoolFn::one(nvars);
+                for t in ts {
+                    acc = acc.and(&t.to_boolfn(nvars));
+                }
+                acc
+            }
+            Expr::Or(ts) => {
+                let mut acc = BoolFn::zero(nvars);
+                for t in ts {
+                    acc = acc.or(&t.to_boolfn(nvars));
+                }
+                acc
+            }
+        }
+    }
+
+    /// Evaluates against a concrete assignment (index = variable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable is out of range.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::Var(i) => assignment[*i],
+            Expr::Not(e) => !e.eval(assignment),
+            Expr::And(ts) => ts.iter().all(|t| t.eval(assignment)),
+            Expr::Or(ts) => ts.iter().any(|t| t.eval(assignment)),
+        }
+    }
+
+    /// Renders with the given variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable has no name.
+    pub fn render(&self, names: &[&str]) -> String {
+        fn go(e: &Expr, names: &[&str], parent_and: bool) -> String {
+            match e {
+                Expr::Const(v) => if *v { "1" } else { "0" }.to_string(),
+                Expr::Var(i) => names[*i].to_string(),
+                Expr::Not(inner) => match inner.as_ref() {
+                    Expr::Var(i) => format!("!{}", names[*i]),
+                    other => format!("!({})", go(other, names, false)),
+                },
+                Expr::And(ts) => ts
+                    .iter()
+                    .map(|t| go(t, names, true))
+                    .collect::<Vec<_>>()
+                    .join("·"),
+                Expr::Or(ts) => {
+                    let body = ts
+                        .iter()
+                        .map(|t| go(t, names, false))
+                        .collect::<Vec<_>>()
+                        .join(" + ");
+                    if parent_and {
+                        format!("({body})")
+                    } else {
+                        body
+                    }
+                }
+            }
+        }
+        go(self, names, false)
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.min_nvars();
+        let names: Vec<String> = (0..n).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        write!(f, "{}", self.render(&refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oai21_truth_table() {
+        let y = Expr::not(Expr::and(vec![
+            Expr::or(vec![Expr::var(0), Expr::var(1)]),
+            Expr::var(2),
+        ]));
+        let f = y.to_boolfn(3);
+        for m in 0..8usize {
+            let a1 = m & 1 == 1;
+            let a2 = (m >> 1) & 1 == 1;
+            let b = (m >> 2) & 1 == 1;
+            assert_eq!(f.eval_minterm(m), !((a1 || a2) && b));
+        }
+    }
+
+    #[test]
+    fn eval_matches_boolfn() {
+        let e = Expr::or(vec![
+            Expr::and(vec![Expr::var(0), Expr::not(Expr::var(1))]),
+            Expr::var(2),
+        ]);
+        let f = e.to_boolfn(3);
+        for m in 0..8usize {
+            let assignment = [m & 1 == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+            assert_eq!(e.eval(&assignment), f.eval(&assignment));
+        }
+    }
+
+    #[test]
+    fn render_parenthesizes_or_under_and() {
+        let e = Expr::and(vec![
+            Expr::or(vec![Expr::var(0), Expr::var(1)]),
+            Expr::not(Expr::var(2)),
+        ]);
+        assert_eq!(e.render(&["a", "b", "c"]), "(a + b)·!c");
+    }
+
+    #[test]
+    fn display_uses_default_names() {
+        let e = Expr::or(vec![Expr::var(0), Expr::var(3)]);
+        assert_eq!(format!("{e}"), "x0 + x3");
+    }
+
+    #[test]
+    fn min_nvars() {
+        assert_eq!(Expr::constant(true).min_nvars(), 0);
+        assert_eq!(Expr::var(4).min_nvars(), 5);
+    }
+}

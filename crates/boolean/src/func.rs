@@ -1,0 +1,651 @@
+//! Dense truth-table Boolean functions.
+
+use std::fmt;
+
+/// Maximum number of variables a [`BoolFn`] may depend on.
+///
+/// CMOS cells in standard libraries have at most six or so inputs; 16 leaves
+/// generous headroom for whole-cone analysis of small circuits while keeping
+/// the dense representation cheap (a 16-variable function is 8 KiB).
+pub const MAX_VARS: usize = 16;
+
+/// Error returned when combining two functions of different arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArityError {
+    /// Arity of the left operand.
+    pub left: usize,
+    /// Arity of the right operand.
+    pub right: usize,
+}
+
+impl fmt::Display for ArityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "boolean functions have different arities ({} vs {})",
+            self.left, self.right
+        )
+    }
+}
+
+impl std::error::Error for ArityError {}
+
+/// A Boolean function of `n ≤ 16` variables stored as a dense truth table.
+///
+/// Minterm `m` (an `n`-bit assignment where bit `i` is the value of variable
+/// `i`) corresponds to bit `m` of the table. The unused high bits of the
+/// last word are kept at zero so that equality, hashing and popcounts are
+/// exact.
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::BoolFn;
+///
+/// let a = BoolFn::var(3, 0);
+/// let b = BoolFn::var(3, 1);
+/// let c = BoolFn::var(3, 2);
+/// // y = (a + b)·c̄  — the pull-up condition of an OAI21 internal node
+/// let y = a.or(&b).and(&c.not());
+/// assert!(y.eval(&[true, false, false]));
+/// assert!(!y.eval(&[true, false, true]));
+/// assert_eq!(y.count_minterms(), 3);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BoolFn {
+    nvars: usize,
+    words: Vec<u64>,
+}
+
+/// Number of `u64` words needed for an `nvars`-variable table.
+fn word_count(nvars: usize) -> usize {
+    if nvars >= 6 {
+        1 << (nvars - 6)
+    } else {
+        1
+    }
+}
+
+/// Mask of valid bits in the (single) word of a small (`nvars < 6`) table.
+fn tail_mask(nvars: usize) -> u64 {
+    if nvars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1 << nvars)) - 1
+    }
+}
+
+impl BoolFn {
+    /// The constant-0 function of `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS`.
+    pub fn zero(nvars: usize) -> Self {
+        assert!(nvars <= MAX_VARS, "nvars {nvars} exceeds MAX_VARS");
+        BoolFn {
+            nvars,
+            words: vec![0; word_count(nvars)],
+        }
+    }
+
+    /// The constant-1 function of `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS`.
+    pub fn one(nvars: usize) -> Self {
+        let mut f = Self::zero(nvars);
+        for w in &mut f.words {
+            *w = u64::MAX;
+        }
+        let last = f.words.len() - 1;
+        f.words[last] &= tail_mask(nvars);
+        f
+    }
+
+    /// The projection function of variable `var` among `nvars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS` or `var >= nvars`.
+    pub fn var(nvars: usize, var: usize) -> Self {
+        assert!(var < nvars, "variable index {var} out of range 0..{nvars}");
+        let mut f = Self::zero(nvars);
+        if var < 6 {
+            // Periodic pattern inside each word.
+            let mut pattern = 0u64;
+            for m in 0..64u64 {
+                if (m >> var) & 1 == 1 {
+                    pattern |= 1 << m;
+                }
+            }
+            for w in &mut f.words {
+                *w = pattern;
+            }
+            let last = f.words.len() - 1;
+            f.words[last] &= tail_mask(nvars);
+        } else {
+            // Whole words alternate in blocks of 2^(var-6).
+            let block = 1usize << (var - 6);
+            for (i, w) in f.words.iter_mut().enumerate() {
+                if (i / block) & 1 == 1 {
+                    *w = u64::MAX;
+                }
+            }
+        }
+        f
+    }
+
+    /// The literal `var` (if `positive`) or `¬var` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS` or `var >= nvars`.
+    pub fn literal(nvars: usize, var: usize, positive: bool) -> Self {
+        let v = Self::var(nvars, var);
+        if positive {
+            v
+        } else {
+            v.not()
+        }
+    }
+
+    /// Builds a function by evaluating `f` on every assignment.
+    ///
+    /// Bit `i` of the `&[bool]` argument is the value of variable `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS`.
+    pub fn from_fn<F: FnMut(&[bool]) -> bool>(nvars: usize, mut f: F) -> Self {
+        let mut out = Self::zero(nvars);
+        let mut assignment = vec![false; nvars];
+        for m in 0..(1usize << nvars) {
+            for (i, slot) in assignment.iter_mut().enumerate() {
+                *slot = (m >> i) & 1 == 1;
+            }
+            if f(&assignment) {
+                out.words[m >> 6] |= 1 << (m & 63);
+            }
+        }
+        out
+    }
+
+    /// Builds a function from an explicit list of minterm indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nvars > MAX_VARS` or a minterm is `>= 2^nvars`.
+    pub fn from_minterms(nvars: usize, minterms: &[usize]) -> Self {
+        let mut out = Self::zero(nvars);
+        for &m in minterms {
+            assert!(m < (1usize << nvars), "minterm {m} out of range");
+            out.words[m >> 6] |= 1 << (m & 63);
+        }
+        out
+    }
+
+    /// Number of variables this function is defined over.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Evaluates the function on a full assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nvars`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assert_eq!(
+            assignment.len(),
+            self.nvars,
+            "assignment length must equal nvars"
+        );
+        let mut m = 0usize;
+        for (i, &v) in assignment.iter().enumerate() {
+            if v {
+                m |= 1 << i;
+            }
+        }
+        self.eval_minterm(m)
+    }
+
+    /// Evaluates the function on a minterm index (bit `i` = variable `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m >= 2^nvars`.
+    pub fn eval_minterm(&self, m: usize) -> bool {
+        assert!(m < (1usize << self.nvars), "minterm {m} out of range");
+        (self.words[m >> 6] >> (m & 63)) & 1 == 1
+    }
+
+    /// Logical complement.
+    #[must_use]
+    pub fn not(&self) -> Self {
+        let mut out = self.clone();
+        for w in &mut out.words {
+            *w = !*w;
+        }
+        let last = out.words.len() - 1;
+        out.words[last] &= tail_mask(self.nvars);
+        out
+    }
+
+    /// Checked conjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if the operands have different arities.
+    pub fn try_and(&self, other: &Self) -> Result<Self, ArityError> {
+        self.zip(other, |a, b| a & b)
+    }
+
+    /// Checked disjunction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if the operands have different arities.
+    pub fn try_or(&self, other: &Self) -> Result<Self, ArityError> {
+        self.zip(other, |a, b| a | b)
+    }
+
+    /// Checked exclusive or.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArityError`] if the operands have different arities.
+    pub fn try_xor(&self, other: &Self) -> Result<Self, ArityError> {
+        self.zip(other, |a, b| a ^ b)
+    }
+
+    /// Conjunction. See [`BoolFn::try_and`] for a non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different arities.
+    #[must_use]
+    pub fn and(&self, other: &Self) -> Self {
+        self.try_and(other).expect("arity mismatch in and()")
+    }
+
+    /// Disjunction. See [`BoolFn::try_or`] for a non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different arities.
+    #[must_use]
+    pub fn or(&self, other: &Self) -> Self {
+        self.try_or(other).expect("arity mismatch in or()")
+    }
+
+    /// Exclusive or. See [`BoolFn::try_xor`] for a non-panicking variant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operands have different arities.
+    #[must_use]
+    pub fn xor(&self, other: &Self) -> Self {
+        self.try_xor(other).expect("arity mismatch in xor()")
+    }
+
+    fn zip<F: Fn(u64, u64) -> u64>(&self, other: &Self, f: F) -> Result<Self, ArityError> {
+        if self.nvars != other.nvars {
+            return Err(ArityError {
+                left: self.nvars,
+                right: other.nvars,
+            });
+        }
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(BoolFn {
+            nvars: self.nvars,
+            words,
+        })
+    }
+
+    /// Positive or negative cofactor `f|ᵥₐᵣ₌ᵥₐₗ`.
+    ///
+    /// The result keeps the same arity; the fixed variable simply becomes a
+    /// don't-care.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    #[must_use]
+    pub fn cofactor(&self, var: usize, val: bool) -> Self {
+        assert!(var < self.nvars, "variable index {var} out of range");
+        let mut out = self.clone();
+        if var < 6 {
+            // Bits of a word where variable `var` is 1.
+            let mut ones = 0u64;
+            for m in 0..64u64 {
+                if (m >> var) & 1 == 1 {
+                    ones |= 1 << m;
+                }
+            }
+            let shift = 1u32 << var;
+            for w in &mut out.words {
+                if val {
+                    let hi = *w & ones;
+                    *w = hi | (hi >> shift);
+                } else {
+                    let lo = *w & !ones;
+                    *w = lo | (lo << shift);
+                }
+            }
+        } else {
+            let block = 1usize << (var - 6);
+            for (i, w) in out.words.iter_mut().enumerate() {
+                // Word index with the `var` block-bit forced to `val`.
+                let j = if val { i | block } else { i & !block };
+                *w = self.words[j];
+            }
+        }
+        out
+    }
+
+    /// The Boolean difference `∂f/∂x = f|ₓ₌₁ ⊕ f|ₓ₌₀`.
+    ///
+    /// `∂f/∂x` is 1 exactly on the assignments of the remaining variables
+    /// where a transition of `x` propagates to `f` — the quantity Najm's
+    /// transition density is built on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    #[must_use]
+    pub fn boolean_difference(&self, var: usize) -> Self {
+        self.cofactor(var, true).xor(&self.cofactor(var, false))
+    }
+
+    /// Returns `true` if the function is constant 0.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns `true` if the function is constant 1.
+    pub fn is_one(&self) -> bool {
+        *self == Self::one(self.nvars)
+    }
+
+    /// Returns `true` if the function actually depends on `var`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= nvars`.
+    pub fn depends_on(&self, var: usize) -> bool {
+        !self.boolean_difference(var).is_zero()
+    }
+
+    /// The set of variables the function depends on.
+    pub fn support(&self) -> Vec<usize> {
+        (0..self.nvars).filter(|&v| self.depends_on(v)).collect()
+    }
+
+    /// Number of satisfying assignments (minterms).
+    pub fn count_minterms(&self) -> u64 {
+        self.words.iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Iterator over the indices of satisfying minterms.
+    pub fn minterms(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..(1usize << self.nvars)).filter(move |&m| self.eval_minterm(m))
+    }
+
+    /// Re-expresses the function over a larger variable set (the new
+    /// variables are don't-cares).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_nvars < nvars` or `new_nvars > MAX_VARS`.
+    #[must_use]
+    pub fn extend_to(&self, new_nvars: usize) -> Self {
+        assert!(
+            new_nvars >= self.nvars,
+            "cannot shrink a function with extend_to"
+        );
+        if new_nvars == self.nvars {
+            return self.clone();
+        }
+        let old = self;
+        BoolFn::from_fn(new_nvars, |assignment| {
+            let mut m = 0usize;
+            for (i, &v) in assignment.iter().take(old.nvars).enumerate() {
+                if v {
+                    m |= 1 << i;
+                }
+            }
+            old.eval_minterm(m)
+        })
+    }
+
+    /// Composes the function: substitute each variable `i` with `subs[i]`.
+    ///
+    /// All substituted functions must share one arity, which becomes the
+    /// arity of the result. Used to express a gate output in terms of
+    /// circuit primary inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subs.len() != nvars` or the substitutions disagree on
+    /// arity.
+    #[must_use]
+    pub fn compose(&self, subs: &[BoolFn]) -> Self {
+        assert_eq!(subs.len(), self.nvars, "one substitution per variable");
+        if subs.is_empty() {
+            return if self.is_one() {
+                BoolFn::one(0)
+            } else {
+                BoolFn::zero(0)
+            };
+        }
+        let target = subs[0].nvars;
+        for s in subs {
+            assert_eq!(s.nvars, target, "substitutions must share an arity");
+        }
+        let mut out = BoolFn::zero(target);
+        // Shannon-style evaluation over the target space.
+        for m in 0..(1usize << target) {
+            let mut inner = 0usize;
+            for (i, s) in subs.iter().enumerate() {
+                if s.eval_minterm(m) {
+                    inner |= 1 << i;
+                }
+            }
+            if self.eval_minterm(inner) {
+                out.words[m >> 6] |= 1 << (m & 63);
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for BoolFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BoolFn({} vars; 0x", self.nvars)?;
+        for w in self.words.iter().rev() {
+            write!(f, "{w:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for BoolFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.is_one() {
+            return write!(f, "1");
+        }
+        let mut first = true;
+        for m in self.minterms() {
+            if !first {
+                write!(f, " + ")?;
+            }
+            first = false;
+            for v in 0..self.nvars {
+                if (m >> v) & 1 == 1 {
+                    write!(f, "x{v}")?;
+                } else {
+                    write!(f, "x{v}'")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        for n in 0..=8 {
+            assert!(BoolFn::zero(n).is_zero());
+            assert!(BoolFn::one(n).is_one());
+            assert_eq!(BoolFn::one(n).count_minterms(), 1u64 << n);
+            assert_eq!(BoolFn::zero(n).count_minterms(), 0);
+        }
+    }
+
+    #[test]
+    fn var_projection_small_and_large() {
+        for n in [1, 3, 6, 7, 9] {
+            for v in 0..n {
+                let f = BoolFn::var(n, v);
+                assert_eq!(f.count_minterms(), 1u64 << (n - 1));
+                for m in 0..(1usize << n) {
+                    assert_eq!(f.eval_minterm(m), (m >> v) & 1 == 1, "n={n} v={v} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn demorgan() {
+        let a = BoolFn::var(4, 0);
+        let b = BoolFn::var(4, 3);
+        assert_eq!(a.and(&b).not(), a.not().or(&b.not()));
+        assert_eq!(a.or(&b).not(), a.not().and(&b.not()));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let a = BoolFn::var(2, 0);
+        let b = BoolFn::var(3, 0);
+        assert_eq!(a.try_and(&b), Err(ArityError { left: 2, right: 3 }));
+    }
+
+    #[test]
+    fn cofactor_small_vars() {
+        // f = a·b + c over 3 vars
+        let a = BoolFn::var(3, 0);
+        let b = BoolFn::var(3, 1);
+        let c = BoolFn::var(3, 2);
+        let f = a.and(&b).or(&c);
+        let f_c1 = f.cofactor(2, true);
+        assert!(f_c1.is_one());
+        let f_c0 = f.cofactor(2, false);
+        assert_eq!(f_c0, a.and(&b));
+        // Cofactor removes dependence.
+        assert!(!f_c0.depends_on(2));
+    }
+
+    #[test]
+    fn cofactor_large_vars() {
+        // 8 variables, cofactor on var 7 (block-level path).
+        let f = BoolFn::from_fn(8, |a| (a[7] && a[0]) || (!a[7] && a[1]));
+        let hi = f.cofactor(7, true);
+        let lo = f.cofactor(7, false);
+        assert_eq!(hi, BoolFn::var(8, 0));
+        assert_eq!(lo, BoolFn::var(8, 1));
+    }
+
+    #[test]
+    fn boolean_difference_of_and() {
+        let a = BoolFn::var(2, 0);
+        let b = BoolFn::var(2, 1);
+        let f = a.and(&b);
+        // ∂(ab)/∂a = b
+        assert_eq!(f.boolean_difference(0), b);
+        assert_eq!(f.boolean_difference(1), a);
+    }
+
+    #[test]
+    fn boolean_difference_of_xor_is_one() {
+        let a = BoolFn::var(2, 0);
+        let b = BoolFn::var(2, 1);
+        let f = a.xor(&b);
+        assert!(f.boolean_difference(0).is_one());
+        assert!(f.boolean_difference(1).is_one());
+    }
+
+    #[test]
+    fn support_detects_fake_dependence() {
+        // f = a ⊕ a = 0 has empty support even if built from var 0.
+        let a = BoolFn::var(3, 0);
+        let f = a.xor(&a);
+        assert!(f.support().is_empty());
+        let g = a.and(&BoolFn::var(3, 2));
+        assert_eq!(g.support(), vec![0, 2]);
+    }
+
+    #[test]
+    fn from_minterms_roundtrip() {
+        let f = BoolFn::from_minterms(3, &[0, 5, 7]);
+        let got: Vec<usize> = f.minterms().collect();
+        assert_eq!(got, vec![0, 5, 7]);
+        assert_eq!(f.count_minterms(), 3);
+    }
+
+    #[test]
+    fn extend_keeps_semantics() {
+        let f = BoolFn::var(2, 1).not();
+        let g = f.extend_to(5);
+        assert_eq!(g.nvars(), 5);
+        for m in 0..32 {
+            assert_eq!(g.eval_minterm(m), (m >> 1) & 1 == 0);
+        }
+    }
+
+    #[test]
+    fn compose_substitutes() {
+        // f(x0,x1) = x0·x1, substitute x0 := a+b, x1 := c (3-var space)
+        let f = BoolFn::var(2, 0).and(&BoolFn::var(2, 1));
+        let a_or_b = BoolFn::var(3, 0).or(&BoolFn::var(3, 1));
+        let c = BoolFn::var(3, 2);
+        let g = f.compose(&[a_or_b.clone(), c.clone()]);
+        assert_eq!(g, a_or_b.and(&c));
+    }
+
+    #[test]
+    fn compose_zero_arity() {
+        let t = BoolFn::one(0);
+        assert!(t.compose(&[]).is_one());
+    }
+
+    #[test]
+    fn eval_matches_minterm_indexing() {
+        let f = BoolFn::from_fn(4, |a| a[0] ^ (a[1] && a[3]));
+        assert_eq!(
+            f.eval(&[true, true, false, true]),
+            f.eval_minterm(0b1011usize)
+        );
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert_eq!(format!("{}", BoolFn::zero(2)), "0");
+        assert_eq!(format!("{}", BoolFn::one(2)), "1");
+        let s = format!("{}", BoolFn::var(2, 0));
+        assert!(s.contains("x0"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Boolean-function algebra for stochastic power analysis of CMOS gates.
+//!
+//! This crate is the mathematical substrate of the transistor-reordering
+//! optimizer. It provides:
+//!
+//! * [`BoolFn`] — a dense truth-table representation of a Boolean function
+//!   of up to [`MAX_VARS`] variables, with cofactors and the *Boolean
+//!   difference* `∂f/∂x = f|ₓ₌₁ ⊕ f|ₓ₌₀` used throughout the power model;
+//! * [`Expr`] — a small Boolean expression tree used to define cell
+//!   functions and to pretty-print path functions;
+//! * [`prob`] — exact signal probability under the input-independence
+//!   assumption (Parker–McCluskey style) and Najm's transition-density
+//!   propagation `D(y) = Σᵢ P(∂y/∂xᵢ)·D(xᵢ)`;
+//! * [`SignalStats`] — the `(P, D)` pair (equilibrium probability,
+//!   transition density) that characterizes every signal as a 0–1
+//!   stationary Markov process.
+//!
+//! # Example
+//!
+//! Propagate probability and transition density through a 2-input NAND:
+//!
+//! ```
+//! use tr_boolean::{BoolFn, SignalStats, prob};
+//!
+//! let a = BoolFn::var(2, 0);
+//! let b = BoolFn::var(2, 1);
+//! let y = a.and(&b).not();
+//!
+//! let inputs = [SignalStats::new(0.5, 2.0), SignalStats::new(0.5, 4.0)];
+//! let out = prob::propagate(&y, &inputs);
+//! assert!((out.probability() - 0.75).abs() < 1e-12);
+//! // D(y) = P(b)·D(a) + P(a)·D(b) = 0.5·2 + 0.5·4 = 3
+//! assert!((out.density() - 3.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod expr;
+mod func;
+pub mod prob;
+pub mod sop;
+mod stats;
+
+pub use expr::Expr;
+pub use func::{ArityError, BoolFn, MAX_VARS};
+pub use stats::{SignalStats, StatsError};

@@ -1,0 +1,161 @@
+//! Signal probability and transition-density propagation.
+//!
+//! Two classic results underpin the power model:
+//!
+//! * **Parker–McCluskey (1975)**: with statistically independent inputs,
+//!   the probability that a Boolean function evaluates to 1 is the sum over
+//!   its minterms of the product of per-input probabilities. [`probability`]
+//!   computes this exactly from the truth table.
+//! * **Najm (DAC 1991)**: the *transition density* of an output is
+//!   `D(y) = Σᵢ P(∂y/∂xᵢ)·D(xᵢ)`, where `∂y/∂xᵢ` is the Boolean
+//!   difference. [`density`] computes this exactly (again under input
+//!   independence), and [`propagate`] bundles both into a [`SignalStats`].
+
+use crate::{BoolFn, SignalStats};
+
+/// Exact probability that `f = 1` given independent input probabilities.
+///
+/// Runs in `O(2ⁿ·n)` over the truth table — instantaneous for cell-sized
+/// functions and still fast at the [`crate::MAX_VARS`] limit.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != f.nvars()`.
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::{BoolFn, prob};
+/// let a = BoolFn::var(2, 0);
+/// let b = BoolFn::var(2, 1);
+/// // P(a·b) = P(a)·P(b) for independent inputs
+/// assert!((prob::probability(&a.and(&b), &[0.3, 0.5]) - 0.15).abs() < 1e-12);
+/// ```
+pub fn probability(f: &BoolFn, probs: &[f64]) -> f64 {
+    assert_eq!(
+        probs.len(),
+        f.nvars(),
+        "need one probability per function input"
+    );
+    // Accumulate by Shannon expansion on the last variable to halve work,
+    // but the straightforward minterm walk is clear and fast enough.
+    let mut total = 0.0;
+    for m in f.minterms() {
+        let mut term = 1.0;
+        for (i, &p) in probs.iter().enumerate() {
+            term *= if (m >> i) & 1 == 1 { p } else { 1.0 - p };
+        }
+        total += term;
+    }
+    // Clamp tiny negative / >1 float residue.
+    total.clamp(0.0, 1.0)
+}
+
+/// Najm transition density of `f` given per-input `(P, D)` statistics.
+///
+/// `D(f) = Σᵢ P(∂f/∂xᵢ)·D(xᵢ)` — every input transition propagates to the
+/// output exactly when the Boolean difference with respect to that input is
+/// satisfied by the remaining inputs.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != f.nvars()`.
+pub fn density(f: &BoolFn, inputs: &[SignalStats]) -> f64 {
+    assert_eq!(
+        inputs.len(),
+        f.nvars(),
+        "need one SignalStats per function input"
+    );
+    let probs: Vec<f64> = inputs.iter().map(SignalStats::probability).collect();
+    let mut d = 0.0;
+    for (i, s) in inputs.iter().enumerate() {
+        if s.density() == 0.0 {
+            continue;
+        }
+        let diff = f.boolean_difference(i);
+        if diff.is_zero() {
+            continue;
+        }
+        d += probability(&diff, &probs) * s.density();
+    }
+    d
+}
+
+/// Propagates both probability and density through `f`.
+///
+/// # Panics
+///
+/// Panics if `inputs.len() != f.nvars()`.
+pub fn propagate(f: &BoolFn, inputs: &[SignalStats]) -> SignalStats {
+    let probs: Vec<f64> = inputs.iter().map(SignalStats::probability).collect();
+    let p = probability(f, &probs);
+    let d = density(f, inputs);
+    SignalStats::new(p, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(p: f64, d: f64) -> SignalStats {
+        SignalStats::new(p, d)
+    }
+
+    #[test]
+    fn probability_of_constants() {
+        assert_eq!(probability(&BoolFn::zero(3), &[0.1, 0.2, 0.3]), 0.0);
+        assert_eq!(probability(&BoolFn::one(3), &[0.1, 0.2, 0.3]), 1.0);
+    }
+
+    #[test]
+    fn probability_of_or_inclusion_exclusion() {
+        let f = BoolFn::var(2, 0).or(&BoolFn::var(2, 1));
+        let p = probability(&f, &[0.3, 0.4]);
+        assert!((p - (0.3 + 0.4 - 0.12)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_inverter_passes_through() {
+        let f = BoolFn::var(1, 0).not();
+        let d = density(&f, &[stats(0.7, 5.0)]);
+        assert!((d - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_nand_matches_hand_calc() {
+        // D(nand(a,b)) = P(b)·D(a) + P(a)·D(b)
+        let f = BoolFn::var(2, 0).and(&BoolFn::var(2, 1)).not();
+        let d = density(&f, &[stats(0.2, 3.0), stats(0.9, 7.0)]);
+        assert!((d - (0.9 * 3.0 + 0.2 * 7.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_xor_sums_inputs() {
+        // ∂(a⊕b)/∂a = ∂(a⊕b)/∂b = 1, so densities add regardless of P.
+        let f = BoolFn::var(2, 0).xor(&BoolFn::var(2, 1));
+        let d = density(&f, &[stats(0.13, 3.0), stats(0.87, 7.0)]);
+        assert!((d - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_function_has_zero_density() {
+        let f = BoolFn::one(2);
+        assert_eq!(density(&f, &[stats(0.5, 10.0), stats(0.5, 10.0)]), 0.0);
+    }
+
+    #[test]
+    fn propagate_bundles_both() {
+        let f = BoolFn::var(2, 0).and(&BoolFn::var(2, 1));
+        let out = propagate(&f, &[stats(0.5, 2.0), stats(0.5, 2.0)]);
+        assert!((out.probability() - 0.25).abs() < 1e-12);
+        assert!((out.density() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescent_inputs_produce_quiescent_output() {
+        let f = BoolFn::var(2, 0).or(&BoolFn::var(2, 1));
+        let out = propagate(&f, &[SignalStats::constant(true), SignalStats::constant(false)]);
+        assert_eq!(out.density(), 0.0);
+        assert_eq!(out.probability(), 1.0);
+    }
+}

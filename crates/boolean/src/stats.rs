@@ -1,0 +1,174 @@
+//! Signal statistics: the `(P, D)` pair of the stochastic signal model.
+
+use std::fmt;
+
+/// Error constructing a [`SignalStats`] from invalid numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// Probability outside `[0, 1]` or NaN.
+    InvalidProbability(f64),
+    /// Negative or NaN density.
+    InvalidDensity(f64),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability(p) => {
+                write!(f, "equilibrium probability {p} not in [0, 1]")
+            }
+            StatsError::InvalidDensity(d) => write!(f, "transition density {d} is negative"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Equilibrium probability and transition density of a logic signal.
+///
+/// Every signal is modeled as a 0–1 stationary Markov process (paper §3.1):
+/// `P` is the probability of observing a 1 at any instant, `D` is the
+/// average number of transitions per time unit. The time unit is
+/// *seconds* in Scenario A and *clock cycles* in Scenario B; the model is
+/// agnostic as long as usage is consistent.
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::SignalStats;
+///
+/// let s = SignalStats::new(0.5, 1.0e6); // 1M transitions/second
+/// assert_eq!(s.probability(), 0.5);
+/// assert_eq!(s.density(), 1.0e6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalStats {
+    p: f64,
+    d: f64,
+}
+
+impl SignalStats {
+    /// Creates signal statistics, validating both fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0,1]` or `d < 0` (or either is NaN). Use
+    /// [`SignalStats::try_new`] for a fallible constructor.
+    pub fn new(p: f64, d: f64) -> Self {
+        Self::try_new(p, d).expect("invalid signal statistics")
+    }
+
+    /// Fallible counterpart of [`SignalStats::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError`] if `p ∉ [0,1]` or `d < 0` (or either is NaN).
+    pub fn try_new(p: f64, d: f64) -> Result<Self, StatsError> {
+        if !(0.0..=1.0).contains(&p) {
+            return Err(StatsError::InvalidProbability(p));
+        }
+        if d.is_nan() || d < 0.0 {
+            return Err(StatsError::InvalidDensity(d));
+        }
+        Ok(SignalStats { p, d })
+    }
+
+    /// A quiescent signal stuck at the given logic value.
+    pub fn constant(value: bool) -> Self {
+        SignalStats {
+            p: if value { 1.0 } else { 0.0 },
+            d: 0.0,
+        }
+    }
+
+    /// The equilibrium probability `P(x)`.
+    pub fn probability(&self) -> f64 {
+        self.p
+    }
+
+    /// The transition density `D(x)` (transitions per time unit).
+    pub fn density(&self) -> f64 {
+        self.d
+    }
+
+    /// Mean dwell times `(t₀, t₁)` of the equivalent alternating renewal
+    /// process (used by the switch-level simulator's waveform generator).
+    ///
+    /// A cycle 0→1→0 contains two transitions, so `D = 2/(t₀+t₁)` and
+    /// `P = t₁/(t₀+t₁)`, giving `t₁ = 2P/D` and `t₀ = 2(1−P)/D`.
+    ///
+    /// Returns `None` for quiescent signals (`D = 0`) or signals pinned at
+    /// a rail (`P` of exactly 0 or 1 with `D > 0` is not realizable).
+    pub fn dwell_times(&self) -> Option<(f64, f64)> {
+        if self.d <= 0.0 || self.p <= 0.0 || self.p >= 1.0 {
+            return None;
+        }
+        Some((2.0 * (1.0 - self.p) / self.d, 2.0 * self.p / self.d))
+    }
+}
+
+impl Default for SignalStats {
+    /// The paper's Scenario B default: `P = 0.5`, `D = 0.5`
+    /// transitions/cycle.
+    fn default() -> Self {
+        SignalStats { p: 0.5, d: 0.5 }
+    }
+}
+
+impl fmt::Display for SignalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(P={:.4}, D={:.4})", self.p, self.d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_probability() {
+        assert!(matches!(
+            SignalStats::try_new(1.5, 0.0),
+            Err(StatsError::InvalidProbability(_))
+        ));
+        assert!(matches!(
+            SignalStats::try_new(f64::NAN, 0.0),
+            Err(StatsError::InvalidProbability(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_density() {
+        assert!(matches!(
+            SignalStats::try_new(0.5, -1.0),
+            Err(StatsError::InvalidDensity(_))
+        ));
+        assert!(matches!(
+            SignalStats::try_new(0.5, f64::NAN),
+            Err(StatsError::InvalidDensity(_))
+        ));
+    }
+
+    #[test]
+    fn dwell_times_invert_to_stats() {
+        let s = SignalStats::new(0.25, 4.0);
+        let (t0, t1) = s.dwell_times().unwrap();
+        let d = 2.0 / (t0 + t1);
+        let p = t1 / (t0 + t1);
+        assert!((d - 4.0).abs() < 1e-12);
+        assert!((p - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quiescent_has_no_dwell() {
+        assert!(SignalStats::constant(true).dwell_times().is_none());
+        assert!(SignalStats::new(0.0, 3.0).dwell_times().is_none());
+    }
+
+    #[test]
+    fn default_is_scenario_b() {
+        let s = SignalStats::default();
+        assert_eq!(s.probability(), 0.5);
+        assert_eq!(s.density(), 0.5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests for the Boolean algebra substrate.
+
+use proptest::prelude::*;
+use tr_boolean::{prob, BoolFn, SignalStats};
+
+/// Strategy: an arbitrary function of `n` variables as a random minterm set.
+fn arb_boolfn(n: usize) -> impl Strategy<Value = BoolFn> {
+    prop::collection::vec(any::<bool>(), 1 << n)
+        .prop_map(move |bits| BoolFn::from_fn(n, |a| {
+            let mut m = 0usize;
+            for (i, &v) in a.iter().enumerate() {
+                if v {
+                    m |= 1 << i;
+                }
+            }
+            bits[m]
+        }))
+}
+
+fn arb_probs(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..=1.0, n)
+}
+
+proptest! {
+    #[test]
+    fn double_negation(f in arb_boolfn(4)) {
+        prop_assert_eq!(f.not().not(), f);
+    }
+
+    #[test]
+    fn and_or_absorption(f in arb_boolfn(4), g in arb_boolfn(4)) {
+        // f + f·g = f  and  f·(f+g) = f
+        prop_assert_eq!(f.or(&f.and(&g)), f.clone());
+        prop_assert_eq!(f.and(&f.or(&g)), f);
+    }
+
+    #[test]
+    fn xor_via_and_or(f in arb_boolfn(4), g in arb_boolfn(4)) {
+        let alt = f.and(&g.not()).or(&f.not().and(&g));
+        prop_assert_eq!(f.xor(&g), alt);
+    }
+
+    #[test]
+    fn shannon_expansion(f in arb_boolfn(5), v in 0usize..5) {
+        let x = BoolFn::var(5, v);
+        let expansion = x.and(&f.cofactor(v, true)).or(&x.not().and(&f.cofactor(v, false)));
+        prop_assert_eq!(expansion, f);
+    }
+
+    #[test]
+    fn boolean_difference_symmetric_in_complement(f in arb_boolfn(4), v in 0usize..4) {
+        // ∂f/∂x = ∂f̄/∂x
+        prop_assert_eq!(f.boolean_difference(v), f.not().boolean_difference(v));
+    }
+
+    #[test]
+    fn cofactor_removes_dependence(f in arb_boolfn(5), v in 0usize..5) {
+        prop_assert!(!f.cofactor(v, true).depends_on(v));
+        prop_assert!(!f.cofactor(v, false).depends_on(v));
+    }
+
+    #[test]
+    fn probability_in_unit_interval(f in arb_boolfn(4), ps in arb_probs(4)) {
+        let p = prob::probability(&f, &ps);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn probability_complement(f in arb_boolfn(4), ps in arb_probs(4)) {
+        let p = prob::probability(&f, &ps);
+        let q = prob::probability(&f.not(), &ps);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn probability_monotone_in_function(f in arb_boolfn(4), g in arb_boolfn(4), ps in arb_probs(4)) {
+        // P(f·g) <= P(f) <= P(f+g)
+        let pf = prob::probability(&f, &ps);
+        let pfg = prob::probability(&f.and(&g), &ps);
+        let pfog = prob::probability(&f.or(&g), &ps);
+        prop_assert!(pfg <= pf + 1e-9);
+        prop_assert!(pf <= pfog + 1e-9);
+    }
+
+    #[test]
+    fn probability_uniform_counts_minterms(f in arb_boolfn(4)) {
+        let ps = vec![0.5; 4];
+        let p = prob::probability(&f, &ps);
+        let expected = f.count_minterms() as f64 / 16.0;
+        prop_assert!((p - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_nonnegative_and_bounded(f in arb_boolfn(4), ps in arb_probs(4), ds in prop::collection::vec(0.0f64..10.0, 4)) {
+        let inputs: Vec<SignalStats> = ps.iter().zip(&ds)
+            .map(|(&p, &d)| SignalStats::new(p, d)).collect();
+        let d = prob::density(&f, &inputs);
+        let sum: f64 = ds.iter().sum();
+        prop_assert!(d >= 0.0);
+        // Each P(∂f/∂x) <= 1 so density can never exceed the input total.
+        prop_assert!(d <= sum + 1e-9);
+    }
+
+    #[test]
+    fn density_invariant_under_complement(f in arb_boolfn(4), ps in arb_probs(4), ds in prop::collection::vec(0.0f64..10.0, 4)) {
+        let inputs: Vec<SignalStats> = ps.iter().zip(&ds)
+            .map(|(&p, &d)| SignalStats::new(p, d)).collect();
+        let d1 = prob::density(&f, &inputs);
+        let d2 = prob::density(&f.not(), &inputs);
+        prop_assert!((d1 - d2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compose_identity(f in arb_boolfn(4)) {
+        let subs: Vec<BoolFn> = (0..4).map(|i| BoolFn::var(4, i)).collect();
+        prop_assert_eq!(f.compose(&subs), f);
+    }
+
+    #[test]
+    fn extend_preserves_probability(f in arb_boolfn(3), ps in arb_probs(3)) {
+        let g = f.extend_to(6);
+        let mut ps6 = ps.clone();
+        ps6.extend([0.3, 0.7, 0.5]);
+        let p3 = prob::probability(&f, &ps);
+        let p6 = prob::probability(&g, &ps6);
+        prop_assert!((p3 - p6).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #[test]
+    fn sop_minimize_is_equivalent(f in arb_boolfn(4)) {
+        let cover = tr_boolean::sop::minimize(&f);
+        prop_assert_eq!(cover.to_boolfn(), f.clone());
+        // Expr rendering agrees too.
+        prop_assert_eq!(cover.to_expr().to_boolfn(4), f);
+    }
+
+    #[test]
+    fn sop_minimize_no_larger_than_minterm_cover(f in arb_boolfn(4)) {
+        let cover = tr_boolean::sop::minimize(&f);
+        prop_assert!(cover.cubes().len() as u64 <= f.count_minterms().max(1));
+    }
+}

@@ -1,0 +1,372 @@
+//! Cell kinds and precomputed cell data.
+
+use std::fmt;
+use tr_boolean::BoolFn;
+use tr_spnet::{pivot, shape, GateGraph, SpTree, Topology};
+
+/// The kind of a library cell.
+///
+/// The AOI (AND-OR-INVERT) family is parameterized by *group sizes*:
+/// `Aoi([2,1,1])` is the classic `aoi211`, computing
+/// `y = ¬(x₀·x₁ + x₂ + x₃)` with a pull-down of parallel series-chains.
+/// The OAI family is the De Morgan dual: `Oai([2,1])` computes
+/// `y = ¬((x₀+x₁)·x₂)` — the motivating gate of the paper's Fig. 1.
+/// NAND/NOR/INV are the degenerate single-group members of the families
+/// but get their own variants so names match Table 2.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Inverter.
+    Inv,
+    /// `k`-input NAND, `2 ≤ k ≤ 4`.
+    Nand(usize),
+    /// `k`-input NOR, `2 ≤ k ≤ 4`.
+    Nor(usize),
+    /// AND-OR-INVERT with the given AND-group sizes (descending order).
+    Aoi(Vec<usize>),
+    /// OR-AND-INVERT with the given OR-group sizes (descending order).
+    Oai(Vec<usize>),
+}
+
+impl CellKind {
+    /// The paper's motivating OAI21 (`y = ¬((a₁+a₂)·b)`).
+    pub fn oai21() -> Self {
+        CellKind::Oai(vec![2, 1])
+    }
+
+    /// Shorthand for `Aoi` with the given groups.
+    pub fn aoi(groups: &[usize]) -> Self {
+        CellKind::Aoi(groups.to_vec())
+    }
+
+    /// Shorthand for `Oai` with the given groups.
+    pub fn oai(groups: &[usize]) -> Self {
+        CellKind::Oai(groups.to_vec())
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        match self {
+            CellKind::Inv => 1,
+            CellKind::Nand(k) | CellKind::Nor(k) => *k,
+            CellKind::Aoi(groups) | CellKind::Oai(groups) => groups.iter().sum(),
+        }
+    }
+
+    /// Library name, matching Table 2 (`aoi211`, `oai22`, …).
+    pub fn name(&self) -> String {
+        match self {
+            CellKind::Inv => "inv".to_string(),
+            CellKind::Nand(k) => format!("nand{k}"),
+            CellKind::Nor(k) => format!("nor{k}"),
+            CellKind::Aoi(groups) => {
+                let digits: String = groups.iter().map(ToString::to_string).collect();
+                format!("aoi{digits}")
+            }
+            CellKind::Oai(groups) => {
+                let digits: String = groups.iter().map(ToString::to_string).collect();
+                format!("oai{digits}")
+            }
+        }
+    }
+
+    /// The default (canonical) pull-down network.
+    ///
+    /// Inputs are numbered left-to-right through the groups. For `Aoi`,
+    /// groups become series chains composed in parallel; for `Oai`,
+    /// parallel groups composed in series. NAND/NOR/INV degenerate
+    /// accordingly.
+    pub fn default_pulldown(&self) -> SpTree {
+        match self {
+            CellKind::Inv => SpTree::leaf(0),
+            CellKind::Nand(k) => SpTree::series((0..*k).map(SpTree::leaf).collect()),
+            CellKind::Nor(k) => SpTree::parallel((0..*k).map(SpTree::leaf).collect()),
+            CellKind::Aoi(groups) => {
+                SpTree::parallel(Self::group_chains(groups, SpTree::series))
+            }
+            CellKind::Oai(groups) => {
+                SpTree::series(Self::group_chains(groups, SpTree::parallel))
+            }
+        }
+    }
+
+    fn group_chains(groups: &[usize], compose: fn(Vec<SpTree>) -> SpTree) -> Vec<SpTree> {
+        let mut next = 0;
+        groups
+            .iter()
+            .map(|&g| {
+                let leaves: Vec<SpTree> = (next..next + g).map(SpTree::leaf).collect();
+                next += g;
+                compose(leaves)
+            })
+            .collect()
+    }
+
+    /// Validates the kind (arity limits of the Table 2 library).
+    ///
+    /// Groups must be non-empty, sizes ≥ 1, in non-increasing order (the
+    /// conventional cell naming), and total arity at most 6 (`aoi222`).
+    pub fn is_valid(&self) -> bool {
+        match self {
+            CellKind::Inv => true,
+            CellKind::Nand(k) | CellKind::Nor(k) => (2..=4).contains(k),
+            CellKind::Aoi(groups) | CellKind::Oai(groups) => {
+                !groups.is_empty()
+                    && groups.len() >= 2
+                    && groups.iter().all(|&g| (1..=3).contains(&g))
+                    && groups.windows(2).all(|w| w[0] >= w[1])
+                    && groups.iter().sum::<usize>() <= 6
+            }
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A library cell with all reordering data precomputed.
+///
+/// Construction enumerates every configuration with the paper's pivot
+/// search and partitions them into instances; for the Table 2 library the
+/// largest cell (`aoi222`/`oai222`) has 48 configurations, so this is
+/// instantaneous.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    kind: CellKind,
+    function: BoolFn,
+    configurations: Vec<Topology>,
+    instances: Vec<shape::Instance>,
+    default_graph: GateGraph,
+}
+
+impl Cell {
+    /// Builds a cell from its kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kind is not valid for the library
+    /// (see [`CellKind::is_valid`]).
+    pub fn new(kind: CellKind) -> Self {
+        assert!(kind.is_valid(), "invalid cell kind {kind}");
+        let arity = kind.arity();
+        let topology = Topology::from_pulldown(kind.default_pulldown());
+        let default_graph = GateGraph::build(&topology, arity);
+        let function = default_graph.output_function();
+        let configurations = pivot::find_all_reorderings(&topology);
+        let mut instances = shape::instances(&configurations);
+        // Convention: instance 0 (label [A]) is the one realizing the
+        // default configuration, so unoptimized circuits use only [A]
+        // layouts and instance demand reads naturally.
+        if let Some(pos) = instances.iter().position(|i| i.configurations.contains(&0)) {
+            instances.swap(0, pos);
+        }
+        Cell {
+            kind,
+            function,
+            configurations,
+            instances,
+            default_graph,
+        }
+    }
+
+    /// The cell kind.
+    pub fn kind(&self) -> &CellKind {
+        &self.kind
+    }
+
+    /// Library name (`nand3`, `aoi221`, …).
+    pub fn name(&self) -> String {
+        self.kind.name()
+    }
+
+    /// Number of inputs.
+    pub fn arity(&self) -> usize {
+        self.kind.arity()
+    }
+
+    /// The logic function over inputs `x₀ … x_{arity−1}`.
+    pub fn function(&self) -> &BoolFn {
+        &self.function
+    }
+
+    /// Every transistor-reordering configuration (the `#C` column of
+    /// Table 2). Index 0 is the default configuration.
+    pub fn configurations(&self) -> &[Topology] {
+        &self.configurations
+    }
+
+    /// The layout instances partitioning [`Cell::configurations`].
+    pub fn instances(&self) -> &[shape::Instance] {
+        &self.instances
+    }
+
+    /// The gate graph of a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range.
+    pub fn graph(&self, config: usize) -> GateGraph {
+        GateGraph::build(&self.configurations[config], self.arity())
+    }
+
+    /// The gate graph of the default configuration (precomputed).
+    pub fn default_graph(&self) -> &GateGraph {
+        &self.default_graph
+    }
+
+    /// Total transistor count (`2q`).
+    pub fn transistor_count(&self) -> usize {
+        self.configurations[0].transistor_count()
+    }
+
+    /// Which instance realizes configuration `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is out of range.
+    pub fn instance_of(&self, config: usize) -> usize {
+        assert!(config < self.configurations.len(), "config out of range");
+        self.instances
+            .iter()
+            .position(|i| i.configurations.contains(&config))
+            .expect("instances partition configurations")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_table2() {
+        assert_eq!(CellKind::Inv.name(), "inv");
+        assert_eq!(CellKind::Nand(3).name(), "nand3");
+        assert_eq!(CellKind::aoi(&[2, 1, 1]).name(), "aoi211");
+        assert_eq!(CellKind::oai(&[2, 2, 2]).name(), "oai222");
+    }
+
+    #[test]
+    fn oai21_matches_papers_motivating_gate() {
+        let cell = Cell::new(CellKind::oai21());
+        assert_eq!(cell.arity(), 3);
+        // y = ¬((x0 + x1)·x2)
+        let x0 = BoolFn::var(3, 0);
+        let x1 = BoolFn::var(3, 1);
+        let x2 = BoolFn::var(3, 2);
+        assert_eq!(*cell.function(), x0.or(&x1).and(&x2).not());
+        assert_eq!(cell.configurations().len(), 4);
+        assert_eq!(cell.instances().len(), 2);
+        assert_eq!(cell.transistor_count(), 6);
+    }
+
+    #[test]
+    fn nand_nor_functions() {
+        let nand3 = Cell::new(CellKind::Nand(3));
+        let f = nand3.function();
+        assert!(!f.eval(&[true, true, true]));
+        assert!(f.eval(&[true, false, true]));
+        let nor2 = Cell::new(CellKind::Nor(2));
+        let f = nor2.function();
+        assert!(f.eval(&[false, false]));
+        assert!(!f.eval(&[true, false]));
+    }
+
+    #[test]
+    fn aoi21_function() {
+        // y = ¬(x0·x1 + x2)
+        let cell = Cell::new(CellKind::aoi(&[2, 1]));
+        let f = cell.function();
+        assert!(!f.eval(&[true, true, false]));
+        assert!(!f.eval(&[false, false, true]));
+        assert!(f.eval(&[true, false, false]));
+    }
+
+    #[test]
+    fn configuration_counts_match_table2() {
+        // (name, #C) for every readable Table 2 entry plus the duals.
+        let expect: Vec<(CellKind, usize)> = vec![
+            (CellKind::Inv, 1),
+            (CellKind::Nand(2), 2),
+            (CellKind::Nand(3), 6),
+            (CellKind::Nand(4), 24),
+            (CellKind::Nor(2), 2),
+            (CellKind::Nor(3), 6),
+            (CellKind::Nor(4), 24),
+            (CellKind::aoi(&[2, 1]), 4),
+            (CellKind::aoi(&[2, 2]), 8),
+            (CellKind::aoi(&[3, 1]), 12),
+            (CellKind::aoi(&[2, 1, 1]), 12),
+            (CellKind::aoi(&[2, 2, 1]), 24),
+            (CellKind::aoi(&[2, 2, 2]), 48),
+            (CellKind::oai(&[2, 1]), 4),
+            (CellKind::oai(&[2, 2]), 8),
+            (CellKind::oai(&[3, 1]), 12),
+            (CellKind::oai(&[2, 1, 1]), 12),
+            (CellKind::oai(&[2, 2, 1]), 24),
+            (CellKind::oai(&[2, 2, 2]), 48),
+        ];
+        for (kind, count) in expect {
+            let cell = Cell::new(kind.clone());
+            assert_eq!(
+                cell.configurations().len(),
+                count,
+                "configuration count for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn instance_counts() {
+        let expect: Vec<(CellKind, usize)> = vec![
+            (CellKind::Inv, 1),
+            (CellKind::Nand(4), 1),
+            (CellKind::Nor(3), 1),
+            (CellKind::aoi(&[2, 1]), 2),
+            (CellKind::aoi(&[2, 2]), 1),
+            (CellKind::aoi(&[3, 1]), 2),
+            (CellKind::aoi(&[2, 1, 1]), 3),
+            (CellKind::aoi(&[2, 2, 1]), 3),
+            (CellKind::aoi(&[2, 2, 2]), 1),
+            (CellKind::oai21(), 2),
+        ];
+        for (kind, count) in expect {
+            let cell = Cell::new(kind.clone());
+            assert_eq!(cell.instances().len(), count, "instance count for {kind}");
+        }
+    }
+
+    #[test]
+    fn every_configuration_computes_the_same_function() {
+        for kind in [
+            CellKind::Nand(3),
+            CellKind::aoi(&[2, 2, 1]),
+            CellKind::oai(&[3, 1]),
+        ] {
+            let cell = Cell::new(kind);
+            for c in 0..cell.configurations().len() {
+                assert_eq!(cell.graph(c).output_function(), *cell.function());
+            }
+        }
+    }
+
+    #[test]
+    fn instance_of_is_consistent() {
+        let cell = Cell::new(CellKind::oai21());
+        for c in 0..cell.configurations().len() {
+            let i = cell.instance_of(c);
+            assert!(cell.instances()[i].configurations.contains(&c));
+        }
+    }
+
+    #[test]
+    fn invalid_kinds_rejected() {
+        assert!(!CellKind::Nand(1).is_valid());
+        assert!(!CellKind::Nand(5).is_valid());
+        assert!(!CellKind::aoi(&[1, 2]).is_valid()); // not descending
+        assert!(!CellKind::aoi(&[3, 2, 2]).is_valid()); // arity 7
+        assert!(!CellKind::aoi(&[4]).is_valid()); // group too big & single
+        assert!(CellKind::aoi(&[2, 2, 2]).is_valid());
+    }
+}

@@ -1,0 +1,39 @@
+//! The static CMOS cell library of the paper's Table 2.
+//!
+//! Each [`Cell`] bundles a logic function, its default series-parallel
+//! topology, the full set of transistor-reordering [configurations], and
+//! their partition into layout [instances] (`oai21[A]`, `oai21[B]`, …).
+//! The paper's evaluation maps MCNC circuits onto exactly this library —
+//! inverters, NAND/NOR up to 4 inputs, and the AOI/OAI families up to
+//! `aoi222`/`oai222` — implemented in a Sea-of-Gates style where every
+//! instance of a cell has the same area.
+//!
+//! The [`Process`] type supplies the electrical substitutes for the
+//! paper's extracted layout data: per-terminal diffusion capacitances,
+//! per-gate input capacitances, wire constants and channel resistances for
+//! a generic 0.8 µm-class process at 3.3 V (see `DESIGN.md` §3).
+//!
+//! [configurations]: Cell::configurations
+//! [instances]: Cell::instances
+//!
+//! # Example
+//!
+//! ```
+//! use tr_gatelib::{CellKind, Library};
+//!
+//! let lib = Library::standard();
+//! let oai21 = lib.cell(&CellKind::oai21()).unwrap();
+//! assert_eq!(oai21.configurations().len(), 4); // Fig. 1(a) of the paper
+//! assert_eq!(oai21.instances().len(), 2);      // oai21[A] and oai21[B]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cell;
+mod library;
+mod process;
+
+pub use cell::{Cell, CellKind};
+pub use library::Library;
+pub use process::{Process, FEMTO};

@@ -1,0 +1,133 @@
+//! The standard library: every cell of the paper's Table 2.
+
+use crate::cell::{Cell, CellKind};
+
+/// A set of [`Cell`]s addressable by kind or by name.
+///
+/// [`Library::standard`] builds the paper's Table 2 library. Custom
+/// libraries can be assembled with [`Library::from_kinds`] (e.g. to run
+/// ablations with a NAND/NOR-only subset).
+#[derive(Debug, Clone)]
+pub struct Library {
+    cells: Vec<Cell>,
+}
+
+impl Library {
+    /// The full Table 2 library: `inv`, `nand2–4`, `nor2–4`, and the
+    /// AOI/OAI families `21, 22, 31, 211, 221, 222`.
+    pub fn standard() -> Self {
+        let mut kinds: Vec<CellKind> = vec![CellKind::Inv];
+        for k in 2..=4 {
+            kinds.push(CellKind::Nand(k));
+            kinds.push(CellKind::Nor(k));
+        }
+        for groups in [
+            vec![2usize, 1],
+            vec![2, 2],
+            vec![3, 1],
+            vec![2, 1, 1],
+            vec![2, 2, 1],
+            vec![2, 2, 2],
+        ] {
+            kinds.push(CellKind::Aoi(groups.clone()));
+            kinds.push(CellKind::Oai(groups));
+        }
+        Self::from_kinds(kinds)
+    }
+
+    /// Builds a library from explicit kinds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any kind is invalid or duplicated.
+    pub fn from_kinds(kinds: impl IntoIterator<Item = CellKind>) -> Self {
+        let mut cells: Vec<Cell> = Vec::new();
+        for kind in kinds {
+            assert!(
+                !cells.iter().any(|c| *c.kind() == kind),
+                "duplicate cell {kind}"
+            );
+            cells.push(Cell::new(kind));
+        }
+        Library { cells }
+    }
+
+    /// All cells, in declaration order.
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// Looks up a cell by kind.
+    pub fn cell(&self, kind: &CellKind) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.kind() == kind)
+    }
+
+    /// Looks up a cell by Table 2 name (`"aoi221"`, `"nand3"`, …).
+    pub fn cell_by_name(&self, name: &str) -> Option<&Cell> {
+        self.cells.iter().find(|c| c.name() == name)
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Total number of configurations across the library (the sum of the
+    /// `#C` column of Table 2).
+    pub fn total_configurations(&self) -> usize {
+        self.cells.iter().map(|c| c.configurations().len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_contents() {
+        let lib = Library::standard();
+        // 1 inv + 3 nand + 3 nor + 6 aoi + 6 oai = 19 cells.
+        assert_eq!(lib.len(), 19);
+        for name in [
+            "inv", "nand2", "nand3", "nand4", "nor2", "nor3", "nor4", "aoi21", "aoi22", "aoi31",
+            "aoi211", "aoi221", "aoi222", "oai21", "oai22", "oai31", "oai211", "oai221", "oai222",
+        ] {
+            assert!(lib.cell_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_kind_and_name_agree() {
+        let lib = Library::standard();
+        let by_kind = lib.cell(&CellKind::aoi(&[2, 2, 1])).unwrap();
+        let by_name = lib.cell_by_name("aoi221").unwrap();
+        assert_eq!(by_kind.kind(), by_name.kind());
+    }
+
+    #[test]
+    fn unknown_cell_is_none() {
+        let lib = Library::standard();
+        assert!(lib.cell_by_name("xor2").is_none());
+        assert!(lib.cell(&CellKind::Nand(4)).is_some());
+    }
+
+    #[test]
+    fn duplicate_cells_rejected() {
+        let r = std::panic::catch_unwind(|| {
+            Library::from_kinds(vec![CellKind::Inv, CellKind::Inv])
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn total_configurations_is_table2_sum() {
+        let lib = Library::standard();
+        // inv 1 + nand/nor (2+6+24)*2 + (4+8+12+12+24+48)*2 = 1+64+216 = 281
+        assert_eq!(lib.total_configurations(), 281);
+    }
+}

@@ -1,0 +1,214 @@
+//! Electrical process parameters — the substitute for extracted layout
+//! capacitances.
+//!
+//! The paper extracts node capacitances from a Sea-of-Gates library
+//! ("these capacitances should be extracted and stored for all gates of
+//! the library", §3.3.1 footnote). Without that layout database we model
+//! them analytically: every source/drain terminal touching a node
+//! contributes one unit of diffusion capacitance (larger for the wider P
+//! devices), every node carries a small wiring constant, and output nodes
+//! additionally drive their fanout's gate capacitance. Reordering a gate
+//! redistributes *which* path functions control each internal capacitance
+//! while the totals stay constant — exactly the effect the paper's model
+//! captures — so relative powers are preserved even though absolute
+//! femtofarads are generic.
+
+use tr_spnet::{GateGraph, NodeId, TransistorKind};
+
+/// One femtofarad in farads.
+pub const FEMTO: f64 = 1e-15;
+
+/// Process and supply parameters (SI units).
+///
+/// Defaults model a generic 0.8 µm-class process at 3.3 V, the technology
+/// vintage of the paper (1996). P devices are drawn at twice the N width
+/// to balance drive, which doubles their diffusion and gate capacitance
+/// and equalizes channel resistance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Diffusion capacitance per N source/drain terminal (F).
+    pub c_diff_n: f64,
+    /// Diffusion capacitance per P source/drain terminal (F).
+    pub c_diff_p: f64,
+    /// Gate capacitance per driven N transistor (F).
+    pub c_gate_n: f64,
+    /// Gate capacitance per driven P transistor (F).
+    pub c_gate_p: f64,
+    /// Wiring capacitance of an internal diffusion node (F).
+    pub c_wire_internal: f64,
+    /// Wiring capacitance of a gate output net (F).
+    pub c_wire_output: f64,
+    /// Channel resistance of an N device (Ω).
+    pub r_n: f64,
+    /// Channel resistance of a (double-width) P device (Ω).
+    pub r_p: f64,
+}
+
+impl Default for Process {
+    fn default() -> Self {
+        Process {
+            vdd: 3.3,
+            c_diff_n: 1.8 * FEMTO,
+            c_diff_p: 3.0 * FEMTO,
+            c_gate_n: 2.0 * FEMTO,
+            c_gate_p: 3.6 * FEMTO,
+            c_wire_internal: 0.4 * FEMTO,
+            c_wire_output: 4.0 * FEMTO,
+            r_n: 4.0e3,
+            r_p: 4.5e3,
+        }
+    }
+}
+
+impl Process {
+    /// Capacitance of a node of `graph`: diffusion terminals + wire, plus
+    /// `external_load` (fanout gate capacitance) if the node is the
+    /// output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is a supply rail.
+    pub fn node_capacitance(&self, graph: &GateGraph, node: NodeId, external_load: f64) -> f64 {
+        assert!(
+            !matches!(node, NodeId::Vdd | NodeId::Vss),
+            "rails have no switching capacitance"
+        );
+        let (n_terms, p_terms) = graph.terminal_counts(node);
+        let diffusion = n_terms as f64 * self.c_diff_n + p_terms as f64 * self.c_diff_p;
+        match node {
+            NodeId::Output => diffusion + self.c_wire_output + external_load,
+            _ => diffusion + self.c_wire_internal,
+        }
+    }
+
+    /// Input capacitance one cell input presents to its driver: the gate
+    /// capacitance of every transistor that input controls.
+    pub fn input_capacitance(&self, graph: &GateGraph, input: usize) -> f64 {
+        graph
+            .edges()
+            .iter()
+            .filter(|e| e.input == input)
+            .map(|e| match e.kind {
+                TransistorKind::N => self.c_gate_n,
+                TransistorKind::P => self.c_gate_p,
+            })
+            .sum()
+    }
+
+    /// Channel resistance of one transistor.
+    pub fn resistance(&self, kind: TransistorKind) -> f64 {
+        match kind {
+            TransistorKind::N => self.r_n,
+            TransistorKind::P => self.r_p,
+        }
+    }
+
+    /// Energy of one full charge/discharge *pair* of capacitance `c`
+    /// (J): `C·Vdd²`. A single transition dissipates half of this.
+    pub fn switching_energy(&self, c: f64) -> f64 {
+        c * self.vdd * self.vdd
+    }
+
+    /// Average power of a node with capacitance `c` toggling with density
+    /// `d` transitions per second: `½·C·Vdd²·D` (W). This is the paper's
+    /// `P = ½·C·V²·D/T_cyc` with the density already expressed per second.
+    pub fn switching_power(&self, c: f64, d: f64) -> f64 {
+        0.5 * c * self.vdd * self.vdd * d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, CellKind};
+    use tr_spnet::NodeId;
+
+    #[test]
+    fn inverter_capacitances() {
+        let p = Process::default();
+        let cell = Cell::new(CellKind::Inv);
+        let g = cell.default_graph();
+        // Output touches one N and one P diffusion.
+        let c = p.node_capacitance(g, NodeId::Output, 0.0);
+        assert!((c - (p.c_diff_n + p.c_diff_p + p.c_wire_output)).abs() < 1e-21);
+        // Input drives one N and one P gate.
+        let cin = p.input_capacitance(g, 0);
+        assert!((cin - (p.c_gate_n + p.c_gate_p)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn nand2_internal_node_cap_is_two_n_terminals() {
+        let p = Process::default();
+        let cell = Cell::new(CellKind::Nand(2));
+        let g = cell.default_graph();
+        let c = p.node_capacitance(g, NodeId::Internal(0), 0.0);
+        assert!((c - (2.0 * p.c_diff_n + p.c_wire_internal)).abs() < 1e-21);
+    }
+
+    #[test]
+    fn external_load_only_affects_output() {
+        let p = Process::default();
+        let cell = Cell::new(CellKind::Nand(2));
+        let g = cell.default_graph();
+        let load = 10.0 * FEMTO;
+        let out = p.node_capacitance(g, NodeId::Output, load);
+        let out0 = p.node_capacitance(g, NodeId::Output, 0.0);
+        assert!((out - out0 - load).abs() < 1e-21);
+        let int = p.node_capacitance(g, NodeId::Internal(0), load);
+        let int0 = p.node_capacitance(g, NodeId::Internal(0), 0.0);
+        assert!((int - int0).abs() < 1e-24);
+    }
+
+    #[test]
+    fn reordering_conserves_terminals_not_node_caps() {
+        // Every transistor always contributes exactly two diffusion
+        // terminals, but reordering moves terminals between power nodes
+        // and the rails (rail diffusion never switches). Both effects are
+        // real: total terminal count is invariant, per-node capacitance is
+        // not — that asymmetry is part of what the optimizer exploits.
+        let p = Process::default();
+        let cell = Cell::new(CellKind::oai21());
+        let mut node_totals: Vec<f64> = Vec::new();
+        for c in 0..cell.configurations().len() {
+            let g = cell.graph(c);
+            let mut terminals = 0usize;
+            for node in [NodeId::Vdd, NodeId::Vss, NodeId::Output]
+                .into_iter()
+                .chain((0..g.internal_count()).map(NodeId::Internal))
+            {
+                let (n, pt) = g.terminal_counts(node);
+                terminals += n + pt;
+            }
+            assert_eq!(terminals, 2 * g.edges().len(), "config {c}");
+            node_totals.push(
+                g.power_nodes()
+                    .map(|n| p.node_capacitance(&g, n, 0.0))
+                    .sum(),
+            );
+        }
+        // At least two configurations differ in switchable capacitance.
+        let min = node_totals.iter().cloned().fold(f64::MAX, f64::min);
+        let max = node_totals.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min, "reordering should redistribute capacitance");
+    }
+
+    #[test]
+    fn switching_power_formula() {
+        let p = Process::default();
+        // 10 fF at 1M transitions/s and 3.3 V: ½·10f·10.89·1e6 ≈ 54.4 nW.
+        let w = p.switching_power(10.0 * FEMTO, 1.0e6);
+        assert!((w - 0.5 * 10.0e-15 * 3.3 * 3.3 * 1.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn rail_capacitance_panics() {
+        let p = Process::default();
+        let cell = Cell::new(CellKind::Inv);
+        let g = cell.default_graph().clone();
+        assert!(
+            std::panic::catch_unwind(|| p.node_capacitance(&g, NodeId::Vdd, 0.0)).is_err()
+        );
+    }
+}

@@ -1,0 +1,1161 @@
+//! Programmatic circuit builders.
+//!
+//! These generate the workloads the Table 3 reproduction runs on — the
+//! substitution for the (unavailable) MCNC benchmark files. Arithmetic
+//! circuits are built first as [`GenericCircuit`]s and mapped through
+//! [`crate::map`], exercising the same flow the paper used; the random
+//! generator emits library gates directly.
+//!
+//! The ripple-carry adder is also the paper's own §1.1 motivation: the
+//! carry chain accumulates transition density even when every primary
+//! input has identical statistics.
+
+use crate::circuit::Circuit;
+use crate::generic::{GenericCircuit, GenericOp};
+use crate::map;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tr_gatelib::{CellKind, Library};
+
+/// Emits a full adder; returns `(sum, carry)` signal names.
+fn full_adder(c: &mut GenericCircuit, x: &str, y: &str, z: &str, tag: &str) -> (String, String) {
+    let axb = format!("{tag}_x");
+    let sum = format!("{tag}_s");
+    let g1 = format!("{tag}_g1");
+    let g2 = format!("{tag}_g2");
+    let co = format!("{tag}_c");
+    c.add_gate(&axb, GenericOp::Xor, &[x, y]);
+    c.add_gate(&sum, GenericOp::Xor, &[&axb, z]);
+    c.add_gate(&g1, GenericOp::And, &[x, y]);
+    c.add_gate(&g2, GenericOp::And, &[&axb, z]);
+    c.add_gate(&co, GenericOp::Or, &[&g1, &g2]);
+    (sum, co)
+}
+
+/// Emits a half adder; returns `(sum, carry)` signal names.
+fn half_adder(c: &mut GenericCircuit, x: &str, y: &str, tag: &str) -> (String, String) {
+    let sum = format!("{tag}_s");
+    let co = format!("{tag}_c");
+    c.add_gate(&sum, GenericOp::Xor, &[x, y]);
+    c.add_gate(&co, GenericOp::And, &[x, y]);
+    (sum, co)
+}
+
+/// Builds the generic form of an `n`-bit ripple-carry adder.
+///
+/// Inputs `a0..`, `b0..`, `cin`; outputs `s0..s(n-1)`, `cout`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder_generic(n: usize) -> GenericCircuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let mut c = GenericCircuit::new(format!("rca{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    c.add_input("cin");
+    let mut carry = "cin".to_string();
+    for i in 0..n {
+        let (sum, co) = full_adder(
+            &mut c,
+            &format!("a{i}"),
+            &format!("b{i}"),
+            &carry,
+            &format!("fa{i}"),
+        );
+        c.add_gate(&format!("s{i}"), GenericOp::Buff, &[&sum]);
+        c.add_output(&format!("s{i}"));
+        carry = co;
+    }
+    c.add_gate("cout", GenericOp::Buff, &[&carry]);
+    c.add_output("cout");
+    c
+}
+
+/// An `n`-bit ripple-carry adder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn ripple_carry_adder(n: usize, library: &Library) -> Circuit {
+    map::map_default(&ripple_carry_adder_generic(n), library)
+}
+
+/// A 4-bit-group carry-lookahead adder (generic form).
+///
+/// Generate/propagate per bit, expanded lookahead carries within each
+/// 4-bit group, groups chained — much shallower carry logic than the
+/// ripple adder.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead_adder_generic(n: usize) -> GenericCircuit {
+    assert!(n > 0, "adder needs at least one bit");
+    let mut c = GenericCircuit::new(format!("cla{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    c.add_input("cin");
+    for i in 0..n {
+        c.add_gate(
+            &format!("g{i}"),
+            GenericOp::And,
+            &[&format!("a{i}"), &format!("b{i}")],
+        );
+        c.add_gate(
+            &format!("p{i}"),
+            GenericOp::Xor,
+            &[&format!("a{i}"), &format!("b{i}")],
+        );
+    }
+    // Carries: c(i+1) = g_i + Σ_j (p_i…p_(j+1)·g_j) + p_i…p_lo·c(lo),
+    // expanded inside each 4-bit group, groups chained through c(lo).
+    let mut group_carry = "cin".to_string();
+    for lo in (0..n).step_by(4) {
+        let hi = (lo + 4).min(n);
+        for i in lo..hi {
+            let cname = if i + 1 == n {
+                "cout".to_string()
+            } else {
+                format!("c{}", i + 1)
+            };
+            let mut terms: Vec<String> = vec![format!("g{i}")];
+            for j in (lo..i).rev() {
+                let t = format!("t_{i}_{j}");
+                let mut ands: Vec<String> = (j + 1..=i).map(|k| format!("p{k}")).collect();
+                ands.push(format!("g{j}"));
+                let refs: Vec<&str> = ands.iter().map(String::as_str).collect();
+                c.add_gate(&t, GenericOp::And, &refs);
+                terms.push(t);
+            }
+            let t = format!("t_{i}_cin");
+            let mut ands: Vec<String> = (lo..=i).map(|k| format!("p{k}")).collect();
+            ands.push(group_carry.clone());
+            let refs: Vec<&str> = ands.iter().map(String::as_str).collect();
+            c.add_gate(&t, GenericOp::And, &refs);
+            terms.push(t);
+            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+            c.add_gate(&cname, GenericOp::Or, &refs);
+        }
+        group_carry = if hi == n {
+            "cout".to_string()
+        } else {
+            format!("c{hi}")
+        };
+    }
+    for i in 0..n {
+        let ci = if i == 0 {
+            "cin".to_string()
+        } else {
+            format!("c{i}")
+        };
+        c.add_gate(&format!("s{i}"), GenericOp::Xor, &[&format!("p{i}"), &ci]);
+        c.add_output(&format!("s{i}"));
+    }
+    c.add_output("cout");
+    c
+}
+
+/// A carry-lookahead adder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn carry_lookahead_adder(n: usize, library: &Library) -> Circuit {
+    map::map_default(&carry_lookahead_adder_generic(n), library)
+}
+
+/// An `n`×`n` array multiplier (generic form): AND partial products
+/// reduced column-wise with full/half adders. Outputs `m0..m(2n-1)`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn array_multiplier_generic(n: usize) -> GenericCircuit {
+    assert!(n >= 2, "multiplier needs at least 2 bits");
+    let mut c = GenericCircuit::new(format!("mult{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    // Column dot matrix by output weight.
+    let mut cols: Vec<Vec<String>> = vec![Vec::new(); 2 * n];
+    for i in 0..n {
+        for j in 0..n {
+            let pp = format!("pp{i}_{j}");
+            c.add_gate(&pp, GenericOp::And, &[&format!("a{i}"), &format!("b{j}")]);
+            cols[i + j].push(pp);
+        }
+    }
+    // Reduce every column to one signal, rippling carries upward.
+    let mut tag = 0usize;
+    for w in 0..cols.len() {
+        while cols[w].len() > 1 {
+            if cols[w].len() >= 3 {
+                let z = cols[w].pop().expect("len>=3");
+                let y = cols[w].pop().expect("len>=3");
+                let x = cols[w].pop().expect("len>=3");
+                let (s, co) = full_adder(&mut c, &x, &y, &z, &format!("r{tag}"));
+                tag += 1;
+                cols[w].push(s);
+                if w + 1 < cols.len() {
+                    cols[w + 1].push(co);
+                }
+            } else {
+                let y = cols[w].pop().expect("len==2");
+                let x = cols[w].pop().expect("len==2");
+                let (s, co) = half_adder(&mut c, &x, &y, &format!("r{tag}"));
+                tag += 1;
+                cols[w].push(s);
+                if w + 1 < cols.len() {
+                    cols[w + 1].push(co);
+                }
+            }
+        }
+    }
+    for (w, col) in cols.iter().enumerate() {
+        let name = format!("m{w}");
+        if let Some(sig) = col.first() {
+            c.add_gate(&name, GenericOp::Buff, &[sig]);
+        } else {
+            // The top column of a 2-bit multiplier can be empty; tie low
+            // by ANDing an input with its complement.
+            c.add_gate("_zero_n", GenericOp::Not, &["a0"]);
+            c.add_gate(&name, GenericOp::And, &["a0", "_zero_n"]);
+        }
+        c.add_output(&name);
+    }
+    c
+}
+
+/// An array multiplier mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn array_multiplier(n: usize, library: &Library) -> Circuit {
+    map::map_default(&array_multiplier_generic(n), library)
+}
+
+/// An `n`-input XOR parity tree (generic form).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree_generic(n: usize) -> GenericCircuit {
+    assert!(n >= 2, "parity needs at least 2 inputs");
+    let mut c = GenericCircuit::new(format!("parity{n}"));
+    let mut level: Vec<String> = (0..n)
+        .map(|i| {
+            let name = format!("i{i}");
+            c.add_input(&name);
+            name
+        })
+        .collect();
+    let mut stage = 0;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for (k, pair) in level.chunks(2).enumerate() {
+            if pair.len() == 2 {
+                let name = format!("x{stage}_{k}");
+                c.add_gate(&name, GenericOp::Xor, &[&pair[0], &pair[1]]);
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+        stage += 1;
+    }
+    c.add_gate("parity", GenericOp::Buff, &[&level[0]]);
+    c.add_output("parity");
+    c
+}
+
+/// A parity tree mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn parity_tree(n: usize, library: &Library) -> Circuit {
+    map::map_default(&parity_tree_generic(n), library)
+}
+
+/// An `n`-to-2ⁿ decoder (generic form).
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 6.
+pub fn decoder_generic(n: usize) -> GenericCircuit {
+    assert!((1..=6).contains(&n), "decoder size out of range");
+    let mut c = GenericCircuit::new(format!("dec{n}"));
+    for i in 0..n {
+        c.add_input(&format!("s{i}"));
+        c.add_gate(&format!("ns{i}"), GenericOp::Not, &[&format!("s{i}")]);
+    }
+    for m in 0..(1usize << n) {
+        let name = format!("o{m}");
+        let terms: Vec<String> = (0..n)
+            .map(|i| {
+                if (m >> i) & 1 == 1 {
+                    format!("s{i}")
+                } else {
+                    format!("ns{i}")
+                }
+            })
+            .collect();
+        let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+        if refs.len() == 1 {
+            c.add_gate(&name, GenericOp::Buff, &refs);
+        } else {
+            c.add_gate(&name, GenericOp::And, &refs);
+        }
+        c.add_output(&name);
+    }
+    c
+}
+
+/// A decoder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n` is 0 or greater than 6.
+pub fn decoder(n: usize, library: &Library) -> Circuit {
+    map::map_default(&decoder_generic(n), library)
+}
+
+/// An `n`-bit magnitude comparator (generic form): outputs `eq` and `gt`
+/// (meaning `a > b`).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator_generic(n: usize) -> GenericCircuit {
+    assert!(n > 0, "comparator needs at least one bit");
+    let mut c = GenericCircuit::new(format!("cmp{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    for i in 0..n {
+        c.add_gate(
+            &format!("e{i}"),
+            GenericOp::Xnor,
+            &[&format!("a{i}"), &format!("b{i}")],
+        );
+        c.add_gate(&format!("nb{i}"), GenericOp::Not, &[&format!("b{i}")]);
+        c.add_gate(
+            &format!("w{i}"),
+            GenericOp::And,
+            &[&format!("a{i}"), &format!("nb{i}")],
+        );
+    }
+    let eqs: Vec<String> = (0..n).map(|i| format!("e{i}")).collect();
+    let refs: Vec<&str> = eqs.iter().map(String::as_str).collect();
+    if refs.len() == 1 {
+        c.add_gate("eq", GenericOp::Buff, &refs);
+    } else {
+        c.add_gate("eq", GenericOp::And, &refs);
+    }
+    c.add_output("eq");
+    // gt = Σ_i w_i · Π_{j>i} e_j.
+    let mut terms: Vec<String> = Vec::new();
+    for i in 0..n {
+        if i + 1 == n {
+            terms.push(format!("w{i}"));
+        } else {
+            let name = format!("gtt{i}");
+            let mut ands = vec![format!("w{i}")];
+            ands.extend((i + 1..n).map(|j| format!("e{j}")));
+            let refs: Vec<&str> = ands.iter().map(String::as_str).collect();
+            c.add_gate(&name, GenericOp::And, &refs);
+            terms.push(name);
+        }
+    }
+    let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+    if refs.len() == 1 {
+        c.add_gate("gt", GenericOp::Buff, &refs);
+    } else {
+        c.add_gate("gt", GenericOp::Or, &refs);
+    }
+    c.add_output("gt");
+    c
+}
+
+/// A comparator mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn comparator(n: usize, library: &Library) -> Circuit {
+    map::map_default(&comparator_generic(n), library)
+}
+
+/// A 2ᵏ-to-1 multiplexer tree (generic form): `k` select lines then `2ᵏ`
+/// data inputs.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or greater than 5.
+pub fn mux_tree_generic(k: usize) -> GenericCircuit {
+    assert!((1..=5).contains(&k), "mux size out of range");
+    let mut c = GenericCircuit::new(format!("mux{}", 1usize << k));
+    for i in 0..k {
+        c.add_input(&format!("s{i}"));
+        c.add_gate(&format!("ns{i}"), GenericOp::Not, &[&format!("s{i}")]);
+    }
+    let mut level: Vec<String> = (0..(1usize << k))
+        .map(|i| {
+            let name = format!("d{i}");
+            c.add_input(&name);
+            name
+        })
+        .collect();
+    for s in 0..k {
+        let sel = format!("s{s}");
+        let nsel = format!("ns{s}");
+        let mut next = Vec::new();
+        for (idx, pair) in level.chunks(2).enumerate() {
+            let name = format!("m{s}_{idx}");
+            let t0 = format!("m{s}_{idx}_0");
+            let t1 = format!("m{s}_{idx}_1");
+            c.add_gate(&t0, GenericOp::And, &[&pair[0], &nsel]);
+            c.add_gate(&t1, GenericOp::And, &[&pair[1], &sel]);
+            c.add_gate(&name, GenericOp::Or, &[&t0, &t1]);
+            next.push(name);
+        }
+        level = next;
+    }
+    c.add_gate("y", GenericOp::Buff, &[&level[0]]);
+    c.add_output("y");
+    c
+}
+
+/// A mux tree mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `k` is 0 or greater than 5.
+pub fn mux_tree(k: usize, library: &Library) -> Circuit {
+    map::map_default(&mux_tree_generic(k), library)
+}
+
+/// A small `n`-bit ALU slice (generic form): two operands, a 2-bit opcode
+/// (`op0`, `op1`) selecting AND / OR / XOR / ADD, outputs `r0..r(n-1)` and
+/// an ADD carry flag.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu_generic(n: usize) -> GenericCircuit {
+    assert!(n > 0, "alu needs at least one bit");
+    let mut c = GenericCircuit::new(format!("alu{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    c.add_input("op0");
+    c.add_input("op1");
+    c.add_gate("nop0", GenericOp::Not, &["op0"]);
+    c.add_gate("nop1", GenericOp::Not, &["op1"]);
+    let mut carry: Option<String> = None;
+    for i in 0..n {
+        let a = format!("a{i}");
+        let b = format!("b{i}");
+        c.add_gate(&format!("and{i}"), GenericOp::And, &[&a, &b]);
+        c.add_gate(&format!("or{i}"), GenericOp::Or, &[&a, &b]);
+        c.add_gate(&format!("xor{i}"), GenericOp::Xor, &[&a, &b]);
+        match carry.take() {
+            None => {
+                c.add_gate("sum0", GenericOp::Buff, &["xor0"]);
+                carry = Some("and0".to_string());
+            }
+            Some(cin) => {
+                c.add_gate(
+                    &format!("sum{i}"),
+                    GenericOp::Xor,
+                    &[&format!("xor{i}"), &cin],
+                );
+                let g2 = format!("cg{i}");
+                c.add_gate(&g2, GenericOp::And, &[&format!("xor{i}"), &cin]);
+                let cnext = format!("cc{i}");
+                c.add_gate(&cnext, GenericOp::Or, &[&format!("and{i}"), &g2]);
+                carry = Some(cnext);
+            }
+        }
+    }
+    for i in 0..n {
+        let t0 = format!("sel_and{i}");
+        let t1 = format!("sel_or{i}");
+        let t2 = format!("sel_xor{i}");
+        let t3 = format!("sel_add{i}");
+        c.add_gate(&t0, GenericOp::And, &[&format!("and{i}"), "nop0", "nop1"]);
+        c.add_gate(&t1, GenericOp::And, &[&format!("or{i}"), "op0", "nop1"]);
+        c.add_gate(&t2, GenericOp::And, &[&format!("xor{i}"), "nop0", "op1"]);
+        c.add_gate(&t3, GenericOp::And, &[&format!("sum{i}"), "op0", "op1"]);
+        c.add_gate(&format!("r{i}"), GenericOp::Or, &[&t0, &t1, &t2, &t3]);
+        c.add_output(&format!("r{i}"));
+    }
+    let cfinal = carry.expect("n > 0");
+    c.add_gate("flag_c", GenericOp::And, &[&cfinal, "op0", "op1"]);
+    c.add_output("flag_c");
+    c
+}
+
+/// An ALU slice mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn alu(n: usize, library: &Library) -> Circuit {
+    map::map_default(&alu_generic(n), library)
+}
+
+/// A seeded random combinational circuit emitted directly in library
+/// cells: `gates` gates over `inputs` primary inputs. Deterministic for a
+/// given `(inputs, gates, seed)` triple.
+///
+/// Every gate draws a random cell (weighted toward the small ones, the
+/// way mapped netlists skew) and connects to already-defined nets, so the
+/// result is always acyclic; nets with no readers become primary outputs.
+///
+/// # Panics
+///
+/// Panics if `inputs < 2` or `gates == 0`.
+pub fn random_circuit(inputs: usize, gates: usize, seed: u64, library: &Library) -> Circuit {
+    assert!(inputs >= 2, "need at least two inputs");
+    assert!(gates > 0, "need at least one gate");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(format!("rnd_i{inputs}_g{gates}_s{seed}"));
+    let mut nets: Vec<crate::circuit::NetId> =
+        (0..inputs).map(|i| c.add_input(format!("i{i}"))).collect();
+    let menu: Vec<(CellKind, u32)> = vec![
+        (CellKind::Inv, 18),
+        (CellKind::Nand(2), 22),
+        (CellKind::Nor(2), 18),
+        (CellKind::Nand(3), 8),
+        (CellKind::Nor(3), 6),
+        (CellKind::Nand(4), 3),
+        (CellKind::Nor(4), 2),
+        (CellKind::aoi(&[2, 1]), 6),
+        (CellKind::oai(&[2, 1]), 6),
+        (CellKind::aoi(&[2, 2]), 3),
+        (CellKind::oai(&[2, 2]), 3),
+        (CellKind::aoi(&[2, 1, 1]), 2),
+        (CellKind::oai(&[2, 1, 1]), 2),
+        (CellKind::aoi(&[2, 2, 1]), 1),
+        (CellKind::oai(&[2, 2, 1]), 1),
+    ];
+    let total: u32 = menu.iter().map(|(_, w)| w).sum();
+    for g in 0..gates {
+        let mut pick = rng.gen_range(0..total);
+        let cell = menu
+            .iter()
+            .find(|(_, w)| {
+                if pick < *w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .map(|(k, _)| k.clone())
+            .expect("weighted pick in range");
+        let arity = cell.arity();
+        // Bias toward recent nets so depth grows like mapped logic.
+        let ins: Vec<crate::circuit::NetId> = (0..arity)
+            .map(|_| {
+                let idx = if rng.gen_bool(0.7) && nets.len() > inputs {
+                    rng.gen_range(nets.len().saturating_sub(3 * inputs)..nets.len())
+                } else {
+                    rng.gen_range(0..nets.len())
+                };
+                nets[idx]
+            })
+            .collect();
+        let (_, out) = c.add_gate(cell, ins, format!("n{g}"));
+        nets.push(out);
+    }
+    let fan = c.fanouts();
+    let unread: Vec<crate::circuit::NetId> = c
+        .gates()
+        .iter()
+        .map(|g| g.output)
+        .filter(|n| !fan.contains_key(n))
+        .collect();
+    for n in unread {
+        c.mark_output(n);
+    }
+    let _ = library; // kept for signature symmetry with mapped builders
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::standard()
+    }
+
+    fn out_value(c: &Circuit, nets: &[bool], idx: usize) -> bool {
+        nets[c.primary_outputs()[idx].0]
+    }
+
+    #[test]
+    fn rca_adds_exhaustively() {
+        let library = lib();
+        let c = ripple_carry_adder(3, &library);
+        assert!(c.validate(&library).is_ok());
+        for a in 0..8usize {
+            for b in 0..8usize {
+                for cin in 0..2usize {
+                    let mut v = Vec::new();
+                    for i in 0..3 {
+                        v.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..3 {
+                        v.push((b >> i) & 1 == 1);
+                    }
+                    v.push(cin == 1);
+                    let nets = c.evaluate(&library, &v);
+                    let mut sum = 0usize;
+                    for i in 0..4 {
+                        sum |= usize::from(out_value(&c, &nets, i)) << i;
+                    }
+                    assert_eq!(sum, a + b + cin, "a={a} b={b} cin={cin}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_matches_rca() {
+        let library = lib();
+        let gen_cla = carry_lookahead_adder_generic(5);
+        let gen_rca = ripple_carry_adder_generic(5);
+        for trial in 0..200usize {
+            let m = trial.wrapping_mul(2654435761) % (1 << 11);
+            let v: Vec<bool> = (0..11).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                gen_cla.evaluate_outputs(&v),
+                gen_rca.evaluate_outputs(&v),
+                "inputs {m:b}"
+            );
+        }
+        let mapped = carry_lookahead_adder(5, &library);
+        assert!(mapped.validate(&library).is_ok());
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let g = array_multiplier_generic(3);
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let mut v = Vec::new();
+                for i in 0..3 {
+                    v.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    v.push((b >> i) & 1 == 1);
+                }
+                let out = g.evaluate_outputs(&v);
+                let got: usize = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| usize::from(bit) << i)
+                    .sum();
+                assert_eq!(got, a * b, "a={a} b={b}");
+            }
+        }
+        let library = lib();
+        let mapped = array_multiplier(3, &library);
+        assert!(mapped.validate(&library).is_ok());
+    }
+
+    #[test]
+    fn mapped_multiplier_equivalent() {
+        let library = lib();
+        let g = array_multiplier_generic(2);
+        let c = array_multiplier(2, &library);
+        for m in 0..16usize {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let want = g.evaluate_outputs(&v);
+            let nets = c.evaluate(&library, &v);
+            let got: Vec<bool> = c.primary_outputs().iter().map(|o| nets[o.0]).collect();
+            assert_eq!(got, want, "inputs {m:b}");
+        }
+    }
+
+    #[test]
+    fn parity_is_xor_reduction() {
+        let g = parity_tree_generic(6);
+        for m in 0..64usize {
+            let v: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let want = (m.count_ones() % 2) == 1;
+            assert_eq!(g.evaluate_outputs(&v), vec![want]);
+        }
+        let library = lib();
+        assert!(parity_tree(6, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn decoder_is_one_hot() {
+        let g = decoder_generic(3);
+        for m in 0..8usize {
+            let v: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
+            let out = g.evaluate_outputs(&v);
+            for (k, &bit) in out.iter().enumerate() {
+                assert_eq!(bit, k == m);
+            }
+        }
+        let library = lib();
+        assert!(decoder(4, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn comparator_compares() {
+        let g = comparator_generic(3);
+        for a in 0..8usize {
+            for b in 0..8usize {
+                let mut v = Vec::new();
+                for i in 0..3 {
+                    v.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    v.push((b >> i) & 1 == 1);
+                }
+                let out = g.evaluate_outputs(&v);
+                assert_eq!(out[0], a == b, "eq a={a} b={b}");
+                assert_eq!(out[1], a > b, "gt a={a} b={b}");
+            }
+        }
+        let library = lib();
+        assert!(comparator(4, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn mux_selects() {
+        let g = mux_tree_generic(2);
+        for sel in 0..4usize {
+            for data in 0..16usize {
+                let mut v = Vec::new();
+                for i in 0..2 {
+                    v.push((sel >> i) & 1 == 1);
+                }
+                for i in 0..4 {
+                    v.push((data >> i) & 1 == 1);
+                }
+                let out = g.evaluate_outputs(&v);
+                assert_eq!(out[0], (data >> sel) & 1 == 1, "sel={sel} data={data:b}");
+            }
+        }
+        let library = lib();
+        assert!(mux_tree(3, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn alu_ops() {
+        let g = alu_generic(3);
+        for a in 0..8usize {
+            for b in 0..8usize {
+                for op in 0..4usize {
+                    let mut v = Vec::new();
+                    for i in 0..3 {
+                        v.push((a >> i) & 1 == 1);
+                    }
+                    for i in 0..3 {
+                        v.push((b >> i) & 1 == 1);
+                    }
+                    v.push(op & 1 == 1);
+                    v.push((op >> 1) & 1 == 1);
+                    let out = g.evaluate_outputs(&v);
+                    let want = match op {
+                        0 => a & b,
+                        1 => a | b,
+                        2 => a ^ b,
+                        _ => (a + b) & 0x7,
+                    };
+                    let got: usize = (0..3).map(|i| usize::from(out[i]) << i).sum();
+                    assert_eq!(got, want, "a={a} b={b} op={op}");
+                    if op == 3 {
+                        assert_eq!(out[3], a + b > 7, "carry a={a} b={b}");
+                    }
+                }
+            }
+        }
+        let library = lib();
+        assert!(alu(4, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn random_circuit_is_valid_and_deterministic() {
+        let library = lib();
+        let c1 = random_circuit(8, 100, 42, &library);
+        let c2 = random_circuit(8, 100, 42, &library);
+        assert_eq!(c1, c2);
+        assert!(c1.validate(&library).is_ok());
+        assert_eq!(c1.gates().len(), 100);
+        assert!(!c1.primary_outputs().is_empty());
+        let c3 = random_circuit(8, 100, 43, &library);
+        assert_ne!(c1, c3);
+    }
+}
+
+/// An `n`-bit carry-select adder (generic form): blocks of `block` bits
+/// computed twice (carry 0 and carry 1), the real block carry selecting
+/// between them. Inputs/outputs match [`ripple_carry_adder_generic`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_select_adder_generic(n: usize, block: usize) -> GenericCircuit {
+    assert!(n > 0, "adder needs at least one bit");
+    assert!(block > 0, "block size must be positive");
+    let mut c = GenericCircuit::new(format!("csel{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    c.add_input("cin");
+    let mut carry = "cin".to_string();
+    for lo in (0..n).step_by(block) {
+        let hi = (lo + block).min(n);
+        // Two speculative ripple chains for this block.
+        let mut spec_carry = [String::new(), String::new()];
+        for (variant, slot) in spec_carry.iter_mut().enumerate() {
+            let mut cprev: Option<String> = None;
+            for i in lo..hi {
+                let tag = format!("v{variant}_{i}");
+                let (sum, co) = match &cprev {
+                    None if variant == 0 => {
+                        // carry-in = 0: sum = a⊕b, carry = a·b.
+                        half_adder(&mut c, &format!("a{i}"), &format!("b{i}"), &tag)
+                    }
+                    None => {
+                        // carry-in = 1: sum = ¬(a⊕b), carry = a+b.
+                        let (s0, _) =
+                            half_adder(&mut c, &format!("a{i}"), &format!("b{i}"), &tag);
+                        let s = format!("{tag}_ns");
+                        c.add_gate(&s, GenericOp::Not, &[&s0]);
+                        let co = format!("{tag}_or");
+                        c.add_gate(&co, GenericOp::Or, &[&format!("a{i}"), &format!("b{i}")]);
+                        (s, co)
+                    }
+                    Some(cp) => {
+                        full_adder(&mut c, &format!("a{i}"), &format!("b{i}"), cp, &tag)
+                    }
+                };
+                c.add_gate(&format!("s{variant}_{i}"), GenericOp::Buff, &[&sum]);
+                cprev = Some(co);
+            }
+            *slot = cprev.expect("block non-empty");
+        }
+        // Select sums and the block carry with the incoming carry.
+        let ncarry = format!("nc{lo}");
+        c.add_gate(&ncarry, GenericOp::Not, &[&carry]);
+        for i in lo..hi {
+            let t0 = format!("sel0_{i}");
+            let t1 = format!("sel1_{i}");
+            c.add_gate(&t0, GenericOp::And, &[&format!("s0_{i}"), &ncarry]);
+            c.add_gate(&t1, GenericOp::And, &[&format!("s1_{i}"), &carry]);
+            c.add_gate(&format!("s{i}"), GenericOp::Or, &[&t0, &t1]);
+            c.add_output(&format!("s{i}"));
+        }
+        let cname = if hi == n {
+            "cout".to_string()
+        } else {
+            format!("bc{hi}")
+        };
+        let t0 = format!("selc0_{lo}");
+        let t1 = format!("selc1_{lo}");
+        c.add_gate(&t0, GenericOp::And, &[&spec_carry[0], &ncarry]);
+        c.add_gate(&t1, GenericOp::And, &[&spec_carry[1], &carry]);
+        c.add_gate(&cname, GenericOp::Or, &[&t0, &t1]);
+        carry = cname;
+    }
+    c.add_output("cout");
+    c
+}
+
+/// A carry-select adder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_select_adder(n: usize, block: usize, library: &Library) -> Circuit {
+    map::map_default(&carry_select_adder_generic(n, block), library)
+}
+
+/// A logarithmic barrel shifter (generic form): `n` data bits (n a power
+/// of two), `log2(n)` shift-amount bits, left rotate.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two in `2..=32`.
+pub fn barrel_shifter_generic(n: usize) -> GenericCircuit {
+    assert!(
+        n.is_power_of_two() && (2..=32).contains(&n),
+        "size must be a power of two in 2..=32"
+    );
+    let stages = n.trailing_zeros() as usize;
+    let mut c = GenericCircuit::new(format!("bshift{n}"));
+    for i in 0..n {
+        c.add_input(&format!("d{i}"));
+    }
+    for s in 0..stages {
+        c.add_input(&format!("sh{s}"));
+        c.add_gate(&format!("nsh{s}"), GenericOp::Not, &[&format!("sh{s}")]);
+    }
+    let mut layer: Vec<String> = (0..n).map(|i| format!("d{i}")).collect();
+    for s in 0..stages {
+        let amount = 1usize << s;
+        let mut next = Vec::with_capacity(n);
+        for i in 0..n {
+            let straight = &layer[i];
+            let rotated = &layer[(i + amount) % n];
+            let t0 = format!("r{s}_{i}_0");
+            let t1 = format!("r{s}_{i}_1");
+            let y = format!("r{s}_{i}");
+            c.add_gate(&t0, GenericOp::And, &[straight, &format!("nsh{s}")]);
+            c.add_gate(&t1, GenericOp::And, &[rotated, &format!("sh{s}")]);
+            c.add_gate(&y, GenericOp::Or, &[&t0, &t1]);
+            next.push(y);
+        }
+        layer = next;
+    }
+    for (i, sig) in layer.iter().enumerate() {
+        let o = format!("q{i}");
+        c.add_gate(&o, GenericOp::Buff, &[sig]);
+        c.add_output(&o);
+    }
+    c
+}
+
+/// A barrel shifter mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of two in `2..=32`.
+pub fn barrel_shifter(n: usize, library: &Library) -> Circuit {
+    map::map_default(&barrel_shifter_generic(n), library)
+}
+
+/// An `n`-input priority encoder (generic form): input `n-1` has the
+/// highest priority; outputs are `log2ceil(n)` index bits plus `valid`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn priority_encoder_generic(n: usize) -> GenericCircuit {
+    assert!(n >= 2, "encoder needs at least 2 inputs");
+    let mut c = GenericCircuit::new(format!("prio{n}"));
+    for i in 0..n {
+        c.add_input(&format!("r{i}"));
+        c.add_gate(&format!("nr{i}"), GenericOp::Not, &[&format!("r{i}")]);
+    }
+    // grant_i = r_i · Π_{j>i} ¬r_j  (highest index wins).
+    for i in 0..n {
+        if i == n - 1 {
+            c.add_gate(&format!("g{i}"), GenericOp::Buff, &[&format!("r{i}")]);
+        } else {
+            let mut terms = vec![format!("r{i}")];
+            terms.extend((i + 1..n).map(|j| format!("nr{j}")));
+            let refs: Vec<&str> = terms.iter().map(String::as_str).collect();
+            c.add_gate(&format!("g{i}"), GenericOp::And, &refs);
+        }
+    }
+    let bits = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+    for b in 0..bits.max(1) {
+        let ones: Vec<String> = (0..n)
+            .filter(|i| (i >> b) & 1 == 1)
+            .map(|i| format!("g{i}"))
+            .collect();
+        let name = format!("y{b}");
+        match ones.len() {
+            0 => {
+                // No grant sets this bit: constant 0 via r0·¬r0.
+                c.add_gate(&name, GenericOp::And, &["r0", "nr0"]);
+            }
+            1 => {
+                c.add_gate(&name, GenericOp::Buff, &[&ones[0]]);
+            }
+            _ => {
+                let refs: Vec<&str> = ones.iter().map(String::as_str).collect();
+                c.add_gate(&name, GenericOp::Or, &refs);
+            }
+        }
+        c.add_output(&name);
+    }
+    let alls: Vec<String> = (0..n).map(|i| format!("r{i}")).collect();
+    let refs: Vec<&str> = alls.iter().map(String::as_str).collect();
+    c.add_gate("valid", GenericOp::Or, &refs);
+    c.add_output("valid");
+    c
+}
+
+/// A priority encoder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn priority_encoder(n: usize, library: &Library) -> Circuit {
+    map::map_default(&priority_encoder_generic(n), library)
+}
+
+/// A Gray-code-to-binary converter (generic form): `b_i = ⊕_{j≥i} g_j`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gray_to_binary_generic(n: usize) -> GenericCircuit {
+    assert!(n > 0, "converter needs at least one bit");
+    let mut c = GenericCircuit::new(format!("gray{n}"));
+    for i in 0..n {
+        c.add_input(&format!("g{i}"));
+    }
+    // b_{n-1} = g_{n-1}; b_i = g_i ⊕ b_{i+1}.
+    let mut prev = format!("g{}", n - 1);
+    c.add_gate(&format!("b{}", n - 1), GenericOp::Buff, &[&prev]);
+    c.add_output(&format!("b{}", n - 1));
+    prev = format!("b{}", n - 1);
+    for i in (0..n.saturating_sub(1)).rev() {
+        c.add_gate(&format!("b{i}"), GenericOp::Xor, &[&format!("g{i}"), &prev]);
+        c.add_output(&format!("b{i}"));
+        prev = format!("b{i}");
+    }
+    c
+}
+
+/// A Gray-to-binary converter mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn gray_to_binary(n: usize, library: &Library) -> Circuit {
+    map::map_default(&gray_to_binary_generic(n), library)
+}
+
+#[cfg(test)]
+mod extended_tests {
+    use super::*;
+
+    fn lib() -> Library {
+        Library::standard()
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let csel = carry_select_adder_generic(6, 3);
+        let rca = ripple_carry_adder_generic(6);
+        for trial in 0..300usize {
+            let m = trial.wrapping_mul(2654435761) % (1 << 13);
+            let v: Vec<bool> = (0..13).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                csel.evaluate_outputs(&v),
+                rca.evaluate_outputs(&v),
+                "inputs {m:013b}"
+            );
+        }
+        let library = lib();
+        assert!(carry_select_adder(8, 4, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let g = barrel_shifter_generic(8);
+        for data in [0b1u32, 0b1010_0110, 0b1111_0000] {
+            for sh in 0..8usize {
+                let mut v = Vec::new();
+                for i in 0..8 {
+                    v.push((data >> i) & 1 == 1);
+                }
+                for s in 0..3 {
+                    v.push((sh >> s) & 1 == 1);
+                }
+                let out = g.evaluate_outputs(&v);
+                let got: u32 = out
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &b)| u32::from(b) << i)
+                    .sum();
+                let want = ((data as u64) >> sh | (data as u64) << (8 - sh)) as u32 & 0xFF;
+                assert_eq!(got, want, "data={data:08b} sh={sh}");
+            }
+        }
+        let library = lib();
+        assert!(barrel_shifter(8, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn priority_encoder_encodes() {
+        let g = priority_encoder_generic(8);
+        for m in 0..256usize {
+            let v: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            let out = g.evaluate_outputs(&v);
+            let valid = m != 0;
+            assert_eq!(out[3], valid, "valid at {m:08b}");
+            if valid {
+                let expect = m.ilog2() as usize; // highest set bit wins
+                let got: usize = (0..3).map(|b| usize::from(out[b]) << b).sum();
+                assert_eq!(got, expect, "index at {m:08b}");
+            }
+        }
+        let library = lib();
+        assert!(priority_encoder(8, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn gray_code_roundtrip() {
+        let g = gray_to_binary_generic(6);
+        for value in 0..64usize {
+            let gray = value ^ (value >> 1);
+            let v: Vec<bool> = (0..6).map(|i| (gray >> i) & 1 == 1).collect();
+            let out = g.evaluate_outputs(&v);
+            // Outputs are declared b5 first, then b4 … b0.
+            let mut bits = [false; 6];
+            let order: Vec<usize> = std::iter::once(5).chain((0..5).rev()).collect();
+            for (slot, &bit_index) in order.iter().enumerate() {
+                bits[bit_index] = out[slot];
+            }
+            let got: usize = bits
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| usize::from(b) << i)
+                .sum();
+            assert_eq!(got, value, "gray {gray:06b}");
+        }
+        let library = lib();
+        assert!(gray_to_binary(6, &library).validate(&library).is_ok());
+    }
+
+    #[test]
+    fn new_generators_are_deterministic() {
+        let library = lib();
+        assert_eq!(
+            carry_select_adder(8, 4, &library),
+            carry_select_adder(8, 4, &library)
+        );
+        assert_eq!(barrel_shifter(8, &library), barrel_shifter(8, &library));
+        assert_eq!(
+            priority_encoder(8, &library),
+            priority_encoder(8, &library)
+        );
+    }
+}

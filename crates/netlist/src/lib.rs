@@ -1,0 +1,55 @@
+//! Gate-level circuits: the substrate the optimizer traverses.
+//!
+//! The paper evaluates on MCNC benchmarks "mapped into the gate library
+//! shown in Table 2". This crate provides everything needed to stand in
+//! for that flow:
+//!
+//! * [`Circuit`] — a combinational netlist of library cells with one
+//!   chosen configuration per gate, depth-first (topological) traversal,
+//!   fanout queries and functional evaluation;
+//! * [`GenericCircuit`] — a technology-independent netlist (arbitrary-
+//!   fanin AND/OR/NAND/NOR/NOT/XOR/XNOR/BUFF), the input to mapping;
+//! * [`mod@bench`] — a parser for the ISCAS-style `.bench` format;
+//! * [`map`] — a structural technology mapper onto the Table 2 library,
+//!   including AOI/OAI pattern absorption;
+//! * [`generators`] — programmatic builders for adders, multipliers,
+//!   parity trees, decoders, comparators, ALU slices, mux trees and
+//!   seeded random circuits;
+//! * [`suite`] — the benchmark suite used by the Table 3 reproduction
+//!   (deterministic substitutes for the MCNC set, same gate-count range).
+//!
+//! # Example
+//!
+//! ```
+//! use tr_netlist::{generators, Library};
+//!
+//! let lib = Library::standard();
+//! let adder = generators::ripple_carry_adder(4, &lib);
+//! assert_eq!(adder.primary_inputs().len(), 9); // a[4] b[4] cin
+//! // 3 + 5 = 8 with carry-in 0: check the functional model.
+//! let mut inputs = vec![false; 9];
+//! inputs[0] = true; inputs[1] = true;            // a = 3
+//! inputs[4] = true; inputs[6] = true;            // b = 5
+//! let out = adder.evaluate(&lib, &inputs);
+//! let sum: usize = (0..5)
+//!     .map(|i| usize::from(out[adder.primary_outputs()[i].0]) << i)
+//!     .sum();
+//! assert_eq!(sum, 8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod blif;
+mod circuit;
+pub mod format;
+pub mod generators;
+mod generic;
+pub mod map;
+pub mod suite;
+
+pub use circuit::{Circuit, CircuitError, Gate, GateId, NetId};
+pub use generic::{GenericCircuit, GenericGate, GenericOp};
+// Re-export the library so downstream crates get one-stop imports.
+pub use tr_gatelib::{CellKind, Library};

@@ -1,0 +1,128 @@
+//! The benchmark suite for the Table 3 reproduction.
+//!
+//! The paper evaluates on 39 MCNC circuits ranging from ~24 to ~540 gates.
+//! Those netlists are not redistributable, so this suite substitutes a
+//! deterministic mix with the same character (see `DESIGN.md` §4):
+//! arithmetic carry chains (the paper's own motivation for
+//! activity-gradient optimization), wide AND/OR structures, XOR-heavy
+//! parity logic, control-style muxing, and seeded random mapped netlists
+//! covering the same gate-count range.
+
+use crate::circuit::Circuit;
+use crate::generators as gen;
+use tr_gatelib::Library;
+
+/// A named benchmark with its mapped circuit.
+#[derive(Debug, Clone)]
+pub struct BenchmarkCase {
+    /// Suite-stable name (used in EXPERIMENTS.md tables).
+    pub name: String,
+    /// The mapped circuit.
+    pub circuit: Circuit,
+}
+
+/// Builds the full benchmark suite.
+///
+/// Deterministic: same library → same circuits, in the same order.
+pub fn standard_suite(library: &Library) -> Vec<BenchmarkCase> {
+    let mut cases: Vec<BenchmarkCase> = Vec::new();
+    let mut push = |name: &str, circuit: Circuit| {
+        cases.push(BenchmarkCase {
+            name: name.to_string(),
+            circuit,
+        });
+    };
+    push("c17", crate::map::map_default(&crate::bench::c17(), library));
+    push("rca4", gen::ripple_carry_adder(4, library));
+    push("rca8", gen::ripple_carry_adder(8, library));
+    push("rca16", gen::ripple_carry_adder(16, library));
+    push("rca32", gen::ripple_carry_adder(32, library));
+    push("cla16", gen::carry_lookahead_adder(16, library));
+    push("mult4", gen::array_multiplier(4, library));
+    push("mult6", gen::array_multiplier(6, library));
+    push("parity8", gen::parity_tree(8, library));
+    push("parity16", gen::parity_tree(16, library));
+    push("dec4", gen::decoder(4, library));
+    push("dec5", gen::decoder(5, library));
+    push("cmp8", gen::comparator(8, library));
+    push("cmp16", gen::comparator(16, library));
+    push("mux8", gen::mux_tree(3, library));
+    push("mux16", gen::mux_tree(4, library));
+    push("alu4", gen::alu(4, library));
+    push("alu8", gen::alu(8, library));
+    push("csel16", gen::carry_select_adder(16, 4, library));
+    push("bshift16", gen::barrel_shifter(16, library));
+    push("prio8", gen::priority_encoder(8, library));
+    push("gray12", gen::gray_to_binary(12, library));
+    push("rnd_a", gen::random_circuit(10, 60, 0xA5A5, library));
+    push("rnd_b", gen::random_circuit(16, 120, 0xB00C, library));
+    push("rnd_c", gen::random_circuit(20, 220, 0xC0DE, library));
+    push("rnd_d", gen::random_circuit(24, 350, 0xD1CE, library));
+    push("rnd_e", gen::random_circuit(32, 500, 0xE99E, library));
+    cases
+}
+
+/// A fast subset (≲150 gates each) for smoke tests and `--quick` runs.
+pub fn quick_suite(library: &Library) -> Vec<BenchmarkCase> {
+    standard_suite(library)
+        .into_iter()
+        .filter(|c| c.circuit.gates().len() <= 150)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_is_valid_and_deterministic() {
+        let lib = Library::standard();
+        let suite = standard_suite(&lib);
+        assert!(suite.len() >= 20, "suite should be substantial");
+        for case in &suite {
+            assert!(
+                case.circuit.validate(&lib).is_ok(),
+                "{} invalid",
+                case.name
+            );
+        }
+        let again = standard_suite(&lib);
+        for (a, b) in suite.iter().zip(&again) {
+            assert_eq!(a.circuit, b.circuit, "{} not deterministic", a.name);
+        }
+    }
+
+    #[test]
+    fn suite_covers_paper_size_range() {
+        // Table 3 circuits span ~24..540 gates; ours should too.
+        let lib = Library::standard();
+        let suite = standard_suite(&lib);
+        let sizes: Vec<usize> = suite.iter().map(|c| c.circuit.gates().len()).collect();
+        let min = *sizes.iter().min().expect("non-empty");
+        let max = *sizes.iter().max().expect("non-empty");
+        assert!(min <= 30, "smallest is {min}");
+        assert!(max >= 400, "largest is {max}");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let lib = Library::standard();
+        let suite = standard_suite(&lib);
+        let mut names: Vec<&str> = suite.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn quick_suite_is_strict_subset() {
+        let lib = Library::standard();
+        let quick = quick_suite(&lib);
+        let full = standard_suite(&lib);
+        assert!(!quick.is_empty());
+        assert!(quick.len() < full.len());
+        for c in &quick {
+            assert!(c.circuit.gates().len() <= 150);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: the technology mapper is a semantics-preserving
+//! function from arbitrary generic netlists to library netlists.
+
+use proptest::prelude::*;
+use tr_netlist::{format, map, GenericCircuit, GenericOp, Library};
+
+/// Builds a random acyclic generic circuit over `n_inputs` inputs.
+fn build_generic(n_inputs: usize, ops: &[(u8, u8, u8, u8)]) -> GenericCircuit {
+    let mut c = GenericCircuit::new("rnd");
+    let mut signals: Vec<String> = (0..n_inputs)
+        .map(|i| {
+            let name = format!("i{i}");
+            c.add_input(&name);
+            name
+        })
+        .collect();
+    for (k, &(op_sel, a, b, d)) in ops.iter().enumerate() {
+        let op = match op_sel % 8 {
+            0 => GenericOp::And,
+            1 => GenericOp::Or,
+            2 => GenericOp::Nand,
+            3 => GenericOp::Nor,
+            4 => GenericOp::Not,
+            5 => GenericOp::Xor,
+            6 => GenericOp::Xnor,
+            _ => GenericOp::Buff,
+        };
+        let arity = match op {
+            GenericOp::Not | GenericOp::Buff => 1,
+            _ => 2 + (d as usize % 3),
+        };
+        let name = format!("g{k}");
+        let picks: Vec<String> = (0..arity)
+            .map(|j| {
+                let idx = (a as usize + j * (1 + b as usize)) % signals.len();
+                signals[idx].clone()
+            })
+            .collect();
+        let refs: Vec<&str> = picks.iter().map(String::as_str).collect();
+        c.add_gate(&name, op, &refs);
+        signals.push(name);
+    }
+    // Last few signals become outputs.
+    let take = signals.len().min(3);
+    for s in &signals[signals.len() - take..] {
+        c.add_output(s);
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mapper_preserves_semantics(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..25)
+    ) {
+        let lib = Library::standard();
+        let generic = build_generic(5, &ops);
+        // Distinct generic outputs may alias one net (BUFF chains), so use
+        // the mapper's per-output net report rather than the net list.
+        let (mapped, out_nets) =
+            map::map_with_outputs(&generic, &lib, &map::MapOptions::default());
+        prop_assert!(mapped.validate(&lib).is_ok());
+        for m in 0..32usize {
+            let v: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+            let want = generic.evaluate_outputs(&v);
+            let nets = mapped.evaluate(&lib, &v);
+            let got: Vec<bool> = out_nets.iter().map(|o| nets[o.0]).collect();
+            prop_assert_eq!(got, want, "input {:05b}", m);
+        }
+    }
+
+    #[test]
+    fn mapper_without_aoi_is_equivalent_to_with(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20)
+    ) {
+        let lib = Library::standard();
+        let generic = build_generic(4, &ops);
+        let with = map::map_default(&generic, &lib);
+        let without = map::map(
+            &generic,
+            &lib,
+            &map::MapOptions { absorb_aoi: false, ..Default::default() },
+        );
+        for m in 0..16usize {
+            let v: Vec<bool> = (0..4).map(|i| (m >> i) & 1 == 1).collect();
+            let a = with.evaluate(&lib, &v);
+            let b = without.evaluate(&lib, &v);
+            let ga: Vec<bool> = with.primary_outputs().iter().map(|o| a[o.0]).collect();
+            let gb: Vec<bool> = without.primary_outputs().iter().map(|o| b[o.0]).collect();
+            prop_assert_eq!(ga, gb);
+        }
+        // Absorption never increases the gate count.
+        prop_assert!(with.gates().len() <= without.gates().len());
+    }
+
+    #[test]
+    fn native_format_roundtrips(
+        ops in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()), 1..20),
+        configs in prop::collection::vec(any::<u8>(), 64)
+    ) {
+        let lib = Library::standard();
+        let generic = build_generic(4, &ops);
+        let mut mapped = map::map_default(&generic, &lib);
+        // Scatter valid configurations.
+        for i in 0..mapped.gates().len() {
+            let cell = lib.cell(&mapped.gates()[i].cell).expect("cell");
+            let n = cell.configurations().len();
+            let pick = configs[i % configs.len()] as usize % n;
+            mapped.set_config(tr_netlist::GateId(i), pick);
+        }
+        let text = format::write(&mapped);
+        let parsed = format::parse(&text, &lib).expect("roundtrip parse");
+        prop_assert_eq!(parsed, mapped);
+    }
+}

@@ -1,0 +1,392 @@
+//! Per-gate power evaluation with precomputed path-function tables.
+
+use std::collections::HashMap;
+use tr_boolean::{prob, BoolFn, SignalStats};
+use tr_gatelib::{CellKind, Library, Process};
+use tr_spnet::NodeId;
+
+/// Precomputed analysis of one node of one gate configuration.
+#[derive(Debug, Clone)]
+struct NodeTables {
+    node: NodeId,
+    /// Capacitance excluding any external load (F).
+    cap: f64,
+    h: BoolFn,
+    g: BoolFn,
+    /// `∂H/∂xᵢ` for every cell input `i`.
+    dh: Vec<BoolFn>,
+    /// `∂G/∂xᵢ` for every cell input `i`.
+    dg: Vec<BoolFn>,
+}
+
+/// Precomputed analysis of one gate configuration.
+#[derive(Debug, Clone)]
+struct ConfigTables {
+    nodes: Vec<NodeTables>,
+}
+
+/// Power contribution of a single gate node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodePower {
+    /// Which node.
+    pub node: NodeId,
+    /// Node capacitance including external load if it is the output (F).
+    pub capacitance: f64,
+    /// Equilibrium probability `P(n)`.
+    pub probability: f64,
+    /// Transition density `D(n)` (transitions per time unit).
+    pub density: f64,
+    /// Average switching power `½·C·Vdd²·D` (W).
+    pub power: f64,
+}
+
+/// Power breakdown of one gate evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatePower {
+    /// Per-node contributions; index 0 is the output node.
+    pub nodes: Vec<NodePower>,
+    /// Total gate power (W).
+    pub total: f64,
+}
+
+impl GatePower {
+    /// Power dissipated in internal nodes only (everything but index 0).
+    pub fn internal(&self) -> f64 {
+        self.nodes.iter().skip(1).map(|n| n.power).sum()
+    }
+
+    /// Power dissipated at the output node.
+    pub fn output(&self) -> f64 {
+        self.nodes.first().map_or(0.0, |n| n.power)
+    }
+}
+
+/// The paper's power model over a cell library.
+///
+/// Immutable after construction (and therefore `Sync`): all path
+/// functions, Boolean differences and node capacitances for every
+/// configuration of every cell are computed eagerly.
+#[derive(Debug, Clone)]
+pub struct PowerModel {
+    process: Process,
+    tables: HashMap<(CellKind, usize), ConfigTables>,
+    input_caps: HashMap<CellKind, Vec<f64>>,
+}
+
+impl PowerModel {
+    /// Precomputes tables for every configuration of every library cell.
+    pub fn new(library: &Library, process: Process) -> Self {
+        let mut tables = HashMap::new();
+        let mut input_caps = HashMap::new();
+        for cell in library.cells() {
+            let arity = cell.arity();
+            for (ci, _) in cell.configurations().iter().enumerate() {
+                let graph = cell.graph(ci);
+                let mut nodes = Vec::new();
+                for node in graph.power_nodes() {
+                    let h = graph.h_function(node);
+                    let g = graph.g_function(node);
+                    let dh = (0..arity).map(|i| h.boolean_difference(i)).collect();
+                    let dg = (0..arity).map(|i| g.boolean_difference(i)).collect();
+                    nodes.push(NodeTables {
+                        node,
+                        cap: process.node_capacitance(&graph, node, 0.0),
+                        h,
+                        g,
+                        dh,
+                        dg,
+                    });
+                }
+                tables.insert((cell.kind().clone(), ci), ConfigTables { nodes });
+            }
+            let graph = cell.default_graph();
+            let caps: Vec<f64> = (0..arity)
+                .map(|i| process.input_capacitance(graph, i))
+                .collect();
+            input_caps.insert(cell.kind().clone(), caps);
+        }
+        PowerModel {
+            process,
+            tables,
+            input_caps,
+        }
+    }
+
+    /// The process parameters in use.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Capacitance a cell input presents to its driving net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is not in the model's library or `input` is out
+    /// of range.
+    pub fn input_capacitance(&self, cell: &CellKind, input: usize) -> f64 {
+        self.input_caps
+            .get(cell)
+            .unwrap_or_else(|| panic!("cell {cell} not in model"))[input]
+    }
+
+    /// Evaluates the power of one gate configuration.
+    ///
+    /// `inputs` are the `(P, D)` statistics of the gate's input nets;
+    /// `external_load` is the capacitance hanging on the output net
+    /// (fanout gate inputs plus any wire estimate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(cell, config)` pair is unknown or `inputs` does not
+    /// match the cell arity.
+    pub fn gate_power(
+        &self,
+        cell: &CellKind,
+        config: usize,
+        inputs: &[SignalStats],
+        external_load: f64,
+    ) -> GatePower {
+        let tables = self
+            .tables
+            .get(&(cell.clone(), config))
+            .unwrap_or_else(|| panic!("unknown cell/config {cell}/{config}"));
+        let probs: Vec<f64> = inputs.iter().map(SignalStats::probability).collect();
+        assert_eq!(
+            probs.len(),
+            cell.arity(),
+            "need one SignalStats per cell input"
+        );
+        let mut nodes = Vec::with_capacity(tables.nodes.len());
+        let mut total = 0.0;
+        for nt in &tables.nodes {
+            let ph = prob::probability(&nt.h, &probs);
+            let pg = prob::probability(&nt.g, &probs);
+            // Stationary charge probability; undriven nodes carry no power.
+            let p_node = if ph + pg > 0.0 { ph / (ph + pg) } else { 0.0 };
+            let mut density = 0.0;
+            for (i, s) in inputs.iter().enumerate() {
+                if s.density() == 0.0 {
+                    continue;
+                }
+                let up = if nt.dh[i].is_zero() {
+                    0.0
+                } else {
+                    prob::probability(&nt.dh[i], &probs) * (1.0 - p_node)
+                };
+                let down = if nt.dg[i].is_zero() {
+                    0.0
+                } else {
+                    prob::probability(&nt.dg[i], &probs) * p_node
+                };
+                density += (up + down) * s.density();
+            }
+            let cap = if nt.node == NodeId::Output {
+                nt.cap + external_load
+            } else {
+                nt.cap
+            };
+            let power = self.process.switching_power(cap, density);
+            total += power;
+            nodes.push(NodePower {
+                node: nt.node,
+                capacitance: cap,
+                probability: p_node,
+                density,
+                power,
+            });
+        }
+        GatePower { nodes, total }
+    }
+
+    /// Evaluates every configuration of a cell and returns
+    /// `(best_config, worst_config)` by total power (`FIND_BEST_REORDERING`
+    /// of Fig. 3, plus the worst case used by Table 3's methodology).
+    ///
+    /// Ties resolve to the lowest configuration index, making the
+    /// optimizer deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell is unknown to the library/model.
+    pub fn best_and_worst(
+        &self,
+        cell: &CellKind,
+        n_configs: usize,
+        inputs: &[SignalStats],
+        external_load: f64,
+    ) -> (usize, usize) {
+        assert!(n_configs > 0, "cells have at least one configuration");
+        let mut best = 0usize;
+        let mut worst = 0usize;
+        let mut best_p = f64::MAX;
+        let mut worst_p = f64::MIN;
+        for c in 0..n_configs {
+            let p = self.gate_power(cell, c, inputs, external_load).total;
+            if p < best_p {
+                best_p = p;
+                best = c;
+            }
+            if p > worst_p {
+                worst_p = p;
+                worst = c;
+            }
+        }
+        (best, worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(&Library::standard(), Process::default())
+    }
+
+    fn stats(p: f64, d: f64) -> SignalStats {
+        SignalStats::new(p, d)
+    }
+
+    #[test]
+    fn inverter_output_density_is_input_density() {
+        let m = model();
+        let gp = m.gate_power(&CellKind::Inv, 0, &[stats(0.3, 2.0e5)], 0.0);
+        assert_eq!(gp.nodes.len(), 1); // no internal nodes
+        assert!((gp.nodes[0].density - 2.0e5).abs() < 1e-6);
+        // P(y) = 1 - 0.3
+        assert!((gp.nodes[0].probability - 0.7).abs() < 1e-12);
+        assert!(gp.total > 0.0);
+    }
+
+    #[test]
+    fn output_node_density_matches_najm() {
+        // For the output node the weighted H/G formula must collapse to
+        // D(y) = Σ P(∂y/∂xᵢ)·D(xᵢ).
+        let m = model();
+        let lib = Library::standard();
+        let inputs = [stats(0.3, 1.0e5), stats(0.7, 5.0e5), stats(0.5, 2.0e5)];
+        for name in ["nand3", "nor3", "aoi21", "oai21"] {
+            let cell = lib.cell_by_name(name).unwrap();
+            for c in 0..cell.configurations().len() {
+                let gp = m.gate_power(cell.kind(), c, &inputs, 0.0);
+                let najm = prob::density(cell.function(), &inputs);
+                assert!(
+                    (gp.nodes[0].density - najm).abs() < 1e-9,
+                    "{name} config {c}: {} vs {najm}",
+                    gp.nodes[0].density
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn output_stats_invariant_under_reordering() {
+        // §4.2 monotonicity lemma precondition: reordering changes only
+        // internal nodes.
+        let m = model();
+        let lib = Library::standard();
+        let cell = lib.cell_by_name("oai221").unwrap();
+        let inputs = [
+            stats(0.2, 1.0e5),
+            stats(0.8, 2.0e5),
+            stats(0.4, 9.0e5),
+            stats(0.6, 3.0e5),
+            stats(0.5, 5.0e5),
+        ];
+        let reference = m.gate_power(cell.kind(), 0, &inputs, 0.0);
+        for c in 1..cell.configurations().len() {
+            let gp = m.gate_power(cell.kind(), c, &inputs, 0.0);
+            // P and D at the output are what downstream gates see; they
+            // must not depend on the ordering. (The output *capacitance*
+            // legitimately varies — reordering moves diffusion terminals —
+            // but that is a local effect the per-gate optimizer accounts
+            // for.)
+            assert!((gp.nodes[0].density - reference.nodes[0].density).abs() < 1e-9);
+            assert!((gp.nodes[0].probability - reference.nodes[0].probability).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reordering_changes_internal_power() {
+        let m = model();
+        let lib = Library::standard();
+        let cell = lib.cell_by_name("nand3").unwrap();
+        // Strongly asymmetric activity makes ordering matter.
+        let inputs = [stats(0.5, 1.0e6), stats(0.5, 1.0e4), stats(0.5, 1.0e4)];
+        let powers: Vec<f64> = (0..cell.configurations().len())
+            .map(|c| m.gate_power(cell.kind(), c, &inputs, 0.0).internal())
+            .collect();
+        let min = powers.iter().cloned().fold(f64::MAX, f64::min);
+        let max = powers.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min * 1.05, "expected >5% spread, got {powers:?}");
+    }
+
+    #[test]
+    fn best_and_worst_bracket_all_configs() {
+        let m = model();
+        let lib = Library::standard();
+        let cell = lib.cell_by_name("oai21").unwrap();
+        let inputs = [stats(0.5, 1.0e4), stats(0.5, 1.0e5), stats(0.5, 1.0e6)];
+        let n = cell.configurations().len();
+        let (best, worst) = m.best_and_worst(cell.kind(), n, &inputs, 0.0);
+        let pb = m.gate_power(cell.kind(), best, &inputs, 0.0).total;
+        let pw = m.gate_power(cell.kind(), worst, &inputs, 0.0).total;
+        for c in 0..n {
+            let p = m.gate_power(cell.kind(), c, &inputs, 0.0).total;
+            assert!(p >= pb - 1e-18 && p <= pw + 1e-18);
+        }
+        assert!(pw > pb);
+    }
+
+    #[test]
+    fn quiescent_inputs_give_zero_power() {
+        let m = model();
+        let gp = m.gate_power(
+            &CellKind::Nand(2),
+            0,
+            &[SignalStats::constant(true), SignalStats::constant(false)],
+            0.0,
+        );
+        assert_eq!(gp.total, 0.0);
+    }
+
+    #[test]
+    fn external_load_increases_output_power_only() {
+        let m = model();
+        let inputs = [stats(0.5, 1.0e5), stats(0.5, 1.0e5)];
+        let a = m.gate_power(&CellKind::Nand(2), 0, &inputs, 0.0);
+        let b = m.gate_power(&CellKind::Nand(2), 0, &inputs, 10.0e-15);
+        assert!(b.output() > a.output());
+        assert!((b.internal() - a.internal()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let m = model();
+        let lib = Library::standard();
+        let inputs: Vec<SignalStats> = (0..6)
+            .map(|i| stats(0.1 + 0.15 * i as f64, 1.0e5 * (i + 1) as f64))
+            .collect();
+        for cell in lib.cells() {
+            let cfg_inputs = &inputs[..cell.arity()];
+            for c in 0..cell.configurations().len() {
+                let gp = m.gate_power(cell.kind(), c, cfg_inputs, 0.0);
+                for n in &gp.nodes {
+                    assert!((0.0..=1.0).contains(&n.probability), "{}", cell.name());
+                    assert!(n.density >= 0.0);
+                    assert!(n.power >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn input_capacitance_lookup() {
+        let m = model();
+        let c = m.input_capacitance(&CellKind::Inv, 0);
+        assert!(c > 0.0);
+        // aoi221 input 0 drives one N and one P device, same as inv.
+        let c2 = m.input_capacitance(&CellKind::aoi(&[2, 2, 1]), 0);
+        assert!((c - c2).abs() < 1e-21);
+    }
+}

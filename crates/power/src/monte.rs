@@ -1,0 +1,177 @@
+//! Monte Carlo cross-validation of the analytic propagation.
+//!
+//! [`propagate`](crate::propagate) assumes independence at gate inputs;
+//! [`propagate_exact`](crate::propagate_exact) is exact but capped at
+//! [`tr_boolean::MAX_VARS`] primary inputs. This module provides a third,
+//! assumption-free estimate for any circuit size: sample the stationary
+//! input process at discrete steps, evaluate the circuit functionally
+//! (zero delay), and count probabilities and transitions. It converges
+//! like `1/√N` and is used by tests and EXPERIMENTS.md to bound the
+//! independence error of the fast propagation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::Circuit;
+
+/// Monte Carlo estimate of per-net `(P, D)` statistics.
+///
+/// The input process is simulated at `steps` discrete time points spaced
+/// `dt` apart: each input holds a Markov 0–1 process with the requested
+/// equilibrium probability and transition density (transition
+/// probabilities per step derived from the dwell times, clamped for
+/// stability). Densities are reported back in transitions per second.
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count, the
+/// circuit is invalid, `steps < 2`, or `dt <= 0`.
+pub fn estimate(
+    circuit: &Circuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+    steps: usize,
+    dt: f64,
+    seed: u64,
+) -> Vec<SignalStats> {
+    assert_eq!(
+        pi_stats.len(),
+        circuit.primary_inputs().len(),
+        "one SignalStats per primary input"
+    );
+    assert!(steps >= 2, "need at least two samples");
+    assert!(dt > 0.0, "dt must be positive");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Per-input per-step flip probabilities from the dwell times:
+    // p(1→0) = dt/t1, p(0→1) = dt/t0 (first-order; clamped).
+    let flip: Vec<Option<(f64, f64)>> = pi_stats
+        .iter()
+        .map(|s| {
+            s.dwell_times()
+                .map(|(t0, t1)| ((dt / t0).min(0.5), (dt / t1).min(0.5)))
+        })
+        .collect();
+
+    let mut inputs: Vec<bool> = pi_stats
+        .iter()
+        .map(|s| rng.gen_bool(s.probability()))
+        .collect();
+    let mut ones = vec![0u64; circuit.net_count()];
+    let mut transitions = vec![0u64; circuit.net_count()];
+    let mut prev = circuit.evaluate(library, &inputs);
+
+    for _ in 1..steps {
+        for (i, v) in inputs.iter_mut().enumerate() {
+            if let Some((p01, p10)) = flip[i] {
+                let p = if *v { p10 } else { p01 };
+                if rng.gen_bool(p) {
+                    *v = !*v;
+                }
+            }
+        }
+        let vals = circuit.evaluate(library, &inputs);
+        for (n, (&now, &before)) in vals.iter().zip(&prev).enumerate() {
+            if now {
+                ones[n] += 1;
+            }
+            if now != before {
+                transitions[n] += 1;
+            }
+        }
+        prev = vals;
+    }
+
+    let total_time = (steps - 1) as f64 * dt;
+    (0..circuit.net_count())
+        .map(|n| {
+            let p = ones[n] as f64 / (steps - 1) as f64;
+            let d = transitions[n] as f64 / total_time;
+            SignalStats::new(p.clamp(0.0, 1.0), d)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate;
+    use tr_netlist::generators;
+
+    #[test]
+    fn matches_analytic_on_tree_circuit() {
+        // A NAND tree with every net read exactly once is fanout-free, so
+        // the independence assumption is exact and Monte Carlo must
+        // converge to the analytic values. (A *mapped* XOR parity tree
+        // would not do: the XOR expansion itself reconverges.)
+        let lib = Library::standard();
+        let mut c = tr_netlist::Circuit::new("nandtree");
+        let leaves: Vec<_> = (0..8).map(|i| c.add_input(format!("i{i}"))).collect();
+        let mut layer = leaves;
+        let mut tag = 0;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for pair in layer.chunks(2) {
+                let (_, y) = c.add_gate(
+                    tr_gatelib::CellKind::Nand(2),
+                    vec![pair[0], pair[1]],
+                    format!("n{tag}"),
+                );
+                tag += 1;
+                next.push(y);
+            }
+            layer = next;
+        }
+        c.mark_output(layer[0]);
+        let stats = vec![SignalStats::new(0.5, 1.0e5); 8];
+        let analytic = propagate(&c, &lib, &stats);
+        // dt small vs dwell times (2·0.5/1e5 = 1e-5 s dwell).
+        let mc = estimate(&c, &lib, &stats, 150_000, 2.0e-7, 42);
+        for (n, (a, m)) in analytic.iter().zip(&mc).enumerate() {
+            assert!(
+                (a.probability() - m.probability()).abs() < 0.05,
+                "net {n}: P {a} vs {m}"
+            );
+            let rel = (a.density() - m.density()).abs() / a.density().max(1.0);
+            assert!(rel < 0.12, "net {n}: D {} vs {}", a.density(), m.density());
+        }
+    }
+
+    #[test]
+    fn detects_reconvergence_bias() {
+        // c17 has reconvergent fanout; Monte Carlo is the ground truth
+        // there. The analytic propagation should still be close, but we
+        // only assert MC's own sanity here (valid stats, inputs match).
+        let lib = Library::standard();
+        let c = tr_netlist::map::map_default(&tr_netlist::bench::c17(), &lib);
+        let stats = vec![SignalStats::new(0.5, 1.0e5); 5];
+        let mc = estimate(&c, &lib, &stats, 30_000, 2.0e-7, 7);
+        for (i, &net) in c.primary_inputs().iter().enumerate() {
+            assert!((mc[net.0].probability() - 0.5).abs() < 0.05, "input {i}");
+            let rel = (mc[net.0].density() - 1.0e5).abs() / 1.0e5;
+            assert!(rel < 0.12, "input {i} density {}", mc[net.0].density());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let lib = Library::standard();
+        let c = generators::parity_tree(4, &lib);
+        let stats = vec![SignalStats::new(0.4, 5.0e4); 4];
+        let a = estimate(&c, &lib, &stats, 2_000, 1.0e-6, 3);
+        let b = estimate(&c, &lib, &stats, 2_000, 1.0e-6, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quiescent_inputs_stay_quiet() {
+        let lib = Library::standard();
+        let c = generators::parity_tree(4, &lib);
+        let stats = vec![SignalStats::constant(true); 4];
+        let mc = estimate(&c, &lib, &stats, 1_000, 1.0e-6, 9);
+        for s in &mc {
+            assert_eq!(s.density(), 0.0);
+        }
+    }
+}

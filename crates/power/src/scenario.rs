@@ -1,0 +1,107 @@
+//! The two evaluation scenarios of the paper's §5.1 (Fig. 6).
+//!
+//! * **Scenario A** — the circuit is embedded in a larger digital system:
+//!   primary-input probabilities and transition densities are drawn
+//!   uniformly at random (`P ~ U[0,1]`, `D ~ U[0, 1M]` transitions per
+//!   second).
+//! * **Scenario B** — the circuit *is* the digital system, with latches at
+//!   its inputs and a fixed clock: every primary input has `P = 0.5` and
+//!   `D = 0.5` transitions per cycle, converted to transitions per second
+//!   through the clock frequency.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tr_boolean::SignalStats;
+
+/// An input-statistics scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Random embedded-subcircuit statistics (`P ~ U[0,1]`,
+    /// `D ~ U[0, max_density]` transitions/s).
+    A {
+        /// Upper bound of the density distribution (the paper uses 1M
+        /// transitions per second).
+        max_density: f64,
+    },
+    /// Latched inputs at a fixed clock: `P = 0.5`, `D = 0.5`
+    /// transitions/cycle.
+    B {
+        /// Clock frequency in Hz used to convert per-cycle densities to
+        /// per-second densities.
+        clock_hz: f64,
+    },
+}
+
+impl Scenario {
+    /// Scenario A with the paper's parameters (densities up to 1M
+    /// transitions per second).
+    pub fn a() -> Self {
+        Scenario::A { max_density: 1.0e6 }
+    }
+
+    /// Scenario B with a 20 MHz clock (a representative mid-90s system
+    /// clock; only relative powers matter).
+    pub fn b() -> Self {
+        Scenario::B { clock_hz: 20.0e6 }
+    }
+
+    /// Draws primary-input statistics for `n` inputs. Deterministic in
+    /// `seed` (Scenario B ignores it).
+    pub fn input_stats(&self, n: usize, seed: u64) -> Vec<SignalStats> {
+        match *self {
+            Scenario::A { max_density } => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                (0..n)
+                    .map(|_| {
+                        let p: f64 = rng.gen_range(0.0..=1.0);
+                        let d: f64 = rng.gen_range(0.0..=max_density);
+                        // A signal pinned at a rail cannot toggle; nudge
+                        // the probability off the rails so (P, D) stays
+                        // realizable by the waveform generator.
+                        let p = p.clamp(0.01, 0.99);
+                        SignalStats::new(p, d)
+                    })
+                    .collect()
+            }
+            Scenario::B { clock_hz } => {
+                vec![SignalStats::new(0.5, 0.5 * clock_hz); n]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_a_is_seeded_and_in_range() {
+        let s = Scenario::a();
+        let a = s.input_stats(16, 7);
+        let b = s.input_stats(16, 7);
+        assert_eq!(a, b);
+        let c = s.input_stats(16, 8);
+        assert_ne!(a, c);
+        for st in &a {
+            assert!((0.01..=0.99).contains(&st.probability()));
+            assert!((0.0..=1.0e6).contains(&st.density()));
+        }
+    }
+
+    #[test]
+    fn scenario_b_is_uniform() {
+        let s = Scenario::b();
+        let stats = s.input_stats(4, 123);
+        for st in &stats {
+            assert_eq!(st.probability(), 0.5);
+            assert!((st.density() - 1.0e7).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn scenario_b_scales_with_clock() {
+        let s = Scenario::B { clock_hz: 1.0e6 };
+        let stats = s.input_stats(1, 0);
+        assert!((stats[0].density() - 5.0e5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,163 @@
+//! Library-impact analysis: which cell *instances* an optimized circuit
+//! actually needs.
+//!
+//! The paper's conclusion (a): "current libraries may be upgraded with
+//! more instances of the gates with different transistor reorderings, so
+//! that an optimization algorithm can choose the best instance". This
+//! module quantifies that: after optimization, how many gates landed in a
+//! non-default instance — i.e. how many would require a new layout in a
+//! real library — versus how many were satisfied by rewiring the default
+//! layout's inputs.
+
+use std::collections::BTreeMap;
+use tr_gatelib::Library;
+use tr_netlist::Circuit;
+
+/// Instance usage of one cell across a circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellDemand {
+    /// Cell name (`oai21`, …).
+    pub cell: String,
+    /// Gate count per instance index (`[A]`, `[B]`, …).
+    pub per_instance: Vec<usize>,
+}
+
+impl CellDemand {
+    /// Total gates of this cell.
+    pub fn total(&self) -> usize {
+        self.per_instance.iter().sum()
+    }
+
+    /// Gates realized by a non-default instance (index > 0).
+    pub fn non_default(&self) -> usize {
+        self.per_instance.iter().skip(1).sum()
+    }
+}
+
+/// Instance usage across a whole circuit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InstanceDemand {
+    /// Per-cell demand, sorted by cell name.
+    pub cells: Vec<CellDemand>,
+}
+
+impl InstanceDemand {
+    /// Total gates.
+    pub fn total_gates(&self) -> usize {
+        self.cells.iter().map(CellDemand::total).sum()
+    }
+
+    /// Gates needing a non-default layout instance.
+    pub fn non_default_gates(&self) -> usize {
+        self.cells.iter().map(CellDemand::non_default).sum()
+    }
+
+    /// Distinct (cell, instance) layouts the library must stock to realize
+    /// the circuit.
+    pub fn layouts_required(&self) -> usize {
+        self.cells
+            .iter()
+            .map(|c| c.per_instance.iter().filter(|&&n| n > 0).count())
+            .sum()
+    }
+
+    /// Renders a compact text table.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<8} {:>6}   per-instance", "cell", "gates");
+        for c in &self.cells {
+            let inst: Vec<String> = c
+                .per_instance
+                .iter()
+                .enumerate()
+                .map(|(i, n)| {
+                    format!("[{}]×{n}", char::from(b'A' + u8::try_from(i).unwrap_or(25)))
+                })
+                .collect();
+            let _ = writeln!(out, "{:<8} {:>6}   {}", c.cell, c.total(), inst.join(" "));
+        }
+        let _ = writeln!(
+            out,
+            "layouts required: {}; gates on non-default instances: {}/{}",
+            self.layouts_required(),
+            self.non_default_gates(),
+            self.total_gates()
+        );
+        out
+    }
+}
+
+/// Computes instance usage for the circuit's current configurations.
+///
+/// # Panics
+///
+/// Panics if a gate's cell is missing from the library or its
+/// configuration is out of range.
+pub fn instance_demand(circuit: &Circuit, library: &Library) -> InstanceDemand {
+    let mut map: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for gate in circuit.gates() {
+        let cell = library.cell(&gate.cell).expect("unknown cell");
+        let entry = map
+            .entry(cell.name())
+            .or_insert_with(|| vec![0; cell.instances().len()]);
+        entry[cell.instance_of(gate.config)] += 1;
+    }
+    InstanceDemand {
+        cells: map
+            .into_iter()
+            .map(|(cell, per_instance)| CellDemand { cell, per_instance })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, Objective};
+    use tr_gatelib::Process;
+    use tr_netlist::generators;
+    use tr_power::scenario::Scenario;
+    use tr_power::PowerModel;
+
+    #[test]
+    fn default_circuit_uses_default_instances() {
+        let lib = Library::standard();
+        let c = generators::ripple_carry_adder(8, &lib);
+        let d = instance_demand(&c, &lib);
+        assert_eq!(d.total_gates(), c.gates().len());
+        // Config 0 of every cell belongs to the first (default) instance
+        // by construction of the enumeration order.
+        assert_eq!(d.non_default_gates(), 0);
+    }
+
+    #[test]
+    fn optimization_creates_instance_demand() {
+        // Needs a circuit rich in multi-instance cells (oai21, aoi211, …);
+        // the random generator draws them, whereas e.g. a mapped ripple
+        // adder is all aoi22/inv which have a single instance each.
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        let c = generators::random_circuit(16, 200, 7, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 9);
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let d = instance_demand(&best.circuit, &lib);
+        assert_eq!(d.total_gates(), c.gates().len());
+        // The optimizer should exploit at least one non-default layout —
+        // this is exactly why the paper proposes extending libraries.
+        assert!(d.non_default_gates() > 0, "{}", d.render());
+        assert!(d.layouts_required() >= d.cells.len());
+    }
+
+    #[test]
+    fn render_mentions_every_cell() {
+        let lib = Library::standard();
+        let c = generators::alu(4, &lib);
+        let d = instance_demand(&c, &lib);
+        let text = d.render();
+        for cell in &d.cells {
+            assert!(text.contains(&cell.cell));
+        }
+        assert!(text.contains("layouts required"));
+    }
+}

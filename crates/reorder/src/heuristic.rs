@@ -1,0 +1,264 @@
+//! Rule-based reordering — the pre-model baseline of the paper's
+//! reference \[9\] (Shen, Lin & Wang, ASP-DAC 1995).
+//!
+//! Before the paper's stochastic model, reordering was driven by rules of
+//! thumb of the form "place the most active transistor at position X of
+//! the stack". This module implements the two classic rules so the
+//! experiment harness can quantify what the full model buys over them:
+//!
+//! * [`Rule::HotNearOutput`] — the most active input drives the
+//!   transistor adjacent to the output node (shields the internal stack
+//!   nodes from its toggling; what our model usually discovers);
+//! * [`Rule::HotNearRail`] — the most active input sits next to the
+//!   supply rail (the rule the paper quotes as the *low-power* rule of
+//!   thumb that conflicts with the speed rule).
+//!
+//! Both rules order every series chain by input activity and know nothing
+//! about probabilities, capacitances or the charge state — that is the
+//! point of comparing against them.
+
+use crate::OptimizeResult;
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::Circuit;
+use tr_power::{circuit_power, propagate, PowerModel};
+use tr_spnet::{SpTree, Topology};
+
+/// The ordering rule to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rule {
+    /// Most active input adjacent to the output node of each stack.
+    HotNearOutput,
+    /// Most active input adjacent to the supply rail of each stack.
+    HotNearRail,
+}
+
+/// Scores a network block by the maximum input density inside it.
+fn block_activity(tree: &SpTree, density: &[f64]) -> f64 {
+    tree.inputs()
+        .into_iter()
+        .map(|i| density[i])
+        .fold(0.0, f64::max)
+}
+
+/// Reorders every series chain of `tree` by block activity.
+fn order_tree(tree: &SpTree, density: &[f64], hot_first: bool) -> SpTree {
+    match tree {
+        SpTree::Leaf(i) => SpTree::Leaf(*i),
+        SpTree::Series(children) => {
+            let mut ordered: Vec<SpTree> = children
+                .iter()
+                .map(|c| order_tree(c, density, hot_first))
+                .collect();
+            ordered.sort_by(|a, b| {
+                let ka = block_activity(a, density);
+                let kb = block_activity(b, density);
+                if hot_first {
+                    kb.total_cmp(&ka)
+                } else {
+                    ka.total_cmp(&kb)
+                }
+            });
+            // Construct directly: sorting never nests series in series.
+            SpTree::Series(ordered)
+        }
+        SpTree::Parallel(children) => SpTree::Parallel(
+            children
+                .iter()
+                .map(|c| order_tree(c, density, hot_first))
+                .collect(),
+        ),
+    }
+}
+
+/// Applies the rule to one gate: derives the target topology, then finds
+/// the configuration index realizing it.
+fn choose_config(
+    library: &Library,
+    cell: &tr_netlist::CellKind,
+    input_density: &[f64],
+    rule: Rule,
+) -> usize {
+    let cell = library.cell(cell).expect("unknown cell");
+    // Series index 0 is output-adjacent by convention, so HotNearOutput
+    // means descending activity.
+    let hot_first = matches!(rule, Rule::HotNearOutput);
+    let reference = &cell.configurations()[0];
+    let target = Topology {
+        pulldown: order_tree(&reference.pulldown, input_density, hot_first),
+        pullup: order_tree(&reference.pullup, input_density, hot_first),
+    };
+    // Match against the enumerated configurations modulo parallel-branch
+    // placement (compare canonicalized forms).
+    let canon = |t: &Topology| {
+        (
+            canonical(&t.pulldown),
+            canonical(&t.pullup),
+        )
+    };
+    let want = canon(&target);
+    cell.configurations()
+        .iter()
+        .position(|c| canon(c) == want)
+        .unwrap_or(0)
+}
+
+/// Canonical form: sort parallel children (they carry no order).
+fn canonical(tree: &SpTree) -> SpTree {
+    match tree {
+        SpTree::Leaf(i) => SpTree::Leaf(*i),
+        SpTree::Series(cs) => SpTree::Series(cs.iter().map(canonical).collect()),
+        SpTree::Parallel(cs) => {
+            let mut children: Vec<SpTree> = cs.iter().map(canonical).collect();
+            children.sort();
+            SpTree::Parallel(children)
+        }
+    }
+}
+
+/// Optimizes a circuit with a fixed rule of thumb instead of the model.
+///
+/// The power numbers in the result are still evaluated with the full
+/// model so rule-based and model-based runs are directly comparable.
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count, the
+/// circuit is invalid, or a cell is missing from the library.
+pub fn optimize_rule_based(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    pi_stats: &[SignalStats],
+    rule: Rule,
+) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    let before = circuit_power(circuit, model, &net_stats).total;
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let density: Vec<f64> = gate
+            .inputs
+            .iter()
+            .map(|n| net_stats[n.0].density())
+            .collect();
+        let choice = choose_config(library, &gate.cell, &density, rule);
+        if choice != gate.config {
+            changed += 1;
+        }
+        result.set_config(tr_netlist::GateId(i), choice);
+    }
+    let after = circuit_power(&result, model, &net_stats).total;
+    OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{optimize, Objective};
+    use tr_gatelib::Process;
+    use tr_netlist::{generators, CellKind};
+    use tr_power::scenario::Scenario;
+
+    fn setup() -> (Library, PowerModel) {
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        (lib, model)
+    }
+
+    #[test]
+    fn rule_orders_nand_stack_by_activity() {
+        let (lib, _) = setup();
+        let density = [1.0e4, 1.0e6, 1.0e5];
+        let cfg = choose_config(&lib, &CellKind::Nand(3), &density, Rule::HotNearOutput);
+        let cell = lib.cell(&CellKind::Nand(3)).unwrap();
+        let topo = &cell.configurations()[cfg];
+        // Pull-down series order should be inputs 1, 2, 0 (descending D).
+        assert_eq!(topo.pulldown.inputs(), vec![1, 2, 0]);
+        let cfg2 = choose_config(&lib, &CellKind::Nand(3), &density, Rule::HotNearRail);
+        let topo2 = &cell.configurations()[cfg2];
+        assert_eq!(topo2.pulldown.inputs(), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn rule_configs_are_always_valid() {
+        let (lib, _) = setup();
+        for cell in lib.cells() {
+            let density: Vec<f64> = (0..cell.arity()).map(|i| (i as f64 + 1.0) * 1e5).collect();
+            for rule in [Rule::HotNearOutput, Rule::HotNearRail] {
+                let cfg = choose_config(&lib, cell.kind(), &density, rule);
+                assert!(cfg < cell.configurations().len(), "{}", cell.name());
+            }
+        }
+    }
+
+    #[test]
+    fn model_beats_or_matches_both_rules() {
+        let (lib, model) = setup();
+        for c in [
+            generators::ripple_carry_adder(8, &lib),
+            generators::random_circuit(12, 150, 3, &lib),
+        ] {
+            let stats = Scenario::a().input_stats(c.primary_inputs().len(), 21);
+            let full = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+            for rule in [Rule::HotNearOutput, Rule::HotNearRail] {
+                let ruled = optimize_rule_based(&c, &lib, &model, &stats, rule);
+                assert!(
+                    full.power_after <= ruled.power_after + 1e-18,
+                    "{}: model {} vs rule {:?} {}",
+                    c.name(),
+                    full.power_after,
+                    rule,
+                    ruled.power_after
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rules_preserve_function() {
+        let (lib, model) = setup();
+        let c = generators::comparator(6, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 5);
+        let ruled = optimize_rule_based(&c, &lib, &model, &stats, Rule::HotNearOutput);
+        for m in (0..4096usize).step_by(97) {
+            let v: Vec<bool> = (0..12).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(c.evaluate(&lib, &v), ruled.circuit.evaluate(&lib, &v));
+        }
+    }
+
+    #[test]
+    fn hot_near_output_matches_the_model_on_the_table1_gate() {
+        // Table 1 case (1): the hot input b should shield the stack by
+        // sitting adjacent to the output. The HotNearOutput rule must
+        // agree with the model's choice for the pull-down network there;
+        // HotNearRail must not.
+        let (lib, model) = setup();
+        let cell = lib.cell(&CellKind::oai21()).unwrap();
+        let density = [1.0e4, 1.0e5, 1.0e6]; // b = input 2 is hot
+        let stats: Vec<tr_boolean::SignalStats> = density
+            .iter()
+            .map(|&d| tr_boolean::SignalStats::new(0.5, d))
+            .collect();
+        let (best, _) =
+            model.best_and_worst(cell.kind(), cell.configurations().len(), &stats, 8.0e-15);
+        let near_out = choose_config(&lib, &CellKind::oai21(), &density, Rule::HotNearOutput);
+        let near_rail = choose_config(&lib, &CellKind::oai21(), &density, Rule::HotNearRail);
+        let pd = |cfg: usize| cell.configurations()[cfg].pulldown.clone();
+        assert_eq!(
+            pd(near_out),
+            pd(best),
+            "rule should place hot b at the output like the model"
+        );
+        assert_ne!(pd(near_rail), pd(best));
+        // And in model power terms the near-output rule is strictly
+        // better on this gate.
+        let p = |cfg: usize| model.gate_power(cell.kind(), cfg, &stats, 8.0e-15).total;
+        assert!(p(near_out) < p(near_rail));
+    }
+}

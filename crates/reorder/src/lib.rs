@@ -1,0 +1,416 @@
+//! The transistor-reordering power optimizer — the paper's §4 algorithm.
+//!
+//! One depth-first traversal of the circuit (Fig. 3):
+//!
+//! 1. `OBTAIN_PROBABILITIES` — propagate `(P, D)` statistics from the
+//!    primary inputs through every gate *function* (ordering-independent);
+//! 2. for each gate, `FIND_BEST_REORDERING` — exhaustively evaluate every
+//!    configuration of its cell under the extended power model and keep
+//!    the cheapest;
+//! 3. `CALCULATE_DENS` / `UPDATE_CIRCUIT_INFORMATION` — the output
+//!    statistics are already correct because reordering never changes the
+//!    gate function (§4.2 monotonicity), so a single pass is optimal with
+//!    respect to the model.
+//!
+//! The same machinery selects the *worst* ordering, which is how the
+//! paper's Table 3 measures the technique's headroom (best vs worst), and
+//! a delay-bounded variant implements the paper's §6 future-work
+//! direction (power reduction without delay increase).
+//!
+//! # Example
+//!
+//! ```
+//! use tr_boolean::SignalStats;
+//! use tr_gatelib::{Library, Process};
+//! use tr_netlist::generators;
+//! use tr_power::PowerModel;
+//! use tr_reorder::{optimize, Objective};
+//!
+//! let lib = Library::standard();
+//! let model = PowerModel::new(&lib, Process::default());
+//! let adder = generators::ripple_carry_adder(8, &lib);
+//! let stats = vec![SignalStats::new(0.5, 0.5); 17];
+//! let result = optimize(&adder, &lib, &model, &stats, Objective::MinimizePower);
+//! assert!(result.power_after <= result.power_before);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::Circuit;
+use tr_power::{circuit_power, external_loads, propagate, PowerModel};
+use tr_timing::TimingModel;
+
+/// What the traversal selects in each gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Choose the lowest-power configuration of every gate.
+    MinimizePower,
+    /// Choose the highest-power configuration (the paper's worst-case
+    /// reference for Table 3).
+    MaximizePower,
+}
+
+/// Result of one optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizeResult {
+    /// The rewritten circuit.
+    pub circuit: Circuit,
+    /// Model-estimated total power before (W).
+    pub power_before: f64,
+    /// Model-estimated total power after (W).
+    pub power_after: f64,
+    /// Number of gates whose configuration changed.
+    pub changed_gates: usize,
+}
+
+impl OptimizeResult {
+    /// Relative power change in percent (positive = reduction).
+    pub fn reduction_percent(&self) -> f64 {
+        if self.power_before == 0.0 {
+            0.0
+        } else {
+            100.0 * (self.power_before - self.power_after) / self.power_before
+        }
+    }
+}
+
+/// Runs the Fig. 3 traversal over the whole circuit.
+///
+/// `pi_stats` supplies the primary-input statistics (see
+/// [`tr_power::scenario`]). The input circuit is not modified; the chosen
+/// configurations are returned in [`OptimizeResult::circuit`].
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count, the
+/// circuit is invalid, or a cell is missing from the library.
+pub fn optimize(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    pi_stats: &[SignalStats],
+    objective: Objective,
+) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    let loads = external_loads(circuit, model);
+    let before = circuit_power(circuit, model, &net_stats).total;
+
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    // Depth-first gate list (paper Fig. 3). With the monotonic model any
+    // order gives the same answer; we keep the paper's for fidelity.
+    let order = circuit.topological_order().expect("validated circuit");
+    for gid in order {
+        let gate = circuit.gate(gid);
+        let cell = library.cell(&gate.cell).expect("unknown cell");
+        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+        let load = loads[gate.output.0];
+        let (best, worst) =
+            model.best_and_worst(&gate.cell, cell.configurations().len(), &inputs, load);
+        let choice = match objective {
+            Objective::MinimizePower => best,
+            Objective::MaximizePower => worst,
+        };
+        if choice != gate.config {
+            changed += 1;
+        }
+        result.set_config(gid, choice);
+    }
+    let after = circuit_power(&result, model, &net_stats).total;
+    OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    }
+}
+
+/// Parallel variant of [`optimize`]: gates are explored concurrently with
+/// scoped threads. Exact same result as the sequential traversal (per-gate
+/// choices are independent given the net statistics).
+///
+/// # Panics
+///
+/// As [`optimize`]; additionally if `threads == 0`.
+pub fn optimize_parallel(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    pi_stats: &[SignalStats],
+    objective: Objective,
+    threads: usize,
+) -> OptimizeResult {
+    assert!(threads > 0, "need at least one thread");
+    let net_stats = propagate(circuit, library, pi_stats);
+    let loads = external_loads(circuit, model);
+    let before = circuit_power(circuit, model, &net_stats).total;
+
+    let n = circuit.gates().len();
+    let mut choices = vec![0usize; n];
+    let chunk = n.div_ceil(threads).max(1);
+    crossbeam::thread::scope(|scope| {
+        for (t, slice) in choices.chunks_mut(chunk).enumerate() {
+            let net_stats = &net_stats;
+            let loads = &loads;
+            scope.spawn(move |_| {
+                let base = t * chunk;
+                for (k, out) in slice.iter_mut().enumerate() {
+                    let gate = &circuit.gates()[base + k];
+                    let cell = library.cell(&gate.cell).expect("unknown cell");
+                    let inputs: Vec<SignalStats> =
+                        gate.inputs.iter().map(|i| net_stats[i.0]).collect();
+                    let load = loads[gate.output.0];
+                    let (best, worst) = model.best_and_worst(
+                        &gate.cell,
+                        cell.configurations().len(),
+                        &inputs,
+                        load,
+                    );
+                    *out = match objective {
+                        Objective::MinimizePower => best,
+                        Objective::MaximizePower => worst,
+                    };
+                }
+            });
+        }
+    })
+    .expect("optimizer worker panicked");
+
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    for (i, &choice) in choices.iter().enumerate() {
+        if circuit.gates()[i].config != choice {
+            changed += 1;
+        }
+        result.set_config(tr_netlist::GateId(i), choice);
+    }
+    let after = circuit_power(&result, model, &net_stats).total;
+    OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    }
+}
+
+/// Delay-bounded optimization — the paper's §6 future-work direction (b):
+/// "it is possible to obtain power reductions without increasing the
+/// delay of the circuit".
+///
+/// Each gate may only switch to configurations whose worst per-pin delay
+/// (at the gate's actual load) does not exceed that of its *current*
+/// configuration. The circuit's critical path can therefore never grow.
+///
+/// # Panics
+///
+/// As [`optimize`].
+pub fn optimize_delay_bounded(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    timing: &TimingModel,
+    pi_stats: &[SignalStats],
+) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    let loads = external_loads(circuit, model);
+    let before = circuit_power(circuit, model, &net_stats).total;
+
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    for (i, gate) in circuit.gates().iter().enumerate() {
+        let cell = library.cell(&gate.cell).expect("unknown cell");
+        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+        let load = loads[gate.output.0];
+        let pin_worst = |config: usize| -> f64 {
+            (0..cell.arity())
+                .map(|pin| timing.gate_delay(&gate.cell, config, pin, load))
+                .fold(0.0, f64::max)
+        };
+        let budget = pin_worst(gate.config);
+        let mut best = gate.config;
+        let mut best_power = model
+            .gate_power(&gate.cell, gate.config, &inputs, load)
+            .total;
+        for c in 0..cell.configurations().len() {
+            if pin_worst(c) > budget * (1.0 + 1e-12) {
+                continue;
+            }
+            let p = model.gate_power(&gate.cell, c, &inputs, load).total;
+            if p < best_power {
+                best_power = p;
+                best = c;
+            }
+        }
+        if best != gate.config {
+            changed += 1;
+        }
+        result.set_config(tr_netlist::GateId(i), best);
+    }
+    let after = circuit_power(&result, model, &net_stats).total;
+    OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_gatelib::Process;
+    use tr_netlist::generators;
+    use tr_power::scenario::Scenario;
+
+    fn setup() -> (Library, PowerModel, TimingModel) {
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        let timing = TimingModel::new(&lib, Process::default());
+        (lib, model, timing)
+    }
+
+    #[test]
+    fn best_never_worse_than_default_or_worst() {
+        let (lib, model, _) = setup();
+        let c = generators::ripple_carry_adder(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 5);
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let worst = optimize(&c, &lib, &model, &stats, Objective::MaximizePower);
+        assert!(best.power_after <= best.power_before + 1e-18);
+        assert!(worst.power_after >= worst.power_before - 1e-18);
+        assert!(best.power_after < worst.power_after);
+        // There is real headroom on an adder under random stats.
+        let headroom =
+            100.0 * (worst.power_after - best.power_after) / worst.power_after;
+        assert!(headroom > 2.0, "headroom only {headroom:.2}%");
+    }
+
+    #[test]
+    fn optimization_preserves_function() {
+        let (lib, model, _) = setup();
+        let c = generators::alu(4, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 11);
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        for trial in 0..64usize {
+            let m = trial.wrapping_mul(0x9E3779B9) % (1 << c.primary_inputs().len().min(20));
+            let v: Vec<bool> = (0..c.primary_inputs().len())
+                .map(|i| (m >> (i % 20)) & 1 == 1)
+                .collect();
+            assert_eq!(
+                c.evaluate(&lib, &v),
+                best.circuit.evaluate(&lib, &v),
+                "functional mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_is_idempotent() {
+        let (lib, model, _) = setup();
+        let c = generators::comparator(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 3);
+        let once = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let twice = optimize(&once.circuit, &lib, &model, &stats, Objective::MinimizePower);
+        assert_eq!(twice.changed_gates, 0);
+        assert!((twice.power_after - once.power_after).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let (lib, model, _) = setup();
+        let c = generators::array_multiplier(4, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 8);
+        let seq = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        for threads in [1, 2, 4] {
+            let par = optimize_parallel(
+                &c,
+                &lib,
+                &model,
+                &stats,
+                Objective::MinimizePower,
+                threads,
+            );
+            assert_eq!(par.circuit, seq.circuit, "threads={threads}");
+            assert!((par.power_after - seq.power_after).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn delay_bounded_never_slows_the_circuit() {
+        let (lib, model, timing) = setup();
+        let c = generators::ripple_carry_adder(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 17);
+        let before = tr_timing::critical_path_delay(&c, &timing);
+        let r = optimize_delay_bounded(&c, &lib, &model, &timing, &stats);
+        let after = tr_timing::critical_path_delay(&r.circuit, &timing);
+        assert!(after <= before * (1.0 + 1e-9), "delay grew: {before} → {after}");
+        assert!(r.power_after <= r.power_before + 1e-18);
+    }
+
+    #[test]
+    fn delay_bounded_saves_less_than_unbounded() {
+        let (lib, model, timing) = setup();
+        let c = generators::ripple_carry_adder(16, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 2);
+        let unbounded = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let bounded = optimize_delay_bounded(&c, &lib, &model, &timing, &stats);
+        assert!(bounded.power_after >= unbounded.power_after - 1e-18);
+    }
+
+    #[test]
+    fn scenario_b_savings_lower_than_scenario_a() {
+        // The paper: Scenario B's reduction is roughly half of A's.
+        // Check the direction (B ≤ A) on an adder.
+        let (lib, model, _) = setup();
+        let c = generators::ripple_carry_adder(16, &lib);
+        let n = c.primary_inputs().len();
+        let headroom = |stats: &[SignalStats]| {
+            let best = optimize(&c, &lib, &model, stats, Objective::MinimizePower);
+            let worst = optimize(&c, &lib, &model, stats, Objective::MaximizePower);
+            100.0 * (worst.power_after - best.power_after) / worst.power_after
+        };
+        // Average A over several seeds to tame variance.
+        let a: f64 = (0..5)
+            .map(|s| headroom(&Scenario::a().input_stats(n, s)))
+            .sum::<f64>()
+            / 5.0;
+        let b = headroom(&Scenario::b().input_stats(n, 0));
+        assert!(a > 0.0 && b > 0.0);
+        assert!(b < a, "A={a:.2}% should exceed B={b:.2}%");
+    }
+
+    #[test]
+    fn monotonicity_every_gate_improves() {
+        let (lib, model, _) = setup();
+        let c = generators::parity_tree(16, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 23);
+        let net_stats = propagate(&c, &lib, &stats);
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let p_before = circuit_power(&c, &model, &net_stats);
+        let p_after = circuit_power(&best.circuit, &model, &net_stats);
+        for (i, (b, a)) in p_before
+            .per_gate
+            .iter()
+            .zip(&p_after.per_gate)
+            .enumerate()
+        {
+            assert!(
+                a.total <= b.total + 1e-18,
+                "gate {i} regressed: {} → {}",
+                b.total,
+                a.total
+            );
+        }
+    }
+}
+
+pub mod analysis;
+pub mod heuristic;
+pub mod slack;
+
+pub use analysis::{instance_demand, CellDemand, InstanceDemand};
+pub use heuristic::{optimize_rule_based, Rule};
+pub use slack::{delay_power_tradeoff, optimize_slack_aware, DelayPowerTradeoff};

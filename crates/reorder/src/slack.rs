@@ -1,0 +1,289 @@
+//! Slack-aware delay-constrained optimization.
+//!
+//! [`crate::optimize_delay_bounded`] is *local*: no gate may get slower
+//! than its own current configuration. That is safe but pessimistic —
+//! off-critical gates usually have timing slack to spend on cheaper
+//! orderings. This module implements the global version of the paper's
+//! §6 future-work direction (b): minimize power subject to the circuit's
+//! critical path not exceeding its original value.
+//!
+//! Method: compute required arrival times against the original netlist's
+//! critical delay, then walk the gates in topological order, giving each
+//! gate the cheapest configuration whose (updated) output arrival still
+//! meets its required time. Keeping the original configuration always
+//! meets it, so the pass is total, and by induction the final critical
+//! path never exceeds the budget.
+
+use crate::{Objective, OptimizeResult};
+use std::collections::HashMap;
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::{Circuit, GateId, NetId};
+use tr_power::{circuit_power, external_loads, propagate, PowerModel};
+use tr_timing::TimingModel;
+
+/// Slack-aware delay-bounded optimization: global timing budget, per-gate
+/// cheapest-feasible choice.
+///
+/// `margin` relaxes the budget: the critical path may grow to
+/// `(1 + margin) ×` the original (0.0 = no increase allowed). With a
+/// large margin this converges to the unconstrained optimum.
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count, the
+/// circuit is invalid, a cell is missing, or `margin < 0`.
+pub fn optimize_slack_aware(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    timing: &TimingModel,
+    pi_stats: &[SignalStats],
+    margin: f64,
+) -> OptimizeResult {
+    assert!(margin >= 0.0, "negative slack margin");
+    let net_stats = propagate(circuit, library, pi_stats);
+    let loads = external_loads(circuit, model);
+    let before = circuit_power(circuit, model, &net_stats).total;
+
+    let order = circuit.topological_order().expect("validated circuit");
+    let drivers = circuit.drivers();
+
+    // Original arrival times and the timing budget.
+    let arrivals = tr_timing::arrival_times(circuit, timing);
+    let budget = arrivals.iter().cloned().fold(0.0, f64::max) * (1.0 + margin);
+
+    // Required times against original gate delays, in reverse topo order.
+    let mut required: Vec<f64> = vec![budget; circuit.net_count()];
+    for gid in order.iter().rev() {
+        let gate = circuit.gate(*gid);
+        let load = loads[gate.output.0];
+        for (pin, net) in gate.inputs.iter().enumerate() {
+            let d = timing.gate_delay(&gate.cell, gate.config, pin, load);
+            let need = required[gate.output.0] - d;
+            if need < required[net.0] {
+                required[net.0] = need;
+            }
+        }
+    }
+
+    // Forward pass: cheapest configuration meeting the required time.
+    let eps = budget * 1e-12;
+    let mut new_arrival: HashMap<NetId, f64> = HashMap::new();
+    let arr = |net: NetId, map: &HashMap<NetId, f64>, drivers: &HashMap<NetId, GateId>| -> f64 {
+        if drivers.contains_key(&net) {
+            *map.get(&net).expect("topological order")
+        } else {
+            0.0
+        }
+    };
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    for gid in &order {
+        let gate = circuit.gate(*gid);
+        let cell = library.cell(&gate.cell).expect("unknown cell");
+        let load = loads[gate.output.0];
+        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+        let deadline = required[gate.output.0] + eps;
+
+        let mut best_cfg = gate.config;
+        let mut best_power = f64::MAX;
+        let mut best_arrival = f64::MAX;
+        for c in 0..cell.configurations().len() {
+            let a = gate
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pin, net)| {
+                    arr(*net, &new_arrival, &drivers)
+                        + timing.gate_delay(&gate.cell, c, pin, load)
+                })
+                .fold(0.0f64, f64::max);
+            if a > deadline && c != gate.config {
+                continue;
+            }
+            let p = model.gate_power(&gate.cell, c, &inputs, load).total;
+            if p < best_power || (p == best_power && a < best_arrival) {
+                best_power = p;
+                best_cfg = c;
+                best_arrival = a;
+            }
+        }
+        // Recompute the committed arrival (the original config is always
+        // admissible, so best_cfg is well-defined even if every candidate
+        // else missed the deadline).
+        let committed = gate
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(pin, net)| {
+                arr(*net, &new_arrival, &drivers)
+                    + timing.gate_delay(&gate.cell, best_cfg, pin, load)
+            })
+            .fold(0.0f64, f64::max);
+        new_arrival.insert(gate.output, committed);
+        if best_cfg != gate.config {
+            changed += 1;
+        }
+        result.set_config(*gid, best_cfg);
+    }
+
+    let after = circuit_power(&result, model, &net_stats).total;
+    OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    }
+}
+
+/// Convenience: best power without constraints, then the slack-aware,
+/// locally-bounded and unconstrained variants compared in one report.
+#[derive(Debug, Clone)]
+pub struct DelayPowerTradeoff {
+    /// Model power of the unconstrained best (W).
+    pub unconstrained: f64,
+    /// Model power of the slack-aware zero-margin result (W).
+    pub slack_aware: f64,
+    /// Model power of the locally delay-bounded result (W).
+    pub locally_bounded: f64,
+    /// Original circuit's model power (W).
+    pub original: f64,
+    /// Original critical-path delay (s).
+    pub delay_original: f64,
+    /// Critical-path delay of the unconstrained best (s).
+    pub delay_unconstrained: f64,
+}
+
+/// Computes the three-way trade-off on one circuit (used by examples and
+/// the experiment harness).
+///
+/// # Panics
+///
+/// As [`optimize_slack_aware`].
+pub fn delay_power_tradeoff(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    timing: &TimingModel,
+    pi_stats: &[SignalStats],
+) -> DelayPowerTradeoff {
+    let net_stats = propagate(circuit, library, pi_stats);
+    let original = circuit_power(circuit, model, &net_stats).total;
+    let unconstrained = crate::optimize(circuit, library, model, pi_stats, Objective::MinimizePower);
+    let slack = optimize_slack_aware(circuit, library, model, timing, pi_stats, 0.0);
+    let local = crate::optimize_delay_bounded(circuit, library, model, timing, pi_stats);
+    DelayPowerTradeoff {
+        unconstrained: unconstrained.power_after,
+        slack_aware: slack.power_after,
+        locally_bounded: local.power_after,
+        original,
+        delay_original: tr_timing::critical_path_delay(circuit, timing),
+        delay_unconstrained: tr_timing::critical_path_delay(&unconstrained.circuit, timing),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_gatelib::Process;
+    use tr_netlist::generators;
+    use tr_power::scenario::Scenario;
+
+    fn setup() -> (Library, PowerModel, TimingModel) {
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        let timing = TimingModel::new(&lib, Process::default());
+        (lib, model, timing)
+    }
+
+    #[test]
+    fn never_exceeds_the_budget() {
+        let (lib, model, timing) = setup();
+        for (name, c) in [
+            ("rca8", generators::ripple_carry_adder(8, &lib)),
+            ("mult4", generators::array_multiplier(4, &lib)),
+            ("alu4", generators::alu(4, &lib)),
+        ] {
+            let stats = Scenario::a().input_stats(c.primary_inputs().len(), 3);
+            let before = tr_timing::critical_path_delay(&c, &timing);
+            let r = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
+            let after = tr_timing::critical_path_delay(&r.circuit, &timing);
+            assert!(
+                after <= before * (1.0 + 1e-9),
+                "{name}: {before} → {after}"
+            );
+            assert!(r.power_after <= r.power_before + 1e-18, "{name}");
+        }
+    }
+
+    #[test]
+    fn margin_relaxes_toward_unconstrained() {
+        let (lib, model, timing) = setup();
+        let c = generators::ripple_carry_adder(16, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 5);
+        let unconstrained =
+            crate::optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let tight = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
+        let loose = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 10.0);
+        assert!(tight.power_after + 1e-18 >= unconstrained.power_after);
+        assert!(loose.power_after <= tight.power_after + 1e-18);
+        // With a huge margin we should land on (or extremely near) the
+        // unconstrained optimum.
+        assert!(
+            (loose.power_after - unconstrained.power_after).abs()
+                <= unconstrained.power_after * 1e-6
+        );
+    }
+
+    #[test]
+    fn beats_or_matches_the_local_variant() {
+        let (lib, model, timing) = setup();
+        // Across the small suite, global slack must never lose to the
+        // local rule (it strictly contains its feasible set per gate when
+        // arrivals allow, and both always include the original config).
+        let mut wins = 0usize;
+        let mut total = 0usize;
+        for c in [
+            generators::ripple_carry_adder(8, &lib),
+            generators::comparator(8, &lib),
+            generators::array_multiplier(4, &lib),
+        ] {
+            let stats = Scenario::a().input_stats(c.primary_inputs().len(), 11);
+            let slack = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
+            let local = crate::optimize_delay_bounded(&c, &lib, &model, &timing, &stats);
+            total += 1;
+            if slack.power_after <= local.power_after * (1.0 + 1e-9) {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins * 2 >= total,
+            "slack-aware lost too often: {wins}/{total}"
+        );
+    }
+
+    #[test]
+    fn tradeoff_report_is_consistent() {
+        let (lib, model, timing) = setup();
+        let c = generators::ripple_carry_adder(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 7);
+        let t = delay_power_tradeoff(&c, &lib, &model, &timing, &stats);
+        assert!(t.unconstrained <= t.slack_aware + 1e-18);
+        assert!(t.slack_aware <= t.original + 1e-18);
+        assert!(t.locally_bounded <= t.original + 1e-18);
+        assert!(t.delay_original > 0.0);
+    }
+
+    #[test]
+    fn function_preserved() {
+        let (lib, model, timing) = setup();
+        let c = generators::parity_tree(8, &lib);
+        let stats = Scenario::a().input_stats(8, 13);
+        let r = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
+        for m in 0..256usize {
+            let v: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(c.evaluate(&lib, &v), r.circuit.evaluate(&lib, &v));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The flat gate-graph representation of Fig. 2(a).
+
+use crate::tree::{SpTree, Topology};
+use std::fmt;
+
+/// N or P channel device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransistorKind {
+    /// N-channel: conducts when its gate input is 1. Pull-down devices.
+    N,
+    /// P-channel: conducts when its gate input is 0. Pull-up devices.
+    P,
+}
+
+/// A node of the gate graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeId {
+    /// Power supply.
+    Vdd,
+    /// Ground.
+    Vss,
+    /// The gate's output node `y`.
+    Output,
+    /// Internal (diffusion junction) node `n_k`.
+    Internal(usize),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Vdd => write!(f, "vdd"),
+            NodeId::Vss => write!(f, "vss"),
+            NodeId::Output => write!(f, "y"),
+            NodeId::Internal(k) => write!(f, "n{k}"),
+        }
+    }
+}
+
+/// One transistor: an edge of the gate graph connecting two nodes.
+///
+/// Conduction is bidirectional; `a`/`b` have no electrical direction. The
+/// edge conducts when `input = 1` for N devices and `input = 0` for P
+/// devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// One terminal.
+    pub a: NodeId,
+    /// The other terminal.
+    pub b: NodeId,
+    /// Cell input driving the transistor gate.
+    pub input: usize,
+    /// Device type.
+    pub kind: TransistorKind,
+}
+
+impl Edge {
+    /// Whether the transistor conducts under the given input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range of `assignment`.
+    pub fn conducts(&self, assignment: &[bool]) -> bool {
+        match self.kind {
+            TransistorKind::N => assignment[self.input],
+            TransistorKind::P => !assignment[self.input],
+        }
+    }
+}
+
+/// The graph `(V, E)` of one gate configuration (paper Fig. 2a).
+///
+/// `V = {n₀…nₚ₋₁, y, vdd, vss}`, `E` = the `2q` transistors. Internal
+/// nodes are numbered in construction order: pull-down junctions first
+/// (outermost series chain from the output side inward, depth first), then
+/// pull-up junctions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GateGraph {
+    nvars: usize,
+    internal_count: usize,
+    edges: Vec<Edge>,
+}
+
+impl GateGraph {
+    /// Builds the graph of a topology over `nvars` cell inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology references an input `>= nvars`.
+    pub fn build(topology: &Topology, nvars: usize) -> Self {
+        for i in topology
+            .pulldown
+            .inputs()
+            .iter()
+            .chain(topology.pullup.inputs().iter())
+        {
+            assert!(*i < nvars, "input {i} out of range 0..{nvars}");
+        }
+        let mut graph = GateGraph {
+            nvars,
+            internal_count: 0,
+            edges: Vec::with_capacity(topology.transistor_count()),
+        };
+        // Pull-down: output at the top of the stack, vss at the bottom.
+        graph.build_net(
+            &topology.pulldown,
+            TransistorKind::N,
+            NodeId::Output,
+            NodeId::Vss,
+        );
+        // Pull-up: series index 0 is *also* output-adjacent by convention.
+        graph.build_net(
+            &topology.pullup,
+            TransistorKind::P,
+            NodeId::Output,
+            NodeId::Vdd,
+        );
+        graph
+    }
+
+    fn build_net(&mut self, tree: &SpTree, kind: TransistorKind, top: NodeId, bottom: NodeId) {
+        match tree {
+            SpTree::Leaf(input) => {
+                self.edges.push(Edge {
+                    a: top,
+                    b: bottom,
+                    input: *input,
+                    kind,
+                });
+            }
+            SpTree::Series(children) => {
+                // Create the k-1 junction nodes of this chain first so the
+                // numbering matches the boundary enumeration in `pivot`.
+                let mut nodes = Vec::with_capacity(children.len() + 1);
+                nodes.push(top);
+                for _ in 0..children.len() - 1 {
+                    nodes.push(NodeId::Internal(self.internal_count));
+                    self.internal_count += 1;
+                }
+                nodes.push(bottom);
+                for (i, child) in children.iter().enumerate() {
+                    self.build_net(child, kind, nodes[i], nodes[i + 1]);
+                }
+            }
+            SpTree::Parallel(children) => {
+                for child in children {
+                    self.build_net(child, kind, top, bottom);
+                }
+            }
+        }
+    }
+
+    /// Number of cell inputs.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of internal nodes `p`.
+    pub fn internal_count(&self) -> usize {
+        self.internal_count
+    }
+
+    /// All transistors.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterator over the nodes whose switching dissipates power: the output
+    /// node first, then every internal node.
+    pub fn power_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        std::iter::once(NodeId::Output).chain((0..self.internal_count).map(NodeId::Internal))
+    }
+
+    /// Edges incident to `node`.
+    pub fn incident(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter().filter(move |e| e.a == node || e.b == node)
+    }
+
+    /// Number of transistor terminals (source/drain diffusions) of each
+    /// kind touching `node` — the quantity the capacitance model scales.
+    pub fn terminal_counts(&self, node: NodeId) -> (usize, usize) {
+        let mut n = 0;
+        let mut p = 0;
+        for e in self.incident(node) {
+            match e.kind {
+                TransistorKind::N => n += 1,
+                TransistorKind::P => p += 1,
+            }
+        }
+        (n, p)
+    }
+
+    /// Steady-state logic value of every node under a static input
+    /// assignment: `Some(true)` if connected to Vdd, `Some(false)` if
+    /// connected to Vss, `None` if floating. Used by the switch-level
+    /// simulator and by tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != nvars`. A node connected to both
+    /// rails (ratioed fight — impossible in well-formed complementary
+    /// gates) resolves to `Some(false)`, matching an N-dominant fight; the
+    /// simulator separately reports such conflicts.
+    pub fn solve(&self, assignment: &[bool]) -> NodeSolution {
+        assert_eq!(assignment.len(), self.nvars, "assignment length mismatch");
+        // Union-find over conducting edges would be fine; the graphs are
+        // tiny, so two breadth-first floods are simpler.
+        let reach_vdd = self.flood(NodeId::Vdd, assignment);
+        let reach_vss = self.flood(NodeId::Vss, assignment);
+        NodeSolution {
+            reach_vdd,
+            reach_vss,
+            internal_count: self.internal_count,
+        }
+    }
+
+    /// Nodes reachable from `start` through conducting transistors.
+    fn flood(&self, start: NodeId, assignment: &[bool]) -> Vec<NodeId> {
+        let mut visited = vec![start];
+        let mut frontier = vec![start];
+        while let Some(node) = frontier.pop() {
+            for e in self.incident(node) {
+                if !e.conducts(assignment) {
+                    continue;
+                }
+                let other = if e.a == node { e.b } else { e.a };
+                // Do not conduct *through* the opposite rail.
+                if !visited.contains(&other) {
+                    visited.push(other);
+                    if other != NodeId::Vdd && other != NodeId::Vss {
+                        frontier.push(other);
+                    }
+                }
+            }
+        }
+        visited
+    }
+}
+
+/// Result of statically solving a gate graph (see [`GateGraph::solve`]).
+#[derive(Debug, Clone)]
+pub struct NodeSolution {
+    reach_vdd: Vec<NodeId>,
+    reach_vss: Vec<NodeId>,
+    internal_count: usize,
+}
+
+impl NodeSolution {
+    /// Logic value of `node`: `Some(level)` if driven, `None` if floating.
+    ///
+    /// A (malformed) node seeing both rails reads as `Some(false)`.
+    pub fn value(&self, node: NodeId) -> Option<bool> {
+        if self.reach_vss.contains(&node) {
+            Some(false)
+        } else if self.reach_vdd.contains(&node) {
+            Some(true)
+        } else {
+            None
+        }
+    }
+
+    /// Whether any node is connected to both rails simultaneously.
+    pub fn has_conflict(&self) -> bool {
+        self.reach_vdd
+            .iter()
+            .any(|n| *n != NodeId::Vdd && self.reach_vss.contains(n))
+    }
+
+    /// Number of internal nodes of the solved graph.
+    pub fn internal_count(&self) -> usize {
+        self.internal_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Fig. 2(a): OAI21, parallel pair next to the output.
+    fn fig2a() -> GateGraph {
+        let pd = SpTree::series(vec![
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+        ]);
+        GateGraph::build(&Topology::from_pulldown(pd), 3)
+    }
+
+    #[test]
+    fn fig2a_structure() {
+        let g = fig2a();
+        assert_eq!(g.edges().len(), 6);
+        assert_eq!(g.internal_count(), 2);
+        assert_eq!(g.nvars(), 3);
+        // Output touches: 2 N (parallel pair) + 1 or 2 P depending on dual
+        // ordering; total terminals at output must be >= 3.
+        let (n, p) = g.terminal_counts(NodeId::Output);
+        assert_eq!(n, 2);
+        assert!(p >= 1);
+    }
+
+    #[test]
+    fn inverter_graph() {
+        let g = GateGraph::build(&Topology::from_pulldown(SpTree::leaf(0)), 1);
+        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.internal_count(), 0);
+        let s = g.solve(&[true]);
+        assert_eq!(s.value(NodeId::Output), Some(false));
+        let s = g.solve(&[false]);
+        assert_eq!(s.value(NodeId::Output), Some(true));
+        assert!(!s.has_conflict());
+    }
+
+    #[test]
+    fn oai21_truth_table_via_solve() {
+        let g = fig2a();
+        for m in 0..8usize {
+            let a = [m & 1 == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+            let expected = !((a[0] || a[1]) && a[2]);
+            let s = g.solve(&a);
+            assert_eq!(s.value(NodeId::Output), Some(expected), "inputs {a:?}");
+            assert!(!s.has_conflict());
+        }
+    }
+
+    #[test]
+    fn internal_node_can_float() {
+        // NAND2: with a=0 (top transistor off, bottom on? depends on
+        // ordering) some assignment leaves the junction floating.
+        let pd = SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]);
+        let g = GateGraph::build(&Topology::from_pulldown(pd), 2);
+        assert_eq!(g.internal_count(), 1);
+        // a=0 and b=0: both N transistors off; junction floats (the P side
+        // connects only to the output, not the junction).
+        let s = g.solve(&[false, false]);
+        assert_eq!(s.value(NodeId::Internal(0)), None);
+        assert_eq!(s.value(NodeId::Output), Some(true));
+    }
+
+    #[test]
+    fn power_nodes_order() {
+        let g = fig2a();
+        let nodes: Vec<NodeId> = g.power_nodes().collect();
+        assert_eq!(
+            nodes,
+            vec![NodeId::Output, NodeId::Internal(0), NodeId::Internal(1)]
+        );
+    }
+
+    #[test]
+    fn out_of_range_input_panics() {
+        let pd = SpTree::leaf(5);
+        let r = std::panic::catch_unwind(|| GateGraph::build(&Topology::from_pulldown(pd), 2));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,60 @@
+//! Series-parallel transistor networks and gate graphs.
+//!
+//! A static CMOS gate is two switch networks: a pull-down of N transistors
+//! between the output and `Vss`, and a pull-up of P transistors between
+//! `Vdd` and the output. Both are *series-parallel* (§4.3 of the paper:
+//! "the gates of typical libraries can all be represented with this type of
+//! graphs"). This crate provides:
+//!
+//! * [`SpTree`] — an ordered series-parallel tree whose leaves are
+//!   transistors labeled by the input that drives them. The order of the
+//!   children of a `Series` node **is** the transistor ordering the paper
+//!   optimizes (index 0 = closest to the output node);
+//! * [`Topology`] — a pull-down/pull-up pair, i.e. one *configuration* of a
+//!   gate (Fig. 1a of the paper shows the four configurations of an OAI21);
+//! * [`GateGraph`] — the flat node/edge representation of Fig. 2(a), with
+//!   `vdd`, `vss`, the output node `y`, and the internal nodes `n₀…nₚ₋₁`;
+//! * [`paths`] — extraction of the path functions `Hₙ` (node→Vdd) and `Gₙ`
+//!   (node→Vss) by depth-first search, the algorithm of Fig. 2(b);
+//! * [`pivot`] — the exhaustive reordering enumeration of Fig. 4/5, both as
+//!   the paper's recursive pivot search and as a worklist closure, plus the
+//!   analytic configuration count used as a cross-check;
+//! * [`shape`] — unlabeled topology keys that partition configurations into
+//!   the library *instances* of Table 2 (`oai21[A]`, `oai21[B]`, …).
+//!
+//! # Example
+//!
+//! Build the OAI21 gate of the paper's Fig. 2(a) and recover its path
+//! functions:
+//!
+//! ```
+//! use tr_spnet::{GateGraph, NodeId, SpTree, Topology};
+//! use tr_boolean::BoolFn;
+//!
+//! // Pull-down (a1 + a2)·b with the parallel pair next to the output:
+//! let pd = SpTree::series(vec![
+//!     SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+//!     SpTree::leaf(2),
+//! ]);
+//! let topo = Topology::from_pulldown(pd);
+//! let graph = GateGraph::build(&topo, 3);
+//!
+//! // H_n1 = (a1+a2)·b̄ — reaches Vdd through the P network (paper Fig. 2a).
+//! let h = graph.h_function(NodeId::Internal(0));
+//! let expected = BoolFn::var(3, 0)
+//!     .or(&BoolFn::var(3, 1))
+//!     .and(&BoolFn::var(3, 2).not());
+//! assert_eq!(h, expected);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod graph;
+pub mod paths;
+pub mod pivot;
+pub mod shape;
+mod tree;
+
+pub use graph::{Edge, GateGraph, NodeId, TransistorKind};
+pub use tree::{SpTree, Topology};

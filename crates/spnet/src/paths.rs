@@ -1,0 +1,332 @@
+//! Path-function extraction (the paper's Fig. 2b algorithm).
+//!
+//! `H_nk` is the Boolean function over the gate inputs that is 1 exactly
+//! when there exists a conducting path from node `nk` to `Vdd`; `G_nk`
+//! likewise to `Vss`. A node is charged only when `H = 1` and discharged
+//! only when `G = 1` (no charge sharing, §3.3.1). Paths may traverse the
+//! whole graph — including the output node and the opposite network — but
+//! never pass *through* a supply rail.
+//!
+//! `H` and `G` are complementary only for the output node (footnote 2 of
+//! the paper); internal nodes can float, which is where the interesting
+//! power behaviour of reordering lives.
+
+use crate::graph::{GateGraph, NodeId, TransistorKind};
+use tr_boolean::{BoolFn, Expr};
+
+impl GateGraph {
+    /// The path function `H_nk`: all conducting paths from `node` to Vdd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is `Vdd` or `Vss` (rails have no path function).
+    pub fn h_function(&self, node: NodeId) -> BoolFn {
+        self.path_function(node, NodeId::Vdd)
+    }
+
+    /// The path function `G_nk`: all conducting paths from `node` to Vss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is `Vdd` or `Vss`.
+    pub fn g_function(&self, node: NodeId) -> BoolFn {
+        self.path_function(node, NodeId::Vss)
+    }
+
+    /// The gate's logic function `y = H_y` (the output is 1 exactly when
+    /// the pull-up conducts).
+    pub fn output_function(&self) -> BoolFn {
+        self.h_function(NodeId::Output)
+    }
+
+    fn path_function(&self, node: NodeId, target: NodeId) -> BoolFn {
+        assert!(
+            !matches!(node, NodeId::Vdd | NodeId::Vss),
+            "path functions are defined for output/internal nodes only"
+        );
+        let mut acc = BoolFn::zero(self.nvars());
+        let mut visited = vec![node];
+        let mut literals: Vec<(usize, bool)> = Vec::new();
+        self.dfs_paths(node, target, &mut visited, &mut literals, &mut acc);
+        acc
+    }
+
+    /// Depth-first enumeration of simple paths, ANDing edge literals along
+    /// the way and ORing into `acc` when the target rail is reached. This
+    /// is the `CALCULATE_H_FUNCTION` of Fig. 2(b): each completed path
+    /// contributes one minterm (product term) sharing its prefix with the
+    /// previously emitted one.
+    fn dfs_paths(
+        &self,
+        at: NodeId,
+        target: NodeId,
+        visited: &mut Vec<NodeId>,
+        literals: &mut Vec<(usize, bool)>,
+        acc: &mut BoolFn,
+    ) {
+        for e in self.edges() {
+            let next = if e.a == at {
+                e.b
+            } else if e.b == at {
+                e.a
+            } else {
+                continue;
+            };
+            if visited.contains(&next) {
+                continue;
+            }
+            let positive = matches!(e.kind, TransistorKind::N);
+            // Contradictory literal on the path ⇒ the term is 0; prune.
+            if literals.contains(&(e.input, !positive)) {
+                continue;
+            }
+            if next == target {
+                let mut term = BoolFn::one(self.nvars());
+                for &(input, pos) in literals.iter() {
+                    term = term.and(&BoolFn::literal(self.nvars(), input, pos));
+                }
+                term = term.and(&BoolFn::literal(self.nvars(), e.input, positive));
+                *acc = acc.or(&term);
+                continue;
+            }
+            // The opposite rail is never an intermediate hop.
+            if matches!(next, NodeId::Vdd | NodeId::Vss) {
+                continue;
+            }
+            let duplicate = literals.contains(&(e.input, positive));
+            visited.push(next);
+            if !duplicate {
+                literals.push((e.input, positive));
+            }
+            self.dfs_paths(next, target, visited, literals, acc);
+            if !duplicate {
+                literals.pop();
+            }
+            visited.pop();
+        }
+    }
+
+    /// `H_nk` as a readable sum-of-paths expression (one conjunction per
+    /// simple path). Useful for documentation and for checking against the
+    /// paper's worked example.
+    pub fn h_expr(&self, node: NodeId) -> Expr {
+        self.path_expr(node, NodeId::Vdd)
+    }
+
+    /// `G_nk` as a readable sum-of-paths expression.
+    pub fn g_expr(&self, node: NodeId) -> Expr {
+        self.path_expr(node, NodeId::Vss)
+    }
+
+    fn path_expr(&self, node: NodeId, target: NodeId) -> Expr {
+        assert!(
+            !matches!(node, NodeId::Vdd | NodeId::Vss),
+            "path functions are defined for output/internal nodes only"
+        );
+        let mut terms: Vec<Expr> = Vec::new();
+        let mut visited = vec![node];
+        let mut literals: Vec<(usize, bool)> = Vec::new();
+        self.dfs_expr(node, target, &mut visited, &mut literals, &mut terms);
+        if terms.is_empty() {
+            Expr::constant(false)
+        } else {
+            Expr::or(terms)
+        }
+    }
+
+    fn dfs_expr(
+        &self,
+        at: NodeId,
+        target: NodeId,
+        visited: &mut Vec<NodeId>,
+        literals: &mut Vec<(usize, bool)>,
+        terms: &mut Vec<Expr>,
+    ) {
+        for e in self.edges() {
+            let next = if e.a == at {
+                e.b
+            } else if e.b == at {
+                e.a
+            } else {
+                continue;
+            };
+            if visited.contains(&next) {
+                continue;
+            }
+            let positive = matches!(e.kind, TransistorKind::N);
+            if literals.contains(&(e.input, !positive)) {
+                continue;
+            }
+            if next == target {
+                let mut lits = literals.clone();
+                if !lits.contains(&(e.input, positive)) {
+                    lits.push((e.input, positive));
+                }
+                let term: Vec<Expr> = lits
+                    .into_iter()
+                    .map(|(i, pos)| {
+                        if pos {
+                            Expr::var(i)
+                        } else {
+                            Expr::not(Expr::var(i))
+                        }
+                    })
+                    .collect();
+                terms.push(if term.len() == 1 {
+                    term.into_iter().next().expect("nonempty")
+                } else {
+                    Expr::and(term)
+                });
+                continue;
+            }
+            if matches!(next, NodeId::Vdd | NodeId::Vss) {
+                continue;
+            }
+            let duplicate = literals.contains(&(e.input, positive));
+            visited.push(next);
+            if !duplicate {
+                literals.push((e.input, positive));
+            }
+            self.dfs_expr(next, target, visited, literals, terms);
+            if !duplicate {
+                literals.pop();
+            }
+            visited.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{SpTree, Topology};
+
+    /// The paper's Fig. 2(a) graph: OAI21, pair adjacent to the output.
+    fn fig2a() -> GateGraph {
+        let pd = SpTree::series(vec![
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+        ]);
+        GateGraph::build(&Topology::from_pulldown(pd), 3)
+    }
+
+    fn var(i: usize) -> BoolFn {
+        BoolFn::var(3, i)
+    }
+
+    #[test]
+    fn paper_example_h_n1() {
+        // Paper: "leading to H_n1 = b̄·(a1 + a2)".
+        let g = fig2a();
+        let h = g.h_function(NodeId::Internal(0));
+        let expected = var(0).or(&var(1)).and(&var(2).not());
+        assert_eq!(h, expected);
+    }
+
+    #[test]
+    fn paper_example_g_n1() {
+        // Paper: "G_n1 = b".
+        let g = fig2a();
+        let gf = g.g_function(NodeId::Internal(0));
+        assert_eq!(gf, var(2));
+    }
+
+    #[test]
+    fn output_h_and_g_complementary() {
+        // Footnote 2: H and G are complementary exactly at the output.
+        let g = fig2a();
+        let h = g.h_function(NodeId::Output);
+        let gg = g.g_function(NodeId::Output);
+        assert_eq!(h.not(), gg);
+    }
+
+    #[test]
+    fn output_function_is_oai21() {
+        let g = fig2a();
+        let y = g.output_function();
+        let expected = var(0).or(&var(1)).and(&var(2)).not();
+        assert_eq!(y, expected);
+    }
+
+    #[test]
+    fn internal_nodes_not_complementary() {
+        // H_n1 + G_n1 < 1 (the node can float): both 0 when b=0, a1=a2=0…
+        // actually H_n1 = b̄(a1+a2) is 0 and G_n1 = b is 0 at a1=a2=b=0.
+        let g = fig2a();
+        let h = g.h_function(NodeId::Internal(0));
+        let gf = g.g_function(NodeId::Internal(0));
+        let both_zero = h.or(&gf).not();
+        assert!(!both_zero.is_zero(), "internal node must be able to float");
+        // And they are never 1 simultaneously in a complementary gate.
+        assert!(h.and(&gf).is_zero());
+    }
+
+    #[test]
+    fn pullup_internal_node_functions() {
+        // P-net of OAI21 = b̄ ∥ (ā1-ā2). With the canonical dual ordering
+        // the series chain is ā1 (output side) then ā2 (vdd side), so the
+        // junction m = Internal(1) has
+        //   H_m = ā2 + ā1·b̄      (direct vdd device, or via y through b̄)
+        //   G_m = ā1·a2·b        (via y down the conducting pull-down)
+        let g = fig2a();
+        let h = g.h_function(NodeId::Internal(1));
+        let gf = g.g_function(NodeId::Internal(1));
+        let a1 = var(0);
+        let a2 = var(1);
+        let b = var(2);
+        assert_eq!(h, a2.not().or(&a1.not().and(&b.not())));
+        assert_eq!(gf, a1.not().and(&a2).and(&b));
+        // Never driven high and low at once in a complementary gate.
+        assert!(h.and(&gf).is_zero());
+    }
+
+    #[test]
+    fn solve_agrees_with_path_functions() {
+        // For every node and assignment: driven-high ⇔ H, driven-low ⇔ G.
+        let g = fig2a();
+        for node in g.power_nodes() {
+            let h = g.h_function(node);
+            let gf = g.g_function(node);
+            for m in 0..8usize {
+                let a = [m & 1 == 1, (m >> 1) & 1 == 1, (m >> 2) & 1 == 1];
+                let s = g.solve(&a);
+                let expect = if gf.eval(&a) {
+                    Some(false)
+                } else if h.eval(&a) {
+                    Some(true)
+                } else {
+                    None
+                };
+                assert_eq!(s.value(node), expect, "node {node} inputs {a:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn expr_rendering_matches_function() {
+        let g = fig2a();
+        for node in g.power_nodes() {
+            let h_expr = g.h_expr(node);
+            let h_fn = g.h_function(node);
+            assert_eq!(h_expr.to_boolfn(3), h_fn, "node {node}");
+            let g_expr = g.g_expr(node);
+            let g_fn = g.g_function(node);
+            assert_eq!(g_expr.to_boolfn(3), g_fn, "node {node}");
+        }
+    }
+
+    #[test]
+    fn nand2_junction_functions() {
+        // NAND2 pd = a (output side) - b (vss side); junction n0.
+        let pd = SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]);
+        let g = GateGraph::build(&Topology::from_pulldown(pd), 2);
+        let h = g.h_function(NodeId::Internal(0));
+        let gf = g.g_function(NodeId::Internal(0));
+        // G_n0 = b (direct path down).
+        assert_eq!(gf, BoolFn::var(2, 1));
+        // H_n0 = a·(ā + b̄) = a·b̄ (through the a transistor and pull-up).
+        let a = BoolFn::var(2, 0);
+        let b = BoolFn::var(2, 1);
+        assert_eq!(h, a.and(&b.not()));
+    }
+}

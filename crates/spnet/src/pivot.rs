@@ -1,0 +1,306 @@
+//! Exhaustive exploration of gate configurations (paper §4.3, Fig. 4/5).
+//!
+//! A *pivot* on an internal node swaps the two series blocks adjacent to
+//! that node. The paper's `FIND_ALL_REORDERINGS` recursively pivots on
+//! every internal node (excluding the node just pivoted, which would undo
+//! the move), pruning configurations already visited; the companion
+//! technical report \[5\] proves this generates every reordering of a
+//! series-parallel gate.
+//!
+//! We provide the paper's recursive search ([`find_all_reorderings`],
+//! with a traced variant for reproducing Fig. 5) *and* an independent
+//! worklist closure ([`enumerate_closure`]); tests assert they agree with
+//! each other and with the analytic count
+//! [`Topology::configuration_count`].
+
+use crate::tree::{SpTree, Topology};
+use std::collections::HashSet;
+
+/// Pivots on internal node `node` of the topology, swapping the two series
+/// blocks that meet there.
+///
+/// Internal nodes are numbered like the gate graph builds them: pull-down
+/// junctions first, then pull-up junctions; within a network, a series
+/// chain's own junctions come before those inside its children
+/// (pre-order).
+///
+/// # Panics
+///
+/// Panics if `node >= topology.internal_node_count()`.
+#[must_use]
+pub fn pivot(topology: &Topology, node: usize) -> Topology {
+    let pd_nodes = topology.pulldown.internal_node_count();
+    let total = pd_nodes + topology.pullup.internal_node_count();
+    assert!(
+        node < total,
+        "internal node {node} out of range 0..{total}"
+    );
+    if node < pd_nodes {
+        let mut counter = 0;
+        Topology {
+            pulldown: pivot_in(&topology.pulldown, node, &mut counter),
+            pullup: topology.pullup.clone(),
+        }
+    } else {
+        let mut counter = 0;
+        Topology {
+            pulldown: topology.pulldown.clone(),
+            pullup: pivot_in(&topology.pullup, node - pd_nodes, &mut counter),
+        }
+    }
+}
+
+/// Walks the tree in junction-numbering order and swaps at the target
+/// boundary.
+///
+/// Children of `Parallel` nodes keep their positions: re-sorting them
+/// would silently renumber internal nodes between pivots, so node
+/// identities (and pivot involutivity) would be lost. Positions were
+/// canonicalized when the tree was first built and a swap inside a series
+/// chain never requires re-flattening, so constructing the enum variants
+/// directly preserves normal form.
+fn pivot_in(tree: &SpTree, target: usize, counter: &mut usize) -> SpTree {
+    match tree {
+        SpTree::Leaf(i) => SpTree::Leaf(*i),
+        SpTree::Series(children) => {
+            let first = *counter;
+            *counter += children.len() - 1;
+            let mut new_children: Vec<SpTree> = children
+                .iter()
+                .map(|c| pivot_in(c, target, counter))
+                .collect();
+            if target >= first && target < first + children.len() - 1 {
+                let i = target - first;
+                new_children.swap(i, i + 1);
+            }
+            SpTree::Series(new_children)
+        }
+        SpTree::Parallel(children) => SpTree::Parallel(
+            children
+                .iter()
+                .map(|c| pivot_in(c, target, counter))
+                .collect(),
+        ),
+    }
+}
+
+/// One step of the exploration, for rendering Fig. 5-style traces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceStep {
+    /// Index (into the discovery order) of the configuration pivoted from.
+    pub from: usize,
+    /// Internal node pivoted on.
+    pub node: usize,
+    /// Index of the resulting configuration in the discovery order.
+    pub to: usize,
+    /// Whether the result was new (`true`) or pruned as already visited.
+    pub fresh: bool,
+}
+
+/// The paper's `FIND_ALL_REORDERINGS` (Fig. 4).
+///
+/// Returns every configuration reachable by pivoting, in discovery order,
+/// starting with the input configuration itself. (The paper's pseudo-code
+/// starts from an empty visited set; we seed it with the initial
+/// configuration so the identity ordering is reported too — Fig. 5 shows
+/// the starting graph among the four results.)
+pub fn find_all_reorderings(topology: &Topology) -> Vec<Topology> {
+    find_all_reorderings_traced(topology).0
+}
+
+/// [`find_all_reorderings`] plus the exploration trace of Fig. 5.
+pub fn find_all_reorderings_traced(topology: &Topology) -> (Vec<Topology>, Vec<TraceStep>) {
+    let n = topology.internal_node_count();
+    let mut order: Vec<Topology> = vec![topology.clone()];
+    let mut seen: HashSet<Topology> = HashSet::from([topology.clone()]);
+    let mut trace: Vec<TraceStep> = Vec::new();
+    for node in 0..n {
+        pivot_and_search(topology, 0, node, n, &mut order, &mut seen, &mut trace);
+    }
+    (order, trace)
+}
+
+/// `PIVOT_AND_SEARCH` of Fig. 4: pivot, prune if visited, otherwise record
+/// and recurse on every internal node except the one just used.
+#[allow(clippy::too_many_arguments)]
+fn pivot_and_search(
+    at: &Topology,
+    at_idx: usize,
+    node: usize,
+    n: usize,
+    order: &mut Vec<Topology>,
+    seen: &mut HashSet<Topology>,
+    trace: &mut Vec<TraceStep>,
+) {
+    let next = pivot(at, node);
+    if seen.contains(&next) {
+        let to = order.iter().position(|t| *t == next).expect("seen ⊆ order");
+        trace.push(TraceStep {
+            from: at_idx,
+            node,
+            to,
+            fresh: false,
+        });
+        return;
+    }
+    seen.insert(next.clone());
+    order.push(next.clone());
+    let next_idx = order.len() - 1;
+    trace.push(TraceStep {
+        from: at_idx,
+        node,
+        to: next_idx,
+        fresh: true,
+    });
+    for other in (0..n).filter(|&i| i != node) {
+        pivot_and_search(&next, next_idx, other, n, order, seen, trace);
+    }
+}
+
+/// Independent enumeration: breadth-first closure applying *every* pivot to
+/// *every* discovered configuration. Slower than the paper's pruned search
+/// but trivially complete; used as the cross-check oracle.
+pub fn enumerate_closure(topology: &Topology) -> Vec<Topology> {
+    let n = topology.internal_node_count();
+    let mut order: Vec<Topology> = vec![topology.clone()];
+    let mut seen: HashSet<Topology> = HashSet::from([topology.clone()]);
+    let mut cursor = 0;
+    while cursor < order.len() {
+        let current = order[cursor].clone();
+        for node in 0..n {
+            let next = pivot(&current, node);
+            if seen.insert(next.clone()) {
+                order.push(next);
+            }
+        }
+        cursor += 1;
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GateGraph;
+
+    fn oai21() -> Topology {
+        Topology::from_pulldown(SpTree::series(vec![
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+        ]))
+    }
+
+    fn nand(k: usize) -> Topology {
+        Topology::from_pulldown(SpTree::series((0..k).map(SpTree::leaf).collect()))
+    }
+
+    #[test]
+    fn pivot_is_involutive() {
+        let t = oai21();
+        for node in 0..t.internal_node_count() {
+            assert_eq!(pivot(&pivot(&t, node), node), t, "node {node}");
+        }
+    }
+
+    #[test]
+    fn figure5_oai21_generates_all_four() {
+        // The paper's Fig. 5: starting from graph (C), all four
+        // configurations of Fig. 1(a) are generated.
+        let (all, trace) = find_all_reorderings_traced(&oai21());
+        assert_eq!(all.len(), 4);
+        assert!(trace.iter().filter(|s| s.fresh).count() >= 3);
+        // All distinct.
+        let set: HashSet<&Topology> = all.iter().collect();
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn paper_search_matches_closure_and_analytic_count() {
+        for topo in [
+            oai21(),
+            nand(2),
+            nand(3),
+            nand(4),
+            // aoi221: ab + cd + e
+            Topology::from_pulldown(SpTree::parallel(vec![
+                SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+                SpTree::series(vec![SpTree::leaf(2), SpTree::leaf(3)]),
+                SpTree::leaf(4),
+            ])),
+        ] {
+            let paper: HashSet<Topology> = find_all_reorderings(&topo).into_iter().collect();
+            let closure: HashSet<Topology> = enumerate_closure(&topo).into_iter().collect();
+            assert_eq!(paper, closure, "search strategies disagree for {topo}");
+            assert_eq!(
+                paper.len() as u64,
+                topo.configuration_count(),
+                "analytic count disagrees for {topo}"
+            );
+        }
+    }
+
+    #[test]
+    fn nand3_generates_six_permutations() {
+        let all = find_all_reorderings(&nand(3));
+        assert_eq!(all.len(), 6);
+        // Every permutation of (0,1,2) appears as the series order.
+        let mut orders: Vec<Vec<usize>> = all
+            .iter()
+            .map(|t| match &t.pulldown {
+                SpTree::Series(cs) => cs
+                    .iter()
+                    .map(|c| match c {
+                        SpTree::Leaf(i) => *i,
+                        _ => unreachable!("nand pulldown is a chain"),
+                    })
+                    .collect(),
+                _ => unreachable!("nand pulldown is a series"),
+            })
+            .collect();
+        orders.sort();
+        assert_eq!(
+            orders,
+            vec![
+                vec![0, 1, 2],
+                vec![0, 2, 1],
+                vec![1, 0, 2],
+                vec![1, 2, 0],
+                vec![2, 0, 1],
+                vec![2, 1, 0],
+            ]
+        );
+    }
+
+    #[test]
+    fn reordering_preserves_logic_function() {
+        let topo = oai21();
+        let reference = GateGraph::build(&topo, 3).output_function();
+        for t in find_all_reorderings(&topo) {
+            let y = GateGraph::build(&t, 3).output_function();
+            assert_eq!(y, reference, "configuration {t} changed the function");
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_sizes() {
+        let topo = oai21();
+        for t in find_all_reorderings(&topo) {
+            assert_eq!(t.transistor_count(), topo.transistor_count());
+            assert_eq!(t.internal_node_count(), topo.internal_node_count());
+        }
+    }
+
+    #[test]
+    fn inverter_has_single_configuration() {
+        let inv = Topology::from_pulldown(SpTree::leaf(0));
+        assert_eq!(find_all_reorderings(&inv).len(), 1);
+        assert_eq!(inv.configuration_count(), 1);
+    }
+
+    #[test]
+    fn pivot_out_of_range_panics() {
+        let t = oai21();
+        let n = t.internal_node_count();
+        assert!(std::panic::catch_unwind(|| pivot(&t, n)).is_err());
+    }
+}

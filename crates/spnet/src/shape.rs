@@ -1,0 +1,202 @@
+//! Unlabeled topology shapes and library instances (paper §5.1).
+//!
+//! Two configurations that differ only in *which input drives which
+//! transistor* can be realized by wiring one physical layout differently;
+//! configurations whose series blocks sit in different stack positions
+//! need a different layout. The paper therefore splits each cell into
+//! *instances* — `oai21[A]` realizes configurations (A) and (B) of Fig. 1a,
+//! `oai21[B]` realizes (C) and (D) — and notes that all instances of a cell
+//! have the same area, so optimized circuits pay no area cost.
+//!
+//! The *shape* of a configuration is its topology with input labels
+//! erased; instances are exactly the distinct shapes.
+
+use crate::tree::{SpTree, Topology};
+
+/// An unlabeled series-parallel shape. Series order is significant
+/// (stack position matters physically); parallel children are canonically
+/// sorted (branch placement does not matter).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Shape {
+    /// One transistor.
+    Leaf,
+    /// Ordered series blocks (output side first).
+    Series(Vec<Shape>),
+    /// Unordered parallel blocks.
+    Parallel(Vec<Shape>),
+}
+
+impl Shape {
+    /// Erases the labels of a network.
+    pub fn of(tree: &SpTree) -> Shape {
+        match tree {
+            SpTree::Leaf(_) => Shape::Leaf,
+            SpTree::Series(cs) => Shape::Series(cs.iter().map(Shape::of).collect()),
+            SpTree::Parallel(cs) => {
+                let mut shapes: Vec<Shape> = cs.iter().map(Shape::of).collect();
+                shapes.sort();
+                Shape::Parallel(shapes)
+            }
+        }
+    }
+
+    /// Compact textual form (leaves are `.`): `(.|.)‑.` etc.
+    pub fn notation(&self) -> String {
+        match self {
+            Shape::Leaf => ".".to_string(),
+            Shape::Series(cs) => cs
+                .iter()
+                .map(|c| match c {
+                    Shape::Parallel(_) => format!("({})", c.notation()),
+                    _ => c.notation(),
+                })
+                .collect::<Vec<_>>()
+                .join("-"),
+            Shape::Parallel(cs) => cs
+                .iter()
+                .map(Shape::notation)
+                .collect::<Vec<_>>()
+                .join("|"),
+        }
+    }
+}
+
+/// The unlabeled shape of a full configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TopologyShape {
+    /// Pull-down shape.
+    pub pulldown: Shape,
+    /// Pull-up shape.
+    pub pullup: Shape,
+}
+
+impl TopologyShape {
+    /// Erases the labels of a configuration.
+    pub fn of(topology: &Topology) -> TopologyShape {
+        TopologyShape {
+            pulldown: Shape::of(&topology.pulldown),
+            pullup: Shape::of(&topology.pullup),
+        }
+    }
+}
+
+/// One library instance: a physical layout and the configurations it can
+/// realize by input wiring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// The layout's shape.
+    pub shape: TopologyShape,
+    /// Indices (into the enumerated configuration list) realizable by this
+    /// instance.
+    pub configurations: Vec<usize>,
+}
+
+/// Partitions configurations into instances by shape.
+///
+/// Configurations are indexed by their position in `configurations`; the
+/// returned instances are sorted by shape so the partition is
+/// deterministic, and labeled `[A]`, `[B]`, … in that order by convention.
+pub fn instances(configurations: &[Topology]) -> Vec<Instance> {
+    let mut buckets: Vec<(TopologyShape, Vec<usize>)> = Vec::new();
+    for (idx, topo) in configurations.iter().enumerate() {
+        let shape = TopologyShape::of(topo);
+        match buckets.iter_mut().find(|(s, _)| *s == shape) {
+            Some((_, v)) => v.push(idx),
+            None => buckets.push((shape, vec![idx])),
+        }
+    }
+    buckets.sort_by(|a, b| a.0.cmp(&b.0));
+    buckets
+        .into_iter()
+        .map(|(shape, configurations)| Instance {
+            shape,
+            configurations,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pivot::find_all_reorderings;
+
+    fn oai21() -> Topology {
+        Topology::from_pulldown(SpTree::series(vec![
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+        ]))
+    }
+
+    #[test]
+    fn oai21_has_two_instances_of_two_configs() {
+        // Paper §5.1: "there are two instances of gate oai21: oai21[A] …
+        // and oai21[B]".
+        let configs = find_all_reorderings(&oai21());
+        let inst = instances(&configs);
+        assert_eq!(inst.len(), 2);
+        for i in &inst {
+            assert_eq!(i.configurations.len(), 2);
+        }
+    }
+
+    #[test]
+    fn aoi211_has_three_instances() {
+        // Table 2: aoi211[A,B,C] with 12 configurations total.
+        let topo = Topology::from_pulldown(SpTree::parallel(vec![
+            SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+            SpTree::leaf(3),
+        ]));
+        let configs = find_all_reorderings(&topo);
+        assert_eq!(configs.len(), 12);
+        let inst = instances(&configs);
+        assert_eq!(inst.len(), 3);
+        for i in &inst {
+            assert_eq!(i.configurations.len(), 4);
+        }
+    }
+
+    #[test]
+    fn aoi222_is_a_single_instance() {
+        // All three parallel branches of the pull-down are series pairs and
+        // the pull-up chain permutes identical parallel pairs: one shape.
+        let topo = Topology::from_pulldown(SpTree::parallel(vec![
+            SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::series(vec![SpTree::leaf(2), SpTree::leaf(3)]),
+            SpTree::series(vec![SpTree::leaf(4), SpTree::leaf(5)]),
+        ]));
+        let configs = find_all_reorderings(&topo);
+        assert_eq!(configs.len(), 48);
+        let inst = instances(&configs);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].configurations.len(), 48);
+    }
+
+    #[test]
+    fn nand_chain_is_single_instance() {
+        let topo = Topology::from_pulldown(SpTree::series(vec![
+            SpTree::leaf(0),
+            SpTree::leaf(1),
+            SpTree::leaf(2),
+        ]));
+        let configs = find_all_reorderings(&topo);
+        let inst = instances(&configs);
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst[0].configurations.len(), 6);
+    }
+
+    #[test]
+    fn shape_notation_roundtrips_visually() {
+        let s = Shape::of(&oai21().pulldown);
+        assert_eq!(s.notation(), "(.|.)-.");
+    }
+
+    #[test]
+    fn instance_partition_covers_everything_once() {
+        let configs = find_all_reorderings(&oai21());
+        let inst = instances(&configs);
+        let mut seen: Vec<usize> = inst.iter().flat_map(|i| i.configurations.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..configs.len()).collect::<Vec<_>>());
+    }
+}

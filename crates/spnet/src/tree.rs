@@ -1,0 +1,389 @@
+//! Ordered series-parallel trees and gate topologies.
+
+use std::fmt;
+
+/// An ordered series-parallel switch network.
+///
+/// Leaves are transistors identified by the cell input that drives their
+/// gate terminal. `Series` children are ordered: **index 0 is the block
+/// closest to the output node** (for both pull-up and pull-down networks),
+/// increasing indices move toward the supply rail. `Parallel` children are
+/// electrically symmetric, so their order carries no meaning; constructors
+/// canonicalize it.
+///
+/// Trees are kept in *normal form*: no nested `Series` directly inside
+/// `Series`, no `Parallel` directly inside `Parallel`, and no one-child
+/// composites. All constructors normalize.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpTree {
+    /// One transistor, driven by the given input index.
+    Leaf(usize),
+    /// Blocks connected in series (ordered, output side first).
+    Series(Vec<SpTree>),
+    /// Blocks connected in parallel (canonically sorted).
+    Parallel(Vec<SpTree>),
+}
+
+impl SpTree {
+    /// A single transistor driven by input `input`.
+    pub fn leaf(input: usize) -> Self {
+        SpTree::Leaf(input)
+    }
+
+    /// Series composition (normalizing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn series(children: Vec<SpTree>) -> Self {
+        assert!(!children.is_empty(), "series needs at least one child");
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                SpTree::Series(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            flat.pop().expect("len checked")
+        } else {
+            SpTree::Series(flat)
+        }
+    }
+
+    /// Parallel composition (normalizing and canonically sorting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn parallel(children: Vec<SpTree>) -> Self {
+        assert!(!children.is_empty(), "parallel needs at least one child");
+        let mut flat = Vec::with_capacity(children.len());
+        for c in children {
+            match c {
+                SpTree::Parallel(inner) => flat.extend(inner),
+                other => flat.push(other),
+            }
+        }
+        if flat.len() == 1 {
+            return flat.pop().expect("len checked");
+        }
+        flat.sort();
+        SpTree::Parallel(flat)
+    }
+
+    /// The structural dual: series ↔ parallel, leaves unchanged.
+    ///
+    /// The pull-up network of a fully complementary static CMOS gate is the
+    /// dual of its pull-down network (with P instead of N devices), so cell
+    /// definitions only need to specify the pull-down.
+    #[must_use]
+    pub fn dual(&self) -> SpTree {
+        match self {
+            SpTree::Leaf(i) => SpTree::Leaf(*i),
+            SpTree::Series(cs) => SpTree::parallel(cs.iter().map(SpTree::dual).collect()),
+            SpTree::Parallel(cs) => SpTree::series(cs.iter().map(SpTree::dual).collect()),
+        }
+    }
+
+    /// Number of transistors (leaves).
+    pub fn transistor_count(&self) -> usize {
+        match self {
+            SpTree::Leaf(_) => 1,
+            SpTree::Series(cs) | SpTree::Parallel(cs) => {
+                cs.iter().map(SpTree::transistor_count).sum()
+            }
+        }
+    }
+
+    /// Inputs driving this network, in first-occurrence order.
+    pub fn inputs(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_inputs(&mut out);
+        out
+    }
+
+    fn collect_inputs(&self, out: &mut Vec<usize>) {
+        match self {
+            SpTree::Leaf(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            SpTree::Series(cs) | SpTree::Parallel(cs) => {
+                for c in cs {
+                    c.collect_inputs(out);
+                }
+            }
+        }
+    }
+
+    /// Number of internal circuit nodes this network creates: every series
+    /// composition of `k` blocks contributes `k − 1` junction nodes.
+    pub fn internal_node_count(&self) -> usize {
+        match self {
+            SpTree::Leaf(_) => 0,
+            SpTree::Series(cs) => {
+                (cs.len() - 1) + cs.iter().map(SpTree::internal_node_count).sum::<usize>()
+            }
+            SpTree::Parallel(cs) => cs.iter().map(SpTree::internal_node_count).sum(),
+        }
+    }
+
+    /// Number of distinct transistor orderings of this network: the product
+    /// over all series compositions of the factorial of their block count
+    /// (§4.3; cross-checks the pivot enumeration and the paper's Table 2).
+    pub fn ordering_count(&self) -> u64 {
+        fn factorial(k: u64) -> u64 {
+            (1..=k).product()
+        }
+        match self {
+            SpTree::Leaf(_) => 1,
+            SpTree::Series(cs) => {
+                factorial(cs.len() as u64) * cs.iter().map(SpTree::ordering_count).product::<u64>()
+            }
+            SpTree::Parallel(cs) => cs.iter().map(SpTree::ordering_count).product(),
+        }
+    }
+
+    /// The maximum number of transistors in series on any path through this
+    /// network (stack height; determines worst-case gate resistance).
+    pub fn stack_height(&self) -> usize {
+        match self {
+            SpTree::Leaf(_) => 1,
+            SpTree::Series(cs) => cs.iter().map(SpTree::stack_height).sum(),
+            SpTree::Parallel(cs) => cs.iter().map(SpTree::stack_height).max().unwrap_or(0),
+        }
+    }
+
+    /// Renders the network with input names (series = `·`, parallel = `+`
+    /// grouping of *switches*, not of the logic function).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a leaf's input has no name.
+    pub fn render(&self, names: &[&str]) -> String {
+        match self {
+            SpTree::Leaf(i) => names[*i].to_string(),
+            SpTree::Series(cs) => cs
+                .iter()
+                .map(|c| match c {
+                    SpTree::Parallel(_) => format!("({})", c.render(names)),
+                    _ => c.render(names),
+                })
+                .collect::<Vec<_>>()
+                .join("-"),
+            SpTree::Parallel(cs) => cs
+                .iter()
+                .map(|c| c.render(names))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        }
+    }
+}
+
+impl fmt::Display for SpTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let max = self.inputs().into_iter().max().map_or(0, |m| m + 1);
+        let names: Vec<String> = (0..max).map(|i| format!("x{i}")).collect();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        write!(f, "{}", self.render(&refs))
+    }
+}
+
+/// One *configuration* of a gate: a concrete ordering of the pull-down and
+/// pull-up networks.
+///
+/// The pull-down carries N transistors (conducting when the input is 1),
+/// the pull-up P transistors (conducting when the input is 0). For the
+/// fully complementary cells of the paper's library the pull-up is the
+/// structural dual of the pull-down, but the two are reordered
+/// *independently* — that is exactly the extra freedom transistor
+/// reordering has over plain input reordering.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Topology {
+    /// Pull-down (N) network between the output node and `Vss`.
+    pub pulldown: SpTree,
+    /// Pull-up (P) network between `Vdd` and the output node.
+    pub pullup: SpTree,
+}
+
+impl Topology {
+    /// Builds a fully complementary topology from the pull-down network:
+    /// the pull-up is its structural dual.
+    pub fn from_pulldown(pulldown: SpTree) -> Self {
+        let pullup = pulldown.dual();
+        Topology { pulldown, pullup }
+    }
+
+    /// Builds a topology from explicit networks.
+    ///
+    /// The networks must drive the same input set (a static CMOS gate needs
+    /// every input on both sides); this is validated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input sets differ.
+    pub fn new(pulldown: SpTree, pullup: SpTree) -> Self {
+        let mut a = pulldown.inputs();
+        let mut b = pullup.inputs();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(
+            a, b,
+            "pull-down and pull-up must be driven by the same inputs"
+        );
+        Topology { pulldown, pullup }
+    }
+
+    /// Total transistor count (`2q` in the paper's notation).
+    pub fn transistor_count(&self) -> usize {
+        self.pulldown.transistor_count() + self.pullup.transistor_count()
+    }
+
+    /// Total internal nodes contributed by both networks.
+    pub fn internal_node_count(&self) -> usize {
+        self.pulldown.internal_node_count() + self.pullup.internal_node_count()
+    }
+
+    /// Total number of distinct configurations reachable by reordering.
+    pub fn configuration_count(&self) -> u64 {
+        self.pulldown.ordering_count() * self.pullup.ordering_count()
+    }
+
+    /// Inputs of the gate in first-occurrence order of the pull-down.
+    pub fn inputs(&self) -> Vec<usize> {
+        self.pulldown.inputs()
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N:[{}] P:[{}]", self.pulldown, self.pullup)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oai21_pulldown() -> SpTree {
+        SpTree::series(vec![
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+        ])
+    }
+
+    #[test]
+    fn normalization_flattens() {
+        let t = SpTree::series(vec![
+            SpTree::leaf(0),
+            SpTree::series(vec![SpTree::leaf(1), SpTree::leaf(2)]),
+        ]);
+        assert_eq!(
+            t,
+            SpTree::Series(vec![SpTree::Leaf(0), SpTree::Leaf(1), SpTree::Leaf(2)])
+        );
+        let p = SpTree::parallel(vec![
+            SpTree::leaf(2),
+            SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+        ]);
+        assert_eq!(
+            p,
+            SpTree::Parallel(vec![SpTree::Leaf(0), SpTree::Leaf(1), SpTree::Leaf(2)])
+        );
+    }
+
+    #[test]
+    fn singleton_composites_collapse() {
+        assert_eq!(SpTree::series(vec![SpTree::leaf(3)]), SpTree::Leaf(3));
+        assert_eq!(SpTree::parallel(vec![SpTree::leaf(3)]), SpTree::Leaf(3));
+    }
+
+    #[test]
+    fn parallel_is_canonical() {
+        let a = SpTree::parallel(vec![SpTree::leaf(1), SpTree::leaf(0)]);
+        let b = SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dual_swaps_series_and_parallel() {
+        let chain = SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]);
+        let pair = SpTree::parallel(vec![SpTree::leaf(0), SpTree::leaf(1)]);
+        assert_eq!(chain.dual(), pair);
+        assert_eq!(pair.dual(), chain);
+        // Dual preserves sizes and swaps the ordering freedom.
+        let t = oai21_pulldown();
+        let d = t.dual();
+        assert_eq!(d.transistor_count(), t.transistor_count());
+        assert_eq!(d.ordering_count(), t.ordering_count());
+        assert_eq!(d.dual().ordering_count(), t.ordering_count());
+    }
+
+    #[test]
+    fn oai21_counts() {
+        let topo = Topology::from_pulldown(oai21_pulldown());
+        assert_eq!(topo.transistor_count(), 6);
+        // Pull-down: 1 junction; pull-up: dual = (ā1·ā2) ∥ b̄ → 1 junction.
+        assert_eq!(topo.internal_node_count(), 2);
+        // 2 pull-down orders × 2 pull-up orders = the 4 configs of Fig. 1a.
+        assert_eq!(topo.configuration_count(), 4);
+    }
+
+    #[test]
+    fn nand3_counts() {
+        let pd = SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1), SpTree::leaf(2)]);
+        let topo = Topology::from_pulldown(pd);
+        assert_eq!(topo.configuration_count(), 6); // 3! × 1
+        assert_eq!(topo.internal_node_count(), 2);
+        assert_eq!(topo.pulldown.stack_height(), 3);
+        assert_eq!(topo.pullup.stack_height(), 1);
+    }
+
+    #[test]
+    fn aoi222_counts_match_table2() {
+        // Pull-down (ab) + (cd) + (ef): three series pairs in parallel.
+        let pd = SpTree::parallel(vec![
+            SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::series(vec![SpTree::leaf(2), SpTree::leaf(3)]),
+            SpTree::series(vec![SpTree::leaf(4), SpTree::leaf(5)]),
+        ]);
+        let topo = Topology::from_pulldown(pd);
+        // Table 2: aoi222 has 48 configurations.
+        assert_eq!(topo.configuration_count(), 48);
+    }
+
+    #[test]
+    fn aoi211_counts_match_table2() {
+        // Pull-down ab + c + d.
+        let pd = SpTree::parallel(vec![
+            SpTree::series(vec![SpTree::leaf(0), SpTree::leaf(1)]),
+            SpTree::leaf(2),
+            SpTree::leaf(3),
+        ]);
+        let topo = Topology::from_pulldown(pd);
+        // Table 2: aoi211 has 12 configurations.
+        assert_eq!(topo.configuration_count(), 12);
+    }
+
+    #[test]
+    fn mismatched_inputs_rejected() {
+        let pd = SpTree::leaf(0);
+        let pu = SpTree::leaf(1);
+        let result = std::panic::catch_unwind(|| Topology::new(pd, pu));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn render_networks() {
+        let t = oai21_pulldown();
+        assert_eq!(t.render(&["a1", "a2", "b"]), "(a1 | a2)-b");
+    }
+
+    #[test]
+    fn inputs_first_occurrence_order() {
+        let t = SpTree::series(vec![SpTree::leaf(2), SpTree::leaf(0), SpTree::leaf(1)]);
+        assert_eq!(t.inputs(), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over random series-parallel gates.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use tr_spnet::{pivot, shape, GateGraph, NodeId, SpTree, Topology};
+
+/// Recursively builds a random SP network over the given distinct inputs.
+/// `structure` supplies raw randomness; depth is bounded by input count.
+fn build_tree(inputs: &[usize], structure: &mut impl Iterator<Item = u8>, series: bool) -> SpTree {
+    if inputs.len() == 1 {
+        return SpTree::leaf(inputs[0]);
+    }
+    // Split the inputs into 2..=3 contiguous groups.
+    let groups = 2 + (structure.next().unwrap_or(0) as usize) % 2;
+    let groups = groups.min(inputs.len());
+    let mut children = Vec::new();
+    let base = inputs.len() / groups;
+    let mut start = 0;
+    for g in 0..groups {
+        let extra = usize::from(g < inputs.len() % groups);
+        let end = start + base + extra;
+        children.push(build_tree(&inputs[start..end], structure, !series));
+        start = end;
+    }
+    if series {
+        SpTree::series(children)
+    } else {
+        SpTree::parallel(children)
+    }
+}
+
+fn arb_topology(max_inputs: usize) -> impl Strategy<Value = Topology> {
+    (2..=max_inputs, prop::collection::vec(any::<u8>(), 8), any::<bool>()).prop_map(
+        |(n, structure, series_root)| {
+            let inputs: Vec<usize> = (0..n).collect();
+            let mut it = structure.into_iter();
+            Topology::from_pulldown(build_tree(&inputs, &mut it, series_root))
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn paper_search_equals_closure(topo in arb_topology(5)) {
+        let a: HashSet<Topology> = pivot::find_all_reorderings(&topo).into_iter().collect();
+        let b: HashSet<Topology> = pivot::enumerate_closure(&topo).into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn enumeration_matches_analytic_count(topo in arb_topology(5)) {
+        let all = pivot::find_all_reorderings(&topo);
+        prop_assert_eq!(all.len() as u64, topo.configuration_count());
+    }
+
+    #[test]
+    fn reordering_never_changes_the_function(topo in arb_topology(5)) {
+        let n = 1 + topo.inputs().into_iter().max().unwrap_or(0);
+        let reference = GateGraph::build(&topo, n).output_function();
+        for t in pivot::find_all_reorderings(&topo) {
+            let y = GateGraph::build(&t, n).output_function();
+            prop_assert_eq!(&y, &reference);
+        }
+    }
+
+    #[test]
+    fn output_h_g_complementary(topo in arb_topology(5)) {
+        let n = 1 + topo.inputs().into_iter().max().unwrap_or(0);
+        let g = GateGraph::build(&topo, n);
+        let h = g.h_function(NodeId::Output);
+        let gf = g.g_function(NodeId::Output);
+        prop_assert_eq!(h.not(), gf);
+    }
+
+    #[test]
+    fn internal_nodes_never_fight(topo in arb_topology(5)) {
+        // In a complementary gate no node can see both rails at once.
+        let n = 1 + topo.inputs().into_iter().max().unwrap_or(0);
+        let g = GateGraph::build(&topo, n);
+        for node in g.power_nodes() {
+            let h = g.h_function(node);
+            let gf = g.g_function(node);
+            prop_assert!(h.and(&gf).is_zero(), "node {} fights", node);
+        }
+    }
+
+    #[test]
+    fn solve_matches_path_functions(topo in arb_topology(4)) {
+        let n = 1 + topo.inputs().into_iter().max().unwrap_or(0);
+        let g = GateGraph::build(&topo, n);
+        for node in g.power_nodes() {
+            let h = g.h_function(node);
+            let gf = g.g_function(node);
+            for m in 0..(1usize << n) {
+                let a: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+                let s = g.solve(&a);
+                let expect = if gf.eval(&a) {
+                    Some(false)
+                } else if h.eval(&a) {
+                    Some(true)
+                } else {
+                    None
+                };
+                prop_assert_eq!(s.value(node), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_is_involutive(topo in arb_topology(5)) {
+        for node in 0..topo.internal_node_count() {
+            prop_assert_eq!(pivot::pivot(&pivot::pivot(&topo, node), node), topo.clone());
+        }
+    }
+
+    #[test]
+    fn instances_partition_configurations(topo in arb_topology(5)) {
+        let configs = pivot::find_all_reorderings(&topo);
+        let inst = shape::instances(&configs);
+        let mut covered: Vec<usize> =
+            inst.iter().flat_map(|i| i.configurations.clone()).collect();
+        covered.sort_unstable();
+        prop_assert_eq!(covered, (0..configs.len()).collect::<Vec<_>>());
+        // Shapes within an instance agree; across instances differ.
+        for i in &inst {
+            for &c in &i.configurations {
+                prop_assert_eq!(shape::TopologyShape::of(&configs[c]), i.shape.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_node_count_matches_tree(topo in arb_topology(5)) {
+        let n = 1 + topo.inputs().into_iter().max().unwrap_or(0);
+        let g = GateGraph::build(&topo, n);
+        prop_assert_eq!(g.internal_count(), topo.internal_node_count());
+        prop_assert_eq!(g.edges().len(), topo.transistor_count());
+    }
+}

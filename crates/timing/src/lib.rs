@@ -1,0 +1,394 @@
+//! Elmore RC delay model for reordered gates, plus static timing analysis.
+//!
+//! Transistor reordering trades power against delay (column D of the
+//! paper's Table 3): the classic speed rule puts the critical (latest-
+//! arriving) transistor **near the output**, while the low-power rule of
+//! the paper's case (2) often wants it near the ground node. This crate
+//! models that tension:
+//!
+//! * per-input gate delay is the Elmore delay of the RC ladder along the
+//!   switching path, with the *pre-discharge refinement*: when input `x`
+//!   arrives last, the stack nodes between `x`'s transistor and the rail
+//!   have already been (dis)charged by the earlier inputs, so only the
+//!   capacitance at or above `x`'s device still moves. This reproduces
+//!   the "critical transistor near the output is fastest" rule;
+//! * delay depends linearly on output load: `τ(load) = τ₀ + R_path·load`;
+//! * [`arrival_times`] runs a topological worst-case STA and
+//!   [`critical_path_delay`] reports the circuit delay used for Table 3's
+//!   D column.
+//!
+//! # Example
+//!
+//! ```
+//! use tr_gatelib::{CellKind, Library, Process};
+//! use tr_timing::TimingModel;
+//!
+//! let lib = Library::standard();
+//! let timing = TimingModel::new(&lib, Process::default());
+//! // NAND2 config 0: input 0 adjacent to the output → faster through
+//! // input 0 than through input 1 (which sees the internal node too).
+//! let d0 = timing.gate_delay(&CellKind::Nand(2), 0, 0, 0.0);
+//! let d1 = timing.gate_delay(&CellKind::Nand(2), 0, 1, 0.0);
+//! assert!(d0 < d1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use tr_gatelib::{CellKind, Library, Process};
+use tr_netlist::Circuit;
+use tr_spnet::{Edge, GateGraph, NodeId, TransistorKind};
+
+/// Per-(cell, config, input) delay coefficients: `τ = base + r_path·load`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct DelayCoeff {
+    base: f64,
+    r_path: f64,
+}
+
+/// Precomputed Elmore delay tables over a library.
+#[derive(Debug, Clone)]
+pub struct TimingModel {
+    process: Process,
+    /// `(cell, config)` → per-input worst coefficients.
+    tables: HashMap<(CellKind, usize), Vec<DelayCoeff>>,
+    /// Cell → per-input gate capacitance (for fanout loads).
+    input_caps: HashMap<CellKind, Vec<f64>>,
+}
+
+impl TimingModel {
+    /// Precomputes delay tables for every configuration of every cell.
+    pub fn new(library: &Library, process: Process) -> Self {
+        let mut tables = HashMap::new();
+        let mut input_caps = HashMap::new();
+        for cell in library.cells() {
+            let arity = cell.arity();
+            for ci in 0..cell.configurations().len() {
+                let graph = cell.graph(ci);
+                let coeffs: Vec<DelayCoeff> = (0..arity)
+                    .map(|input| worst_coeff(&graph, input, &process))
+                    .collect();
+                tables.insert((cell.kind().clone(), ci), coeffs);
+            }
+            let graph = cell.default_graph();
+            let caps: Vec<f64> = (0..arity)
+                .map(|i| process.input_capacitance(graph, i))
+                .collect();
+            input_caps.insert(cell.kind().clone(), caps);
+        }
+        TimingModel {
+            process,
+            tables,
+            input_caps,
+        }
+    }
+
+    /// The process parameters in use.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// Worst-case (rise/fall) propagation delay from `input` to the output
+    /// of the given configuration, in seconds, under `load` farads of
+    /// external output load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `(cell, config)` pair is unknown or `input` is out of
+    /// range.
+    pub fn gate_delay(&self, cell: &CellKind, config: usize, input: usize, load: f64) -> f64 {
+        let coeffs = self
+            .tables
+            .get(&(cell.clone(), config))
+            .unwrap_or_else(|| panic!("unknown cell/config {cell}/{config}"));
+        let c = coeffs[input];
+        c.base + c.r_path * load
+    }
+
+    /// External load on every net (fanout gate-input capacitance).
+    pub fn external_loads(&self, circuit: &Circuit) -> Vec<f64> {
+        let mut loads = vec![0.0f64; circuit.net_count()];
+        for gate in circuit.gates() {
+            for (pin, net) in gate.inputs.iter().enumerate() {
+                loads[net.0] += self.input_caps[&gate.cell][pin];
+            }
+        }
+        loads
+    }
+}
+
+/// Worst Elmore coefficient over both transitions and all structural
+/// paths through `input`'s devices.
+fn worst_coeff(graph: &GateGraph, input: usize, process: &Process) -> DelayCoeff {
+    let mut worst = DelayCoeff {
+        base: 0.0,
+        r_path: 0.0,
+    };
+    for rail in [NodeId::Vss, NodeId::Vdd] {
+        let kind = if rail == NodeId::Vss {
+            TransistorKind::N
+        } else {
+            TransistorKind::P
+        };
+        for path in paths_through(graph, rail, input, kind) {
+            let c = elmore(graph, &path, input, process);
+            // Compare at a representative load so base/r trade-offs rank
+            // consistently; 10 fF ≈ a few fanouts.
+            let probe = 10.0e-15;
+            if c.base + c.r_path * probe > worst.base + worst.r_path * probe {
+                worst = c;
+            }
+        }
+    }
+    worst
+}
+
+/// All simple paths Output→rail staying inside the rail's network and
+/// passing through `input`'s device.
+fn paths_through(
+    graph: &GateGraph,
+    rail: NodeId,
+    input: usize,
+    kind: TransistorKind,
+) -> Vec<Vec<Edge>> {
+    let mut result = Vec::new();
+    let mut path: Vec<Edge> = Vec::new();
+    let mut visited = vec![NodeId::Output];
+    dfs(
+        graph,
+        NodeId::Output,
+        rail,
+        kind,
+        &mut visited,
+        &mut path,
+        &mut result,
+    );
+    result
+        .into_iter()
+        .filter(|p| p.iter().any(|e| e.input == input))
+        .collect()
+}
+
+fn dfs(
+    graph: &GateGraph,
+    at: NodeId,
+    rail: NodeId,
+    kind: TransistorKind,
+    visited: &mut Vec<NodeId>,
+    path: &mut Vec<Edge>,
+    result: &mut Vec<Vec<Edge>>,
+) {
+    for e in graph.edges() {
+        if e.kind != kind {
+            continue;
+        }
+        let next = if e.a == at {
+            e.b
+        } else if e.b == at {
+            e.a
+        } else {
+            continue;
+        };
+        if visited.contains(&next) {
+            continue;
+        }
+        path.push(*e);
+        if next == rail {
+            result.push(path.clone());
+        } else if !matches!(next, NodeId::Vdd | NodeId::Vss) {
+            visited.push(next);
+            dfs(graph, next, rail, kind, visited, path, result);
+            visited.pop();
+        }
+        path.pop();
+    }
+}
+
+/// Elmore delay of one path (ordered Output→rail), with nodes strictly
+/// below the critical device treated as pre-discharged.
+fn elmore(graph: &GateGraph, path: &[Edge], input: usize, process: &Process) -> DelayCoeff {
+    // Nodes along the path: v0 = Output, then the far endpoint of each
+    // edge. Node v_k sits above edge k+... let v_k be the node above edge
+    // e_k (v_0 = Output above e_0).
+    let mut nodes: Vec<NodeId> = vec![NodeId::Output];
+    let mut at = NodeId::Output;
+    for e in path {
+        at = if e.a == at { e.b } else { e.a };
+        nodes.push(at);
+    }
+    // Resistance from node v_k to the rail = Σ resistances of edges k….
+    let mut r_below: Vec<f64> = vec![0.0; nodes.len()];
+    for k in (0..path.len()).rev() {
+        r_below[k] = r_below[k + 1] + process.resistance(path[k].kind);
+    }
+    // Critical device position: the edge driven by `input`.
+    let crit = path
+        .iter()
+        .position(|e| e.input == input)
+        .expect("path must pass through the input's device");
+    // Sum C·R over nodes at or above the critical device (v_0..v_crit).
+    let mut base = 0.0;
+    for (k, &node) in nodes.iter().enumerate().take(crit + 1) {
+        let c = process.node_capacitance(graph, node, 0.0);
+        base += c * r_below[k];
+    }
+    DelayCoeff {
+        base,
+        r_path: r_below[0],
+    }
+}
+
+/// Worst-case arrival time of every net (primary inputs arrive at t = 0).
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or uses unknown cells.
+pub fn arrival_times(circuit: &Circuit, timing: &TimingModel) -> Vec<f64> {
+    let loads = timing.external_loads(circuit);
+    let mut arrival = vec![0.0f64; circuit.net_count()];
+    let order = circuit.topological_order().expect("cyclic circuit");
+    for gid in order {
+        let gate = circuit.gate(gid);
+        let load = loads[gate.output.0];
+        let mut worst: f64 = 0.0;
+        for (pin, net) in gate.inputs.iter().enumerate() {
+            let d = timing.gate_delay(&gate.cell, gate.config, pin, load);
+            worst = worst.max(arrival[net.0] + d);
+        }
+        arrival[gate.output.0] = worst;
+    }
+    arrival
+}
+
+/// The circuit's critical-path delay (seconds): the worst net arrival.
+///
+/// # Panics
+///
+/// Panics if the circuit is cyclic or uses unknown cells.
+pub fn critical_path_delay(circuit: &Circuit, timing: &TimingModel) -> f64 {
+    arrival_times(circuit, timing)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_netlist::generators;
+
+    fn timing() -> TimingModel {
+        TimingModel::new(&Library::standard(), Process::default())
+    }
+
+    #[test]
+    fn critical_input_near_output_is_fastest() {
+        // NAND3: configurations are the 6 stack orders. For each config,
+        // the fastest input must be the one adjacent to the output.
+        let lib = Library::standard();
+        let t = timing();
+        let cell = lib.cell_by_name("nand3").unwrap();
+        for c in 0..cell.configurations().len() {
+            let delays: Vec<f64> = (0..3)
+                .map(|i| t.gate_delay(cell.kind(), c, i, 5.0e-15))
+                .collect();
+            // The pulldown is a series chain; its first element is the
+            // output-adjacent input.
+            let topo = &cell.configurations()[c];
+            let top_input = topo.pulldown.inputs()[0];
+            let fastest = delays
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            assert_eq!(
+                fastest, top_input,
+                "config {c}: delays {delays:?}, topo {topo}"
+            );
+        }
+    }
+
+    #[test]
+    fn delay_monotone_in_load() {
+        let t = timing();
+        let d1 = t.gate_delay(&CellKind::Nand(2), 0, 0, 0.0);
+        let d2 = t.gate_delay(&CellKind::Nand(2), 0, 0, 10.0e-15);
+        let d3 = t.gate_delay(&CellKind::Nand(2), 0, 0, 20.0e-15);
+        assert!(d1 < d2 && d2 < d3);
+        // Linear in load.
+        assert!(((d3 - d2) - (d2 - d1)).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bigger_stacks_are_slower() {
+        let t = timing();
+        let d2 = t.gate_delay(&CellKind::Nand(2), 0, 1, 5.0e-15);
+        let d3 = t.gate_delay(&CellKind::Nand(3), 0, 2, 5.0e-15);
+        let d4 = t.gate_delay(&CellKind::Nand(4), 0, 3, 5.0e-15);
+        assert!(d2 < d3 && d3 < d4);
+    }
+
+    #[test]
+    fn delays_are_physical() {
+        // Everything in the sub-nanosecond range for fF/kΩ constants.
+        let lib = Library::standard();
+        let t = timing();
+        for cell in lib.cells() {
+            for c in 0..cell.configurations().len() {
+                for i in 0..cell.arity() {
+                    let d = t.gate_delay(cell.kind(), c, i, 8.0e-15);
+                    assert!(d > 1.0e-12, "{} too fast: {d}", cell.name());
+                    assert!(d < 5.0e-9, "{} too slow: {d}", cell.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inverter_chain_delay_accumulates() {
+        let lib = Library::standard();
+        let t = timing();
+        let mut c = Circuit::new("chain");
+        let a = c.add_input("a");
+        let (_, n1) = c.add_gate(CellKind::Inv, vec![a], "n1");
+        let (_, n2) = c.add_gate(CellKind::Inv, vec![n1], "n2");
+        let (_, n3) = c.add_gate(CellKind::Inv, vec![n2], "n3");
+        c.mark_output(n3);
+        assert!(c.validate(&lib).is_ok());
+        let arrivals = arrival_times(&c, &t);
+        assert!(arrivals[n1.0] > 0.0);
+        assert!(arrivals[n2.0] > arrivals[n1.0]);
+        assert!(arrivals[n3.0] > arrivals[n2.0]);
+        // Loaded stages are slower than the last (unloaded) stage.
+        let s1 = arrivals[n1.0];
+        let s3 = arrivals[n3.0] - arrivals[n2.0];
+        assert!(s1 > s3);
+        let cp = critical_path_delay(&c, &t);
+        assert!((cp - arrivals[n3.0]).abs() < 1e-18);
+    }
+
+    #[test]
+    fn adder_critical_path_tracks_depth() {
+        let lib = Library::standard();
+        let t = timing();
+        let rca8 = generators::ripple_carry_adder(8, &lib);
+        let rca16 = generators::ripple_carry_adder(16, &lib);
+        let d8 = critical_path_delay(&rca8, &t);
+        let d16 = critical_path_delay(&rca16, &t);
+        assert!(d16 > 1.5 * d8, "d8={d8} d16={d16}");
+    }
+
+    #[test]
+    fn reordering_changes_delay() {
+        let lib = Library::standard();
+        let t = timing();
+        let cell = lib.cell_by_name("nand3").unwrap();
+        let delays: Vec<f64> = (0..cell.configurations().len())
+            .map(|c| t.gate_delay(cell.kind(), c, 0, 5.0e-15))
+            .collect();
+        let min = delays.iter().cloned().fold(f64::MAX, f64::min);
+        let max = delays.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min * 1.02, "delays {delays:?}");
+    }
+}

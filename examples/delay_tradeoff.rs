@@ -1,0 +1,85 @@
+//! The power/delay trade-off, quantified — and a VCD waveform dump.
+//!
+//! The paper's §6 future work asks for "power reductions without
+//! increasing the delay of the circuit". This example compares four
+//! operating points on a multiplier:
+//!
+//! 1. the original mapping;
+//! 2. unconstrained best-power (may slow the critical path);
+//! 3. the *local* delay bound (no gate slower than its default);
+//! 4. the *slack-aware* global bound (critical path may not grow, but
+//!    off-critical gates spend their slack on cheaper orderings).
+//!
+//! It also dumps a switch-level waveform of the optimized circuit to
+//! `target/delay_tradeoff.vcd` for inspection in GTKWave.
+//!
+//! Run: `cargo run --release --example delay_tradeoff`
+
+use transistor_reordering::prelude::*;
+
+fn main() {
+    let lib = Library::standard();
+    let process = Process::default();
+    let model = PowerModel::new(&lib, process.clone());
+    let timing = TimingModel::new(&lib, process.clone());
+
+    let circuit = generators::array_multiplier(4, &lib);
+    let stats = Scenario::a().input_stats(circuit.primary_inputs().len(), 2026);
+    println!("circuit: {circuit}");
+
+    let t = delay_power_tradeoff(&circuit, &lib, &model, &timing, &stats);
+    let pct = |p: f64| 100.0 * (t.original - p) / t.original;
+    println!("\nmodel power (W) and saving vs original:");
+    println!(
+        "  original            {:>12.4e}   ({:>5.1}%)",
+        t.original,
+        0.0
+    );
+    println!(
+        "  unconstrained best  {:>12.4e}   ({:>5.1}%)  delay {:+.1}%",
+        t.unconstrained,
+        pct(t.unconstrained),
+        100.0 * (t.delay_unconstrained - t.delay_original) / t.delay_original
+    );
+    println!(
+        "  local delay bound   {:>12.4e}   ({:>5.1}%)  delay ≤ 0%",
+        t.locally_bounded,
+        pct(t.locally_bounded)
+    );
+    println!(
+        "  slack-aware bound   {:>12.4e}   ({:>5.1}%)  delay ≤ 0%",
+        t.slack_aware,
+        pct(t.slack_aware)
+    );
+
+    // Confirm the slack-aware circuit's delay and dump a waveform.
+    let slack = optimize_slack_aware(&circuit, &lib, &model, &timing, &stats, 0.0);
+    let d0 = critical_path_delay(&circuit, &timing);
+    let d1 = critical_path_delay(&slack.circuit, &timing);
+    println!(
+        "\ncritical path: {:.3} ns → {:.3} ns (gates touched: {})",
+        d0 * 1e9,
+        d1 * 1e9,
+        slack.changed_gates
+    );
+
+    let drives: Vec<InputDrive> = stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
+    let cfg = SimConfig {
+        duration: 2.0e-5,
+        warmup: 0.0,
+        seed: 11,
+    };
+    let (report, trace) = simulate_traced(&slack.circuit, &lib, &process, &timing, &drives, &cfg);
+    let path = std::path::Path::new("target").join("delay_tradeoff.vcd");
+    if let Err(e) = vcd::write_to_file(&slack.circuit, &trace, &path) {
+        eprintln!("could not write VCD: {e}");
+    } else {
+        println!(
+            "wrote {} ({} value changes over {:.0} µs, {:.3} µW simulated)",
+            path.display(),
+            trace.events.len(),
+            report.measured_time * 1e6,
+            report.power * 1e6
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Sweep the input-activity landscape: how much does transistor
+//! reordering save as a function of how *skewed* the input densities are?
+//!
+//! The paper's Table 1 shows that the optimal ordering depends on which
+//! input is hot; this example quantifies the flip side — when all inputs
+//! look alike (Scenario B's uniform statistics), there is little to
+//! exploit, and the headroom grows with the activity spread.
+//!
+//! Run: `cargo run --release --example scenario_sweep`
+
+use transistor_reordering::prelude::*;
+
+fn main() {
+    let lib = Library::standard();
+    let model = PowerModel::new(&lib, Process::default());
+
+    let circuit = generators::alu(4, &lib);
+    let n = circuit.primary_inputs().len();
+    println!("circuit: {circuit}");
+    println!("\nheadroom (best-vs-worst model power) vs input-density skew:");
+    println!(
+        "{:>28} {:>10} {:>10} {:>10}",
+        "density distribution", "M%", "best µW", "worst µW"
+    );
+
+    // Densities log-uniform over [1M/σ, 1M·σ]; σ = 1 is uniform.
+    for spread in [1.0f64, 2.0, 5.0, 10.0, 50.0, 100.0] {
+        let base = 3.0e5;
+        let stats: Vec<SignalStats> = (0..n)
+            .map(|i| {
+                // Deterministic pseudo-random skew, stable across runs.
+                let u = ((i as f64 * 0.6180339887) % 1.0) * 2.0 - 1.0; // [-1, 1)
+                let d = base * spread.powf(u);
+                SignalStats::new(0.5, d)
+            })
+            .collect();
+        let best = optimize(&circuit, &lib, &model, &stats, Objective::MinimizePower);
+        let worst = optimize(&circuit, &lib, &model, &stats, Objective::MaximizePower);
+        let m = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
+        println!(
+            "{:>22}σ={spread:<5} {:>10.1} {:>10.3} {:>10.3}",
+            "",
+            m,
+            best.power_after * 1e6,
+            worst.power_after * 1e6
+        );
+    }
+
+    println!("\nconclusion: the more asymmetric the input activity, the more the");
+    println!("ordering of series transistors matters — uniform activity (σ=1)");
+    println!("still leaves headroom from the charge-state asymmetry of the");
+    println!("stacks, but skew multiplies it.");
+}

@@ -1,0 +1,285 @@
+//! `tr-opt` — the command-line front end of the transistor-reordering
+//! optimizer.
+//!
+//! ```text
+//! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--objective min|max]
+//!                 [--delay-bound none|local|slack] [--simulate] [--vcd FILE]
+//!                 [--out FILE]
+//! tr-opt analyze  <netlist> [--scenario a|b] [--seed N]
+//! tr-opt library
+//! ```
+//!
+//! `<netlist>` may be ISCAS `.bench`, combinational `.blif` (both get
+//! technology-mapped onto the Table 2 library) or the native mapped
+//! format `.trnet` written by `--out`.
+
+use std::process::ExitCode;
+use transistor_reordering::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "optimize" => cmd_optimize(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
+        "library" => cmd_library(),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+tr-opt — low-power transistor reordering (Musoll & Cortadella, DATE 1996)
+
+USAGE:
+  tr-opt optimize <netlist> [options]   pick per-gate transistor orderings
+  tr-opt analyze  <netlist> [options]   report power/delay without changes
+  tr-opt library                        print the Table 2 cell library
+
+OPTIONS (optimize/analyze):
+  --scenario a|b        input statistics (default a: random P,D)
+  --seed N              RNG seed for scenario A and the simulator
+  --objective min|max   minimize (default) or maximize power
+  --delay-bound MODE    none (default) | local | slack
+  --simulate            validate with the switch-level simulator
+  --vcd FILE            dump a simulation waveform (implies --simulate)
+  --out FILE            write the optimized netlist (native format)
+
+FORMATS: .bench (ISCAS), .blif (combinational subset), .trnet (native)";
+
+struct Options {
+    path: String,
+    scenario: Scenario,
+    seed: u64,
+    objective: Objective,
+    delay_bound: String,
+    simulate: bool,
+    vcd: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        path: String::new(),
+        scenario: Scenario::a(),
+        seed: 1,
+        objective: Objective::MinimizePower,
+        delay_bound: "none".into(),
+        simulate: false,
+        vcd: None,
+        out: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => {
+                opts.scenario = match it.next().map(String::as_str) {
+                    Some("a") | Some("A") => Scenario::a(),
+                    Some("b") | Some("B") => Scenario::b(),
+                    other => return Err(format!("bad --scenario {other:?}")),
+                }
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("missing value for --seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--objective" => {
+                opts.objective = match it.next().map(String::as_str) {
+                    Some("min") => Objective::MinimizePower,
+                    Some("max") => Objective::MaximizePower,
+                    other => return Err(format!("bad --objective {other:?}")),
+                }
+            }
+            "--delay-bound" => {
+                let v = it.next().ok_or("missing value for --delay-bound")?;
+                if !["none", "local", "slack"].contains(&v.as_str()) {
+                    return Err(format!("bad --delay-bound `{v}`"));
+                }
+                opts.delay_bound = v.clone();
+            }
+            "--simulate" => opts.simulate = true,
+            "--vcd" => {
+                opts.vcd = Some(it.next().ok_or("missing value for --vcd")?.clone());
+                opts.simulate = true;
+            }
+            "--out" => opts.out = Some(it.next().ok_or("missing value for --out")?.clone()),
+            other if !other.starts_with('-') && opts.path.is_empty() => {
+                opts.path = other.to_string();
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("missing <netlist> argument".into());
+    }
+    Ok(opts)
+}
+
+fn load_circuit(path: &str, library: &Library) -> Result<Circuit, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    if path.ends_with(".bench") {
+        let generic = bench::parse(stem, &text).map_err(|e| e.to_string())?;
+        Ok(map::map_default(&generic, library))
+    } else if path.ends_with(".blif") {
+        let generic = blif::parse(&text).map_err(|e| e.to_string())?;
+        Ok(map::map_default(&generic, library))
+    } else {
+        tr_netlist::format::parse(&text, library).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let library = Library::standard();
+    let process = Process::default();
+    let model = PowerModel::new(&library, process.clone());
+    let timing = TimingModel::new(&library, process.clone());
+    let circuit = load_circuit(&opts.path, &library)?;
+    let stats = opts
+        .scenario
+        .input_stats(circuit.primary_inputs().len(), opts.seed);
+
+    println!("loaded: {circuit}");
+    let result = match (opts.delay_bound.as_str(), opts.objective) {
+        ("local", Objective::MinimizePower) => {
+            optimize_delay_bounded(&circuit, &library, &model, &timing, &stats)
+        }
+        ("slack", Objective::MinimizePower) => {
+            optimize_slack_aware(&circuit, &library, &model, &timing, &stats, 0.0)
+        }
+        ("none", obj) => optimize(&circuit, &library, &model, &stats, obj),
+        (bound, _) => {
+            return Err(format!(
+                "--delay-bound {bound} only supports --objective min"
+            ))
+        }
+    };
+    println!(
+        "model power: {:.4e} W → {:.4e} W ({:+.1}%), {} gates retuned",
+        result.power_before,
+        result.power_after,
+        -result.reduction_percent(),
+        result.changed_gates
+    );
+    let d0 = critical_path_delay(&circuit, &timing);
+    let d1 = critical_path_delay(&result.circuit, &timing);
+    println!(
+        "critical path: {:.3} ns → {:.3} ns ({:+.1}%)",
+        d0 * 1e9,
+        d1 * 1e9,
+        100.0 * (d1 - d0) / d0
+    );
+    println!("{}", instance_demand(&result.circuit, &library).render());
+
+    if opts.simulate {
+        let duration = 2000.0
+            / stats
+                .iter()
+                .map(SignalStats::density)
+                .fold(1.0f64, f64::max);
+        let duration = duration.clamp(1.0e-6, 1.0e-2);
+        let cfg = SimConfig {
+            duration,
+            warmup: duration * 0.1,
+            seed: opts.seed ^ 0xC0FFEE,
+        };
+        if let Some(vcd_path) = &opts.vcd {
+            let drives: Vec<InputDrive> =
+                stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
+            let (report, trace) =
+                simulate_traced(&result.circuit, &library, &process, &timing, &drives, &cfg);
+            vcd::write_to_file(&result.circuit, &trace, vcd_path)
+                .map_err(|e| format!("writing {vcd_path}: {e}"))?;
+            println!(
+                "simulated: {:.4e} W over {:.0} µs; waveform → {vcd_path}",
+                report.power,
+                report.measured_time * 1e6
+            );
+        } else {
+            let before = simulate(&circuit, &library, &process, &timing, &stats, &cfg);
+            let after = simulate(&result.circuit, &library, &process, &timing, &stats, &cfg);
+            println!(
+                "simulated: {:.4e} W → {:.4e} W ({:+.1}%)",
+                before.power,
+                after.power,
+                100.0 * (after.power - before.power) / before.power
+            );
+        }
+    }
+    if let Some(out) = &opts.out {
+        std::fs::write(out, tr_netlist::format::write(&result.circuit))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("netlist → {out}");
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let library = Library::standard();
+    let process = Process::default();
+    let model = PowerModel::new(&library, process.clone());
+    let timing = TimingModel::new(&library, process);
+    let circuit = load_circuit(&opts.path, &library)?;
+    let stats = opts
+        .scenario
+        .input_stats(circuit.primary_inputs().len(), opts.seed);
+    println!("{circuit}");
+    let mut hist: Vec<(String, usize)> = circuit.cell_histogram().into_iter().collect();
+    hist.sort();
+    let summary: Vec<String> = hist.iter().map(|(n, c)| format!("{n}×{c}")).collect();
+    println!("cells: {}", summary.join(" "));
+    let nets = propagate(&circuit, &library, &stats);
+    let power = circuit_power(&circuit, &model, &nets);
+    println!(
+        "model power: {:.4e} W (output nodes {:.4e} W, internal {:.4e} W)",
+        power.total,
+        power.output_total(),
+        power.internal_total()
+    );
+    println!(
+        "critical path: {:.3} ns over depth {}",
+        critical_path_delay(&circuit, &timing) * 1e9,
+        circuit.logic_depth()
+    );
+    Ok(())
+}
+
+fn cmd_library() -> Result<(), String> {
+    let library = Library::standard();
+    println!(
+        "{:<8} {:>4} {:>7} {:>9} {:>10}",
+        "cell", "#in", "#trans", "#configs", "#instances"
+    );
+    for cell in library.cells() {
+        println!(
+            "{:<8} {:>4} {:>7} {:>9} {:>10}",
+            cell.name(),
+            cell.arity(),
+            cell.transistor_count(),
+            cell.configurations().len(),
+            cell.instances().len()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,95 @@
+//! Workspace-level property tests: the optimizer and simulator hold their
+//! invariants on randomized circuits.
+
+use proptest::prelude::*;
+use transistor_reordering::prelude::*;
+
+fn harness() -> (Library, PowerModel) {
+    let lib = Library::standard();
+    let model = PowerModel::new(&lib, Process::default());
+    (lib, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Optimizing any random circuit preserves its logic function.
+    #[test]
+    fn optimize_preserves_function(seed in 0u64..1000, gates in 10usize..60, vectors in prop::collection::vec(any::<u64>(), 8)) {
+        let (lib, model) = harness();
+        let c = generators::random_circuit(8, gates, seed, &lib);
+        let stats = Scenario::a().input_stats(8, seed);
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let worst = optimize(&c, &lib, &model, &stats, Objective::MaximizePower);
+        for v in &vectors {
+            let inputs: Vec<bool> = (0..8).map(|i| (v >> i) & 1 == 1).collect();
+            let reference = c.evaluate(&lib, &inputs);
+            prop_assert_eq!(best.circuit.evaluate(&lib, &inputs), reference.clone());
+            prop_assert_eq!(worst.circuit.evaluate(&lib, &inputs), reference);
+        }
+    }
+
+    /// best ≤ default ≤ worst under the model, for any circuit and stats.
+    #[test]
+    fn optimizer_brackets_default(seed in 0u64..1000, gates in 10usize..80) {
+        let (lib, model) = harness();
+        let c = generators::random_circuit(10, gates, seed, &lib);
+        let stats = Scenario::a().input_stats(10, seed ^ 0xF00);
+        let net_stats = propagate(&c, &lib, &stats);
+        let default_p = circuit_power(&c, &model, &net_stats).total;
+        let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let worst = optimize(&c, &lib, &model, &stats, Objective::MaximizePower);
+        prop_assert!(best.power_after <= default_p + 1e-18);
+        prop_assert!(worst.power_after + 1e-18 >= default_p);
+    }
+
+    /// Propagated statistics are always valid (P ∈ [0,1], D ≥ 0, finite).
+    #[test]
+    fn propagation_yields_valid_stats(seed in 0u64..1000, gates in 10usize..100) {
+        let (lib, _) = harness();
+        let c = generators::random_circuit(12, gates, seed, &lib);
+        let stats = Scenario::a().input_stats(12, seed);
+        for s in propagate(&c, &lib, &stats) {
+            prop_assert!((0.0..=1.0).contains(&s.probability()));
+            prop_assert!(s.density().is_finite());
+            prop_assert!(s.density() >= 0.0);
+        }
+    }
+
+    /// The switch-level simulator's final state always matches the
+    /// functional model once inputs go quiet.
+    #[test]
+    fn simulator_settles_to_functional_state(seed in 0u64..200, gates in 5usize..30) {
+        let (lib, _) = harness();
+        let process = Process::default();
+        let timing = TimingModel::new(&lib, process.clone());
+        let c = generators::random_circuit(6, gates, seed, &lib);
+        // Toggle inputs early, then leave lots of settling time.
+        let drives: Vec<InputDrive> = (0..6)
+            .map(|i| InputDrive::Waveform {
+                initial: (seed >> i) & 1 == 1,
+                toggles: vec![1.0e-6 + i as f64 * 1.0e-7],
+            })
+            .collect();
+        let cfg = SimConfig { duration: 1.0e-3, warmup: 0.0, seed };
+        let r = simulate_with_drives(&c, &lib, &process, &timing, &drives, &cfg);
+        let finals: Vec<bool> = (0..6).map(|i| ((seed >> i) & 1 == 1) ^ true).collect();
+        let expect = c.evaluate(&lib, &finals);
+        prop_assert_eq!(&r.final_values, &expect);
+    }
+
+    /// Simulated energy is non-negative and deterministic.
+    #[test]
+    fn simulation_deterministic(seed in 0u64..200) {
+        let (lib, _) = harness();
+        let process = Process::default();
+        let timing = TimingModel::new(&lib, process.clone());
+        let c = generators::random_circuit(6, 20, seed, &lib);
+        let stats = Scenario::a().input_stats(6, seed);
+        let cfg = SimConfig { duration: 5.0e-5, warmup: 5.0e-6, seed };
+        let a = simulate(&c, &lib, &process, &timing, &stats, &cfg);
+        let b = simulate(&c, &lib, &process, &timing, &stats, &cfg);
+        prop_assert!(a.energy >= 0.0);
+        prop_assert_eq!(a.energy, b.energy);
+    }
+}
