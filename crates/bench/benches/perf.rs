@@ -111,5 +111,11 @@ fn p4_simulator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, p1_gate_power, p2_enumeration, p3_optimize, p4_simulator);
+criterion_group!(
+    benches,
+    p1_gate_power,
+    p2_enumeration,
+    p3_optimize,
+    p4_simulator
+);
 criterion_main!(benches);

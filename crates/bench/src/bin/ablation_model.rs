@@ -61,64 +61,67 @@ fn main() {
         .filter(|c| c.circuit.gates().len() >= 20)
         .collect();
 
-    for (scen_name, scenario) in [("A (P,D random)", Scenario::a()), ("B (P=0.5)", Scenario::b())] {
-    println!("Ablation 1: density-blind optimization, scenario {scen_name}");
-    println!(
-        "{:<10} {:>10} {:>14} {:>14}",
-        "circuit", "full M%", "dens-blind M%", "headroom kept"
-    );
-    let mut full_sum = 0.0;
-    let mut blind_sum = 0.0;
-    for case in &cases {
-        let n = case.circuit.primary_inputs().len();
-        let stats = scenario.input_stats(n, 0xAB1);
-        // Full-information optimization.
-        let best = optimize(
-            &case.circuit,
-            &h.library,
-            &h.model,
-            &stats,
-            Objective::MinimizePower,
-        );
-        let worst = optimize(
-            &case.circuit,
-            &h.library,
-            &h.model,
-            &stats,
-            Objective::MaximizePower,
-        );
-        let full = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
-
-        // Density-blind: the optimizer sees true probabilities but a
-        // uniform density on every gate pin; evaluation uses the truth.
-        let blind_best = optimize_density_blind(&h, &case.circuit, &stats);
-        let p_blind = model_power(&h, &blind_best, &stats);
-        let p_best = model_power(&h, &best.circuit, &stats);
-        let p_worst = model_power(&h, &worst.circuit, &stats);
-        let blind = 100.0 * (p_worst - p_blind) / p_worst;
-        let kept = if p_worst > p_best {
-            (p_worst - p_blind) / (p_worst - p_best)
-        } else {
-            1.0
-        };
-        full_sum += full;
-        blind_sum += blind;
+    for (scen_name, scenario) in [
+        ("A (P,D random)", Scenario::a()),
+        ("B (P=0.5)", Scenario::b()),
+    ] {
+        println!("Ablation 1: density-blind optimization, scenario {scen_name}");
         println!(
-            "{:<10} {:>10.1} {:>14.1} {:>13.0}%",
-            case.name,
-            full,
-            blind,
-            100.0 * kept
+            "{:<10} {:>10} {:>14} {:>14}",
+            "circuit", "full M%", "dens-blind M%", "headroom kept"
         );
-    }
-    let n = cases.len().max(1) as f64;
-    println!(
-        "{:<10} {:>10.1} {:>14.1}   (averages)",
-        "AVG",
-        full_sum / n,
-        blind_sum / n
-    );
-    println!();
+        let mut full_sum = 0.0;
+        let mut blind_sum = 0.0;
+        for case in &cases {
+            let n = case.circuit.primary_inputs().len();
+            let stats = scenario.input_stats(n, 0xAB1);
+            // Full-information optimization.
+            let best = optimize(
+                &case.circuit,
+                &h.library,
+                &h.model,
+                &stats,
+                Objective::MinimizePower,
+            );
+            let worst = optimize(
+                &case.circuit,
+                &h.library,
+                &h.model,
+                &stats,
+                Objective::MaximizePower,
+            );
+            let full = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
+
+            // Density-blind: the optimizer sees true probabilities but a
+            // uniform density on every gate pin; evaluation uses the truth.
+            let blind_best = optimize_density_blind(&h, &case.circuit, &stats);
+            let p_blind = model_power(&h, &blind_best, &stats);
+            let p_best = model_power(&h, &best.circuit, &stats);
+            let p_worst = model_power(&h, &worst.circuit, &stats);
+            let blind = 100.0 * (p_worst - p_blind) / p_worst;
+            let kept = if p_worst > p_best {
+                (p_worst - p_blind) / (p_worst - p_best)
+            } else {
+                1.0
+            };
+            full_sum += full;
+            blind_sum += blind;
+            println!(
+                "{:<10} {:>10.1} {:>14.1} {:>13.0}%",
+                case.name,
+                full,
+                blind,
+                100.0 * kept
+            );
+        }
+        let n = cases.len().max(1) as f64;
+        println!(
+            "{:<10} {:>10.1} {:>14.1}   (averages)",
+            "AVG",
+            full_sum / n,
+            blind_sum / n
+        );
+        println!();
     }
     println!("Interpretation: at circuit level a probability-only optimizer stays");
     println!("surprisingly competitive, because internal net *probabilities* vary");
@@ -134,7 +137,9 @@ fn main() {
         let n_cfg = cell.configurations().len();
         let blind_stats = [SignalStats::new(0.5, 1.0e5); 3];
         let load = 8.0 * FEMTO;
-        let (blind_best, _) = h.model.best_and_worst(cell.kind(), n_cfg, &blind_stats, load);
+        let (blind_best, _) = h
+            .model
+            .best_and_worst(cell.kind(), n_cfg, &blind_stats, load);
         println!("Ablation 1c: OAI21 with P=0.5 on every pin (the Table 1 setting):");
         for (name, dens) in [
             ("case (1)", [1.0e4, 1.0e5, 1.0e6]),
@@ -142,8 +147,9 @@ fn main() {
         ] {
             let true_stats: Vec<SignalStats> =
                 dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
-            let (full_best, worst) =
-                h.model.best_and_worst(cell.kind(), n_cfg, &true_stats, load);
+            let (full_best, worst) = h
+                .model
+                .best_and_worst(cell.kind(), n_cfg, &true_stats, load);
             let p = |c: usize| h.model.gate_power(cell.kind(), c, &true_stats, load).total;
             println!(
                 "  {name}: full picks cfg {full_best} ({:.1}% below worst); blind picks cfg {blind_best} ({:.1}% below worst)",
@@ -159,7 +165,10 @@ fn main() {
 
     // Ablation 2: output-only power model (the pre-paper baseline).
     println!("Ablation 2: output-node-only model (internal nodes invisible)");
-    println!("{:<10} {:>10} {:>14} {:>14}", "circuit", "full M%", "out-only M%", "headroom kept");
+    println!(
+        "{:<10} {:>10} {:>14} {:>14}",
+        "circuit", "full M%", "out-only M%", "headroom kept"
+    );
     let mut full_sum = 0.0;
     let mut out_sum = 0.0;
     for case in &cases {
@@ -186,8 +195,7 @@ fn main() {
         let mut out_only = case.circuit.clone();
         for (i, gate) in case.circuit.gates().iter().enumerate() {
             let cell = h.library.cell(&gate.cell).expect("library cell");
-            let inputs: Vec<SignalStats> =
-                gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+            let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
             let best_cfg = (0..cell.configurations().len())
                 .min_by(|&a, &b| {
                     let pa = h
@@ -215,7 +223,10 @@ fn main() {
         };
         full_sum += full;
         out_sum += outm;
-        println!("{:<10} {:>10.1} {:>14.1} {:>13.0}%", case.name, full, outm, kept);
+        println!(
+            "{:<10} {:>10.1} {:>14.1} {:>13.0}%",
+            case.name, full, outm, kept
+        );
     }
     let n = cases.len().max(1) as f64;
     println!(

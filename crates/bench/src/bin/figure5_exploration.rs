@@ -43,7 +43,11 @@ fn main() {
             step.from,
             step.node,
             step.to,
-            if step.fresh { "new" } else { "already visited (pruned)" }
+            if step.fresh {
+                "new"
+            } else {
+                "already visited (pruned)"
+            }
         );
     }
     println!();

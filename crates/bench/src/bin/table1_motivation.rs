@@ -11,8 +11,8 @@
 use tr_bench::Harness;
 use tr_boolean::SignalStats;
 use tr_gatelib::{CellKind, FEMTO};
-use tr_sim::{simulate, SimConfig};
 use tr_netlist::Circuit;
+use tr_sim::{simulate, SimConfig};
 
 fn main() {
     let h = Harness::new();
@@ -30,8 +30,7 @@ fn main() {
     // Model power for every (case, config).
     let mut model_power = [[0.0f64; 4]; 2];
     for (ci, (_, dens)) in cases.iter().enumerate() {
-        let stats: Vec<SignalStats> =
-            dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
+        let stats: Vec<SignalStats> = dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
         for (cfg, slot) in model_power[ci].iter_mut().enumerate() {
             *slot = h.model.gate_power(cell.kind(), cfg, &stats, load).total;
         }
@@ -41,7 +40,9 @@ fn main() {
     // (D) = best in case (2); the remaining two keep case-(1) order.
     let best_case1 = argmin(&model_power[0]);
     let best_case2 = argmin(&model_power[1]);
-    let mut rest: Vec<usize> = (0..4).filter(|&c| c != best_case1 && c != best_case2).collect();
+    let mut rest: Vec<usize> = (0..4)
+        .filter(|&c| c != best_case1 && c != best_case2)
+        .collect();
     rest.sort_by(|&a, &b| model_power[0][a].total_cmp(&model_power[0][b]));
     let order = [best_case1, rest[0], rest[1], best_case2];
     let labels = ["(A)", "(B)", "(C)", "(D)"];
@@ -67,7 +68,10 @@ fn main() {
         "activity (a1, a2, b)", "(A)", "(B)", "(C)", "(D)"
     );
     for (ci, (name, dens)) in cases.iter().enumerate() {
-        let rel: Vec<f64> = order.iter().map(|&c| model_power[ci][c] / reference).collect();
+        let rel: Vec<f64> = order
+            .iter()
+            .map(|&c| model_power[ci][c] / reference)
+            .collect();
         let best = rel.iter().cloned().fold(f64::MAX, f64::min);
         let worst = rel.iter().cloned().fold(f64::MIN, f64::max);
         let reduction = 100.0 * (worst - best) / worst;
@@ -90,8 +94,7 @@ fn main() {
     println!("switch-level simulation (relative to (D) in case (1)):");
     let mut sim_ref = 0.0f64;
     for (ci, (name, dens)) in cases.iter().enumerate() {
-        let stats: Vec<SignalStats> =
-            dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
+        let stats: Vec<SignalStats> = dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
         let duration = 4.0e-3;
         let mut row: Vec<f64> = Vec::new();
         for &cfg in &order {

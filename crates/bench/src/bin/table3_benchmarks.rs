@@ -10,7 +10,7 @@
 //! Run: `cargo run -p tr-bench --release --bin table3_benchmarks [--quick] [--json PATH]`
 
 use std::collections::BTreeMap;
-use tr_bench::{render_table3, table3_row, Harness, Table3Row};
+use tr_bench::{render_table3, table3_json, table3_row, Harness, Table3Row};
 use tr_netlist::suite;
 use tr_power::scenario::Scenario;
 
@@ -39,7 +39,12 @@ fn main() {
     for (label, scenario) in [("A", Scenario::a()), ("B", Scenario::b())] {
         let mut rows = Vec::new();
         for (i, case) in cases.iter().enumerate() {
-            eprintln!("  scenario {label}: {} ({}/{})", case.name, i + 1, cases.len());
+            eprintln!(
+                "  scenario {label}: {} ({}/{})",
+                case.name,
+                i + 1,
+                cases.len()
+            );
             rows.push(table3_row(
                 &h,
                 &case.name,
@@ -74,8 +79,7 @@ fn main() {
     );
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("serializable");
-        std::fs::write(&path, json).expect("write json");
+        std::fs::write(&path, table3_json(&results)).expect("write json");
         eprintln!("wrote {path}");
     }
 }

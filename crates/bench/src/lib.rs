@@ -15,7 +15,6 @@
 
 #![forbid(unsafe_code)]
 
-use serde::Serialize;
 use tr_boolean::SignalStats;
 use tr_gatelib::{Library, Process};
 use tr_netlist::Circuit;
@@ -60,7 +59,7 @@ impl Default for Harness {
 }
 
 /// One row of the Table 3 reproduction.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table3Row {
     /// Benchmark name.
     pub name: String,
@@ -77,6 +76,73 @@ pub struct Table3Row {
     pub sim_power_best: f64,
     /// Simulated power of the worst netlist (W).
     pub sim_power_worst: f64,
+}
+
+impl Table3Row {
+    /// Serializes the row as a JSON object (no external serializer in the
+    /// offline build environment, so this is hand-rolled).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"gates\":{},\"model_reduction\":{},",
+                "\"sim_reduction\":{},\"delay_increase\":{},",
+                "\"sim_power_best\":{},\"sim_power_worst\":{}}}"
+            ),
+            json_string(&self.name),
+            self.gates,
+            json_f64(self.model_reduction),
+            json_f64(self.sim_reduction),
+            json_f64(self.delay_increase),
+            json_f64(self.sim_power_best),
+            json_f64(self.sim_power_worst),
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes scenario-keyed rows as pretty-printed JSON.
+pub fn table3_json(results: &std::collections::BTreeMap<String, Vec<Table3Row>>) -> String {
+    let mut out = String::from("{\n");
+    for (i, (label, rows)) in results.iter().enumerate() {
+        out.push_str(&format!("  {}: [\n", json_string(label)));
+        for (j, row) in rows.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&row.to_json());
+            out.push_str(if j + 1 < rows.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(if i + 1 < results.len() {
+            "  ],\n"
+        } else {
+            "  ]\n"
+        });
+    }
+    out.push('}');
+    out
 }
 
 /// Simulation length heuristics: long enough for each input to toggle a
@@ -141,8 +207,8 @@ pub fn table3_row(
         &stats,
         &config,
     );
-    let sim_reduction = 100.0 * (sim_worst.power - sim_best.power)
-        / sim_worst.power.max(f64::MIN_POSITIVE);
+    let sim_reduction =
+        100.0 * (sim_worst.power - sim_best.power) / sim_worst.power.max(f64::MIN_POSITIVE);
 
     let delay_orig = tr_timing::critical_path_delay(circuit, &harness.timing);
     let delay_best = tr_timing::critical_path_delay(&best.circuit, &harness.timing);

@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn quiescent_inputs_produce_quiescent_output() {
         let f = BoolFn::var(2, 0).or(&BoolFn::var(2, 1));
-        let out = propagate(&f, &[SignalStats::constant(true), SignalStats::constant(false)]);
+        let out = propagate(
+            &f,
+            &[SignalStats::constant(true), SignalStats::constant(false)],
+        );
         assert_eq!(out.density(), 0.0);
         assert_eq!(out.probability(), 1.0);
     }

@@ -5,8 +5,8 @@ use tr_boolean::{prob, BoolFn, SignalStats};
 
 /// Strategy: an arbitrary function of `n` variables as a random minterm set.
 fn arb_boolfn(n: usize) -> impl Strategy<Value = BoolFn> {
-    prop::collection::vec(any::<bool>(), 1 << n)
-        .prop_map(move |bits| BoolFn::from_fn(n, |a| {
+    prop::collection::vec(any::<bool>(), 1 << n).prop_map(move |bits| {
+        BoolFn::from_fn(n, |a| {
             let mut m = 0usize;
             for (i, &v) in a.iter().enumerate() {
                 if v {
@@ -14,7 +14,8 @@ fn arb_boolfn(n: usize) -> impl Strategy<Value = BoolFn> {
                 }
             }
             bits[m]
-        }))
+        })
+    })
 }
 
 fn arb_probs(n: usize) -> impl Strategy<Value = Vec<f64>> {

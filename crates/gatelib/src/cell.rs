@@ -80,12 +80,8 @@ impl CellKind {
             CellKind::Inv => SpTree::leaf(0),
             CellKind::Nand(k) => SpTree::series((0..*k).map(SpTree::leaf).collect()),
             CellKind::Nor(k) => SpTree::parallel((0..*k).map(SpTree::leaf).collect()),
-            CellKind::Aoi(groups) => {
-                SpTree::parallel(Self::group_chains(groups, SpTree::series))
-            }
-            CellKind::Oai(groups) => {
-                SpTree::series(Self::group_chains(groups, SpTree::parallel))
-            }
+            CellKind::Aoi(groups) => SpTree::parallel(Self::group_chains(groups, SpTree::series)),
+            CellKind::Oai(groups) => SpTree::series(Self::group_chains(groups, SpTree::parallel)),
         }
     }
 

@@ -118,9 +118,8 @@ mod tests {
 
     #[test]
     fn duplicate_cells_rejected() {
-        let r = std::panic::catch_unwind(|| {
-            Library::from_kinds(vec![CellKind::Inv, CellKind::Inv])
-        });
+        let r =
+            std::panic::catch_unwind(|| Library::from_kinds(vec![CellKind::Inv, CellKind::Inv]));
         assert!(r.is_err());
     }
 

@@ -207,8 +207,6 @@ mod tests {
         let p = Process::default();
         let cell = Cell::new(CellKind::Inv);
         let g = cell.default_graph().clone();
-        assert!(
-            std::panic::catch_unwind(|| p.node_capacitance(&g, NodeId::Vdd, 0.0)).is_err()
-        );
+        assert!(std::panic::catch_unwind(|| p.node_capacitance(&g, NodeId::Vdd, 0.0)).is_err());
     }
 }

@@ -393,11 +393,7 @@ mod tests {
         for m in 0..8usize {
             let v: Vec<bool> = (0..3).map(|i| (m >> i) & 1 == 1).collect();
             let nets = mapped.evaluate(&lib, &v);
-            let got: Vec<bool> = mapped
-                .primary_outputs()
-                .iter()
-                .map(|o| nets[o.0])
-                .collect();
+            let got: Vec<bool> = mapped.primary_outputs().iter().map(|o| nets[o.0]).collect();
             assert_eq!(got, generic.evaluate_outputs(&v), "{m:03b}");
         }
     }
@@ -410,9 +406,7 @@ mod tests {
         let not_a_count = c
             .gates()
             .iter()
-            .filter(|g| {
-                matches!(g.op, GenericOp::Not) && c.signal_name(g.output) == "_not_a"
-            })
+            .filter(|g| matches!(g.op, GenericOp::Not) && c.signal_name(g.output) == "_not_a")
             .count();
         assert_eq!(not_a_count, 1, "NOT(a) should be shared");
         // Function check: y = ā·b + ā·b̄ = ā.

@@ -411,10 +411,7 @@ mod tests {
             output: n1,
             config: 0,
         });
-        assert_eq!(
-            c.validate(&lib),
-            Err(CircuitError::MultipleDrivers(n1))
-        );
+        assert_eq!(c.validate(&lib), Err(CircuitError::MultipleDrivers(n1)));
     }
 
     #[test]

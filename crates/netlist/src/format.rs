@@ -59,11 +59,7 @@ pub fn write(circuit: &Circuit) -> String {
         .collect();
     let _ = writeln!(out, "output {}", outputs.join(" "));
     for gate in circuit.gates() {
-        let args: Vec<&str> = gate
-            .inputs
-            .iter()
-            .map(|&n| circuit.net_name(n))
-            .collect();
+        let args: Vec<&str> = gate.inputs.iter().map(|&n| circuit.net_name(n)).collect();
         let _ = writeln!(
             out,
             "{} = {}({}) config={}",
@@ -140,12 +136,10 @@ pub fn parse(text: &str, library: &Library) -> Result<Circuit, FormatError> {
             message: "missing `)`".into(),
         })?;
         let cell_name = rhs[..open].trim();
-        let cell = library
-            .cell_by_name(cell_name)
-            .ok_or_else(|| FormatError {
-                line: lineno,
-                message: format!("unknown cell `{cell_name}`"),
-            })?;
+        let cell = library.cell_by_name(cell_name).ok_or_else(|| FormatError {
+            line: lineno,
+            message: format!("unknown cell `{cell_name}`"),
+        })?;
         let args: Vec<&str> = rhs[open + 1..close]
             .split(',')
             .map(str::trim)

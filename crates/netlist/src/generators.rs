@@ -850,17 +850,14 @@ pub fn carry_select_adder_generic(n: usize, block: usize) -> GenericCircuit {
                     }
                     None => {
                         // carry-in = 1: sum = ¬(a⊕b), carry = a+b.
-                        let (s0, _) =
-                            half_adder(&mut c, &format!("a{i}"), &format!("b{i}"), &tag);
+                        let (s0, _) = half_adder(&mut c, &format!("a{i}"), &format!("b{i}"), &tag);
                         let s = format!("{tag}_ns");
                         c.add_gate(&s, GenericOp::Not, &[&s0]);
                         let co = format!("{tag}_or");
                         c.add_gate(&co, GenericOp::Or, &[&format!("a{i}"), &format!("b{i}")]);
                         (s, co)
                     }
-                    Some(cp) => {
-                        full_adder(&mut c, &format!("a{i}"), &format!("b{i}"), cp, &tag)
-                    }
+                    Some(cp) => full_adder(&mut c, &format!("a{i}"), &format!("b{i}"), cp, &tag),
                 };
                 c.add_gate(&format!("s{variant}_{i}"), GenericOp::Buff, &[&sum]);
                 cprev = Some(co);
@@ -1074,7 +1071,9 @@ mod extended_tests {
             );
         }
         let library = lib();
-        assert!(carry_select_adder(8, 4, &library).validate(&library).is_ok());
+        assert!(carry_select_adder(8, 4, &library)
+            .validate(&library)
+            .is_ok());
     }
 
     #[test]
@@ -1153,9 +1152,6 @@ mod extended_tests {
             carry_select_adder(8, 4, &library)
         );
         assert_eq!(barrel_shifter(8, &library), barrel_shifter(8, &library));
-        assert_eq!(
-            priority_encoder(8, &library),
-            priority_encoder(8, &library)
-        );
+        assert_eq!(priority_encoder(8, &library), priority_encoder(8, &library));
     }
 }

@@ -169,11 +169,7 @@ impl GenericCircuit {
 
     /// Adds a gate by signal indices.
     pub fn add_gate_ids(&mut self, output: usize, op: GenericOp, inputs: Vec<usize>) {
-        self.gates.push(GenericGate {
-            op,
-            inputs,
-            output,
-        });
+        self.gates.push(GenericGate { op, inputs, output });
     }
 
     /// Number of signals.

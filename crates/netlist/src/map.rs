@@ -449,11 +449,7 @@ mod tests {
             let vals: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
             let want = generic.evaluate_outputs(&vals);
             let nets = mapped.evaluate(library, &vals);
-            let got: Vec<bool> = mapped
-                .primary_outputs()
-                .iter()
-                .map(|o| nets[o.0])
-                .collect();
+            let got: Vec<bool> = mapped.primary_outputs().iter().map(|o| nets[o.0]).collect();
             assert_eq!(got, want, "mismatch on input {m:b}");
         }
     }
@@ -565,7 +561,7 @@ mod tests {
     }
 
     #[test]
-    fn no_absorb_option_gives_nand_nor_only(){
+    fn no_absorb_option_gives_nand_nor_only() {
         let lib = Library::standard();
         let mut g = GenericCircuit::new("plain");
         g.add_input("a");
@@ -582,7 +578,10 @@ mod tests {
         check_equivalent(&g, &c, &lib);
         for gate in c.gates() {
             assert!(
-                matches!(gate.cell, CellKind::Inv | CellKind::Nand(_) | CellKind::Nor(_)),
+                matches!(
+                    gate.cell,
+                    CellKind::Inv | CellKind::Nand(_) | CellKind::Nor(_)
+                ),
                 "unexpected {}",
                 gate.cell
             );

@@ -32,7 +32,10 @@ pub fn standard_suite(library: &Library) -> Vec<BenchmarkCase> {
             circuit,
         });
     };
-    push("c17", crate::map::map_default(&crate::bench::c17(), library));
+    push(
+        "c17",
+        crate::map::map_default(&crate::bench::c17(), library),
+    );
     push("rca4", gen::ripple_carry_adder(4, library));
     push("rca8", gen::ripple_carry_adder(8, library));
     push("rca16", gen::ripple_carry_adder(16, library));
@@ -80,11 +83,7 @@ mod tests {
         let suite = standard_suite(&lib);
         assert!(suite.len() >= 20, "suite should be substantial");
         for case in &suite {
-            assert!(
-                case.circuit.validate(&lib).is_ok(),
-                "{} invalid",
-                case.name
-            );
+            assert!(case.circuit.validate(&lib).is_ok(), "{} invalid", case.name);
         }
         let again = standard_suite(&lib);
         for (a, b) in suite.iter().zip(&again) {

@@ -43,7 +43,11 @@ impl CircuitPower {
 ///
 /// Panics if `pi_stats.len()` differs from the primary-input count, the
 /// circuit is cyclic, or a cell is missing from the library.
-pub fn propagate(circuit: &Circuit, library: &Library, pi_stats: &[SignalStats]) -> Vec<SignalStats> {
+pub fn propagate(
+    circuit: &Circuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+) -> Vec<SignalStats> {
     assert_eq!(
         pi_stats.len(),
         circuit.primary_inputs().len(),
@@ -93,12 +97,7 @@ pub fn propagate_exact(
         let subs: Vec<BoolFn> = gate.inputs.iter().map(|i| funcs[i.0].clone()).collect();
         funcs[gate.output.0] = cell.function().compose(&subs);
     }
-    Some(
-        funcs
-            .iter()
-            .map(|f| prob::propagate(f, pi_stats))
-            .collect(),
-    )
+    Some(funcs.iter().map(|f| prob::propagate(f, pi_stats)).collect())
 }
 
 /// External load on every net: the sum of the input capacitances of the

@@ -71,9 +71,7 @@ impl InstanceDemand {
                 .per_instance
                 .iter()
                 .enumerate()
-                .map(|(i, n)| {
-                    format!("[{}]×{n}", char::from(b'A' + u8::try_from(i).unwrap_or(25)))
-                })
+                .map(|(i, n)| format!("[{}]×{n}", char::from(b'A' + u8::try_from(i).unwrap_or(25))))
                 .collect();
             let _ = writeln!(out, "{:<8} {:>6}   {}", c.cell, c.total(), inst.join(" "));
         }

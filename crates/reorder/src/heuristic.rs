@@ -90,12 +90,7 @@ fn choose_config(
     };
     // Match against the enumerated configurations modulo parallel-branch
     // placement (compare canonicalized forms).
-    let canon = |t: &Topology| {
-        (
-            canonical(&t.pulldown),
-            canonical(&t.pullup),
-        )
-    };
+    let canon = |t: &Topology| (canonical(&t.pulldown), canonical(&t.pullup));
     let want = canon(&target);
     cell.configurations()
         .iter()

@@ -151,11 +151,11 @@ pub fn optimize_parallel(
     let n = circuit.gates().len();
     let mut choices = vec![0usize; n];
     let chunk = n.div_ceil(threads).max(1);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (t, slice) in choices.chunks_mut(chunk).enumerate() {
             let net_stats = &net_stats;
             let loads = &loads;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = t * chunk;
                 for (k, out) in slice.iter_mut().enumerate() {
                     let gate = &circuit.gates()[base + k];
@@ -176,8 +176,7 @@ pub fn optimize_parallel(
                 }
             });
         }
-    })
-    .expect("optimizer worker panicked");
+    });
 
     let mut result = circuit.clone();
     let mut changed = 0usize;
@@ -200,9 +199,13 @@ pub fn optimize_parallel(
 /// "it is possible to obtain power reductions without increasing the
 /// delay of the circuit".
 ///
-/// Each gate may only switch to configurations whose worst per-pin delay
-/// (at the gate's actual load) does not exceed that of its *current*
-/// configuration. The circuit's critical path can therefore never grow.
+/// Each gate may only switch to configurations that are no slower than
+/// its *current* configuration on **every** input pin (at the gate's
+/// actual load). Pin-wise dominance is the local condition that makes the
+/// global guarantee sound: by induction over the topological order no
+/// arrival time can increase, so the circuit's critical path never grows.
+/// (Comparing only the worst pin would admit configurations that are
+/// slower on a non-worst pin and could lengthen a path through it.)
 ///
 /// # Panics
 ///
@@ -224,18 +227,18 @@ pub fn optimize_delay_bounded(
         let cell = library.cell(&gate.cell).expect("unknown cell");
         let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
         let load = loads[gate.output.0];
-        let pin_worst = |config: usize| -> f64 {
-            (0..cell.arity())
-                .map(|pin| timing.gate_delay(&gate.cell, config, pin, load))
-                .fold(0.0, f64::max)
-        };
-        let budget = pin_worst(gate.config);
+        let budget: Vec<f64> = (0..cell.arity())
+            .map(|pin| timing.gate_delay(&gate.cell, gate.config, pin, load))
+            .collect();
         let mut best = gate.config;
         let mut best_power = model
             .gate_power(&gate.cell, gate.config, &inputs, load)
             .total;
         for c in 0..cell.configurations().len() {
-            if pin_worst(c) > budget * (1.0 + 1e-12) {
+            let dominated = (0..cell.arity()).all(|pin| {
+                timing.gate_delay(&gate.cell, c, pin, load) <= budget[pin] * (1.0 + 1e-12)
+            });
+            if !dominated {
                 continue;
             }
             let p = model.gate_power(&gate.cell, c, &inputs, load).total;
@@ -283,8 +286,7 @@ mod tests {
         assert!(worst.power_after >= worst.power_before - 1e-18);
         assert!(best.power_after < worst.power_after);
         // There is real headroom on an adder under random stats.
-        let headroom =
-            100.0 * (worst.power_after - best.power_after) / worst.power_after;
+        let headroom = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
         assert!(headroom > 2.0, "headroom only {headroom:.2}%");
     }
 
@@ -313,7 +315,13 @@ mod tests {
         let c = generators::comparator(8, &lib);
         let stats = Scenario::a().input_stats(c.primary_inputs().len(), 3);
         let once = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
-        let twice = optimize(&once.circuit, &lib, &model, &stats, Objective::MinimizePower);
+        let twice = optimize(
+            &once.circuit,
+            &lib,
+            &model,
+            &stats,
+            Objective::MinimizePower,
+        );
         assert_eq!(twice.changed_gates, 0);
         assert!((twice.power_after - once.power_after).abs() < 1e-18);
     }
@@ -325,14 +333,8 @@ mod tests {
         let stats = Scenario::a().input_stats(c.primary_inputs().len(), 8);
         let seq = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
         for threads in [1, 2, 4] {
-            let par = optimize_parallel(
-                &c,
-                &lib,
-                &model,
-                &stats,
-                Objective::MinimizePower,
-                threads,
-            );
+            let par =
+                optimize_parallel(&c, &lib, &model, &stats, Objective::MinimizePower, threads);
             assert_eq!(par.circuit, seq.circuit, "threads={threads}");
             assert!((par.power_after - seq.power_after).abs() < 1e-18);
         }
@@ -346,7 +348,10 @@ mod tests {
         let before = tr_timing::critical_path_delay(&c, &timing);
         let r = optimize_delay_bounded(&c, &lib, &model, &timing, &stats);
         let after = tr_timing::critical_path_delay(&r.circuit, &timing);
-        assert!(after <= before * (1.0 + 1e-9), "delay grew: {before} → {after}");
+        assert!(
+            after <= before * (1.0 + 1e-9),
+            "delay grew: {before} → {after}"
+        );
         assert!(r.power_after <= r.power_before + 1e-18);
     }
 
@@ -391,12 +396,7 @@ mod tests {
         let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
         let p_before = circuit_power(&c, &model, &net_stats);
         let p_after = circuit_power(&best.circuit, &model, &net_stats);
-        for (i, (b, a)) in p_before
-            .per_gate
-            .iter()
-            .zip(&p_after.per_gate)
-            .enumerate()
-        {
+        for (i, (b, a)) in p_before.per_gate.iter().zip(&p_after.per_gate).enumerate() {
             assert!(
                 a.total <= b.total + 1e-18,
                 "gate {i} regressed: {} → {}",

@@ -95,8 +95,7 @@ pub fn optimize_slack_aware(
                 .iter()
                 .enumerate()
                 .map(|(pin, net)| {
-                    arr(*net, &new_arrival, &drivers)
-                        + timing.gate_delay(&gate.cell, c, pin, load)
+                    arr(*net, &new_arrival, &drivers) + timing.gate_delay(&gate.cell, c, pin, load)
                 })
                 .fold(0.0f64, f64::max);
             if a > deadline && c != gate.config {
@@ -170,7 +169,8 @@ pub fn delay_power_tradeoff(
 ) -> DelayPowerTradeoff {
     let net_stats = propagate(circuit, library, pi_stats);
     let original = circuit_power(circuit, model, &net_stats).total;
-    let unconstrained = crate::optimize(circuit, library, model, pi_stats, Objective::MinimizePower);
+    let unconstrained =
+        crate::optimize(circuit, library, model, pi_stats, Objective::MinimizePower);
     let slack = optimize_slack_aware(circuit, library, model, timing, pi_stats, 0.0);
     let local = crate::optimize_delay_bounded(circuit, library, model, timing, pi_stats);
     DelayPowerTradeoff {
@@ -209,10 +209,7 @@ mod tests {
             let before = tr_timing::critical_path_delay(&c, &timing);
             let r = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
             let after = tr_timing::critical_path_delay(&r.circuit, &timing);
-            assert!(
-                after <= before * (1.0 + 1e-9),
-                "{name}: {before} → {after}"
-            );
+            assert!(after <= before * (1.0 + 1e-9), "{name}: {before} → {after}");
             assert!(r.power_after <= r.power_before + 1e-18, "{name}");
         }
     }
@@ -222,8 +219,7 @@ mod tests {
         let (lib, model, timing) = setup();
         let c = generators::ripple_carry_adder(16, &lib);
         let stats = Scenario::a().input_stats(c.primary_inputs().len(), 5);
-        let unconstrained =
-            crate::optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let unconstrained = crate::optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
         let tight = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 0.0);
         let loose = optimize_slack_aware(&c, &lib, &model, &timing, &stats, 10.0);
         assert!(tight.power_after + 1e-18 >= unconstrained.power_after);

@@ -230,9 +230,11 @@ fn run(
     for (i, drive) in drives.iter().enumerate() {
         let net = circuit.primary_inputs()[i];
         let (initial, toggles) = match drive {
-            InputDrive::Stochastic(stats) => {
-                generate_waveform(stats, config.duration, config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
-            }
+            InputDrive::Stochastic(stats) => generate_waveform(
+                stats,
+                config.duration,
+                config.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             InputDrive::Waveform { initial, toggles } => (*initial, toggles.clone()),
         };
         net_values[net.0] = initial;
@@ -279,13 +281,13 @@ fn run(
 
     // Re-evaluates a gate after an input change; returns scheduled event.
     let evaluate = |gi: usize,
-                        pin: usize,
-                        t: u64,
-                        gates: &mut Vec<GateState>,
-                        net_values: &Vec<bool>,
-                        per_gate_energy: &mut Vec<f64>,
-                        energy: &mut f64,
-                        conflicts: &mut u64|
+                    pin: usize,
+                    t: u64,
+                    gates: &mut Vec<GateState>,
+                    net_values: &Vec<bool>,
+                    per_gate_energy: &mut Vec<f64>,
+                    energy: &mut f64,
+                    conflicts: &mut u64|
      -> Option<(u64, Event)> {
         let gate = &circuit.gates()[gi];
         let state = &mut gates[gi];
@@ -571,9 +573,7 @@ mod tests {
         };
         let cell = lib.cell_by_name("nand3").unwrap();
         let powers: Vec<f64> = (0..cell.configurations().len())
-            .map(|cfg_i| {
-                simulate(&build(cfg_i), &lib, &process, &timing, &stats, &cfg).power
-            })
+            .map(|cfg_i| simulate(&build(cfg_i), &lib, &process, &timing, &stats, &cfg).power)
             .collect();
         let min = powers.iter().cloned().fold(f64::MAX, f64::min);
         let max = powers.iter().cloned().fold(f64::MIN, f64::max);

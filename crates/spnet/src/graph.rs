@@ -172,7 +172,9 @@ impl GateGraph {
 
     /// Edges incident to `node`.
     pub fn incident(&self, node: NodeId) -> impl Iterator<Item = &Edge> + '_ {
-        self.edges.iter().filter(move |e| e.a == node || e.b == node)
+        self.edges
+            .iter()
+            .filter(move |e| e.a == node || e.b == node)
     }
 
     /// Number of transistor terminals (source/drain diffusions) of each

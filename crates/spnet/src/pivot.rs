@@ -31,10 +31,7 @@ use std::collections::HashSet;
 pub fn pivot(topology: &Topology, node: usize) -> Topology {
     let pd_nodes = topology.pulldown.internal_node_count();
     let total = pd_nodes + topology.pullup.internal_node_count();
-    assert!(
-        node < total,
-        "internal node {node} out of range 0..{total}"
-    );
+    assert!(node < total, "internal node {node} out of range 0..{total}");
     if node < pd_nodes {
         let mut counter = 0;
         Topology {

@@ -52,11 +52,7 @@ impl Shape {
                 })
                 .collect::<Vec<_>>()
                 .join("-"),
-            Shape::Parallel(cs) => cs
-                .iter()
-                .map(Shape::notation)
-                .collect::<Vec<_>>()
-                .join("|"),
+            Shape::Parallel(cs) => cs.iter().map(Shape::notation).collect::<Vec<_>>().join("|"),
         }
     }
 }

@@ -30,13 +30,16 @@ fn build_tree(inputs: &[usize], structure: &mut impl Iterator<Item = u8>, series
 }
 
 fn arb_topology(max_inputs: usize) -> impl Strategy<Value = Topology> {
-    (2..=max_inputs, prop::collection::vec(any::<u8>(), 8), any::<bool>()).prop_map(
-        |(n, structure, series_root)| {
+    (
+        2..=max_inputs,
+        prop::collection::vec(any::<u8>(), 8),
+        any::<bool>(),
+    )
+        .prop_map(|(n, structure, series_root)| {
             let inputs: Vec<usize> = (0..n).collect();
             let mut it = structure.into_iter();
             Topology::from_pulldown(build_tree(&inputs, &mut it, series_root))
-        },
-    )
+        })
 }
 
 proptest! {

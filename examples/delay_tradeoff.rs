@@ -32,8 +32,7 @@ fn main() {
     println!("\nmodel power (W) and saving vs original:");
     println!(
         "  original            {:>12.4e}   ({:>5.1}%)",
-        t.original,
-        0.0
+        t.original, 0.0
     );
     println!(
         "  unconstrained best  {:>12.4e}   ({:>5.1}%)  delay {:+.1}%",

@@ -9,7 +9,9 @@
 use transistor_reordering::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "oai21".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "oai21".to_string());
     let lib = Library::standard();
     let Some(cell) = lib.cell_by_name(&name) else {
         eprintln!("unknown cell `{name}`; available:");
@@ -24,7 +26,12 @@ fn main() {
     let input_names: Vec<String> = (0..cell.arity()).map(|i| format!("x{i}")).collect();
     let refs: Vec<&str> = input_names.iter().map(String::as_str).collect();
 
-    println!("cell {} — {} inputs, {} transistors", cell.name(), cell.arity(), cell.transistor_count());
+    println!(
+        "cell {} — {} inputs, {} transistors",
+        cell.name(),
+        cell.arity(),
+        cell.transistor_count()
+    );
     println!("function: y = {}", readable_fn(cell.function()));
     println!();
 

@@ -19,7 +19,10 @@ fn main() {
     let adder = generators::ripple_carry_adder(8, &lib);
     println!("circuit: {adder}");
 
-    for (name, scenario) in [("A (random stats)", Scenario::a()), ("B (latched)", Scenario::b())] {
+    for (name, scenario) in [
+        ("A (random stats)", Scenario::a()),
+        ("B (latched)", Scenario::b()),
+    ] {
         let stats = scenario.input_stats(adder.primary_inputs().len(), 7);
 
         // 3. One traversal picks the best ordering for every gate…

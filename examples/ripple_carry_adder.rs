@@ -19,7 +19,10 @@ fn main() {
     let stats = Scenario::b().input_stats(adder.primary_inputs().len(), 0);
     let net_stats = propagate(&adder, &lib, &stats);
 
-    println!("{}-bit ripple-carry adder, Scenario B inputs (P=0.5, D=0.5/cycle)", bits);
+    println!(
+        "{}-bit ripple-carry adder, Scenario B inputs (P=0.5, D=0.5/cycle)",
+        bits
+    );
     println!("\nsum-output statistics along the chain (density in transitions/s):");
     println!("{:>4} {:>12} {:>10}", "bit", "density", "P(1)");
     for i in 0..bits {

@@ -70,8 +70,8 @@ pub mod prelude {
     pub use tr_power::scenario::Scenario;
     pub use tr_power::{circuit_power, monte, propagate, propagate_exact, PowerModel};
     pub use tr_reorder::{
-        delay_power_tradeoff, instance_demand, optimize, optimize_delay_bounded,
-        optimize_parallel, optimize_slack_aware, InstanceDemand, Objective, OptimizeResult,
+        delay_power_tradeoff, instance_demand, optimize, optimize_delay_bounded, optimize_parallel,
+        optimize_slack_aware, InstanceDemand, Objective, OptimizeResult,
     };
     pub use tr_sim::{
         simulate, simulate_traced, simulate_with_drives, vcd, InputDrive, SimConfig, SimReport,

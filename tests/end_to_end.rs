@@ -55,8 +55,20 @@ fn suite_optimization_always_improves_the_model() {
     for case in suite::quick_suite(&lib) {
         let n = case.circuit.primary_inputs().len();
         let stats = Scenario::a().input_stats(n, 0xE2E);
-        let best = optimize(&case.circuit, &lib, &model, &stats, Objective::MinimizePower);
-        let worst = optimize(&case.circuit, &lib, &model, &stats, Objective::MaximizePower);
+        let best = optimize(
+            &case.circuit,
+            &lib,
+            &model,
+            &stats,
+            Objective::MinimizePower,
+        );
+        let worst = optimize(
+            &case.circuit,
+            &lib,
+            &model,
+            &stats,
+            Objective::MaximizePower,
+        );
         assert!(
             best.power_after <= best.power_before + 1e-18,
             "{}: best regressed",

@@ -146,7 +146,13 @@ fn delay_impact_is_bounded() {
     let timing = TimingModel::new(&lib, Process::default());
     for case in suite::quick_suite(&lib) {
         let stats = Scenario::a().input_stats(case.circuit.primary_inputs().len(), 1);
-        let best = optimize(&case.circuit, &lib, &model, &stats, Objective::MinimizePower);
+        let best = optimize(
+            &case.circuit,
+            &lib,
+            &model,
+            &stats,
+            Objective::MinimizePower,
+        );
         let d0 = critical_path_delay(&case.circuit, &timing);
         let d1 = critical_path_delay(&best.circuit, &timing);
         let delta = 100.0 * (d1 - d0) / d0;

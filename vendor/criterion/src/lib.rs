@@ -1,0 +1,111 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the macro surface the workspace's `benches/perf.rs`
+//! uses (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `Bencher::iter`, `Bencher::iter_batched`, `BatchSize`) on top of a
+//! simple wall-clock harness: a short warm-up, then timed batches until a
+//! measurement budget is spent, reporting mean ns/iter to stdout. There
+//! is no statistical analysis or HTML report — just honest numbers.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost (accepted, not acted upon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// Timing state for one benchmark.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_pass: F) {
+        // Warm-up, then measure passes until the budget is spent.
+        let _ = timed_pass();
+        let budget = Duration::from_millis(300);
+        while self.elapsed < budget {
+            self.elapsed += timed_pass();
+            self.iters += 1;
+        }
+    }
+
+    /// Times repeated calls of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        self.run(|| {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            start.elapsed()
+        });
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        self.run(|| {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            start.elapsed()
+        });
+    }
+}
+
+/// The benchmark registry/driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean_ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        println!("{name:<40} {mean_ns:>14.1} ns/iter ({} iters)", b.iters);
+        self
+    }
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,324 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate implements the subset of proptest's API the workspace's property
+//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! `any::<T>()`, range strategies, tuple strategies,
+//! `prop::collection::vec`, `ProptestConfig::with_cases`, and the
+//! `prop_assert*` macros.
+//!
+//! Unlike upstream proptest there is **no shrinking** and no persisted
+//! failure corpus: every test runs a fixed number of cases drawn from a
+//! deterministic RNG seeded from the test's name, so failures are
+//! perfectly reproducible across runs and machines (satisfying the
+//! repo's "seeded, deterministic property tests" requirement).
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for a named test.
+pub fn rng_for_test(name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs, platforms, builds.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use super::TestRng;
+    use rand::{Rng, SampleRange, Standard};
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy for "any value of `T`" (see [`any`]).
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T: Standard> Strategy for AnyStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            rng.gen()
+        }
+    }
+
+    /// Uniform draw from any type with a standard distribution.
+    pub fn any<T: Standard>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($r:ty),*) => {$(
+            impl Strategy for $r {
+                type Value = <$r as SampleRange>::Output;
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(
+        Range<u8>,
+        Range<u16>,
+        Range<u32>,
+        Range<u64>,
+        Range<usize>,
+        Range<f64>,
+        RangeInclusive<u8>,
+        RangeInclusive<u16>,
+        RangeInclusive<u32>,
+        RangeInclusive<u64>,
+        RangeInclusive<usize>,
+        RangeInclusive<f64>
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Number of elements a [`VecStrategy`] draws: fixed or ranged.
+    #[derive(Debug, Clone, Copy)]
+    pub enum SizeSpec {
+        /// Exactly this many elements.
+        Fixed(usize),
+        /// Uniform in `[lo, hi)`.
+        Range(usize, usize),
+    }
+
+    impl From<usize> for SizeSpec {
+        fn from(n: usize) -> Self {
+            SizeSpec::Fixed(n)
+        }
+    }
+    impl From<Range<usize>> for SizeSpec {
+        fn from(r: Range<usize>) -> Self {
+            SizeSpec::Range(r.start, r.end)
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeSpec {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeSpec::Range(*r.start(), r.end() + 1)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an inner strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeSpec,
+    }
+
+    /// `proptest::collection::vec` — a vector of `size` draws of `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeSpec>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = match self.size {
+                SizeSpec::Fixed(n) => n,
+                SizeSpec::Range(lo, hi) => rng.gen_range(lo..hi),
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Run-time configuration.
+
+    /// Mirror of `proptest::test_runner::Config`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Config {
+        /// Number of random cases each test executes.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate as prop;
+    pub use crate::collection;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]  // optional
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(any::<bool>(), 4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                let mut __rng = $crate::rng_for_test(stringify!($name));
+                for __case in 0..__config.cases {
+                    $( let $arg = $crate::strategy::Strategy::generate(
+                        &($strat), &mut __rng); )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_vecs(x in 1usize..7, v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((1..7).contains(&x));
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+        }
+
+        #[test]
+        fn mapped_tuples(pair in (0u64..10, 0.0f64..=1.0).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(pair.0 % 2 == 0);
+            prop_assert!((0.0..=1.0).contains(&pair.1));
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        use crate::strategy::{any, Strategy};
+        let mut a = crate::rng_for_test("t");
+        let mut b = crate::rng_for_test("t");
+        for _ in 0..10 {
+            assert_eq!(any::<u64>().generate(&mut a), any::<u64>().generate(&mut b));
+        }
+    }
+}
