@@ -39,9 +39,22 @@ fn p1_gate_power(c: &mut Criterion) {
         b.iter(|| {
             std::hint::black_box(h.model.best_and_worst(
                 &CellKind::oai(&[2, 2, 1]),
-                24,
                 std::hint::black_box(&stats),
                 5.0e-15,
+            ))
+        })
+    });
+    // The by-id fast path the compiled optimizer actually runs: scratch
+    // reuse, no hashing, no GatePower materialization.
+    let oai221 = h.model.cell_id(&CellKind::oai(&[2, 2, 1])).expect("cell");
+    c.bench_function("p1_best_and_worst_oai221_by_id", |b| {
+        let mut scratch = tr_power::Scratch::new();
+        b.iter(|| {
+            std::hint::black_box(h.model.best_and_worst_by_id(
+                oai221,
+                std::hint::black_box(&stats),
+                5.0e-15,
+                &mut scratch,
             ))
         })
     });

@@ -37,18 +37,14 @@ fn optimize_density_blind(h: &Harness, circuit: &Circuit, stats: &[SignalStats])
     let loads = external_loads(circuit, &h.model);
     let mut result = circuit.clone();
     for (i, gate) in circuit.gates().iter().enumerate() {
-        let cell = h.library.cell(&gate.cell).expect("library cell");
         let blind: Vec<SignalStats> = gate
             .inputs
             .iter()
             .map(|n| SignalStats::new(net_stats[n.0].probability(), 1.0e5))
             .collect();
-        let (best, _) = h.model.best_and_worst(
-            cell.kind(),
-            cell.configurations().len(),
-            &blind,
-            loads[gate.output.0],
-        );
+        let (best, _) = h
+            .model
+            .best_and_worst(&gate.cell, &blind, loads[gate.output.0]);
         result.set_config(tr_netlist::GateId(i), best);
     }
     result
@@ -134,12 +130,9 @@ fn main() {
     {
         let lib = &h.library;
         let cell = lib.cell_by_name("oai21").expect("oai21");
-        let n_cfg = cell.configurations().len();
         let blind_stats = [SignalStats::new(0.5, 1.0e5); 3];
         let load = 8.0 * FEMTO;
-        let (blind_best, _) = h
-            .model
-            .best_and_worst(cell.kind(), n_cfg, &blind_stats, load);
+        let (blind_best, _) = h.model.best_and_worst(cell.kind(), &blind_stats, load);
         println!("Ablation 1c: OAI21 with P=0.5 on every pin (the Table 1 setting):");
         for (name, dens) in [
             ("case (1)", [1.0e4, 1.0e5, 1.0e6]),
@@ -147,9 +140,7 @@ fn main() {
         ] {
             let true_stats: Vec<SignalStats> =
                 dens.iter().map(|&d| SignalStats::new(0.5, d)).collect();
-            let (full_best, worst) = h
-                .model
-                .best_and_worst(cell.kind(), n_cfg, &true_stats, load);
+            let (full_best, worst) = h.model.best_and_worst(cell.kind(), &true_stats, load);
             let p = |c: usize| h.model.gate_power(cell.kind(), c, &true_stats, load).total;
             println!(
                 "  {name}: full picks cfg {full_best} ({:.1}% below worst); blind picks cfg {blind_best} ({:.1}% below worst)",

@@ -425,6 +425,39 @@ impl BoolFn {
         })
     }
 
+    /// Re-expresses the function over the ordered variable subset `vars`:
+    /// variable `j` of the result is variable `vars[j]` of `self`.
+    ///
+    /// Used to shrink a function's truth table to its [`BoolFn::support`]
+    /// before compiling it into a leaf table — the payoff is exponential
+    /// in the number of dropped variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` has repeats or out-of-range indices, or if the
+    /// function depends on a variable outside `vars`.
+    #[must_use]
+    pub fn project_onto(&self, vars: &[usize]) -> Self {
+        let mut seen = [false; MAX_VARS];
+        for &v in vars {
+            assert!(v < self.nvars, "variable index {v} out of range");
+            assert!(!seen[v], "repeated variable {v}");
+            seen[v] = true;
+        }
+        for v in self.support() {
+            assert!(seen[v], "function depends on unlisted variable {v}");
+        }
+        BoolFn::from_fn(vars.len(), |assignment| {
+            let mut m = 0usize;
+            for (j, &v) in vars.iter().enumerate() {
+                if assignment[j] {
+                    m |= 1 << v;
+                }
+            }
+            self.eval_minterm(m)
+        })
+    }
+
     /// Composes the function: substitute each variable `i` with `subs[i]`.
     ///
     /// All substituted functions must share one arity, which becomes the
@@ -614,6 +647,24 @@ mod tests {
         for m in 0..32 {
             assert_eq!(g.eval_minterm(m), (m >> 1) & 1 == 0);
         }
+    }
+
+    #[test]
+    fn project_onto_support() {
+        // f = x1·x3 over 4 vars; projecting onto [1, 3] gives a0·a1.
+        let f = BoolFn::var(4, 1).and(&BoolFn::var(4, 3));
+        let g = f.project_onto(&[1, 3]);
+        assert_eq!(g, BoolFn::var(2, 0).and(&BoolFn::var(2, 1)));
+        // Order matters: [3, 1] swaps the roles.
+        let h = f.project_onto(&[3, 1]);
+        assert_eq!(h, BoolFn::var(2, 1).and(&BoolFn::var(2, 0)));
+    }
+
+    #[test]
+    fn project_onto_rejects_missing_support() {
+        let f = BoolFn::var(3, 2);
+        let r = std::panic::catch_unwind(|| f.project_onto(&[0, 1]));
+        assert!(r.is_err());
     }
 
     #[test]

@@ -51,6 +51,71 @@ pub fn probability(f: &BoolFn, probs: &[f64]) -> f64 {
     total.clamp(0.0, 1.0)
 }
 
+/// Compiles a function into its dense multilinear *leaf table*: entry `m`
+/// is `1.0` when minterm `m` satisfies `f` and `0.0` otherwise.
+///
+/// This is the build-time half of the compiled probability kernel: pair it
+/// with [`probability_leaves`], which evaluates the multilinear extension
+/// by a Shannon fold over the table instead of walking minterms.
+pub fn leaf_table(f: &BoolFn) -> Vec<f64> {
+    (0..(1usize << f.nvars()))
+        .map(|m| if f.eval_minterm(m) { 1.0 } else { 0.0 })
+        .collect()
+}
+
+/// Allocation-free probability evaluation over a precompiled leaf table.
+///
+/// Computes the same multilinear extension as [`probability`] — the exact
+/// Parker–McCluskey probability under input independence — but by a
+/// Shannon fold: variable 0 is eliminated first by convex combination of
+/// adjacent leaves, then variable 1, and so on, for `O(2ⁿ)` work instead
+/// of the `O(2ⁿ·n)` minterm walk, with no heap allocation. Because every
+/// fold step is a convex combination of values in `[0, 1]`, the result is
+/// in `[0, 1]` by construction (no clamping needed); it can differ from
+/// [`probability`] only by floating-point rounding (≲ 1e-15 relative for
+/// cell-sized functions).
+///
+/// `scratch` is caller-provided working storage of at least `leaves.len()`
+/// entries; its prior contents are ignored.
+///
+/// `tr-power`'s compiled kernel runs a specialized copy of this fold
+/// (arena-direct first level, support-permuted variable gather); this
+/// function is the readable reference form of the algorithm.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() != 2^probs.len()` or `scratch` is too short.
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::{prob, BoolFn};
+/// let f = BoolFn::var(2, 0).and(&BoolFn::var(2, 1));
+/// let leaves = prob::leaf_table(&f);
+/// let mut scratch = [0.0; 4];
+/// let p = prob::probability_leaves(&leaves, &[0.3, 0.5], &mut scratch);
+/// assert!((p - 0.15).abs() < 1e-15);
+/// ```
+pub fn probability_leaves(leaves: &[f64], probs: &[f64], scratch: &mut [f64]) -> f64 {
+    assert_eq!(
+        leaves.len(),
+        1usize << probs.len(),
+        "leaf table must have one entry per minterm"
+    );
+    assert!(scratch.len() >= leaves.len(), "scratch too short");
+    let mut width = leaves.len();
+    scratch[..width].copy_from_slice(leaves);
+    for &p in probs {
+        width >>= 1;
+        for i in 0..width {
+            let lo = scratch[2 * i];
+            let hi = scratch[2 * i + 1];
+            scratch[i] = lo + p * (hi - lo);
+        }
+    }
+    scratch[0]
+}
+
 /// Najm transition density of `f` given per-input `(P, D)` statistics.
 ///
 /// `D(f) = Σᵢ P(∂f/∂xᵢ)·D(xᵢ)` — every input transition propagates to the
@@ -105,6 +170,45 @@ mod tests {
     fn probability_of_constants() {
         assert_eq!(probability(&BoolFn::zero(3), &[0.1, 0.2, 0.3]), 0.0);
         assert_eq!(probability(&BoolFn::one(3), &[0.1, 0.2, 0.3]), 1.0);
+    }
+
+    #[test]
+    fn leaves_match_minterm_walk() {
+        // The Shannon fold and the minterm walk are the same multilinear
+        // polynomial; spot-check on an asymmetric 4-input function.
+        let f = BoolFn::from_fn(4, |a| (a[0] && a[1]) ^ (a[2] || !a[3]));
+        let leaves = leaf_table(&f);
+        let mut scratch = [0.0; 16];
+        let probs = [0.13, 0.57, 0.92, 0.31];
+        let fast = probability_leaves(&leaves, &probs, &mut scratch);
+        let slow = probability(&f, &probs);
+        assert!((fast - slow).abs() < 1e-14, "{fast} vs {slow}");
+    }
+
+    #[test]
+    fn leaves_of_constants() {
+        let mut scratch = [0.0; 8];
+        let one = leaf_table(&BoolFn::one(3));
+        assert_eq!(
+            probability_leaves(&one, &[0.2, 0.4, 0.9], &mut scratch),
+            1.0
+        );
+        let zero = leaf_table(&BoolFn::zero(3));
+        assert_eq!(
+            probability_leaves(&zero, &[0.2, 0.4, 0.9], &mut scratch),
+            0.0
+        );
+    }
+
+    #[test]
+    fn leaves_result_stays_in_unit_interval() {
+        let f = BoolFn::from_fn(3, |a| a[0] ^ a[1] ^ a[2]);
+        let leaves = leaf_table(&f);
+        let mut scratch = [0.0; 8];
+        for p in [0.0, 1e-18, 0.5, 1.0 - 1e-16, 1.0] {
+            let v = probability_leaves(&leaves, &[p, p, p], &mut scratch);
+            assert!((0.0..=1.0).contains(&v), "p={p} gave {v}");
+        }
     }
 
     #[test]

@@ -35,5 +35,5 @@ mod library;
 mod process;
 
 pub use cell::{Cell, CellKind};
-pub use library::Library;
+pub use library::{CellId, Library};
 pub use process::{Process, FEMTO};

@@ -1,8 +1,21 @@
 //! The standard library: every cell of the paper's Table 2.
 
 use crate::cell::{Cell, CellKind};
+use std::collections::HashMap;
 
-/// A set of [`Cell`]s addressable by kind or by name.
+/// Dense identifier of a cell within one [`Library`] — the index into
+/// [`Library::cells`].
+///
+/// Interning a [`CellKind`] into a `CellId` once (per circuit, via
+/// `tr_netlist`'s compiled view) lets the hot evaluation loops of the
+/// power and timing models use direct `Vec` indexing instead of hashing
+/// a `CellKind` per lookup. Ids are only meaningful for the library that
+/// issued them (and for models built from that same library, which share
+/// its cell order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub usize);
+
+/// A set of [`Cell`]s addressable by kind, by name, or by dense [`CellId`].
 ///
 /// [`Library::standard`] builds the paper's Table 2 library. Custom
 /// libraries can be assembled with [`Library::from_kinds`] (e.g. to run
@@ -10,6 +23,7 @@ use crate::cell::{Cell, CellKind};
 #[derive(Debug, Clone)]
 pub struct Library {
     cells: Vec<Cell>,
+    index: HashMap<CellKind, usize>,
 }
 
 impl Library {
@@ -42,24 +56,39 @@ impl Library {
     /// Panics if any kind is invalid or duplicated.
     pub fn from_kinds(kinds: impl IntoIterator<Item = CellKind>) -> Self {
         let mut cells: Vec<Cell> = Vec::new();
+        let mut index = HashMap::new();
         for kind in kinds {
             assert!(
-                !cells.iter().any(|c| *c.kind() == kind),
+                index.insert(kind.clone(), cells.len()).is_none(),
                 "duplicate cell {kind}"
             );
             cells.push(Cell::new(kind));
         }
-        Library { cells }
+        Library { cells, index }
     }
 
-    /// All cells, in declaration order.
+    /// All cells, in declaration order (`CellId` order).
     pub fn cells(&self) -> &[Cell] {
         &self.cells
     }
 
     /// Looks up a cell by kind.
     pub fn cell(&self, kind: &CellKind) -> Option<&Cell> {
-        self.cells.iter().find(|c| c.kind() == kind)
+        self.index.get(kind).map(|&i| &self.cells[i])
+    }
+
+    /// Interns a kind into its dense [`CellId`].
+    pub fn cell_id(&self, kind: &CellKind) -> Option<CellId> {
+        self.index.get(kind).copied().map(CellId)
+    }
+
+    /// Resolves an interned id back to its cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id did not come from this library.
+    pub fn cell_by_id(&self, id: CellId) -> &Cell {
+        &self.cells[id.0]
     }
 
     /// Looks up a cell by Table 2 name (`"aoi221"`, `"nand3"`, …).
@@ -121,6 +150,17 @@ mod tests {
         let r =
             std::panic::catch_unwind(|| Library::from_kinds(vec![CellKind::Inv, CellKind::Inv]));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn cell_ids_are_dense_and_roundtrip() {
+        let lib = Library::standard();
+        for (i, cell) in lib.cells().iter().enumerate() {
+            let id = lib.cell_id(cell.kind()).unwrap();
+            assert_eq!(id, CellId(i));
+            assert_eq!(lib.cell_by_id(id).kind(), cell.kind());
+        }
+        assert!(lib.cell_id(&CellKind::aoi(&[3, 3])).is_none());
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! A library-resolved, flat view of a [`Circuit`] for hot evaluation loops.
+//!
+//! The plain [`Circuit`] stores a [`CellKind`] per gate, which forces every
+//! consumer (power model, timing model, optimizer) to re-resolve the cell —
+//! a `HashMap` probe that hashes a `CellKind` — for every gate visit, and
+//! often for every *configuration* scored within a gate. [`CompiledCircuit`]
+//! performs that resolution exactly once: each gate becomes a
+//! [`ResolvedGate`] carrying its dense [`CellId`], arity and configuration
+//! count, with all input nets flattened into one shared slice. The
+//! optimizer's Fig. 3 inner loop then runs on plain array indexing.
+//!
+//! A compiled view is a snapshot: it captures the circuit's structure and
+//! the per-gate configurations *at compile time*. Reordering optimizers
+//! only rewrite configurations on their own output circuit, so the
+//! structural part (cells, nets, topological order) never goes stale.
+
+use crate::circuit::{Circuit, CircuitError, GateId, NetId};
+use tr_gatelib::{CellId, Library};
+
+/// One gate of a [`CompiledCircuit`]: everything the per-gate evaluation
+/// loops need, resolved to dense indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResolvedGate {
+    /// Interned cell identity (index into the library's cell list).
+    pub cell: CellId,
+    /// Number of inputs of the cell.
+    pub arity: u32,
+    /// Number of transistor-reordering configurations of the cell.
+    pub n_configs: u32,
+    /// Configuration selected in the source circuit at compile time.
+    pub config: u32,
+    /// Start of this gate's inputs in [`CompiledCircuit::inputs_flat`].
+    pub inputs_start: u32,
+    /// The net this gate drives.
+    pub output: NetId,
+}
+
+/// A [`Circuit`] with every cell reference resolved against a [`Library`]
+/// and all per-gate data flattened for cache-friendly traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompiledCircuit {
+    gates: Vec<ResolvedGate>,
+    inputs_flat: Vec<NetId>,
+    order: Vec<GateId>,
+    net_count: usize,
+}
+
+impl CompiledCircuit {
+    /// Resolves every gate of `circuit` against `library`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownCell`] for an unmapped cell,
+    /// [`CircuitError::ArityMismatch`] / [`CircuitError::BadConfiguration`]
+    /// for malformed gates, and [`CircuitError::Cycle`] if the netlist is
+    /// cyclic.
+    pub fn compile(circuit: &Circuit, library: &Library) -> Result<Self, CircuitError> {
+        let order = circuit.topological_order()?;
+        let mut gates = Vec::with_capacity(circuit.gates().len());
+        let mut inputs_flat = Vec::new();
+        for (i, gate) in circuit.gates().iter().enumerate() {
+            let id = library
+                .cell_id(&gate.cell)
+                .ok_or(CircuitError::UnknownCell(GateId(i)))?;
+            let cell = library.cell_by_id(id);
+            if gate.inputs.len() != cell.arity() {
+                return Err(CircuitError::ArityMismatch(GateId(i)));
+            }
+            let n_configs = cell.configurations().len();
+            if gate.config >= n_configs {
+                return Err(CircuitError::BadConfiguration(GateId(i)));
+            }
+            let inputs_start = u32::try_from(inputs_flat.len()).expect("inputs fit in u32");
+            inputs_flat.extend_from_slice(&gate.inputs);
+            gates.push(ResolvedGate {
+                cell: id,
+                arity: cell.arity() as u32,
+                n_configs: n_configs as u32,
+                config: gate.config as u32,
+                inputs_start,
+                output: gate.output,
+            });
+        }
+        Ok(CompiledCircuit {
+            gates,
+            inputs_flat,
+            order,
+            net_count: circuit.net_count(),
+        })
+    }
+
+    /// The resolved gates, indexed like [`Circuit::gates`].
+    pub fn gates(&self) -> &[ResolvedGate] {
+        &self.gates
+    }
+
+    /// The input nets of a resolved gate.
+    pub fn inputs(&self, gate: &ResolvedGate) -> &[NetId] {
+        let start = gate.inputs_start as usize;
+        &self.inputs_flat[start..start + gate.arity as usize]
+    }
+
+    /// Gates in dependency order (precomputed at compile time).
+    pub fn order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// Number of nets in the source circuit.
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use tr_gatelib::CellKind;
+
+    #[test]
+    fn compile_resolves_every_gate() {
+        let lib = Library::standard();
+        let c = generators::ripple_carry_adder(4, &lib);
+        let cc = CompiledCircuit::compile(&c, &lib).unwrap();
+        assert_eq!(cc.gates().len(), c.gates().len());
+        assert_eq!(cc.net_count(), c.net_count());
+        assert_eq!(cc.order(), c.topological_order().unwrap());
+        for (rg, g) in cc.gates().iter().zip(c.gates()) {
+            let cell = lib.cell_by_id(rg.cell);
+            assert_eq!(cell.kind(), &g.cell);
+            assert_eq!(rg.arity as usize, cell.arity());
+            assert_eq!(rg.n_configs as usize, cell.configurations().len());
+            assert_eq!(rg.config as usize, g.config);
+            assert_eq!(cc.inputs(rg), &g.inputs[..]);
+            assert_eq!(rg.output, g.output);
+        }
+    }
+
+    #[test]
+    fn compile_rejects_unknown_cells() {
+        let lib = Library::standard();
+        let slim = Library::from_kinds([CellKind::Inv, CellKind::Nand(2)]);
+        let mut c = Circuit::new("x");
+        let a = c.add_input("a");
+        let (_, y) = c.add_gate(CellKind::Nor(3), vec![a, a, a], "y");
+        c.mark_output(y);
+        assert!(CompiledCircuit::compile(&c, &lib).is_ok());
+        assert_eq!(
+            CompiledCircuit::compile(&c, &slim),
+            Err(CircuitError::UnknownCell(GateId(0)))
+        );
+    }
+
+    #[test]
+    fn compile_rejects_bad_configs() {
+        let lib = Library::standard();
+        let mut c = Circuit::new("x");
+        let a = c.add_input("a");
+        let (g, y) = c.add_gate(CellKind::Inv, vec![a], "y");
+        c.mark_output(y);
+        c.set_config(g, 9);
+        assert_eq!(
+            CompiledCircuit::compile(&c, &lib),
+            Err(CircuitError::BadConfiguration(g))
+        );
+    }
+}

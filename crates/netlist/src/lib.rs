@@ -7,6 +7,9 @@
 //! * [`Circuit`] — a combinational netlist of library cells with one
 //!   chosen configuration per gate, depth-first (topological) traversal,
 //!   fanout queries and functional evaluation;
+//! * [`CompiledCircuit`] — a library-resolved flat view of a [`Circuit`]
+//!   (interned [`CellId`]s, flattened input slices, precomputed order)
+//!   that the power/timing/optimizer hot loops index directly;
 //! * [`GenericCircuit`] — a technology-independent netlist (arbitrary-
 //!   fanin AND/OR/NAND/NOR/NOT/XOR/XNOR/BUFF), the input to mapping;
 //! * [`mod@bench`] — a parser for the ISCAS-style `.bench` format;
@@ -43,6 +46,7 @@
 pub mod bench;
 pub mod blif;
 mod circuit;
+mod compiled;
 pub mod format;
 pub mod generators;
 mod generic;
@@ -50,6 +54,7 @@ pub mod map;
 pub mod suite;
 
 pub use circuit::{Circuit, CircuitError, Gate, GateId, NetId};
+pub use compiled::{CompiledCircuit, ResolvedGate};
 pub use generic::{GenericCircuit, GenericGate, GenericOp};
 // Re-export the library so downstream crates get one-stop imports.
-pub use tr_gatelib::{CellKind, Library};
+pub use tr_gatelib::{CellId, CellKind, Library};

@@ -6,10 +6,10 @@
 //! monotonicity lemma of §4.2), then each gate's power is evaluated with
 //! the extended model under its currently selected configuration.
 
-use crate::model::{GatePower, PowerModel};
+use crate::model::{GatePower, PowerModel, Scratch, MAX_CELL_ARITY};
 use tr_boolean::{prob, BoolFn, SignalStats, MAX_VARS};
 use tr_gatelib::Library;
-use tr_netlist::Circuit;
+use tr_netlist::{Circuit, CompiledCircuit};
 
 /// Per-gate and total power of a circuit (W).
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,62 @@ pub fn external_loads(circuit: &Circuit, model: &PowerModel) -> Vec<f64> {
     loads
 }
 
+/// [`external_loads`] over a compiled view: interned-id capacitance
+/// lookups, no per-pin hashing.
+pub fn external_loads_compiled(compiled: &CompiledCircuit, model: &PowerModel) -> Vec<f64> {
+    let mut loads = vec![0.0f64; compiled.net_count()];
+    for gate in compiled.gates() {
+        for (pin, net) in compiled.inputs(gate).iter().enumerate() {
+            loads[net.0] += model.input_capacitance_by_id(gate.cell, pin);
+        }
+    }
+    loads
+}
+
+/// Total circuit power over a compiled view, with per-gate configurations
+/// supplied by `config_of` (gate index → configuration).
+///
+/// This is the optimizer's bookkeeping fast path: it never materializes a
+/// [`GatePower`], reuses one [`Scratch`] across all gates, and sums in
+/// gate order — bitwise identical to [`circuit_power`]'s total for the
+/// same configurations.
+///
+/// # Panics
+///
+/// Panics if `net_stats`/`loads` are not net-indexed for this circuit or
+/// a configuration is out of range.
+pub fn circuit_total_compiled(
+    compiled: &CompiledCircuit,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    loads: &[f64],
+    scratch: &mut Scratch,
+    mut config_of: impl FnMut(usize) -> usize,
+) -> f64 {
+    assert_eq!(
+        net_stats.len(),
+        compiled.net_count(),
+        "one SignalStats per net"
+    );
+    assert_eq!(loads.len(), compiled.net_count(), "one load per net");
+    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+    let mut total = 0.0;
+    for (i, gate) in compiled.gates().iter().enumerate() {
+        let nets = compiled.inputs(gate);
+        for (slot, net) in buf.iter_mut().zip(nets) {
+            *slot = net_stats[net.0];
+        }
+        total += model.total_power_into(
+            gate.cell,
+            config_of(i),
+            &buf[..nets.len()],
+            loads[gate.output.0],
+            scratch,
+        );
+    }
+    total
+}
+
 /// Evaluates the power of every gate under its currently selected
 /// configuration, given per-net statistics (from [`propagate`] or
 /// [`propagate_exact`]).
@@ -132,11 +188,24 @@ pub fn circuit_power(
         "one SignalStats per net"
     );
     let loads = external_loads(circuit, model);
+    let mut scratch = Scratch::new();
+    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
     let mut per_gate = Vec::with_capacity(circuit.gates().len());
     let mut total = 0.0;
     for gate in circuit.gates() {
-        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
-        let gp = model.gate_power(&gate.cell, gate.config, &inputs, loads[gate.output.0]);
+        let id = model
+            .cell_id(&gate.cell)
+            .unwrap_or_else(|| panic!("cell {} not in model", gate.cell));
+        for (slot, net) in buf.iter_mut().zip(&gate.inputs) {
+            *slot = net_stats[net.0];
+        }
+        let gp = model.gate_power_by_id(
+            id,
+            gate.config,
+            &buf[..gate.inputs.len()],
+            loads[gate.output.0],
+            &mut scratch,
+        );
         total += gp.total;
         per_gate.push(gp);
     }
@@ -264,6 +333,26 @@ mod tests {
         // Internal nodes must contribute measurably, else reordering
         // could never matter.
         assert!(power.internal_total() > 0.02 * power.total);
+    }
+
+    #[test]
+    fn compiled_helpers_match_plain_paths() {
+        let (lib, model) = setup();
+        let rca = generators::ripple_carry_adder(6, &lib);
+        let compiled = CompiledCircuit::compile(&rca, &lib).unwrap();
+        let pi = vec![SignalStats::new(0.4, 7.0e5); rca.primary_inputs().len()];
+        let stats = propagate(&rca, &lib, &pi);
+
+        let loads = external_loads(&rca, &model);
+        let loads_c = external_loads_compiled(&compiled, &model);
+        assert_eq!(loads, loads_c);
+
+        let full = circuit_power(&rca, &model, &stats);
+        let mut scratch = Scratch::new();
+        let total = circuit_total_compiled(&compiled, &model, &stats, &loads, &mut scratch, |i| {
+            rca.gates()[i].config
+        });
+        assert_eq!(full.total, total);
     }
 
     #[test]

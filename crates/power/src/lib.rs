@@ -20,10 +20,16 @@
 //! `D(y) = Σ P(∂y/∂xᵢ)·D(xᵢ)` (property-tested), so the extension is
 //! strictly additive.
 //!
-//! [`PowerModel`] precomputes the path functions and Boolean differences
-//! of **every configuration of every library cell** at construction — the
-//! whole Table 2 library is a few hundred truth tables — so per-gate
-//! evaluation inside the optimizer's inner loop is just arithmetic.
+//! [`PowerModel`] *compiles* the path functions and Boolean differences
+//! of **every configuration of every library cell** at construction into
+//! flat, support-shrunk multilinear leaf tables — the whole Table 2
+//! library is a few hundred truth tables — so per-gate evaluation inside
+//! the optimizer's inner loop is an allocation-free Shannon fold driven
+//! by a reusable [`Scratch`]. The dense-[`tr_gatelib::CellId`] fast paths
+//! ([`PowerModel::total_power_into`], [`PowerModel::best_and_worst_by_id`])
+//! pair with `tr_netlist::CompiledCircuit` to skip all hashing; the
+//! original naive minterm-walk evaluator survives as a test oracle in
+//! [`reference`].
 //!
 //! # Example
 //!
@@ -51,7 +57,11 @@
 mod circuit;
 mod model;
 pub mod monte;
+pub mod reference;
 pub mod scenario;
 
-pub use circuit::{circuit_power, external_loads, propagate, propagate_exact, CircuitPower};
-pub use model::{GatePower, NodePower, PowerModel};
+pub use circuit::{
+    circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, propagate,
+    propagate_exact, CircuitPower,
+};
+pub use model::{GatePower, NodePower, PowerModel, Scratch, MAX_CELL_ARITY};

@@ -1,28 +1,220 @@
-//! Per-gate power evaluation with precomputed path-function tables.
+//! Per-gate power evaluation with a compiled, allocation-free kernel.
+//!
+//! At construction the model walks every configuration of every library
+//! cell and *compiles* each path function `H`/`G` and Boolean difference
+//! `∂H/∂xᵢ`/`∂G/∂xᵢ` into a flat multilinear evaluation program: the
+//! function is shrunk to its support and its truth table is stored as a
+//! dense `f64` leaf block inside one shared arena
+//! ([`PowerModel::leaves`]). Evaluation is a Shannon fold over that block
+//! (see [`tr_boolean::prob::probability_leaves`]) driven by a caller-owned
+//! [`Scratch`] — no heap allocation, no hashing, no truth-table minterm
+//! walk in the optimizer's inner loop.
+//!
+//! Cells are addressed two ways:
+//!
+//! * by `&CellKind` — the convenient public API ([`PowerModel::gate_power`],
+//!   [`PowerModel::best_and_worst`]), one hash probe per call;
+//! * by dense [`CellId`] — the hot path ([`PowerModel::total_power_into`],
+//!   [`PowerModel::best_and_worst_by_id`]) used with a
+//!   `tr_netlist::CompiledCircuit`, pure array indexing.
+//!
+//! The compiled kernel computes the same quantities as the naive
+//! minterm-walk evaluator retained in [`crate::reference`]; the proptest
+//! suite in `tests/compiled_equivalence.rs` pins them together to 1e-12
+//! relative across every cell × configuration × random statistics.
 
 use std::collections::HashMap;
 use tr_boolean::{prob, BoolFn, SignalStats};
-use tr_gatelib::{CellKind, Library, Process};
+use tr_gatelib::{CellId, CellKind, Library, Process};
 use tr_spnet::NodeId;
 
-/// Precomputed analysis of one node of one gate configuration.
+/// Maximum cell arity the compiled kernel supports (`aoi222`/`oai222`).
+///
+/// [`tr_gatelib::CellKind::is_valid`] already bounds library cells to six
+/// inputs; the constant sizes the fixed scratch buffers.
+pub const MAX_CELL_ARITY: usize = 6;
+
+/// Length of the Shannon-fold buffer: one slot per minterm at max arity.
+const FOLD_LEN: usize = 1 << MAX_CELL_ARITY;
+
+/// Sentinel offset marking a constant-0 function (no leaf block).
+const ZERO_FN: u32 = u32::MAX;
+
+/// A compiled Boolean function: a leaf block in the shared arena plus the
+/// support variables (cell-input indices) its fold consumes.
+#[derive(Debug, Clone, Copy)]
+struct CompiledFn {
+    /// Offset of the `2^k` leaf block, or [`ZERO_FN`] for constant 0.
+    off: u32,
+    /// Support size; the leaf block has `1 << k` entries.
+    k: u8,
+    /// The support variables, in fold order (`vars[..k]` are valid).
+    vars: [u8; MAX_CELL_ARITY],
+}
+
+impl CompiledFn {
+    const ZERO: CompiledFn = CompiledFn {
+        off: ZERO_FN,
+        k: 0,
+        vars: [0; MAX_CELL_ARITY],
+    };
+
+    /// Shrinks `f` to its support and appends its leaf table to the arena,
+    /// deduplicating identical functions (the same Boolean difference
+    /// recurs across nodes and configurations) via `interned`.
+    fn compile(
+        f: &BoolFn,
+        arena: &mut Vec<f64>,
+        interned: &mut HashMap<BoolFn, CompiledFn>,
+    ) -> Self {
+        if f.is_zero() {
+            return CompiledFn::ZERO;
+        }
+        if let Some(&cf) = interned.get(f) {
+            return cf;
+        }
+        let support = f.support();
+        assert!(support.len() <= MAX_CELL_ARITY, "cell arity over the limit");
+        let proj = f.project_onto(&support);
+        let off = u32::try_from(arena.len()).expect("leaf arena fits in u32");
+        arena.extend(prob::leaf_table(&proj));
+        let mut vars = [0u8; MAX_CELL_ARITY];
+        for (j, &v) in support.iter().enumerate() {
+            vars[j] = v as u8;
+        }
+        let cf = CompiledFn {
+            off,
+            k: support.len() as u8,
+            vars,
+        };
+        interned.insert(f.clone(), cf);
+        cf
+    }
+
+    /// Probability of the function under independent input probabilities.
+    ///
+    /// A specialized copy of the Shannon fold of
+    /// [`tr_boolean::prob::probability_leaves`]: the first level reads
+    /// the shared arena directly and variables are gathered through the
+    /// support permutation in `vars`. Any change here must preserve the
+    /// fold semantics of that reference (the equivalence suite in
+    /// `tests/compiled_equivalence.rs` enforces it against the naive
+    /// evaluator).
+    #[inline]
+    fn eval(
+        &self,
+        arena: &[f64],
+        probs: &[f64; MAX_CELL_ARITY],
+        fold: &mut [f64; FOLD_LEN],
+    ) -> f64 {
+        if self.off == ZERO_FN {
+            return 0.0;
+        }
+        let k = self.k as usize;
+        let start = self.off as usize;
+        if k == 0 {
+            // Non-zero with empty support: constant 1 (one-entry table).
+            return arena[start];
+        }
+        // First fold level reads the arena directly, eliminating both a
+        // leaf copy and one pass over the scratch buffer.
+        let table = &arena[start..start + (1 << k)];
+        let mut width = 1usize << (k - 1);
+        let p0 = probs[self.vars[0] as usize];
+        for i in 0..width {
+            let lo = table[2 * i];
+            let hi = table[2 * i + 1];
+            fold[i] = lo + p0 * (hi - lo);
+        }
+        for j in 1..k {
+            let p = probs[self.vars[j] as usize];
+            width >>= 1;
+            for i in 0..width {
+                let lo = fold[2 * i];
+                let hi = fold[2 * i + 1];
+                fold[i] = lo + p * (hi - lo);
+            }
+        }
+        fold[0]
+    }
+}
+
+/// The pair of Boolean differences `(∂H/∂xᵢ, ∂G/∂xᵢ)` of one node with
+/// respect to one input.
+#[derive(Debug, Clone, Copy)]
+struct DiffPair {
+    dh: CompiledFn,
+    dg: CompiledFn,
+    /// Whether the two differences are the same function. Always true at
+    /// the output node (`G = ¬H`, and `∂¬f/∂x = ∂f/∂x`); the kernel then
+    /// evaluates the shared table once and reuses the value for both the
+    /// charge and discharge terms.
+    equal: bool,
+}
+
+/// Compiled analysis of one node of one gate configuration.
 #[derive(Debug, Clone)]
-struct NodeTables {
+struct CompiledNode {
     node: NodeId,
     /// Capacitance excluding any external load (F).
     cap: f64,
-    h: BoolFn,
-    g: BoolFn,
-    /// `∂H/∂xᵢ` for every cell input `i`.
-    dh: Vec<BoolFn>,
-    /// `∂G/∂xᵢ` for every cell input `i`.
-    dg: Vec<BoolFn>,
+    h: CompiledFn,
+    g: CompiledFn,
+    /// `(∂H/∂xᵢ, ∂G/∂xᵢ)` for every cell input `i`.
+    diffs: Vec<DiffPair>,
 }
 
-/// Precomputed analysis of one gate configuration.
+/// Compiled analysis of one gate configuration.
 #[derive(Debug, Clone)]
 struct ConfigTables {
-    nodes: Vec<NodeTables>,
+    nodes: Vec<CompiledNode>,
+}
+
+/// All compiled data of one cell, indexed by [`CellId`].
+#[derive(Debug, Clone)]
+struct CellTables {
+    arity: usize,
+    input_caps: Vec<f64>,
+    configs: Vec<ConfigTables>,
+}
+
+/// Reusable working storage for the compiled kernel.
+///
+/// One `Scratch` per thread is enough; the optimizer traversals allocate
+/// one up front and reuse it for every gate and configuration, making the
+/// inner loop allocation-free.
+#[derive(Debug, Clone)]
+pub struct Scratch {
+    probs: [f64; MAX_CELL_ARITY],
+    dens: [f64; MAX_CELL_ARITY],
+    fold: [f64; FOLD_LEN],
+}
+
+impl Scratch {
+    /// Creates zeroed working storage.
+    pub fn new() -> Self {
+        Scratch {
+            probs: [0.0; MAX_CELL_ARITY],
+            dens: [0.0; MAX_CELL_ARITY],
+            fold: [0.0; FOLD_LEN],
+        }
+    }
+
+    /// Loads per-input probabilities and densities from signal statistics.
+    #[inline]
+    fn load(&mut self, inputs: &[SignalStats]) {
+        assert!(inputs.len() <= MAX_CELL_ARITY, "too many gate inputs");
+        for (i, s) in inputs.iter().enumerate() {
+            self.probs[i] = s.probability();
+            self.dens[i] = s.density();
+        }
+    }
+}
+
+impl Default for Scratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Power contribution of a single gate node.
@@ -61,60 +253,108 @@ impl GatePower {
     }
 }
 
-/// The paper's power model over a cell library.
+/// The paper's power model over a cell library, in compiled form.
 ///
 /// Immutable after construction (and therefore `Sync`): all path
 /// functions, Boolean differences and node capacitances for every
-/// configuration of every cell are computed eagerly.
+/// configuration of every cell are compiled eagerly into flat leaf
+/// tables. [`CellId`]s from the library the model was built from resolve
+/// directly (the model shares the library's cell order).
 #[derive(Debug, Clone)]
 pub struct PowerModel {
     process: Process,
-    tables: HashMap<(CellKind, usize), ConfigTables>,
-    input_caps: HashMap<CellKind, Vec<f64>>,
+    cells: Vec<CellTables>,
+    index: HashMap<CellKind, usize>,
+    /// The shared leaf arena every [`CompiledFn`] points into.
+    leaves: Vec<f64>,
 }
 
 impl PowerModel {
-    /// Precomputes tables for every configuration of every library cell.
+    /// Compiles tables for every configuration of every library cell.
     pub fn new(library: &Library, process: Process) -> Self {
-        let mut tables = HashMap::new();
-        let mut input_caps = HashMap::new();
+        let mut cells = Vec::with_capacity(library.cells().len());
+        let mut index = HashMap::new();
+        let mut leaves = Vec::new();
+        let mut interned = HashMap::new();
         for cell in library.cells() {
             let arity = cell.arity();
-            for (ci, _) in cell.configurations().iter().enumerate() {
+            assert!(arity <= MAX_CELL_ARITY, "cell arity over the limit");
+            let mut configs = Vec::with_capacity(cell.configurations().len());
+            for ci in 0..cell.configurations().len() {
                 let graph = cell.graph(ci);
                 let mut nodes = Vec::new();
                 for node in graph.power_nodes() {
                     let h = graph.h_function(node);
                     let g = graph.g_function(node);
-                    let dh = (0..arity).map(|i| h.boolean_difference(i)).collect();
-                    let dg = (0..arity).map(|i| g.boolean_difference(i)).collect();
-                    nodes.push(NodeTables {
+                    let diffs = (0..arity)
+                        .map(|i| {
+                            let dh = h.boolean_difference(i);
+                            let dg = g.boolean_difference(i);
+                            DiffPair {
+                                equal: dh == dg,
+                                dh: CompiledFn::compile(&dh, &mut leaves, &mut interned),
+                                dg: CompiledFn::compile(&dg, &mut leaves, &mut interned),
+                            }
+                        })
+                        .collect();
+                    nodes.push(CompiledNode {
                         node,
                         cap: process.node_capacitance(&graph, node, 0.0),
-                        h,
-                        g,
-                        dh,
-                        dg,
+                        h: CompiledFn::compile(&h, &mut leaves, &mut interned),
+                        g: CompiledFn::compile(&g, &mut leaves, &mut interned),
+                        diffs,
                     });
                 }
-                tables.insert((cell.kind().clone(), ci), ConfigTables { nodes });
+                configs.push(ConfigTables { nodes });
             }
             let graph = cell.default_graph();
-            let caps: Vec<f64> = (0..arity)
+            let input_caps: Vec<f64> = (0..arity)
                 .map(|i| process.input_capacitance(graph, i))
                 .collect();
-            input_caps.insert(cell.kind().clone(), caps);
+            index.insert(cell.kind().clone(), cells.len());
+            cells.push(CellTables {
+                arity,
+                input_caps,
+                configs,
+            });
         }
         PowerModel {
             process,
-            tables,
-            input_caps,
+            cells,
+            index,
+            leaves,
         }
     }
 
     /// The process parameters in use.
     pub fn process(&self) -> &Process {
         &self.process
+    }
+
+    /// Interns a kind into the dense id the by-id fast paths take.
+    ///
+    /// Equals the [`Library::cell_id`] of the library the model was built
+    /// from.
+    pub fn cell_id(&self, cell: &CellKind) -> Option<CellId> {
+        self.index.get(cell).copied().map(CellId)
+    }
+
+    /// Number of inputs of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the model's library.
+    pub fn arity(&self, cell: CellId) -> usize {
+        self.cells[cell.0].arity
+    }
+
+    /// Number of reordering configurations of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range for the model's library.
+    pub fn n_configs(&self, cell: CellId) -> usize {
+        self.cells[cell.0].configs.len()
     }
 
     /// Capacitance a cell input presents to its driving net.
@@ -124,9 +364,24 @@ impl PowerModel {
     /// Panics if the cell is not in the model's library or `input` is out
     /// of range.
     pub fn input_capacitance(&self, cell: &CellKind, input: usize) -> f64 {
-        self.input_caps
-            .get(cell)
-            .unwrap_or_else(|| panic!("cell {cell} not in model"))[input]
+        let id = self
+            .cell_id(cell)
+            .unwrap_or_else(|| panic!("cell {cell} not in model"));
+        self.cells[id.0].input_caps[input]
+    }
+
+    /// By-id variant of [`PowerModel::input_capacitance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or `input` is out of range.
+    pub fn input_capacitance_by_id(&self, cell: CellId, input: usize) -> f64 {
+        self.cells[cell.0].input_caps[input]
+    }
+
+    fn resolve(&self, cell: &CellKind) -> CellId {
+        self.cell_id(cell)
+            .unwrap_or_else(|| panic!("cell {cell} not in model"))
     }
 
     /// Evaluates the power of one gate configuration.
@@ -146,51 +401,48 @@ impl PowerModel {
         inputs: &[SignalStats],
         external_load: f64,
     ) -> GatePower {
-        let tables = self
-            .tables
-            .get(&(cell.clone(), config))
-            .unwrap_or_else(|| panic!("unknown cell/config {cell}/{config}"));
-        let probs: Vec<f64> = inputs.iter().map(SignalStats::probability).collect();
+        let id = self.resolve(cell);
+        let mut scratch = Scratch::new();
+        self.gate_power_by_id(id, config, inputs, external_load, &mut scratch)
+    }
+
+    /// By-id variant of [`PowerModel::gate_power`], reusing caller scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or `config` is out of range or `inputs` does not
+    /// match the cell arity.
+    pub fn gate_power_by_id(
+        &self,
+        cell: CellId,
+        config: usize,
+        inputs: &[SignalStats],
+        external_load: f64,
+        scratch: &mut Scratch,
+    ) -> GatePower {
+        let tables = &self.cells[cell.0];
         assert_eq!(
-            probs.len(),
-            cell.arity(),
+            inputs.len(),
+            tables.arity,
             "need one SignalStats per cell input"
         );
-        let mut nodes = Vec::with_capacity(tables.nodes.len());
+        scratch.load(inputs);
+        let cfg = &tables.configs[config];
+        let mut nodes = Vec::with_capacity(cfg.nodes.len());
         let mut total = 0.0;
-        for nt in &tables.nodes {
-            let ph = prob::probability(&nt.h, &probs);
-            let pg = prob::probability(&nt.g, &probs);
-            // Stationary charge probability; undriven nodes carry no power.
-            let p_node = if ph + pg > 0.0 { ph / (ph + pg) } else { 0.0 };
-            let mut density = 0.0;
-            for (i, s) in inputs.iter().enumerate() {
-                if s.density() == 0.0 {
-                    continue;
-                }
-                let up = if nt.dh[i].is_zero() {
-                    0.0
-                } else {
-                    prob::probability(&nt.dh[i], &probs) * (1.0 - p_node)
-                };
-                let down = if nt.dg[i].is_zero() {
-                    0.0
-                } else {
-                    prob::probability(&nt.dg[i], &probs) * p_node
-                };
-                density += (up + down) * s.density();
-            }
-            let cap = if nt.node == NodeId::Output {
-                nt.cap + external_load
+        for cn in &cfg.nodes {
+            let (probability, density) = self.node_stats(cn, tables.arity, scratch);
+            let cap = if cn.node == NodeId::Output {
+                cn.cap + external_load
             } else {
-                nt.cap
+                cn.cap
             };
             let power = self.process.switching_power(cap, density);
             total += power;
             nodes.push(NodePower {
-                node: nt.node,
+                node: cn.node,
                 capacitance: cap,
-                probability: p_node,
+                probability,
                 density,
                 power,
             });
@@ -198,30 +450,147 @@ impl PowerModel {
         GatePower { nodes, total }
     }
 
+    /// Total power of one gate configuration — the allocation-free fast
+    /// path of the optimizer's inner loop. Equivalent to
+    /// `gate_power_by_id(..).total` without materializing a [`GatePower`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id or `config` is out of range or `inputs` does not
+    /// match the cell arity.
+    pub fn total_power_into(
+        &self,
+        cell: CellId,
+        config: usize,
+        inputs: &[SignalStats],
+        external_load: f64,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let tables = &self.cells[cell.0];
+        assert_eq!(
+            inputs.len(),
+            tables.arity,
+            "need one SignalStats per cell input"
+        );
+        scratch.load(inputs);
+        self.total_power_loaded(tables, config, external_load, scratch)
+    }
+
+    /// Inner total: assumes `scratch.probs`/`scratch.dens` already loaded.
+    #[inline]
+    fn total_power_loaded(
+        &self,
+        tables: &CellTables,
+        config: usize,
+        external_load: f64,
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let mut total = 0.0;
+        for cn in &tables.configs[config].nodes {
+            let (_, density) = self.node_stats(cn, tables.arity, scratch);
+            let cap = if cn.node == NodeId::Output {
+                cn.cap + external_load
+            } else {
+                cn.cap
+            };
+            total += self.process.switching_power(cap, density);
+        }
+        total
+    }
+
+    /// Equilibrium probability and transition density of one node.
+    #[inline]
+    fn node_stats(&self, cn: &CompiledNode, arity: usize, scratch: &mut Scratch) -> (f64, f64) {
+        debug_assert_eq!(cn.diffs.len(), arity);
+        let probs = scratch.probs;
+        let dens = scratch.dens;
+        let ph = cn.h.eval(&self.leaves, &probs, &mut scratch.fold);
+        let pg = cn.g.eval(&self.leaves, &probs, &mut scratch.fold);
+        // Stationary charge probability; undriven nodes carry no power.
+        let p_node = if ph + pg > 0.0 { ph / (ph + pg) } else { 0.0 };
+        let mut density = 0.0;
+        for (i, pair) in cn.diffs.iter().enumerate() {
+            let d = dens[i];
+            if d == 0.0 {
+                continue;
+            }
+            let (up, down) = if pair.equal {
+                // One eval feeds both terms; the arithmetic below is
+                // bitwise what two identical evals would produce.
+                if pair.dh.off == ZERO_FN {
+                    (0.0, 0.0)
+                } else {
+                    let e = pair.dh.eval(&self.leaves, &probs, &mut scratch.fold);
+                    (e * (1.0 - p_node), e * p_node)
+                }
+            } else {
+                let up = if pair.dh.off == ZERO_FN {
+                    0.0
+                } else {
+                    pair.dh.eval(&self.leaves, &probs, &mut scratch.fold) * (1.0 - p_node)
+                };
+                let down = if pair.dg.off == ZERO_FN {
+                    0.0
+                } else {
+                    pair.dg.eval(&self.leaves, &probs, &mut scratch.fold) * p_node
+                };
+                (up, down)
+            };
+            density += (up + down) * d;
+        }
+        (p_node, density)
+    }
+
     /// Evaluates every configuration of a cell and returns
     /// `(best_config, worst_config)` by total power (`FIND_BEST_REORDERING`
     /// of Fig. 3, plus the worst case used by Table 3's methodology).
     ///
-    /// Ties resolve to the lowest configuration index, making the
-    /// optimizer deterministic.
+    /// The model knows every cell's configuration count, so the search is
+    /// always exhaustive. Ties resolve to the lowest configuration index,
+    /// making the optimizer deterministic.
     ///
     /// # Panics
     ///
-    /// Panics if the cell is unknown to the library/model.
+    /// Panics if the cell is unknown to the library/model or `inputs` does
+    /// not match the cell arity.
     pub fn best_and_worst(
         &self,
         cell: &CellKind,
-        n_configs: usize,
         inputs: &[SignalStats],
         external_load: f64,
     ) -> (usize, usize) {
-        assert!(n_configs > 0, "cells have at least one configuration");
+        let id = self.resolve(cell);
+        let mut scratch = Scratch::new();
+        self.best_and_worst_by_id(id, inputs, external_load, &mut scratch)
+    }
+
+    /// By-id variant of [`PowerModel::best_and_worst`], reusing caller
+    /// scratch — the Fig. 3 inner loop of the compiled optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or `inputs` does not match the
+    /// cell arity.
+    pub fn best_and_worst_by_id(
+        &self,
+        cell: CellId,
+        inputs: &[SignalStats],
+        external_load: f64,
+        scratch: &mut Scratch,
+    ) -> (usize, usize) {
+        let tables = &self.cells[cell.0];
+        assert_eq!(
+            inputs.len(),
+            tables.arity,
+            "need one SignalStats per cell input"
+        );
+        scratch.load(inputs);
         let mut best = 0usize;
         let mut worst = 0usize;
         let mut best_p = f64::MAX;
         let mut worst_p = f64::MIN;
-        for c in 0..n_configs {
-            let p = self.gate_power(cell, c, inputs, external_load).total;
+        for c in 0..tables.configs.len() {
+            let p = self.total_power_loaded(tables, c, external_load, scratch);
             if p < best_p {
                 best_p = p;
                 best = c;
@@ -328,7 +697,7 @@ mod tests {
         let cell = lib.cell_by_name("oai21").unwrap();
         let inputs = [stats(0.5, 1.0e4), stats(0.5, 1.0e5), stats(0.5, 1.0e6)];
         let n = cell.configurations().len();
-        let (best, worst) = m.best_and_worst(cell.kind(), n, &inputs, 0.0);
+        let (best, worst) = m.best_and_worst(cell.kind(), &inputs, 0.0);
         let pb = m.gate_power(cell.kind(), best, &inputs, 0.0).total;
         let pw = m.gate_power(cell.kind(), worst, &inputs, 0.0).total;
         for c in 0..n {
@@ -336,6 +705,38 @@ mod tests {
             assert!(p >= pb - 1e-18 && p <= pw + 1e-18);
         }
         assert!(pw > pb);
+    }
+
+    #[test]
+    fn by_id_paths_match_by_kind() {
+        let m = model();
+        let lib = Library::standard();
+        let mut scratch = Scratch::new();
+        let inputs = [
+            stats(0.2, 3.0e5),
+            stats(0.9, 8.0e5),
+            stats(0.4, 1.0e5),
+            stats(0.6, 6.0e5),
+            stats(0.3, 2.0e5),
+            stats(0.7, 4.0e5),
+        ];
+        for cell in lib.cells() {
+            let id = m.cell_id(cell.kind()).unwrap();
+            assert_eq!(id, lib.cell_id(cell.kind()).unwrap());
+            assert_eq!(m.arity(id), cell.arity());
+            assert_eq!(m.n_configs(id), cell.configurations().len());
+            let ins = &inputs[..cell.arity()];
+            for c in 0..cell.configurations().len() {
+                let a = m.gate_power(cell.kind(), c, ins, 3.0e-15);
+                let b = m.gate_power_by_id(id, c, ins, 3.0e-15, &mut scratch);
+                assert_eq!(a, b, "{} config {c}", cell.name());
+                let t = m.total_power_into(id, c, ins, 3.0e-15, &mut scratch);
+                assert_eq!(a.total, t, "{} config {c} total", cell.name());
+            }
+            let bw_kind = m.best_and_worst(cell.kind(), ins, 3.0e-15);
+            let bw_id = m.best_and_worst_by_id(id, ins, 3.0e-15, &mut scratch);
+            assert_eq!(bw_kind, bw_id, "{}", cell.name());
+        }
     }
 
     #[test]
@@ -388,5 +789,8 @@ mod tests {
         // aoi221 input 0 drives one N and one P device, same as inv.
         let c2 = m.input_capacitance(&CellKind::aoi(&[2, 2, 1]), 0);
         assert!((c - c2).abs() < 1e-21);
+        // The by-id lookup resolves to the same constant.
+        let id = m.cell_id(&CellKind::Inv).unwrap();
+        assert_eq!(m.input_capacitance_by_id(id, 0), c);
     }
 }

@@ -1,0 +1,149 @@
+//! The naive minterm-walk power evaluator, retained as a test oracle.
+//!
+//! This module is the pre-compilation implementation of the paper's §3.3
+//! model, kept verbatim in spirit: path functions and Boolean differences
+//! are built on the fly and every probability is evaluated with the
+//! `O(2ⁿ·n)` Parker–McCluskey minterm walk of
+//! [`tr_boolean::prob::probability`]. It is deliberately slow and
+//! allocation-heavy — its only job is to pin down the semantics the
+//! compiled kernel in [`crate::PowerModel`] must reproduce (the proptest
+//! suite in `tests/compiled_equivalence.rs` holds them together to 1e-12
+//! relative). Do not use it in production paths.
+
+use crate::model::{GatePower, NodePower};
+use tr_boolean::{prob, SignalStats};
+use tr_gatelib::{Cell, Process};
+use tr_spnet::NodeId;
+
+/// Evaluates one gate configuration with the naive evaluator.
+///
+/// Matches the contract of [`crate::PowerModel::gate_power`], but takes
+/// the [`Cell`] directly (no precomputed model) and recomputes every path
+/// function per call.
+///
+/// # Panics
+///
+/// Panics if `config` is out of range or `inputs` does not match the cell
+/// arity.
+pub fn gate_power(
+    cell: &Cell,
+    process: &Process,
+    config: usize,
+    inputs: &[SignalStats],
+    external_load: f64,
+) -> GatePower {
+    let arity = cell.arity();
+    assert_eq!(inputs.len(), arity, "need one SignalStats per cell input");
+    let graph = cell.graph(config);
+    let probs: Vec<f64> = inputs.iter().map(SignalStats::probability).collect();
+    let mut nodes = Vec::new();
+    let mut total = 0.0;
+    for node in graph.power_nodes() {
+        let h = graph.h_function(node);
+        let g = graph.g_function(node);
+        let ph = prob::probability(&h, &probs);
+        let pg = prob::probability(&g, &probs);
+        // Stationary charge probability; undriven nodes carry no power.
+        let p_node = if ph + pg > 0.0 { ph / (ph + pg) } else { 0.0 };
+        let mut density = 0.0;
+        for (i, s) in inputs.iter().enumerate() {
+            if s.density() == 0.0 {
+                continue;
+            }
+            let dh = h.boolean_difference(i);
+            let dg = g.boolean_difference(i);
+            let up = if dh.is_zero() {
+                0.0
+            } else {
+                prob::probability(&dh, &probs) * (1.0 - p_node)
+            };
+            let down = if dg.is_zero() {
+                0.0
+            } else {
+                prob::probability(&dg, &probs) * p_node
+            };
+            density += (up + down) * s.density();
+        }
+        let cap = process.node_capacitance(&graph, node, 0.0)
+            + if node == NodeId::Output {
+                external_load
+            } else {
+                0.0
+            };
+        let power = process.switching_power(cap, density);
+        total += power;
+        nodes.push(NodePower {
+            node,
+            capacitance: cap,
+            probability: p_node,
+            density,
+            power,
+        });
+    }
+    GatePower { nodes, total }
+}
+
+/// Naive-evaluator counterpart of [`crate::PowerModel::best_and_worst`]:
+/// exhaustive search over every configuration, ties to the lowest index.
+///
+/// # Panics
+///
+/// Panics if `inputs` does not match the cell arity.
+pub fn best_and_worst(
+    cell: &Cell,
+    process: &Process,
+    inputs: &[SignalStats],
+    external_load: f64,
+) -> (usize, usize) {
+    let mut best = 0usize;
+    let mut worst = 0usize;
+    let mut best_p = f64::MAX;
+    let mut worst_p = f64::MIN;
+    for c in 0..cell.configurations().len() {
+        let p = gate_power(cell, process, c, inputs, external_load).total;
+        if p < best_p {
+            best_p = p;
+            best = c;
+        }
+        if p > worst_p {
+            worst_p = p;
+            worst = c;
+        }
+    }
+    (best, worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_gatelib::Library;
+
+    #[test]
+    fn reference_matches_original_hand_checks() {
+        // The same spot checks the compiled model passes: an inverter
+        // passes density through and inverts probability.
+        let lib = Library::standard();
+        let process = Process::default();
+        let inv = lib.cell_by_name("inv").unwrap();
+        let gp = gate_power(inv, &process, 0, &[SignalStats::new(0.3, 2.0e5)], 0.0);
+        assert_eq!(gp.nodes.len(), 1);
+        assert!((gp.nodes[0].density - 2.0e5).abs() < 1e-6);
+        assert!((gp.nodes[0].probability - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_brackets_like_the_model() {
+        let lib = Library::standard();
+        let process = Process::default();
+        let cell = lib.cell_by_name("oai21").unwrap();
+        let inputs = [
+            SignalStats::new(0.5, 1.0e4),
+            SignalStats::new(0.5, 1.0e5),
+            SignalStats::new(0.5, 1.0e6),
+        ];
+        let (best, worst) = best_and_worst(cell, &process, &inputs, 0.0);
+        let pb = gate_power(cell, &process, best, &inputs, 0.0).total;
+        let pw = gate_power(cell, &process, worst, &inputs, 0.0).total;
+        assert!(pw > pb);
+    }
+}

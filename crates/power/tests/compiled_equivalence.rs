@@ -1,0 +1,82 @@
+//! Equivalence of the compiled Shannon-fold kernel and the retained naive
+//! minterm-walk evaluator (`tr_power::reference`), across **every cell ×
+//! configuration** of the Table 2 library under randomized signal
+//! statistics and output loads.
+//!
+//! The compiled kernel reorders floating-point work (support-shrunk fold
+//! vs. minterm walk), so equality is asserted to 1e-12 relative — far
+//! tighter than any physical meaning in the model, loose enough to admit
+//! the rounding differences the reordering legally introduces.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tr_boolean::SignalStats;
+use tr_gatelib::{Library, Process};
+use tr_power::{reference, PowerModel};
+
+fn setup() -> &'static (Library, Process, PowerModel) {
+    static SETUP: OnceLock<(Library, Process, PowerModel)> = OnceLock::new();
+    SETUP.get_or_init(|| {
+        let lib = Library::standard();
+        let process = Process::default();
+        let model = PowerModel::new(&lib, process.clone());
+        (lib, process, model)
+    })
+}
+
+/// `|a - b|` within `tol` of the larger magnitude (plus an absolute floor
+/// for values that are exactly zero in one evaluator).
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    (a - b).abs() <= tol * a.abs().max(b.abs()) + 1e-30
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+    #[test]
+    fn compiled_kernel_matches_reference(
+        raw in prop::collection::vec((0.0f64..=1.0, 0.0f64..1.0e6), 6),
+        load in 0.0f64..2.0e-14,
+    ) {
+        let (lib, process, model) = setup();
+        let stats: Vec<SignalStats> = raw
+            .iter()
+            .map(|&(p, d)| SignalStats::new(p, d))
+            .collect();
+        for cell in lib.cells() {
+            let inputs = &stats[..cell.arity()];
+            for c in 0..cell.configurations().len() {
+                let fast = model.gate_power(cell.kind(), c, inputs, load);
+                let slow = reference::gate_power(cell, process, c, inputs, load);
+                prop_assert_eq!(fast.nodes.len(), slow.nodes.len());
+                prop_assert!(
+                    rel_close(fast.total, slow.total, 1e-12),
+                    "{} config {c}: total {} vs {}",
+                    cell.name(), fast.total, slow.total
+                );
+                for (f, s) in fast.nodes.iter().zip(&slow.nodes) {
+                    prop_assert_eq!(f.node, s.node);
+                    prop_assert_eq!(f.capacitance, s.capacitance);
+                    prop_assert!(
+                        rel_close(f.probability, s.probability, 1e-12),
+                        "{} config {c} node {:?}: P {} vs {}",
+                        cell.name(), f.node, f.probability, s.probability
+                    );
+                    prop_assert!(
+                        rel_close(f.density, s.density, 1e-12),
+                        "{} config {c} node {:?}: D {} vs {}",
+                        cell.name(), f.node, f.density, s.density
+                    );
+                    prop_assert!(
+                        rel_close(f.power, s.power, 1e-12),
+                        "{} config {c} node {:?}: W {} vs {}",
+                        cell.name(), f.node, f.power, s.power
+                    );
+                }
+            }
+            // The exhaustive searches agree on winners and losers.
+            let fast_bw = model.best_and_worst(cell.kind(), inputs, load);
+            let slow_bw = reference::best_and_worst(cell, process, inputs, load);
+            prop_assert_eq!(fast_bw, slow_bw, "{}", cell.name());
+        }
+    }
+}

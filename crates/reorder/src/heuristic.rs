@@ -240,8 +240,7 @@ mod tests {
             .iter()
             .map(|&d| tr_boolean::SignalStats::new(0.5, d))
             .collect();
-        let (best, _) =
-            model.best_and_worst(cell.kind(), cell.configurations().len(), &stats, 8.0e-15);
+        let (best, _) = model.best_and_worst(cell.kind(), &stats, 8.0e-15);
         let near_out = choose_config(&lib, &CellKind::oai21(), &density, Rule::HotNearOutput);
         let near_rail = choose_config(&lib, &CellKind::oai21(), &density, Rule::HotNearRail);
         let pd = |cfg: usize| cell.configurations()[cfg].pulldown.clone();

@@ -37,10 +37,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
-use tr_netlist::Circuit;
-use tr_power::{circuit_power, external_loads, propagate, PowerModel};
+use tr_netlist::{Circuit, CompiledCircuit, ResolvedGate};
+use tr_power::{
+    circuit_total_compiled, external_loads_compiled, propagate, PowerModel, Scratch, MAX_CELL_ARITY,
+};
 use tr_timing::TimingModel;
 
 /// What the traversal selects in each gate.
@@ -94,32 +97,40 @@ pub fn optimize(
     pi_stats: &[SignalStats],
     objective: Objective,
 ) -> OptimizeResult {
+    let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
+    assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     let net_stats = propagate(circuit, library, pi_stats);
-    let loads = external_loads(circuit, model);
-    let before = circuit_power(circuit, model, &net_stats).total;
+    let loads = external_loads_compiled(&compiled, model);
+    let mut scratch = Scratch::new();
+    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        compiled.gates()[i].config as usize
+    });
 
     let mut result = circuit.clone();
     let mut changed = 0usize;
+    let mut choices = vec![0usize; compiled.gates().len()];
+    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
     // Depth-first gate list (paper Fig. 3). With the monotonic model any
     // order gives the same answer; we keep the paper's for fidelity.
-    let order = circuit.topological_order().expect("validated circuit");
-    for gid in order {
-        let gate = circuit.gate(gid);
-        let cell = library.cell(&gate.cell).expect("unknown cell");
-        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+    for &gid in compiled.order() {
+        let gate = &compiled.gates()[gid.0];
+        gather_inputs(&compiled, gate, &net_stats, &mut buf);
+        let inputs = &buf[..gate.arity as usize];
         let load = loads[gate.output.0];
-        let (best, worst) =
-            model.best_and_worst(&gate.cell, cell.configurations().len(), &inputs, load);
+        let (best, worst) = model.best_and_worst_by_id(gate.cell, inputs, load, &mut scratch);
         let choice = match objective {
             Objective::MinimizePower => best,
             Objective::MaximizePower => worst,
         };
-        if choice != gate.config {
+        if choice != gate.config as usize {
             changed += 1;
         }
+        choices[gid.0] = choice;
         result.set_config(gid, choice);
     }
-    let after = circuit_power(&result, model, &net_stats).total;
+    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        choices[i]
+    });
     OptimizeResult {
         circuit: result,
         power_before: before,
@@ -128,9 +139,55 @@ pub fn optimize(
     }
 }
 
-/// Parallel variant of [`optimize`]: gates are explored concurrently with
-/// scoped threads. Exact same result as the sequential traversal (per-gate
-/// choices are independent given the net statistics).
+/// Verifies — once per distinct cell, so the cost is a branch per gate
+/// plus a handful of hash probes — that a model's interned id space
+/// matches the library this circuit was compiled against. Guards the
+/// by-id fast paths from silently reading another cell's tables when a
+/// caller mixes models built from different libraries.
+fn assert_cell_ids_aligned(
+    circuit: &Circuit,
+    compiled: &CompiledCircuit,
+    resolve: impl Fn(&tr_gatelib::CellKind) -> Option<tr_gatelib::CellId>,
+    what: &str,
+) {
+    let max_id = compiled.gates().iter().map(|g| g.cell.0).max();
+    let mut checked = vec![false; max_id.map_or(0, |m| m + 1)];
+    for (gate, rg) in circuit.gates().iter().zip(compiled.gates()) {
+        if checked[rg.cell.0] {
+            continue;
+        }
+        assert_eq!(
+            resolve(&gate.cell),
+            Some(rg.cell),
+            "{what} was built from a different library than this circuit"
+        );
+        checked[rg.cell.0] = true;
+    }
+}
+
+/// Copies a gate's input-net statistics into the reusable stack buffer.
+#[inline]
+fn gather_inputs(
+    compiled: &CompiledCircuit,
+    gate: &ResolvedGate,
+    net_stats: &[SignalStats],
+    buf: &mut [SignalStats; MAX_CELL_ARITY],
+) {
+    for (slot, net) in buf.iter_mut().zip(compiled.inputs(gate)) {
+        *slot = net_stats[net.0];
+    }
+}
+
+/// Gates handed to a worker per grab of the shared queue. Small enough to
+/// balance cells with wildly different configuration counts (2 for
+/// `nand2`, 48 for `oai222`), big enough to keep contention negligible.
+const PARALLEL_CHUNK: usize = 32;
+
+/// Parallel variant of [`optimize`]: gates are explored concurrently by
+/// scoped threads pulling fixed-size chunks off a shared atomic queue
+/// (work stealing in all but name — a thread stuck on a run of 48-config
+/// cells simply grabs fewer chunks). Exact same result as the sequential
+/// traversal (per-gate choices are independent given the net statistics).
 ///
 /// # Panics
 ///
@@ -144,40 +201,65 @@ pub fn optimize_parallel(
     threads: usize,
 ) -> OptimizeResult {
     assert!(threads > 0, "need at least one thread");
+    let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
+    assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     let net_stats = propagate(circuit, library, pi_stats);
-    let loads = external_loads(circuit, model);
-    let before = circuit_power(circuit, model, &net_stats).total;
-
-    let n = circuit.gates().len();
-    let mut choices = vec![0usize; n];
-    let chunk = n.div_ceil(threads).max(1);
-    std::thread::scope(|scope| {
-        for (t, slice) in choices.chunks_mut(chunk).enumerate() {
-            let net_stats = &net_stats;
-            let loads = &loads;
-            scope.spawn(move || {
-                let base = t * chunk;
-                for (k, out) in slice.iter_mut().enumerate() {
-                    let gate = &circuit.gates()[base + k];
-                    let cell = library.cell(&gate.cell).expect("unknown cell");
-                    let inputs: Vec<SignalStats> =
-                        gate.inputs.iter().map(|i| net_stats[i.0]).collect();
-                    let load = loads[gate.output.0];
-                    let (best, worst) = model.best_and_worst(
-                        &gate.cell,
-                        cell.configurations().len(),
-                        &inputs,
-                        load,
-                    );
-                    *out = match objective {
-                        Objective::MinimizePower => best,
-                        Objective::MaximizePower => worst,
-                    };
-                }
-            });
-        }
+    let loads = external_loads_compiled(&compiled, model);
+    let mut scratch = Scratch::new();
+    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        compiled.gates()[i].config as usize
     });
 
+    let n = compiled.gates().len();
+    let next = AtomicUsize::new(0);
+    let partials: Vec<Vec<(usize, usize)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let compiled = &compiled;
+                let net_stats = &net_stats;
+                let loads = &loads;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+                    let mut out = Vec::new();
+                    loop {
+                        let start = next.fetch_add(PARALLEL_CHUNK, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for (i, gate) in compiled.gates()[start..(start + PARALLEL_CHUNK).min(n)]
+                            .iter()
+                            .enumerate()
+                        {
+                            gather_inputs(compiled, gate, net_stats, &mut buf);
+                            let (best, worst) = model.best_and_worst_by_id(
+                                gate.cell,
+                                &buf[..gate.arity as usize],
+                                loads[gate.output.0],
+                                &mut scratch,
+                            );
+                            let choice = match objective {
+                                Objective::MinimizePower => best,
+                                Objective::MaximizePower => worst,
+                            };
+                            out.push((start + i, choice));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("optimizer worker panicked"))
+            .collect()
+    });
+
+    let mut choices = vec![0usize; n];
+    for (i, choice) in partials.into_iter().flatten() {
+        choices[i] = choice;
+    }
     let mut result = circuit.clone();
     let mut changed = 0usize;
     for (i, &choice) in choices.iter().enumerate() {
@@ -186,7 +268,9 @@ pub fn optimize_parallel(
         }
         result.set_config(tr_netlist::GateId(i), choice);
     }
-    let after = circuit_power(&result, model, &net_stats).total;
+    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        choices[i]
+    });
     OptimizeResult {
         circuit: result,
         power_before: before,
@@ -217,42 +301,54 @@ pub fn optimize_delay_bounded(
     timing: &TimingModel,
     pi_stats: &[SignalStats],
 ) -> OptimizeResult {
+    let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
+    assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
+    assert_cell_ids_aligned(circuit, &compiled, |k| timing.cell_id(k), "TimingModel");
     let net_stats = propagate(circuit, library, pi_stats);
-    let loads = external_loads(circuit, model);
-    let before = circuit_power(circuit, model, &net_stats).total;
+    let loads = external_loads_compiled(&compiled, model);
+    let mut scratch = Scratch::new();
+    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        compiled.gates()[i].config as usize
+    });
 
     let mut result = circuit.clone();
     let mut changed = 0usize;
-    for (i, gate) in circuit.gates().iter().enumerate() {
-        let cell = library.cell(&gate.cell).expect("unknown cell");
-        let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
+    let mut choices = vec![0usize; compiled.gates().len()];
+    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+    let mut budget = [0.0f64; MAX_CELL_ARITY];
+    for (i, gate) in compiled.gates().iter().enumerate() {
+        let arity = gate.arity as usize;
+        let current = gate.config as usize;
+        gather_inputs(&compiled, gate, &net_stats, &mut buf);
+        let inputs = &buf[..arity];
         let load = loads[gate.output.0];
-        let budget: Vec<f64> = (0..cell.arity())
-            .map(|pin| timing.gate_delay(&gate.cell, gate.config, pin, load))
-            .collect();
-        let mut best = gate.config;
-        let mut best_power = model
-            .gate_power(&gate.cell, gate.config, &inputs, load)
-            .total;
-        for c in 0..cell.configurations().len() {
-            let dominated = (0..cell.arity()).all(|pin| {
-                timing.gate_delay(&gate.cell, c, pin, load) <= budget[pin] * (1.0 + 1e-12)
+        for (pin, slot) in budget.iter_mut().enumerate().take(arity) {
+            *slot = timing.gate_delay_by_id(gate.cell, current, pin, load);
+        }
+        let mut best = current;
+        let mut best_power = model.total_power_into(gate.cell, current, inputs, load, &mut scratch);
+        for c in 0..gate.n_configs as usize {
+            let dominated = (0..arity).all(|pin| {
+                timing.gate_delay_by_id(gate.cell, c, pin, load) <= budget[pin] * (1.0 + 1e-12)
             });
             if !dominated {
                 continue;
             }
-            let p = model.gate_power(&gate.cell, c, &inputs, load).total;
+            let p = model.total_power_into(gate.cell, c, inputs, load, &mut scratch);
             if p < best_power {
                 best_power = p;
                 best = c;
             }
         }
-        if best != gate.config {
+        if best != current {
             changed += 1;
         }
+        choices[i] = best;
         result.set_config(tr_netlist::GateId(i), best);
     }
-    let after = circuit_power(&result, model, &net_stats).total;
+    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+        choices[i]
+    });
     OptimizeResult {
         circuit: result,
         power_before: before,
@@ -327,6 +423,21 @@ mod tests {
     }
 
     #[test]
+    fn mismatched_model_library_is_rejected() {
+        // A model interned against a different library must not silently
+        // read the wrong cell tables through the by-id fast path.
+        let lib = Library::standard();
+        let slim = Library::from_kinds([tr_gatelib::CellKind::Nand(3), tr_gatelib::CellKind::Inv]);
+        let slim_model = PowerModel::new(&slim, Process::default());
+        let c = generators::ripple_carry_adder(2, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 1);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            optimize(&c, &lib, &slim_model, &stats, Objective::MinimizePower)
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
     fn parallel_matches_sequential() {
         let (lib, model, _) = setup();
         let c = generators::array_multiplier(4, &lib);
@@ -394,8 +505,8 @@ mod tests {
         let stats = Scenario::a().input_stats(c.primary_inputs().len(), 23);
         let net_stats = propagate(&c, &lib, &stats);
         let best = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
-        let p_before = circuit_power(&c, &model, &net_stats);
-        let p_after = circuit_power(&best.circuit, &model, &net_stats);
+        let p_before = tr_power::circuit_power(&c, &model, &net_stats);
+        let p_after = tr_power::circuit_power(&best.circuit, &model, &net_stats);
         for (i, (b, a)) in p_before.per_gate.iter().zip(&p_after.per_gate).enumerate() {
             assert!(
                 a.total <= b.total + 1e-18,

@@ -79,9 +79,18 @@ pub fn optimize_slack_aware(
     };
     let mut result = circuit.clone();
     let mut changed = 0usize;
+    let mut scratch = tr_power::Scratch::new();
     for gid in &order {
         let gate = circuit.gate(*gid);
-        let cell = library.cell(&gate.cell).expect("unknown cell");
+        // Each model resolves the kind through its own index, so mixing
+        // models built from different libraries stays safe (worst case: a
+        // panic on an unknown cell, never another cell's tables).
+        let id = model
+            .cell_id(&gate.cell)
+            .unwrap_or_else(|| panic!("unknown cell {}", gate.cell));
+        let tid = timing
+            .cell_id(&gate.cell)
+            .unwrap_or_else(|| panic!("unknown cell {}", gate.cell));
         let load = loads[gate.output.0];
         let inputs: Vec<SignalStats> = gate.inputs.iter().map(|n| net_stats[n.0]).collect();
         let deadline = required[gate.output.0] + eps;
@@ -89,19 +98,19 @@ pub fn optimize_slack_aware(
         let mut best_cfg = gate.config;
         let mut best_power = f64::MAX;
         let mut best_arrival = f64::MAX;
-        for c in 0..cell.configurations().len() {
+        for c in 0..model.n_configs(id) {
             let a = gate
                 .inputs
                 .iter()
                 .enumerate()
                 .map(|(pin, net)| {
-                    arr(*net, &new_arrival, &drivers) + timing.gate_delay(&gate.cell, c, pin, load)
+                    arr(*net, &new_arrival, &drivers) + timing.gate_delay_by_id(tid, c, pin, load)
                 })
                 .fold(0.0f64, f64::max);
             if a > deadline && c != gate.config {
                 continue;
             }
-            let p = model.gate_power(&gate.cell, c, &inputs, load).total;
+            let p = model.total_power_into(id, c, &inputs, load, &mut scratch);
             if p < best_power || (p == best_power && a < best_arrival) {
                 best_power = p;
                 best_cfg = c;
@@ -117,7 +126,7 @@ pub fn optimize_slack_aware(
             .enumerate()
             .map(|(pin, net)| {
                 arr(*net, &new_arrival, &drivers)
-                    + timing.gate_delay(&gate.cell, best_cfg, pin, load)
+                    + timing.gate_delay_by_id(tid, best_cfg, pin, load)
             })
             .fold(0.0f64, f64::max);
         new_arrival.insert(gate.output, committed);

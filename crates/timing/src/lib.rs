@@ -36,7 +36,7 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
-use tr_gatelib::{CellKind, Library, Process};
+use tr_gatelib::{CellId, CellKind, Library, Process};
 use tr_netlist::Circuit;
 use tr_spnet::{Edge, GateGraph, NodeId, TransistorKind};
 
@@ -47,46 +47,73 @@ struct DelayCoeff {
     r_path: f64,
 }
 
+/// Delay data of one cell: coefficients for every configuration,
+/// flattened `[config × arity + pin]`.
+#[derive(Debug, Clone)]
+struct CellTiming {
+    arity: usize,
+    n_configs: usize,
+    coeffs: Vec<DelayCoeff>,
+    /// Per-input gate capacitance (for fanout loads).
+    input_caps: Vec<f64>,
+}
+
 /// Precomputed Elmore delay tables over a library.
+///
+/// Tables are stored dense in [`CellId`] order (the library's cell
+/// order), so lookups through an interned id — the path the compiled
+/// optimizer takes — are plain array indexing; the by-[`CellKind`] API
+/// pays one hash probe.
 #[derive(Debug, Clone)]
 pub struct TimingModel {
     process: Process,
-    /// `(cell, config)` → per-input worst coefficients.
-    tables: HashMap<(CellKind, usize), Vec<DelayCoeff>>,
-    /// Cell → per-input gate capacitance (for fanout loads).
-    input_caps: HashMap<CellKind, Vec<f64>>,
+    cells: Vec<CellTiming>,
+    index: HashMap<CellKind, usize>,
 }
 
 impl TimingModel {
     /// Precomputes delay tables for every configuration of every cell.
     pub fn new(library: &Library, process: Process) -> Self {
-        let mut tables = HashMap::new();
-        let mut input_caps = HashMap::new();
+        let mut cells = Vec::with_capacity(library.cells().len());
+        let mut index = HashMap::new();
         for cell in library.cells() {
             let arity = cell.arity();
-            for ci in 0..cell.configurations().len() {
+            let n_configs = cell.configurations().len();
+            let mut coeffs = Vec::with_capacity(n_configs * arity);
+            for ci in 0..n_configs {
                 let graph = cell.graph(ci);
-                let coeffs: Vec<DelayCoeff> = (0..arity)
-                    .map(|input| worst_coeff(&graph, input, &process))
-                    .collect();
-                tables.insert((cell.kind().clone(), ci), coeffs);
+                coeffs.extend((0..arity).map(|input| worst_coeff(&graph, input, &process)));
             }
             let graph = cell.default_graph();
-            let caps: Vec<f64> = (0..arity)
+            let input_caps: Vec<f64> = (0..arity)
                 .map(|i| process.input_capacitance(graph, i))
                 .collect();
-            input_caps.insert(cell.kind().clone(), caps);
+            index.insert(cell.kind().clone(), cells.len());
+            cells.push(CellTiming {
+                arity,
+                n_configs,
+                coeffs,
+                input_caps,
+            });
         }
         TimingModel {
             process,
-            tables,
-            input_caps,
+            cells,
+            index,
         }
     }
 
     /// The process parameters in use.
     pub fn process(&self) -> &Process {
         &self.process
+    }
+
+    /// Interns a kind into the dense id the by-id fast path takes.
+    ///
+    /// Equals the [`Library::cell_id`] of the library the model was built
+    /// from.
+    pub fn cell_id(&self, cell: &CellKind) -> Option<CellId> {
+        self.index.get(cell).copied().map(CellId)
     }
 
     /// Worst-case (rise/fall) propagation delay from `input` to the output
@@ -98,11 +125,27 @@ impl TimingModel {
     /// Panics if the `(cell, config)` pair is unknown or `input` is out of
     /// range.
     pub fn gate_delay(&self, cell: &CellKind, config: usize, input: usize, load: f64) -> f64 {
-        let coeffs = self
-            .tables
-            .get(&(cell.clone(), config))
+        let id = self
+            .cell_id(cell)
+            .filter(|&id| config < self.cells[id.0].n_configs)
             .unwrap_or_else(|| panic!("unknown cell/config {cell}/{config}"));
-        let c = coeffs[input];
+        self.gate_delay_by_id(id, config, input, load)
+    }
+
+    /// By-id variant of [`TimingModel::gate_delay`] — pure array indexing
+    /// for the compiled optimizer's delay-bounded inner loop.
+    ///
+    /// The id must come from this model's library (equivalently, from
+    /// [`TimingModel::cell_id`]); ids interned against a different
+    /// library index other cells' tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id, `config` or `input` is out of range.
+    pub fn gate_delay_by_id(&self, cell: CellId, config: usize, input: usize, load: f64) -> f64 {
+        let ct = &self.cells[cell.0];
+        assert!(input < ct.arity, "input {input} out of range");
+        let c = ct.coeffs[config * ct.arity + input];
         c.base + c.r_path * load
     }
 
@@ -110,8 +153,12 @@ impl TimingModel {
     pub fn external_loads(&self, circuit: &Circuit) -> Vec<f64> {
         let mut loads = vec![0.0f64; circuit.net_count()];
         for gate in circuit.gates() {
+            let ct = &self.cells[*self
+                .index
+                .get(&gate.cell)
+                .unwrap_or_else(|| panic!("unknown cell {}", gate.cell))];
             for (pin, net) in gate.inputs.iter().enumerate() {
-                loads[net.0] += self.input_caps[&gate.cell][pin];
+                loads[net.0] += ct.input_caps[pin];
             }
         }
         loads
@@ -306,6 +353,26 @@ mod tests {
                 fastest, top_input,
                 "config {c}: delays {delays:?}, topo {topo}"
             );
+        }
+    }
+
+    #[test]
+    fn by_id_delay_matches_by_kind() {
+        let lib = Library::standard();
+        let t = timing();
+        for cell in lib.cells() {
+            let id = t.cell_id(cell.kind()).unwrap();
+            assert_eq!(id, lib.cell_id(cell.kind()).unwrap());
+            for c in 0..cell.configurations().len() {
+                for pin in 0..cell.arity() {
+                    assert_eq!(
+                        t.gate_delay(cell.kind(), c, pin, 7.0e-15),
+                        t.gate_delay_by_id(id, c, pin, 7.0e-15),
+                        "{} config {c} pin {pin}",
+                        cell.name()
+                    );
+                }
+            }
         }
     }
 

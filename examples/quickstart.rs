@@ -19,6 +19,10 @@ fn main() {
     let adder = generators::ripple_carry_adder(8, &lib);
     println!("circuit: {adder}");
 
+    // Use every core: the parallel traversal returns exactly the same
+    // result as the sequential one (per-gate choices are independent).
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+
     for (name, scenario) in [
         ("A (random stats)", Scenario::a()),
         ("B (latched)", Scenario::b()),
@@ -26,9 +30,23 @@ fn main() {
         let stats = scenario.input_stats(adder.primary_inputs().len(), 7);
 
         // 3. One traversal picks the best ordering for every gate…
-        let best = optimize(&adder, &lib, &model, &stats, Objective::MinimizePower);
+        let best = optimize_parallel(
+            &adder,
+            &lib,
+            &model,
+            &stats,
+            Objective::MinimizePower,
+            threads,
+        );
         // …and the worst ordering bounds the technique's headroom.
-        let worst = optimize(&adder, &lib, &model, &stats, Objective::MaximizePower);
+        let worst = optimize_parallel(
+            &adder,
+            &lib,
+            &model,
+            &stats,
+            Objective::MaximizePower,
+            threads,
+        );
 
         // 4. Validate with the switch-level simulator.
         let sim_cfg = SimConfig {

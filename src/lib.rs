@@ -65,10 +65,15 @@ pub use tr_timing as timing;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use tr_boolean::{sop, BoolFn, Expr, SignalStats};
-    pub use tr_gatelib::{Cell, CellKind, Library, Process, FEMTO};
-    pub use tr_netlist::{bench, blif, generators, map, suite, Circuit, GateId, NetId};
+    pub use tr_gatelib::{Cell, CellId, CellKind, Library, Process, FEMTO};
+    pub use tr_netlist::{
+        bench, blif, generators, map, suite, Circuit, CompiledCircuit, GateId, NetId, ResolvedGate,
+    };
     pub use tr_power::scenario::Scenario;
-    pub use tr_power::{circuit_power, monte, propagate, propagate_exact, PowerModel};
+    pub use tr_power::{
+        circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, monte,
+        propagate, propagate_exact, PowerModel, Scratch,
+    };
     pub use tr_reorder::{
         delay_power_tradeoff, instance_demand, optimize, optimize_delay_bounded, optimize_parallel,
         optimize_slack_aware, InstanceDemand, Objective, OptimizeResult,

@@ -54,6 +54,8 @@ OPTIONS (optimize/analyze):
   --seed N              RNG seed for scenario A and the simulator
   --objective min|max   minimize (default) or maximize power
   --delay-bound MODE    none (default) | local | slack
+  --threads N           optimizer worker threads (default: all cores;
+                        applies to --delay-bound none)
   --simulate            validate with the switch-level simulator
   --vcd FILE            dump a simulation waveform (implies --simulate)
   --out FILE            write the optimized netlist (native format)
@@ -66,9 +68,15 @@ struct Options {
     seed: u64,
     objective: Objective,
     delay_bound: String,
+    threads: usize,
     simulate: bool,
     vcd: Option<String>,
     out: Option<String>,
+}
+
+/// Default worker count: everything the machine offers.
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -78,6 +86,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         seed: 1,
         objective: Objective::MinimizePower,
         delay_bound: "none".into(),
+        threads: default_threads(),
         simulate: false,
         vcd: None,
         out: None,
@@ -112,6 +121,16 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     return Err(format!("bad --delay-bound `{v}`"));
                 }
                 opts.delay_bound = v.clone();
+            }
+            "--threads" => {
+                opts.threads = it
+                    .next()
+                    .ok_or("missing value for --threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be at least 1".into());
+                }
             }
             "--simulate" => opts.simulate = true,
             "--vcd" => {
@@ -167,7 +186,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         ("slack", Objective::MinimizePower) => {
             optimize_slack_aware(&circuit, &library, &model, &timing, &stats, 0.0)
         }
-        ("none", obj) => optimize(&circuit, &library, &model, &stats, obj),
+        ("none", obj) => optimize_parallel(&circuit, &library, &model, &stats, obj, opts.threads),
         (bound, _) => {
             return Err(format!(
                 "--delay-bound {bound} only supports --objective min"

@@ -104,7 +104,7 @@ fn model_vs_simulator_rank_agreement_on_single_gates() {
         let stats: Vec<SignalStats> = (0..cell.arity())
             .map(|i| SignalStats::new(0.5, 10f64.powi(4 + (i % 3) as i32)))
             .collect();
-        let (best, worst) = model.best_and_worst(cell.kind(), n_cfg, &stats, 4.0e-15);
+        let (best, worst) = model.best_and_worst(cell.kind(), &stats, 4.0e-15);
         if best == worst {
             continue;
         }

@@ -26,8 +26,8 @@ fn table1_best_ordering_flips_with_activity() {
         .map(|&d| SignalStats::new(0.5, d))
         .collect();
     let load = 8.0 * FEMTO;
-    let (best1, worst1) = model.best_and_worst(cell.kind(), n, &case1, load);
-    let (best2, _) = model.best_and_worst(cell.kind(), n, &case2, load);
+    let (best1, worst1) = model.best_and_worst(cell.kind(), &case1, load);
+    let (best2, _) = model.best_and_worst(cell.kind(), &case2, load);
     assert_ne!(best1, best2, "the winner must flip between the two cases");
 
     let p_best = model.gate_power(cell.kind(), best1, &case1, load).total;
@@ -59,7 +59,7 @@ fn power_and_delay_rules_conflict() {
         SignalStats::new(0.5, 1.0e4),
     ];
     let load = 6.0 * FEMTO;
-    let (best_power, _) = model.best_and_worst(cell.kind(), n, &stats, load);
+    let (best_power, _) = model.best_and_worst(cell.kind(), &stats, load);
     // Fastest configuration *for the critical input 2*.
     let best_delay_crit = (0..n)
         .min_by(|&a, &b| {

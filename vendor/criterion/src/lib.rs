@@ -7,10 +7,30 @@
 //! simple wall-clock harness: a short warm-up, then timed batches until a
 //! measurement budget is spent, reporting mean ns/iter to stdout. There
 //! is no statistical analysis or HTML report — just honest numbers.
+//!
+//! One extra borrowed from upstream: `--save-baseline <path>` (upstream
+//! takes a name, we take a file path) writes every measurement of the run
+//! as machine-readable JSON, so CI can archive benchmark baselines (e.g.
+//! `BENCH_PR2.json`) and track the performance trajectory across PRs:
+//!
+//! ```text
+//! cargo bench -p tr-bench --bench perf -- --save-baseline BENCH_PR2.json
+//! ```
 
 #![forbid(unsafe_code)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One finished measurement, queued for baseline serialization.
+struct Measurement {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+/// Measurements of the current process, in execution order.
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 /// How `iter_batched` amortizes setup cost (accepted, not acted upon).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,8 +105,43 @@ impl Criterion {
             b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
         };
         println!("{name:<40} {mean_ns:>14.1} ns/iter ({} iters)", b.iters);
+        RESULTS
+            .lock()
+            .expect("benchmark registry poisoned")
+            .push(Measurement {
+                name: name.to_string(),
+                mean_ns,
+                iters: b.iters,
+            });
         self
     }
+}
+
+/// Handles CLI post-processing after all groups ran (called by
+/// [`criterion_main!`]): `--save-baseline <path>` serializes every
+/// measurement of the run as JSON.
+pub fn finish() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(pos) = args.iter().position(|a| a == "--save-baseline") else {
+        return;
+    };
+    let path = args
+        .get(pos + 1)
+        .expect("--save-baseline needs a file path");
+    let results = RESULTS.lock().expect("benchmark registry poisoned");
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"iters\": {}}}{}\n",
+            m.name.replace('\\', "\\\\").replace('"', "\\\""),
+            m.mean_ns,
+            m.iters,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(path, json).expect("write benchmark baseline");
+    eprintln!("baseline → {path}");
 }
 
 /// Groups benchmark functions under one entry point.
@@ -100,12 +155,31 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares `main` running the given groups.
+/// Declares `main` running the given groups, then handling baseline
+/// serialization (`--save-baseline <path>`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finish();
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_measurements() {
+        Criterion::default().bench_function("shim_smoke", |b| b.iter(|| std::hint::black_box(2)));
+        let results = RESULTS.lock().expect("registry");
+        let m = results
+            .iter()
+            .find(|m| m.name == "shim_smoke")
+            .expect("measurement recorded");
+        assert!(m.iters > 0);
+        assert!(m.mean_ns >= 0.0);
+    }
 }
