@@ -1,16 +1,19 @@
-//! Criterion performance benches (P1–P4 of DESIGN.md):
+//! Criterion performance benches (P1–P4 of DESIGN.md, plus P5):
 //!
 //! * P1 — per-gate power-model evaluation (the optimizer's inner loop);
 //! * P2 — exhaustive reordering enumeration of the largest cell;
 //! * P3 — whole-circuit optimization (Fig. 3 traversal), sequential and
 //!   parallel;
-//! * P4 — switch-level simulator event throughput.
+//! * P4 — switch-level simulator event throughput;
+//! * P5 — batch-runner throughput (circuits × scenarios grid on the
+//!   work-stealing pool).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tr_bench::Harness;
 use tr_boolean::SignalStats;
+use tr_flow::{BatchJob, BatchRunner, Flow, ScenarioSpec};
 use tr_gatelib::CellKind;
-use tr_netlist::generators;
+use tr_netlist::{generators, Circuit};
 use tr_power::scenario::Scenario;
 use tr_reorder::{optimize, optimize_parallel, Objective};
 use tr_sim::{simulate, SimConfig};
@@ -124,11 +127,35 @@ fn p4_simulator(c: &mut Criterion) {
     });
 }
 
+fn p5_batch(c: &mut Criterion) {
+    let h = Harness::new();
+    let jobs: Vec<BatchJob> = vec![
+        BatchJob::from_circuit("rca8", generators::ripple_carry_adder(8, &h.library)),
+        BatchJob::from_circuit("parity8", generators::parity_tree(8, &h.library)),
+        BatchJob::from_circuit("mux8", generators::mux_tree(3, &h.library)),
+        BatchJob::from_circuit("dec4", generators::decoder(4, &h.library)),
+    ];
+    let matrix = vec![
+        ScenarioSpec::a(1),
+        ScenarioSpec::a(2),
+        ScenarioSpec::b(2.0e7),
+        ScenarioSpec::b(5.0e7),
+    ];
+    let template = Flow::from_circuit(Circuit::new("template"));
+    for threads in [1usize, 4] {
+        c.bench_function(&format!("p5_batch_4x4_grid_threads{threads}"), |b| {
+            let runner = BatchRunner::new(template.clone()).threads(threads);
+            b.iter(|| std::hint::black_box(runner.run(&h, &jobs, &matrix, |_| {})))
+        });
+    }
+}
+
 criterion_group!(
     benches,
     p1_gate_power,
     p2_enumeration,
     p3_optimize,
-    p4_simulator
+    p4_simulator,
+    p5_batch
 );
 criterion_main!(benches);

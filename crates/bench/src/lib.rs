@@ -10,53 +10,24 @@
 //! | `table3_benchmarks` | Table 3 + Fig. 6 scenarios |
 //! | `ablation_model` | model ablations (ours) |
 //!
-//! This library holds the Table 3 row pipeline so it can be unit-tested
-//! and reused by the Criterion benches.
+//! Since PR 3 the pipeline itself lives in `tr-flow`: the [`Harness`] is
+//! `tr_flow::FlowEnv` under its historical name, and [`table3_row`] is a
+//! thin adapter from a [`tr_flow::FlowReport`] to the paper's Table 3
+//! columns. This library keeps the table renderers and the JSON artifact
+//! writers so they can be unit-tested and reused by the Criterion
+//! benches.
 
 #![forbid(unsafe_code)]
 
 use tr_boolean::SignalStats;
-use tr_gatelib::{Library, Process};
+use tr_flow::json::{json_f64, json_string};
+use tr_flow::{DurationPolicy, Flow, SimOptions};
 use tr_netlist::Circuit;
 use tr_power::scenario::Scenario;
-use tr_power::PowerModel;
-use tr_reorder::{optimize, Objective};
-use tr_sim::{simulate, SimConfig};
-use tr_timing::TimingModel;
 
-/// Everything the experiments need, constructed once.
-pub struct Harness {
-    /// The Table 2 cell library.
-    pub library: Library,
-    /// Process parameters.
-    pub process: Process,
-    /// The extended power model.
-    pub model: PowerModel,
-    /// The Elmore timing model.
-    pub timing: TimingModel,
-}
-
-impl Harness {
-    /// Builds the standard harness.
-    pub fn new() -> Self {
-        let library = Library::standard();
-        let process = Process::default();
-        let model = PowerModel::new(&library, process.clone());
-        let timing = TimingModel::new(&library, process.clone());
-        Harness {
-            library,
-            process,
-            model,
-            timing,
-        }
-    }
-}
-
-impl Default for Harness {
-    fn default() -> Self {
-        Self::new()
-    }
-}
+/// Everything the experiments need, constructed once. The historical
+/// name of [`tr_flow::FlowEnv`] — same fields, same construction.
+pub use tr_flow::FlowEnv as Harness;
 
 /// One row of the Table 3 reproduction.
 #[derive(Debug, Clone)]
@@ -80,7 +51,8 @@ pub struct Table3Row {
 
 impl Table3Row {
     /// Serializes the row as a JSON object (no external serializer in the
-    /// offline build environment, so this is hand-rolled).
+    /// offline build environment, so this is hand-rolled via
+    /// [`tr_flow::json`]).
     pub fn to_json(&self) -> String {
         format!(
             concat!(
@@ -96,32 +68,6 @@ impl Table3Row {
             json_f64(self.sim_power_best),
             json_f64(self.sim_power_worst),
         )
-    }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
     }
 }
 
@@ -147,18 +93,14 @@ pub fn table3_json(results: &std::collections::BTreeMap<String, Vec<Table3Row>>)
 
 /// Simulation length heuristics: long enough for each input to toggle a
 /// few thousand times, bounded so the whole suite stays laptop-scale.
+/// (The policy itself lives in [`tr_flow::sim_duration`].)
 pub fn sim_duration(stats: &[SignalStats], quick: bool) -> f64 {
-    let max_d = stats
-        .iter()
-        .map(SignalStats::density)
-        .fold(0.0f64, f64::max)
-        .max(1.0);
-    let target_toggles = if quick { 400.0 } else { 2000.0 };
-    (target_toggles / max_d).clamp(1.0e-6, 1.0e-2)
+    tr_flow::sim_duration(stats, if quick { 400.0 } else { 2000.0 })
 }
 
-/// Computes one Table 3 row: optimize for best and worst power, measure
-/// both with the switch-level simulator, and compare delays.
+/// Computes one Table 3 row by running the standard flow — optimize for
+/// best and worst power, measure both with the switch-level simulator,
+/// compare delays — and projecting the report onto the paper's columns.
 pub fn table3_row(
     harness: &Harness,
     name: &str,
@@ -167,61 +109,30 @@ pub fn table3_row(
     seed: u64,
     quick: bool,
 ) -> Table3Row {
-    let stats = scenario.input_stats(circuit.primary_inputs().len(), seed);
-    let best = optimize(
-        circuit,
-        &harness.library,
-        &harness.model,
-        &stats,
-        Objective::MinimizePower,
-    );
-    let worst = optimize(
-        circuit,
-        &harness.library,
-        &harness.model,
-        &stats,
-        Objective::MaximizePower,
-    );
-    let model_reduction =
-        100.0 * (worst.power_after - best.power_after) / worst.power_after.max(f64::MIN_POSITIVE);
-
-    let duration = sim_duration(&stats, quick);
-    let config = SimConfig {
-        duration,
-        warmup: duration * 0.1,
-        seed: seed ^ 0x5151,
-    };
-    let sim_best = simulate(
-        &best.circuit,
-        &harness.library,
-        &harness.process,
-        &harness.timing,
-        &stats,
-        &config,
-    );
-    let sim_worst = simulate(
-        &worst.circuit,
-        &harness.library,
-        &harness.process,
-        &harness.timing,
-        &stats,
-        &config,
-    );
-    let sim_reduction =
-        100.0 * (sim_worst.power - sim_best.power) / sim_worst.power.max(f64::MIN_POSITIVE);
-
-    let delay_orig = tr_timing::critical_path_delay(circuit, &harness.timing);
-    let delay_best = tr_timing::critical_path_delay(&best.circuit, &harness.timing);
-    let delay_increase = 100.0 * (delay_best - delay_orig) / delay_orig.max(f64::MIN_POSITIVE);
-
+    let report = Flow::from_circuit(circuit.clone())
+        .scenario(scenario, seed)
+        .simulate(SimOptions {
+            duration: DurationPolicy::Auto {
+                target_toggles: if quick { 400.0 } else { 2000.0 },
+            },
+            warmup_frac: 0.1,
+            seed: seed ^ 0x5151,
+            baseline: false,
+        })
+        .run(harness)
+        .expect("in-memory suite circuits always flow");
+    let sim = report.sim.expect("simulation was requested");
     Table3Row {
         name: name.to_string(),
-        gates: circuit.gates().len(),
-        model_reduction,
-        sim_reduction,
-        delay_increase,
-        sim_power_best: sim_best.power,
-        sim_power_worst: sim_worst.power,
+        gates: report.gates,
+        model_reduction: report
+            .power
+            .headroom_percent
+            .expect("headroom pass is on by default"),
+        sim_reduction: sim.reduction_percent.expect("worst ordering was simulated"),
+        delay_increase: report.delay.increase_percent,
+        sim_power_best: sim.optimized_w,
+        sim_power_worst: sim.worst_w.expect("worst ordering was simulated"),
     }
 }
 
@@ -271,6 +182,66 @@ mod tests {
         assert!(
             row.sim_reduction > -5.0,
             "simulator strongly disagrees: {row:?}"
+        );
+    }
+
+    #[test]
+    fn table3_row_equals_direct_pipeline() {
+        // The flow-based row must reproduce the hand-rolled pipeline it
+        // replaced, float for float.
+        let h = Harness::new();
+        let c = generators::parity_tree(8, &h.library);
+        let seed = 11u64;
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), seed);
+        let best = tr_reorder::optimize(
+            &c,
+            &h.library,
+            &h.model,
+            &stats,
+            tr_reorder::Objective::MinimizePower,
+        );
+        let worst = tr_reorder::optimize(
+            &c,
+            &h.library,
+            &h.model,
+            &stats,
+            tr_reorder::Objective::MaximizePower,
+        );
+        let duration = sim_duration(&stats, true);
+        let config = tr_sim::SimConfig {
+            duration,
+            warmup: duration * 0.1,
+            seed: seed ^ 0x5151,
+        };
+        let sim_best = tr_sim::simulate(
+            &best.circuit,
+            &h.library,
+            &h.process,
+            &h.timing,
+            &stats,
+            &config,
+        );
+        let sim_worst = tr_sim::simulate(
+            &worst.circuit,
+            &h.library,
+            &h.process,
+            &h.timing,
+            &stats,
+            &config,
+        );
+        let row = table3_row(&h, "parity8", &c, Scenario::a(), seed, true);
+        assert_eq!(
+            row.model_reduction,
+            100.0 * (worst.power_after - best.power_after)
+                / worst.power_after.max(f64::MIN_POSITIVE)
+        );
+        assert_eq!(row.sim_power_best, sim_best.power);
+        assert_eq!(row.sim_power_worst, sim_worst.power);
+        let d0 = tr_timing::critical_path_delay(&c, &h.timing);
+        let d1 = tr_timing::critical_path_delay(&best.circuit, &h.timing);
+        assert_eq!(
+            row.delay_increase,
+            100.0 * (d1 - d0) / d0.max(f64::MIN_POSITIVE)
         );
     }
 

@@ -1,0 +1,42 @@
+//! The shared substrate every flow runs against.
+
+use tr_gatelib::{Library, Process};
+use tr_power::PowerModel;
+use tr_timing::TimingModel;
+
+/// Library, process and compiled models, constructed once and shared by
+/// any number of [`Flow`](crate::Flow) runs (and across batch threads —
+/// everything here is immutable after construction).
+pub struct FlowEnv {
+    /// The Table 2 cell library.
+    pub library: Library,
+    /// Process parameters.
+    pub process: Process,
+    /// The extended power model, compiled against `library`.
+    pub model: PowerModel,
+    /// The Elmore timing model, compiled against `library`.
+    pub timing: TimingModel,
+}
+
+impl FlowEnv {
+    /// Builds the standard environment: `Library::standard()` +
+    /// `Process::default()` and both models compiled against them.
+    pub fn new() -> Self {
+        let library = Library::standard();
+        let process = Process::default();
+        let model = PowerModel::new(&library, process.clone());
+        let timing = TimingModel::new(&library, process.clone());
+        FlowEnv {
+            library,
+            process,
+            model,
+            timing,
+        }
+    }
+}
+
+impl Default for FlowEnv {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,202 @@
+//! The one error type of the pipeline.
+//!
+//! Every failure a flow can hit — I/O, the three netlist parsers, circuit
+//! validation, signal-statistics construction, Boolean arity mixups, bad
+//! user input — converges here, with `From` impls so `?` works across
+//! every crate boundary and [`std::error::Error::source`] chaining so
+//! callers can still reach the original error.
+
+use std::fmt;
+use std::path::PathBuf;
+
+use tr_boolean::{ArityError, StatsError};
+use tr_netlist::bench::ParseError;
+use tr_netlist::blif::BlifError;
+use tr_netlist::format::FormatError;
+use tr_netlist::CircuitError;
+
+/// Any failure of the netlist → report pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Reading or writing a file failed.
+    Io {
+        /// The file involved.
+        path: PathBuf,
+        /// The underlying OS error.
+        source: std::io::Error,
+    },
+    /// An ISCAS `.bench` document failed to parse.
+    Bench(ParseError),
+    /// A `.blif` document failed to parse.
+    Blif(BlifError),
+    /// A native `.trnet` document failed to parse or validate.
+    Format(FormatError),
+    /// A circuit failed structural validation.
+    Circuit(CircuitError),
+    /// Signal statistics were numerically invalid.
+    Stats(StatsError),
+    /// Boolean functions of mismatched arity were combined.
+    Arity(ArityError),
+    /// The netlist format could not be inferred from the file name.
+    UnknownFormat(PathBuf),
+    /// The number of supplied input statistics does not match the
+    /// circuit's primary-input count.
+    StatsMismatch {
+        /// Primary inputs of the circuit.
+        expected: usize,
+        /// Statistics supplied.
+        got: usize,
+    },
+    /// The requested option combination is not supported (e.g. a delay
+    /// bound with `--objective max`).
+    Unsupported(String),
+    /// Some cells of a batch run failed (each already reported on
+    /// stderr by the driver).
+    Batch {
+        /// Failed (circuit, scenario) cells.
+        failed: usize,
+        /// Total cells in the grid.
+        total: usize,
+    },
+    /// The invocation itself was malformed (bad flag, missing argument).
+    /// CLI front ends map this to a distinct exit code.
+    Usage(String),
+}
+
+impl Error {
+    /// Whether this is a usage error (caller-side, exit code 2) rather
+    /// than a pipeline failure (data-side, exit code 1).
+    pub fn is_usage(&self) -> bool {
+        matches!(self, Error::Usage(_))
+    }
+
+    /// Convenience constructor for I/O failures with path context.
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Error::Bench(e) => write!(f, "bench {e}"),
+            Error::Blif(e) => write!(f, "{e}"),
+            Error::Format(e) => write!(f, "{e}"),
+            Error::Circuit(e) => write!(f, "invalid circuit: {e}"),
+            Error::Stats(e) => write!(f, "invalid statistics: {e}"),
+            Error::Arity(e) => write!(f, "{e}"),
+            Error::UnknownFormat(path) => write!(
+                f,
+                "{}: cannot infer netlist format (expected .bench, .blif or .trnet)",
+                path.display()
+            ),
+            Error::StatsMismatch { expected, got } => write!(
+                f,
+                "circuit has {expected} primary inputs but {got} input statistics were supplied"
+            ),
+            Error::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Error::Batch { failed, total } => {
+                write!(f, "batch: {failed} of {total} runs failed")
+            }
+            Error::Usage(what) => write!(f, "{what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            Error::Bench(e) => Some(e),
+            Error::Blif(e) => Some(e),
+            Error::Format(e) => Some(e),
+            Error::Circuit(e) => Some(e),
+            Error::Stats(e) => Some(e),
+            Error::Arity(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(e: ParseError) -> Self {
+        Error::Bench(e)
+    }
+}
+
+impl From<BlifError> for Error {
+    fn from(e: BlifError) -> Self {
+        Error::Blif(e)
+    }
+}
+
+impl From<FormatError> for Error {
+    fn from(e: FormatError) -> Self {
+        Error::Format(e)
+    }
+}
+
+impl From<CircuitError> for Error {
+    fn from(e: CircuitError) -> Self {
+        Error::Circuit(e)
+    }
+}
+
+impl From<StatsError> for Error {
+    fn from(e: StatsError) -> Self {
+        Error::Stats(e)
+    }
+}
+
+impl From<ArityError> for Error {
+    fn from(e: ArityError) -> Self {
+        Error::Arity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn usage_classification() {
+        assert!(Error::Usage("bad flag".into()).is_usage());
+        assert!(!Error::Unsupported("x".into()).is_usage());
+        assert!(!Error::io("f", std::io::Error::other("gone")).is_usage());
+    }
+
+    #[test]
+    fn sources_chain() {
+        let e: Error = CircuitError::Cycle.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("cycle"));
+        let e = Error::io("missing.bench", std::io::Error::other("no such file"));
+        assert!(e.to_string().contains("missing.bench"));
+    }
+
+    #[test]
+    fn from_impls_cover_every_parser() {
+        let _: Error = ParseError {
+            line: 1,
+            message: "x".into(),
+        }
+        .into();
+        let _: Error = BlifError {
+            line: 1,
+            message: "x".into(),
+        }
+        .into();
+        let _: Error = FormatError {
+            line: 1,
+            message: "x".into(),
+        }
+        .into();
+        let _: Error = StatsError::InvalidDensity(-1.0).into();
+        let _: Error = ArityError { left: 2, right: 3 }.into();
+    }
+}

@@ -1,0 +1,729 @@
+//! The typed pipeline builder: declare *what* to run, then [`Flow::run`]
+//! executes parse → map → propagate → reorder → re-time → (optionally)
+//! simulate → (optionally) write, and returns a structured
+//! [`FlowReport`].
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use crate::env::FlowEnv;
+use crate::error::Error;
+use crate::report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
+use crate::source::Source;
+use tr_boolean::SignalStats;
+use tr_netlist::map::MapOptions;
+use tr_netlist::{format, Circuit};
+use tr_power::scenario::Scenario;
+use tr_power::{circuit_power, propagate, Scratch};
+use tr_reorder::{
+    optimize_delay_bounded, optimize_parallel, optimize_slack_aware, optimize_with_scratch,
+    Objective, OptimizeResult,
+};
+use tr_sim::{simulate, simulate_traced, vcd, InputDrive, SimConfig};
+use tr_timing::critical_path_delay;
+
+/// Delay-bounding mode of the optimization stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DelayBound {
+    /// Power only; the critical path may grow (paper Table 3).
+    #[default]
+    Unbounded,
+    /// No gate may get slower on any pin (paper §6, local condition).
+    Local,
+    /// The critical path may not grow; off-critical gates spend their
+    /// slack (paper §6, global condition).
+    Slack,
+}
+
+impl DelayBound {
+    /// The CLI/report spelling (`none`, `local`, `slack`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DelayBound::Unbounded => "none",
+            DelayBound::Local => "local",
+            DelayBound::Slack => "slack",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    pub fn parse(s: &str) -> Result<Self, Error> {
+        match s {
+            "none" => Ok(DelayBound::Unbounded),
+            "local" => Ok(DelayBound::Local),
+            "slack" => Ok(DelayBound::Slack),
+            other => Err(Error::Usage(format!("bad --delay-bound `{other}`"))),
+        }
+    }
+}
+
+/// How long to simulate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DurationPolicy {
+    /// Long enough for the busiest input to toggle ~`target_toggles`
+    /// times, clamped to `[1 µs, 10 ms]`.
+    Auto {
+        /// Toggle budget for the busiest input.
+        target_toggles: f64,
+    },
+    /// Exactly this many seconds.
+    Fixed(f64),
+}
+
+/// Switch-level validation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOptions {
+    /// Simulated time span.
+    pub duration: DurationPolicy,
+    /// Fraction of the duration discarded as warm-up.
+    pub warmup_frac: f64,
+    /// Waveform seed.
+    pub seed: u64,
+    /// Also simulate the circuit as loaded (for before/after
+    /// comparisons).
+    pub baseline: bool,
+}
+
+impl SimOptions {
+    /// Quick validation: ~400 toggles of the busiest input, 10 % warm-up.
+    pub fn quick(seed: u64) -> Self {
+        SimOptions {
+            duration: DurationPolicy::Auto {
+                target_toggles: 400.0,
+            },
+            warmup_frac: 0.1,
+            seed,
+            baseline: false,
+        }
+    }
+
+    /// Thorough validation: ~2000 toggles, 10 % warm-up.
+    pub fn thorough(seed: u64) -> Self {
+        SimOptions {
+            duration: DurationPolicy::Auto {
+                target_toggles: 2000.0,
+            },
+            warmup_frac: 0.1,
+            seed,
+            baseline: false,
+        }
+    }
+
+    /// Also simulate the unoptimized circuit.
+    pub fn with_baseline(mut self) -> Self {
+        self.baseline = true;
+        self
+    }
+}
+
+/// Picks a simulation span long enough for the busiest input to toggle
+/// about `target_toggles` times, bounded to keep whole-suite runs
+/// laptop-scale.
+pub fn sim_duration(stats: &[SignalStats], target_toggles: f64) -> f64 {
+    let max_d = stats
+        .iter()
+        .map(SignalStats::density)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    (target_toggles / max_d).clamp(1.0e-6, 1.0e-2)
+}
+
+/// Where the input statistics come from.
+#[derive(Debug, Clone)]
+enum StatsSpec {
+    /// Draw from one of the paper's scenarios with this seed.
+    Scenario { scenario: Scenario, seed: u64 },
+    /// Caller-supplied, one entry per primary input.
+    Explicit(Vec<SignalStats>),
+}
+
+/// A declarative, reusable description of one pipeline run.
+///
+/// ```
+/// use tr_flow::{Flow, FlowEnv};
+/// use tr_netlist::generators;
+/// use tr_power::scenario::Scenario;
+///
+/// let env = FlowEnv::new();
+/// let adder = generators::ripple_carry_adder(4, &env.library);
+/// let report = Flow::from_circuit(adder)
+///     .scenario(Scenario::a(), 42)
+///     .run(&env)
+///     .unwrap();
+/// assert!(report.power.headroom_percent.unwrap() > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Flow {
+    source: Source,
+    map_options: MapOptions,
+    stats: StatsSpec,
+    objective: Objective,
+    delay_bound: DelayBound,
+    threads: usize,
+    headroom: bool,
+    sim: Option<SimOptions>,
+    vcd: Option<PathBuf>,
+    out: Option<PathBuf>,
+    per_gate: bool,
+}
+
+impl Flow {
+    fn new(source: Source) -> Self {
+        Flow {
+            source,
+            map_options: MapOptions::default(),
+            stats: StatsSpec::Scenario {
+                scenario: Scenario::a(),
+                seed: 1,
+            },
+            objective: Objective::MinimizePower,
+            delay_bound: DelayBound::Unbounded,
+            threads: 1,
+            headroom: true,
+            sim: None,
+            vcd: None,
+            out: None,
+            per_gate: false,
+        }
+    }
+
+    /// A flow reading (and format-auto-detecting) a netlist file.
+    pub fn open(path: impl Into<PathBuf>) -> Self {
+        Flow::new(Source::Path(path.into()))
+    }
+
+    /// A flow over an already-mapped circuit.
+    pub fn from_circuit(circuit: Circuit) -> Self {
+        Flow::new(Source::Circuit(circuit))
+    }
+
+    /// A flow over any [`Source`].
+    pub fn from_source(source: Source) -> Self {
+        Flow::new(source)
+    }
+
+    /// Replaces the source, keeping every other setting — for reusing
+    /// one configured flow across several netlists.
+    pub fn with_source(mut self, source: Source) -> Self {
+        self.source = source;
+        self
+    }
+
+    /// Technology-mapper options for `.bench`/`.blif` sources.
+    pub fn map_options(mut self, options: MapOptions) -> Self {
+        self.map_options = options;
+        self
+    }
+
+    /// Draw input statistics from a paper scenario with this seed.
+    pub fn scenario(mut self, scenario: Scenario, seed: u64) -> Self {
+        self.stats = StatsSpec::Scenario { scenario, seed };
+        self
+    }
+
+    /// Use explicit input statistics (one per primary input).
+    pub fn input_stats(mut self, stats: Vec<SignalStats>) -> Self {
+        self.stats = StatsSpec::Explicit(stats);
+        self
+    }
+
+    /// Optimization objective (default: minimize power).
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Delay-bounding mode (default: unbounded).
+    pub fn delay_bound(mut self, bound: DelayBound) -> Self {
+        self.delay_bound = bound;
+        self
+    }
+
+    /// Optimizer worker threads (default 1; >1 uses the parallel
+    /// work-queue traversal, identical results).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Whether to also run the opposite objective to measure best-vs-
+    /// worst headroom (default on; only available unbounded).
+    pub fn headroom(mut self, on: bool) -> Self {
+        self.headroom = on;
+        self
+    }
+
+    /// Validate with the switch-level simulator.
+    pub fn simulate(mut self, options: SimOptions) -> Self {
+        self.sim = Some(options);
+        self
+    }
+
+    /// Dump a simulation waveform of the optimized circuit (implies
+    /// nothing about `simulate`; set both).
+    pub fn vcd(mut self, path: impl Into<PathBuf>) -> Self {
+        self.vcd = Some(path.into());
+        self
+    }
+
+    /// Write the optimized netlist in the native `.trnet` format.
+    pub fn write_netlist(mut self, path: impl Into<PathBuf>) -> Self {
+        self.out = Some(path.into());
+        self
+    }
+
+    /// Include per-gate power/configuration rows in the report.
+    pub fn per_gate(mut self, on: bool) -> Self {
+        self.per_gate = on;
+        self
+    }
+
+    /// The configured mapper options (the batch runner's pre-load pass
+    /// needs them without consuming the template).
+    pub(crate) fn map_options_value(&self) -> &MapOptions {
+        &self.map_options
+    }
+
+    /// Whether this flow writes `--out`/`--vcd` artifacts (the batch
+    /// runner rejects such templates: every cell would overwrite the
+    /// same file).
+    pub(crate) fn writes_artifacts(&self) -> bool {
+        self.out.is_some() || self.vcd.is_some()
+    }
+
+    /// Runs the pipeline with a private scratch arena.
+    pub fn run(&self, env: &FlowEnv) -> Result<FlowReport, Error> {
+        self.run_with_scratch(env, &mut Scratch::new())
+    }
+
+    /// Runs the pipeline, returning the optimized circuit alongside the
+    /// report (for callers that keep transforming it).
+    pub fn run_full(&self, env: &FlowEnv) -> Result<(FlowReport, Circuit), Error> {
+        self.run_full_with_scratch(env, &mut Scratch::new())
+    }
+
+    /// [`Flow::run`] with a caller-supplied scratch arena (reused across
+    /// runs by the batch runner's worker threads).
+    pub fn run_with_scratch(
+        &self,
+        env: &FlowEnv,
+        scratch: &mut Scratch,
+    ) -> Result<FlowReport, Error> {
+        self.run_full_with_scratch(env, scratch).map(|(r, _)| r)
+    }
+
+    /// [`Flow::run_full`] with a caller-supplied scratch arena.
+    pub fn run_full_with_scratch(
+        &self,
+        env: &FlowEnv,
+        scratch: &mut Scratch,
+    ) -> Result<(FlowReport, Circuit), Error> {
+        // 1. Load: read, parse, technology-map.
+        let t = Instant::now();
+        let circuit = self.source.load(&env.library, &self.map_options)?;
+        circuit.validate(&env.library)?;
+        let load_s = t.elapsed().as_secs_f64();
+        self.run_pipeline(env, &circuit, self.source.name(), load_s, scratch)
+    }
+
+    /// Stages 2–7 over an already-loaded circuit. The batch runner calls
+    /// this directly so each worker borrows the once-parsed circuit
+    /// instead of re-cloning it per scenario cell.
+    pub(crate) fn run_pipeline(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        name: String,
+        load_s: f64,
+        scratch: &mut Scratch,
+    ) -> Result<(FlowReport, Circuit), Error> {
+        if self.vcd.is_some() && self.sim.is_none() {
+            return Err(Error::Usage(
+                "a VCD dump needs a simulation: set Flow::simulate alongside Flow::vcd".into(),
+            ));
+        }
+        let t_total = Instant::now();
+        let mut timings = StageTimings {
+            load_s,
+            ..StageTimings::default()
+        };
+
+        // 2. Input statistics.
+        let t = Instant::now();
+        let n_inputs = circuit.primary_inputs().len();
+        let (stats, scenario_label) = match &self.stats {
+            StatsSpec::Scenario { scenario, seed } => (
+                scenario.input_stats(n_inputs, *seed),
+                scenario_label(scenario, *seed),
+            ),
+            StatsSpec::Explicit(stats) => (stats.clone(), "explicit".to_string()),
+        };
+        if stats.len() != n_inputs {
+            return Err(Error::StatsMismatch {
+                expected: n_inputs,
+                got: stats.len(),
+            });
+        }
+        timings.stats_s = t.elapsed().as_secs_f64();
+
+        // 3. Optimize toward the objective, plus (unbounded only) the
+        // opposite objective for the best-vs-worst headroom of Table 3.
+        let t = Instant::now();
+        let primary = self.optimize_once(env, circuit, &stats, self.objective, scratch)?;
+        let counterpart = if self.headroom && self.delay_bound == DelayBound::Unbounded {
+            let opposite = match self.objective {
+                Objective::MinimizePower => Objective::MaximizePower,
+                Objective::MaximizePower => Objective::MinimizePower,
+            };
+            Some(self.optimize_once(env, circuit, &stats, opposite, scratch)?)
+        } else {
+            None
+        };
+        timings.optimize_s = t.elapsed().as_secs_f64();
+
+        let (model_best_w, model_worst_w) = match (&counterpart, self.objective) {
+            (Some(c), Objective::MinimizePower) => (Some(primary.power_after), Some(c.power_after)),
+            (Some(c), Objective::MaximizePower) => (Some(c.power_after), Some(primary.power_after)),
+            (None, _) => (None, None),
+        };
+        let headroom_percent = match (model_best_w, model_worst_w) {
+            (Some(best), Some(worst)) => {
+                Some(100.0 * (worst - best) / worst.max(f64::MIN_POSITIVE))
+            }
+            _ => None,
+        };
+
+        // 4. Static timing, before and after.
+        let t = Instant::now();
+        let delay_before = critical_path_delay(circuit, &env.timing);
+        let delay_after = critical_path_delay(&primary.circuit, &env.timing);
+        timings.timing_s = t.elapsed().as_secs_f64();
+
+        // 5. Switch-level validation.
+        let t = Instant::now();
+        let mut vcd_trace = None;
+        let sim_summary = match &self.sim {
+            Some(opts) => {
+                let duration = match opts.duration {
+                    DurationPolicy::Auto { target_toggles } => sim_duration(&stats, target_toggles),
+                    DurationPolicy::Fixed(d) => d,
+                };
+                let cfg = SimConfig {
+                    duration,
+                    warmup: duration * opts.warmup_frac,
+                    seed: opts.seed,
+                };
+                let optimized_w = if self.vcd.is_some() {
+                    let drives: Vec<InputDrive> =
+                        stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
+                    let (report, trace) = simulate_traced(
+                        &primary.circuit,
+                        &env.library,
+                        &env.process,
+                        &env.timing,
+                        &drives,
+                        &cfg,
+                    );
+                    vcd_trace = Some(trace);
+                    report.power
+                } else {
+                    simulate(
+                        &primary.circuit,
+                        &env.library,
+                        &env.process,
+                        &env.timing,
+                        &stats,
+                        &cfg,
+                    )
+                    .power
+                };
+                let baseline_w = opts.baseline.then(|| {
+                    simulate(
+                        circuit,
+                        &env.library,
+                        &env.process,
+                        &env.timing,
+                        &stats,
+                        &cfg,
+                    )
+                    .power
+                });
+                let counterpart_w = counterpart.as_ref().map(|c| {
+                    simulate(
+                        &c.circuit,
+                        &env.library,
+                        &env.process,
+                        &env.timing,
+                        &stats,
+                        &cfg,
+                    )
+                    .power
+                });
+                // With the headroom pass the two sim measurements are
+                // best/worst regardless of the primary objective; without
+                // it, neither bound was established (a delay-bounded
+                // minimize is not the unconstrained best).
+                let (best_w, worst_w) = match (counterpart_w, self.objective) {
+                    (Some(c), Objective::MinimizePower) => (Some(optimized_w), Some(c)),
+                    (Some(c), Objective::MaximizePower) => (Some(c), Some(optimized_w)),
+                    (None, _) => (None, None),
+                };
+                let reduction_percent = match (best_w, worst_w) {
+                    (Some(b), Some(w)) => Some(100.0 * (w - b) / w.max(f64::MIN_POSITIVE)),
+                    _ => None,
+                };
+                Some(SimSummary {
+                    duration_s: duration,
+                    warmup_s: cfg.warmup,
+                    seed: opts.seed,
+                    baseline_w,
+                    optimized_w,
+                    best_w,
+                    worst_w,
+                    reduction_percent,
+                })
+            }
+            None => None,
+        };
+        timings.sim_s = t.elapsed().as_secs_f64();
+
+        // 6. Per-gate rows.
+        let per_gate = self.per_gate.then(|| {
+            let net_stats = propagate(&primary.circuit, &env.library, &stats);
+            let power = circuit_power(&primary.circuit, &env.model, &net_stats);
+            primary
+                .circuit
+                .gates()
+                .iter()
+                .zip(circuit.gates())
+                .zip(&power.per_gate)
+                .map(|((after, before), gp)| GateReport {
+                    gate: primary.circuit.net_name(after.output).to_string(),
+                    cell: after.cell.name(),
+                    config_before: before.config,
+                    config_after: after.config,
+                    power_w: gp.total,
+                })
+                .collect()
+        });
+
+        // 7. Artifacts.
+        let t = Instant::now();
+        if let Some(path) = &self.out {
+            std::fs::write(path, format::write(&primary.circuit))
+                .map_err(|e| Error::io(path, e))?;
+        }
+        if let (Some(path), Some(trace)) = (&self.vcd, &vcd_trace) {
+            vcd::write_to_file(&primary.circuit, trace, path).map_err(|e| Error::io(path, e))?;
+        }
+        timings.write_s = t.elapsed().as_secs_f64();
+        timings.total_s = load_s + t_total.elapsed().as_secs_f64();
+
+        let report = FlowReport {
+            circuit: name,
+            scenario: scenario_label,
+            gates: circuit.gates().len(),
+            inputs: n_inputs,
+            outputs: circuit.primary_outputs().len(),
+            depth: circuit.logic_depth(),
+            objective: match self.objective {
+                Objective::MinimizePower => "min".to_string(),
+                Objective::MaximizePower => "max".to_string(),
+            },
+            delay_bound: self.delay_bound.as_str().to_string(),
+            changed_gates: primary.changed_gates,
+            power: PowerReport {
+                model_before_w: primary.power_before,
+                model_after_w: primary.power_after,
+                reduction_percent: primary.reduction_percent(),
+                model_best_w,
+                model_worst_w,
+                headroom_percent,
+            },
+            delay: DelayReport {
+                critical_path_before_s: delay_before,
+                critical_path_after_s: delay_after,
+                increase_percent: 100.0 * (delay_after - delay_before)
+                    / delay_before.max(f64::MIN_POSITIVE),
+            },
+            sim: sim_summary,
+            per_gate,
+            timings,
+        };
+        Ok((report, primary.circuit))
+    }
+
+    /// One optimization pass with the configured bounding mode.
+    fn optimize_once(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        stats: &[SignalStats],
+        objective: Objective,
+        scratch: &mut Scratch,
+    ) -> Result<OptimizeResult, Error> {
+        match (self.delay_bound, objective) {
+            (DelayBound::Unbounded, obj) => Ok(if self.threads > 1 {
+                optimize_parallel(circuit, &env.library, &env.model, stats, obj, self.threads)
+            } else {
+                optimize_with_scratch(circuit, &env.library, &env.model, stats, obj, scratch)
+            }),
+            (DelayBound::Local, Objective::MinimizePower) => Ok(optimize_delay_bounded(
+                circuit,
+                &env.library,
+                &env.model,
+                &env.timing,
+                stats,
+            )),
+            (DelayBound::Slack, Objective::MinimizePower) => Ok(optimize_slack_aware(
+                circuit,
+                &env.library,
+                &env.model,
+                &env.timing,
+                stats,
+                0.0,
+            )),
+            (bound, Objective::MaximizePower) => Err(Error::Unsupported(format!(
+                "--delay-bound {} only supports --objective min",
+                bound.as_str()
+            ))),
+        }
+    }
+}
+
+/// The report label of a scenario + seed pair.
+fn scenario_label(scenario: &Scenario, seed: u64) -> String {
+    match scenario {
+        Scenario::A { .. } => format!("A#{seed}"),
+        Scenario::B { clock_hz } => format!("B@{clock_hz}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_netlist::generators;
+
+    #[test]
+    fn flow_matches_direct_optimizer_calls() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(4, &env.library);
+        let stats = Scenario::a().input_stats(adder.primary_inputs().len(), 9);
+        let direct = tr_reorder::optimize(
+            &adder,
+            &env.library,
+            &env.model,
+            &stats,
+            Objective::MinimizePower,
+        );
+        let report = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 9)
+            .run(&env)
+            .expect("flow runs");
+        assert_eq!(report.power.model_after_w, direct.power_after);
+        assert_eq!(report.power.model_before_w, direct.power_before);
+        assert_eq!(report.changed_gates, direct.changed_gates);
+        assert_eq!(report.power.model_best_w, Some(direct.power_after));
+        assert!(report.power.headroom_percent.unwrap() > 0.0);
+        assert_eq!(report.scenario, "A#9");
+    }
+
+    #[test]
+    fn parallel_threads_agree_with_sequential() {
+        let env = FlowEnv::new();
+        let c = generators::alu(4, &env.library);
+        let base = Flow::from_circuit(c).scenario(Scenario::b(), 0);
+        let seq = base.clone().threads(1).run(&env).unwrap();
+        let par = base.threads(4).run(&env).unwrap();
+        assert_eq!(seq.power.model_after_w, par.power.model_after_w);
+        assert_eq!(seq.changed_gates, par.changed_gates);
+    }
+
+    #[test]
+    fn max_objective_sim_fields_keep_best_worst_semantics() {
+        let env = FlowEnv::new();
+        let c = generators::ripple_carry_adder(2, &env.library);
+        let report = Flow::from_circuit(c)
+            .scenario(Scenario::a(), 5)
+            .objective(Objective::MaximizePower)
+            .simulate(SimOptions::quick(3))
+            .run(&env)
+            .unwrap();
+        let sim = report.sim.expect("simulation requested");
+        // Maximizing: the optimized circuit IS the worst ordering.
+        assert_eq!(sim.worst_w, Some(sim.optimized_w));
+        let best = sim.best_w.expect("headroom pass simulated the best");
+        assert!(best <= sim.worst_w.unwrap());
+        assert!(sim.reduction_percent.unwrap() >= 0.0);
+        assert_eq!(report.power.model_worst_w, Some(report.power.model_after_w));
+    }
+
+    #[test]
+    fn vcd_without_simulate_is_rejected() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let err = Flow::from_circuit(c)
+            .vcd("/tmp/never-written.vcd")
+            .run(&env)
+            .unwrap_err();
+        assert!(err.is_usage());
+    }
+
+    #[test]
+    fn bounded_max_objective_is_rejected() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let err = Flow::from_circuit(c)
+            .objective(Objective::MaximizePower)
+            .delay_bound(DelayBound::Slack)
+            .run(&env)
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn explicit_stats_must_match_input_count() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let err = Flow::from_circuit(c)
+            .input_stats(vec![SignalStats::new(0.5, 1.0); 2])
+            .run(&env)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            Error::StatsMismatch {
+                expected: 4,
+                got: 2
+            }
+        ));
+    }
+
+    #[test]
+    fn slack_bound_never_grows_the_critical_path() {
+        let env = FlowEnv::new();
+        let c = generators::array_multiplier(4, &env.library);
+        let report = Flow::from_circuit(c)
+            .scenario(Scenario::a(), 3)
+            .delay_bound(DelayBound::Slack)
+            .run(&env)
+            .unwrap();
+        assert!(report.delay.increase_percent <= 1e-9);
+        // Bounded flows skip the headroom pass.
+        assert_eq!(report.power.headroom_percent, None);
+    }
+
+    #[test]
+    fn per_gate_rows_cover_every_gate() {
+        let env = FlowEnv::new();
+        let c = generators::ripple_carry_adder(2, &env.library);
+        let n = c.gates().len();
+        let report = Flow::from_circuit(c)
+            .scenario(Scenario::a(), 1)
+            .per_gate(true)
+            .run(&env)
+            .unwrap();
+        let rows = report.per_gate.expect("per-gate rows requested");
+        assert_eq!(rows.len(), n);
+        let total: f64 = rows.iter().map(|r| r.power_w).sum();
+        assert!((total - report.power.model_after_w).abs() <= 1e-12 * total.max(1e-30));
+    }
+}

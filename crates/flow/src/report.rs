@@ -1,0 +1,326 @@
+//! The structured result of one flow run.
+//!
+//! A [`FlowReport`] is the pipeline's public data contract: everything a
+//! caller needs to rank circuits, regenerate the paper's tables, or feed
+//! a dashboard, serializable as one JSON object per run (`to_json`, the
+//! schema is pinned by a golden test) or one CSV row per run
+//! (`csv_header`/`to_csv_row`).
+//!
+//! Unit conventions, encoded in the field names: `_w` watts, `_s`
+//! seconds, `_percent` percent.
+
+use crate::json::{json_f64, json_opt_f64, json_string};
+
+/// Model-power outcome of the optimization stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerReport {
+    /// Model power of the circuit as loaded (W).
+    pub model_before_w: f64,
+    /// Model power after optimizing toward the objective (W).
+    pub model_after_w: f64,
+    /// `100·(before − after)/before` — positive means the objective
+    /// improved the circuit.
+    pub reduction_percent: f64,
+    /// Model power of the best (minimum-power) ordering, when the
+    /// headroom pass ran (W).
+    pub model_best_w: Option<f64>,
+    /// Model power of the worst (maximum-power) ordering, when the
+    /// headroom pass ran (W).
+    pub model_worst_w: Option<f64>,
+    /// `100·(worst − best)/worst` — the paper's M column.
+    pub headroom_percent: Option<f64>,
+}
+
+/// Static-timing outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayReport {
+    /// Critical-path delay of the circuit as loaded (s).
+    pub critical_path_before_s: f64,
+    /// Critical-path delay of the optimized circuit (s).
+    pub critical_path_after_s: f64,
+    /// `100·(after − before)/before` — the paper's D column.
+    pub increase_percent: f64,
+}
+
+/// Switch-level simulation outcome (present when simulation ran).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimSummary {
+    /// Simulated time span (s).
+    pub duration_s: f64,
+    /// Discarded warm-up interval (s).
+    pub warmup_s: f64,
+    /// Waveform seed.
+    pub seed: u64,
+    /// Simulated power of the circuit as loaded, when the baseline
+    /// simulation ran (W).
+    pub baseline_w: Option<f64>,
+    /// Simulated power of the optimized circuit (W).
+    pub optimized_w: f64,
+    /// Simulated power of the best (minimum-power) ordering, when the
+    /// headroom pass ran (W). Equals `optimized_w` when minimizing.
+    pub best_w: Option<f64>,
+    /// Simulated power of the worst (maximum-power) ordering, when the
+    /// headroom pass ran (W). Equals `optimized_w` when maximizing.
+    pub worst_w: Option<f64>,
+    /// `100·(worst − best)/worst` when both orderings were simulated —
+    /// the paper's S column.
+    pub reduction_percent: Option<f64>,
+}
+
+/// Per-gate detail row (present when requested via
+/// [`Flow::per_gate`](crate::Flow::per_gate)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Output-net name of the gate.
+    pub gate: String,
+    /// Library cell name.
+    pub cell: String,
+    /// Configuration index before optimization.
+    pub config_before: usize,
+    /// Configuration index chosen by the optimizer.
+    pub config_after: usize,
+    /// Model power of the gate in its chosen configuration (W).
+    pub power_w: f64,
+}
+
+/// Wall-clock seconds spent in each pipeline stage.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageTimings {
+    /// Read + parse + technology-map the source.
+    pub load_s: f64,
+    /// Draw input statistics and propagate them.
+    pub stats_s: f64,
+    /// Optimization (including the headroom counterpart pass).
+    pub optimize_s: f64,
+    /// Static timing analysis.
+    pub timing_s: f64,
+    /// Switch-level simulation (0 when simulation is off).
+    pub sim_s: f64,
+    /// Netlist/VCD output (0 when nothing is written).
+    pub write_s: f64,
+    /// End-to-end run time.
+    pub total_s: f64,
+}
+
+/// The structured result of one [`Flow`](crate::Flow) run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Circuit name (file stem or the circuit's own name).
+    pub circuit: String,
+    /// Scenario label (e.g. `A#42` for Scenario A with seed 42, `B@2e7`
+    /// for Scenario B at 20 MHz, `explicit` for caller-supplied stats).
+    pub scenario: String,
+    /// Gate count.
+    pub gates: usize,
+    /// Primary-input count.
+    pub inputs: usize,
+    /// Primary-output count.
+    pub outputs: usize,
+    /// Logic depth (gates on the longest topological path).
+    pub depth: usize,
+    /// Optimization objective (`min` or `max`).
+    pub objective: String,
+    /// Delay-bound mode (`none`, `local` or `slack`).
+    pub delay_bound: String,
+    /// Gates whose configuration changed.
+    pub changed_gates: usize,
+    /// Model-power outcome.
+    pub power: PowerReport,
+    /// Static-timing outcome.
+    pub delay: DelayReport,
+    /// Simulation outcome, when simulation ran.
+    pub sim: Option<SimSummary>,
+    /// Per-gate rows, when requested.
+    pub per_gate: Option<Vec<GateReport>>,
+    /// Wall-clock per stage.
+    pub timings: StageTimings,
+}
+
+impl FlowReport {
+    /// Serializes the report as one JSON object on a single line.
+    ///
+    /// The schema (field names, nesting, units) is pinned by the golden
+    /// test in `tests/report_schema.rs`; downstream consumers can rely
+    /// on it.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        out.push_str(&format!("\"circuit\":{},", json_string(&self.circuit)));
+        out.push_str(&format!("\"scenario\":{},", json_string(&self.scenario)));
+        out.push_str(&format!("\"gates\":{},", self.gates));
+        out.push_str(&format!("\"inputs\":{},", self.inputs));
+        out.push_str(&format!("\"outputs\":{},", self.outputs));
+        out.push_str(&format!("\"depth\":{},", self.depth));
+        out.push_str(&format!("\"objective\":{},", json_string(&self.objective)));
+        out.push_str(&format!(
+            "\"delay_bound\":{},",
+            json_string(&self.delay_bound)
+        ));
+        out.push_str(&format!("\"changed_gates\":{},", self.changed_gates));
+        out.push_str(&format!(
+            "\"power\":{{\"model_before_w\":{},\"model_after_w\":{},\"reduction_percent\":{},\
+             \"model_best_w\":{},\"model_worst_w\":{},\"headroom_percent\":{}}},",
+            json_f64(self.power.model_before_w),
+            json_f64(self.power.model_after_w),
+            json_f64(self.power.reduction_percent),
+            json_opt_f64(self.power.model_best_w),
+            json_opt_f64(self.power.model_worst_w),
+            json_opt_f64(self.power.headroom_percent),
+        ));
+        out.push_str(&format!(
+            "\"delay\":{{\"critical_path_before_s\":{},\"critical_path_after_s\":{},\
+             \"increase_percent\":{}}},",
+            json_f64(self.delay.critical_path_before_s),
+            json_f64(self.delay.critical_path_after_s),
+            json_f64(self.delay.increase_percent),
+        ));
+        match &self.sim {
+            Some(sim) => out.push_str(&format!(
+                "\"sim\":{{\"duration_s\":{},\"warmup_s\":{},\"seed\":{},\"baseline_w\":{},\
+                 \"optimized_w\":{},\"best_w\":{},\"worst_w\":{},\"reduction_percent\":{}}},",
+                json_f64(sim.duration_s),
+                json_f64(sim.warmup_s),
+                sim.seed,
+                json_opt_f64(sim.baseline_w),
+                json_f64(sim.optimized_w),
+                json_opt_f64(sim.best_w),
+                json_opt_f64(sim.worst_w),
+                json_opt_f64(sim.reduction_percent),
+            )),
+            None => out.push_str("\"sim\":null,"),
+        }
+        match &self.per_gate {
+            Some(rows) => {
+                out.push_str("\"per_gate\":[");
+                for (i, r) in rows.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "{{\"gate\":{},\"cell\":{},\"config_before\":{},\"config_after\":{},\
+                         \"power_w\":{}}}",
+                        json_string(&r.gate),
+                        json_string(&r.cell),
+                        r.config_before,
+                        r.config_after,
+                        json_f64(r.power_w),
+                    ));
+                }
+                out.push_str("],");
+            }
+            None => out.push_str("\"per_gate\":null,"),
+        }
+        out.push_str(&format!(
+            "\"timings\":{{\"load_s\":{},\"stats_s\":{},\"optimize_s\":{},\"timing_s\":{},\
+             \"sim_s\":{},\"write_s\":{},\"total_s\":{}}}",
+            json_f64(self.timings.load_s),
+            json_f64(self.timings.stats_s),
+            json_f64(self.timings.optimize_s),
+            json_f64(self.timings.timing_s),
+            json_f64(self.timings.sim_s),
+            json_f64(self.timings.write_s),
+            json_f64(self.timings.total_s),
+        ));
+        out.push('}');
+        out
+    }
+
+    /// The CSV header matching [`FlowReport::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,changed_gates,\
+         model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
+         headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
+         sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
+         sim_reduction_percent,load_s,stats_s,optimize_s,timing_s,sim_s,write_s,total_s"
+    }
+
+    /// Serializes the report as one CSV row (per-gate rows are JSON-only).
+    pub fn to_csv_row(&self) -> String {
+        let opt = |v: Option<f64>| v.map(|v| format!("{v}")).unwrap_or_default();
+        let sim = self.sim.as_ref();
+        [
+            csv_field(&self.circuit),
+            csv_field(&self.scenario),
+            self.gates.to_string(),
+            self.inputs.to_string(),
+            self.outputs.to_string(),
+            self.depth.to_string(),
+            self.objective.clone(),
+            self.delay_bound.clone(),
+            self.changed_gates.to_string(),
+            format!("{}", self.power.model_before_w),
+            format!("{}", self.power.model_after_w),
+            format!("{}", self.power.reduction_percent),
+            opt(self.power.model_best_w),
+            opt(self.power.model_worst_w),
+            opt(self.power.headroom_percent),
+            format!("{}", self.delay.critical_path_before_s),
+            format!("{}", self.delay.critical_path_after_s),
+            format!("{}", self.delay.increase_percent),
+            opt(sim.map(|s| s.duration_s)),
+            opt(sim.and_then(|s| s.baseline_w)),
+            opt(sim.map(|s| s.optimized_w)),
+            opt(sim.and_then(|s| s.best_w)),
+            opt(sim.and_then(|s| s.worst_w)),
+            opt(sim.and_then(|s| s.reduction_percent)),
+            format!("{}", self.timings.load_s),
+            format!("{}", self.timings.stats_s),
+            format!("{}", self.timings.optimize_s),
+            format!("{}", self.timings.timing_s),
+            format!("{}", self.timings.sim_s),
+            format!("{}", self.timings.write_s),
+            format!("{}", self.timings.total_s),
+        ]
+        .join(",")
+    }
+}
+
+/// Quotes a CSV field only when it needs quoting.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_header_and_row_have_same_arity() {
+        let report = FlowReport {
+            circuit: "c,17".into(),
+            scenario: "A#1".into(),
+            gates: 6,
+            inputs: 5,
+            outputs: 2,
+            depth: 3,
+            objective: "min".into(),
+            delay_bound: "none".into(),
+            changed_gates: 2,
+            power: PowerReport {
+                model_before_w: 1.0e-6,
+                model_after_w: 9.0e-7,
+                reduction_percent: 10.0,
+                model_best_w: None,
+                model_worst_w: None,
+                headroom_percent: None,
+            },
+            delay: DelayReport {
+                critical_path_before_s: 1.0e-9,
+                critical_path_after_s: 1.1e-9,
+                increase_percent: 10.0,
+            },
+            sim: None,
+            per_gate: None,
+            timings: StageTimings::default(),
+        };
+        let header_fields = FlowReport::csv_header().split(',').count();
+        let row_fields = report.to_csv_row().split(',').count();
+        // The quoted "c,17" field adds one raw comma.
+        assert_eq!(header_fields + 1, row_fields);
+        assert!(report.to_csv_row().starts_with("\"c,17\""));
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests for the full format path of the pipeline:
+//!
+//! ```text
+//! generic logic ──bench::write──▶ .bench ─┐
+//!                                          ├─▶ parse → map → set configs
+//! generic logic ──minterm writer─▶ .blif ─┘        │
+//!                                                   ▼
+//!                          .trnet ◀─format::write── Circuit
+//!                             │
+//!                             └─▶ format::parse → CompiledCircuit
+//! ```
+//!
+//! asserting functional equivalence at every hop and exact configuration
+//! preservation across the native round-trip.
+
+use proptest::prelude::*;
+use tr_flow::{parse_netlist, FlowEnv, NetlistFormat};
+use tr_netlist::{bench, format, CompiledCircuit, GateId, GenericCircuit, GenericOp};
+
+/// One synthetic gate: output name, operator, input names.
+type GateSpec = (String, GenericOp, Vec<String>);
+
+/// Builds a random-but-seeded combinational netlist spec: `n_inputs`
+/// primary inputs `i0..`, `n_gates` gates `g0..` whose operands are
+/// drawn from all earlier signals, and the last two gates as outputs.
+fn random_spec(n_inputs: usize, n_gates: usize, seed: u64) -> (Vec<String>, Vec<GateSpec>) {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut next = move |bound: usize| {
+        // xorshift64* — deterministic across platforms.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        (state.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 33) as usize % bound.max(1)
+    };
+    let ops = [
+        GenericOp::And,
+        GenericOp::Or,
+        GenericOp::Nand,
+        GenericOp::Nor,
+        GenericOp::Not,
+        GenericOp::Buff,
+        GenericOp::Xor,
+        GenericOp::Xnor,
+    ];
+    let inputs: Vec<String> = (0..n_inputs).map(|i| format!("i{i}")).collect();
+    let mut signals = inputs.clone();
+    let mut gates: Vec<GateSpec> = Vec::with_capacity(n_gates);
+    for g in 0..n_gates.saturating_sub(2) {
+        let op = ops[next(ops.len())];
+        let arity = match op {
+            GenericOp::Not | GenericOp::Buff => 1,
+            _ => 2 + next(2),
+        };
+        // Distinct operands (repeated operands are legal but make the
+        // minterm-table BLIF writer's variable list ambiguous).
+        let mut operands = Vec::new();
+        while operands.len() < arity.min(signals.len()) {
+            let pick = signals[next(signals.len())].clone();
+            if !operands.contains(&pick) {
+                operands.push(pick);
+            }
+        }
+        let name = format!("g{g}");
+        signals.push(name.clone());
+        gates.push((name, op, operands));
+    }
+    // The last two gates become the primary outputs. Each consumes the
+    // signal created immediately before it, so no earlier node can be
+    // structurally identical: the mapper can never CSE/alias them into
+    // one net (which is legal for generic outputs but would make the
+    // output-vector comparison ambiguous).
+    for op in [GenericOp::Xor, GenericOp::Nand] {
+        let fresh = signals.last().expect("non-empty").clone();
+        let mut other = signals[next(signals.len())].clone();
+        while other == fresh {
+            other = signals[next(signals.len())].clone();
+        }
+        let name = format!("g{}", gates.len());
+        signals.push(name.clone());
+        gates.push((name, op, vec![fresh, other]));
+    }
+    (inputs, gates)
+}
+
+/// Materializes the spec as a [`GenericCircuit`] with the last two gates
+/// (or all gates, if fewer) as primary outputs.
+fn build_generic(name: &str, inputs: &[String], gates: &[GateSpec]) -> GenericCircuit {
+    let mut c = GenericCircuit::new(name);
+    for i in inputs {
+        c.add_input(i);
+    }
+    for (out, op, ins) in gates {
+        let refs: Vec<&str> = ins.iter().map(String::as_str).collect();
+        c.add_gate(out, *op, &refs);
+    }
+    for (out, _, _) in gates.iter().rev().take(2) {
+        c.add_output(out);
+    }
+    c
+}
+
+/// Writes the spec as a minimal BLIF document: every gate becomes a
+/// `.names` minterm table (one `0`/`1` row per true assignment).
+fn write_blif(name: &str, inputs: &[String], gates: &[GateSpec]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {name}");
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<&str> = gates
+        .iter()
+        .rev()
+        .take(2)
+        .map(|(o, _, _)| o.as_str())
+        .collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+    for (gate_out, op, ins) in gates {
+        let _ = writeln!(out, ".names {} {gate_out}", ins.join(" "));
+        for minterm in 0..(1usize << ins.len()) {
+            let args: Vec<bool> = (0..ins.len()).map(|b| (minterm >> b) & 1 == 1).collect();
+            if op.eval(&args) {
+                let row: String = args.iter().map(|&v| if v { '1' } else { '0' }).collect();
+                let _ = writeln!(out, "{row} 1");
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Output values of a mapped circuit, in primary-output order.
+fn outputs_of(
+    circuit: &tr_netlist::Circuit,
+    library: &tr_gatelib::Library,
+    inputs: &[bool],
+) -> Vec<bool> {
+    let nets = circuit.evaluate(library, inputs);
+    circuit
+        .primary_outputs()
+        .iter()
+        .map(|o| nets[o.0])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// `.bench` and `.blif` spellings of the same logic map to circuits
+    /// that agree with the generic evaluator; the optimized circuit
+    /// survives a `.trnet` round-trip with every configuration intact.
+    #[test]
+    fn bench_blif_trnet_pipeline_preserves_function_and_configs(
+        seed in 0u64..500,
+        n_gates in 6usize..28,
+        vectors in prop::collection::vec(any::<u64>(), 6),
+    ) {
+        let env = FlowEnv::new();
+        let n_inputs = 6usize;
+        let (inputs, gates) = random_spec(n_inputs, n_gates, seed);
+        let generic = build_generic("pipe", &inputs, &gates);
+
+        // Hop 1: the same logic through both generic front ends.
+        let bench_text = bench::write(&generic);
+        let from_bench = parse_netlist(
+            "pipe", &bench_text, NetlistFormat::Bench, &env.library, &Default::default(),
+        ).expect("bench parses");
+        let blif_text = write_blif("pipe", &inputs, &gates);
+        let from_blif = parse_netlist(
+            "pipe", &blif_text, NetlistFormat::Blif, &env.library, &Default::default(),
+        ).expect("blif parses");
+        prop_assert!(from_bench.validate(&env.library).is_ok());
+        prop_assert!(from_blif.validate(&env.library).is_ok());
+
+        // Hop 2: scatter non-default configurations across the gates
+        // (deterministically), as the optimizer would.
+        let mut configured = from_bench.clone();
+        let compiled = CompiledCircuit::compile(&configured, &env.library).expect("compiles");
+        for (i, gate) in compiled.gates().iter().enumerate() {
+            let choice = (seed as usize + i * 7) % gate.n_configs as usize;
+            configured.set_config(GateId(i), choice);
+        }
+
+        // Hop 3: native round-trip — exact identity, configs included.
+        let trnet_text = format::write(&configured);
+        let reparsed = parse_netlist(
+            "pipe", &trnet_text, NetlistFormat::Trnet, &env.library, &Default::default(),
+        ).expect("trnet parses");
+        prop_assert_eq!(&reparsed, &configured);
+        prop_assert!(CompiledCircuit::compile(&reparsed, &env.library).is_ok());
+
+        // Functional equivalence of every hop against the generic logic.
+        for v in &vectors {
+            let assignment: Vec<bool> = (0..n_inputs).map(|b| (v >> b) & 1 == 1).collect();
+            let want = generic.evaluate_outputs(&assignment);
+            prop_assert_eq!(outputs_of(&from_bench, &env.library, &assignment), want.clone());
+            prop_assert_eq!(outputs_of(&from_blif, &env.library, &assignment), want.clone());
+            prop_assert_eq!(outputs_of(&reparsed, &env.library, &assignment), want);
+        }
+    }
+}

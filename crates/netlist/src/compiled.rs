@@ -29,7 +29,7 @@ pub struct ResolvedGate {
     pub n_configs: u32,
     /// Configuration selected in the source circuit at compile time.
     pub config: u32,
-    /// Start of this gate's inputs in [`CompiledCircuit::inputs_flat`].
+    /// Start of this gate's inputs in `CompiledCircuit`'s flat input list.
     pub inputs_start: u32,
     /// The net this gate drives.
     pub output: NetId,

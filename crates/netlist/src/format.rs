@@ -72,7 +72,7 @@ pub fn write(circuit: &Circuit) -> String {
     out
 }
 
-/// Parses a document produced by [`write`] (or written by hand).
+/// Parses a document produced by [`write()`] (or written by hand).
 ///
 /// The result is validated against `library` before being returned.
 ///

@@ -73,6 +73,17 @@ pub fn quick_suite(library: &Library) -> Vec<BenchmarkCase> {
         .collect()
 }
 
+/// The 13-circuit small suite (≤100 gates each): the default workload of
+/// `tr-opt batch`, small enough that a full scenario matrix over it
+/// finishes in seconds yet still spanning adders, parity, decode,
+/// compare, mux, ALU and random-mapped structure.
+pub fn small_suite(library: &Library) -> Vec<BenchmarkCase> {
+    standard_suite(library)
+        .into_iter()
+        .filter(|c| c.circuit.gates().len() <= 100)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +122,16 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), suite.len());
+    }
+
+    #[test]
+    fn small_suite_is_the_13_circuit_batch_workload() {
+        let lib = Library::standard();
+        let small = small_suite(&lib);
+        assert_eq!(small.len(), 13, "small suite is pinned at 13 circuits");
+        for case in &small {
+            assert!(case.circuit.gates().len() <= 100, "{} too big", case.name);
+        }
     }
 
     #[test]

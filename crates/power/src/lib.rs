@@ -29,7 +29,7 @@
 //! ([`PowerModel::total_power_into`], [`PowerModel::best_and_worst_by_id`])
 //! pair with `tr_netlist::CompiledCircuit` to skip all hashing; the
 //! original naive minterm-walk evaluator survives as a test oracle in
-//! [`reference`].
+//! [`mod@reference`].
 //!
 //! # Example
 //!

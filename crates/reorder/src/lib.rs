@@ -97,12 +97,37 @@ pub fn optimize(
     pi_stats: &[SignalStats],
     objective: Objective,
 ) -> OptimizeResult {
+    optimize_with_scratch(
+        circuit,
+        library,
+        model,
+        pi_stats,
+        objective,
+        &mut Scratch::new(),
+    )
+}
+
+/// [`optimize`] with a caller-supplied [`Scratch`], so long-running
+/// drivers (the batch runner, benchmark loops) can reuse one arena per
+/// worker thread instead of reallocating it per circuit. Results are
+/// identical to [`optimize`] regardless of the scratch's prior contents.
+///
+/// # Panics
+///
+/// As [`optimize`].
+pub fn optimize_with_scratch(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    pi_stats: &[SignalStats],
+    objective: Objective,
+    scratch: &mut Scratch,
+) -> OptimizeResult {
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     let net_stats = propagate(circuit, library, pi_stats);
     let loads = external_loads_compiled(&compiled, model);
-    let mut scratch = Scratch::new();
-    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, scratch, |i| {
         compiled.gates()[i].config as usize
     });
 
@@ -117,7 +142,7 @@ pub fn optimize(
         gather_inputs(&compiled, gate, &net_stats, &mut buf);
         let inputs = &buf[..gate.arity as usize];
         let load = loads[gate.output.0];
-        let (best, worst) = model.best_and_worst_by_id(gate.cell, inputs, load, &mut scratch);
+        let (best, worst) = model.best_and_worst_by_id(gate.cell, inputs, load, scratch);
         let choice = match objective {
             Objective::MinimizePower => best,
             Objective::MaximizePower => worst,
@@ -128,7 +153,7 @@ pub fn optimize(
         choices[gid.0] = choice;
         result.set_config(gid, choice);
     }
-    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, scratch, |i| {
         choices[i]
     });
     OptimizeResult {

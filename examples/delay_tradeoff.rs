@@ -15,19 +15,16 @@
 //!
 //! Run: `cargo run --release --example delay_tradeoff`
 
+use transistor_reordering::flow::DurationPolicy;
 use transistor_reordering::prelude::*;
 
 fn main() {
-    let lib = Library::standard();
-    let process = Process::default();
-    let model = PowerModel::new(&lib, process.clone());
-    let timing = TimingModel::new(&lib, process.clone());
-
-    let circuit = generators::array_multiplier(4, &lib);
+    let env = FlowEnv::new();
+    let circuit = generators::array_multiplier(4, &env.library);
     let stats = Scenario::a().input_stats(circuit.primary_inputs().len(), 2026);
     println!("circuit: {circuit}");
 
-    let t = delay_power_tradeoff(&circuit, &lib, &model, &timing, &stats);
+    let t = delay_power_tradeoff(&circuit, &env.library, &env.model, &env.timing, &stats);
     let pct = |p: f64| 100.0 * (t.original - p) / t.original;
     println!("\nmodel power (W) and saving vs original:");
     println!(
@@ -51,34 +48,32 @@ fn main() {
         pct(t.slack_aware)
     );
 
-    // Confirm the slack-aware circuit's delay and dump a waveform.
-    let slack = optimize_slack_aware(&circuit, &lib, &model, &timing, &stats, 0.0);
-    let d0 = critical_path_delay(&circuit, &timing);
-    let d1 = critical_path_delay(&slack.circuit, &timing);
+    // The slack-aware operating point as one flow: optimize, confirm the
+    // delay, simulate, and dump the waveform.
+    let vcd_path = std::path::Path::new("target").join("delay_tradeoff.vcd");
+    let report = Flow::from_circuit(circuit)
+        .scenario(Scenario::a(), 2026)
+        .delay_bound(DelayBound::Slack)
+        .simulate(SimOptions {
+            duration: DurationPolicy::Fixed(2.0e-5),
+            warmup_frac: 0.0,
+            seed: 11,
+            baseline: false,
+        })
+        .vcd(&vcd_path)
+        .run(&env)
+        .expect("in-memory flow");
+    let sim = report.sim.as_ref().expect("simulation requested");
     println!(
         "\ncritical path: {:.3} ns → {:.3} ns (gates touched: {})",
-        d0 * 1e9,
-        d1 * 1e9,
-        slack.changed_gates
+        report.delay.critical_path_before_s * 1e9,
+        report.delay.critical_path_after_s * 1e9,
+        report.changed_gates
     );
-
-    let drives: Vec<InputDrive> = stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
-    let cfg = SimConfig {
-        duration: 2.0e-5,
-        warmup: 0.0,
-        seed: 11,
-    };
-    let (report, trace) = simulate_traced(&slack.circuit, &lib, &process, &timing, &drives, &cfg);
-    let path = std::path::Path::new("target").join("delay_tradeoff.vcd");
-    if let Err(e) = vcd::write_to_file(&slack.circuit, &trace, &path) {
-        eprintln!("could not write VCD: {e}");
-    } else {
-        println!(
-            "wrote {} ({} value changes over {:.0} µs, {:.3} µW simulated)",
-            path.display(),
-            trace.events.len(),
-            report.measured_time * 1e6,
-            report.power * 1e6
-        );
-    }
+    println!(
+        "wrote {} ({:.0} µs simulated, {:.3} µW)",
+        vcd_path.display(),
+        sim.duration_s * 1e6,
+        sim.optimized_w * 1e6
+    );
 }

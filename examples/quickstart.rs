@@ -1,22 +1,21 @@
 //! Quickstart: optimize one circuit end to end.
 //!
-//! Builds an 8-bit ripple-carry adder, runs the DATE'96 transistor-
-//! reordering optimizer under both of the paper's input scenarios, and
-//! validates the model's choice with the switch-level simulator.
+//! Builds an 8-bit ripple-carry adder and runs the DATE'96 transistor-
+//! reordering flow — optimize under both of the paper's input scenarios,
+//! measure the best-vs-worst headroom, validate with the switch-level
+//! simulator — in one `Flow` invocation per scenario.
 //!
 //! Run: `cargo run --release --example quickstart`
 
+use transistor_reordering::flow::DurationPolicy;
 use transistor_reordering::prelude::*;
 
 fn main() {
     // 1. The substrate: Table 2 cell library + generic 0.8 µm process.
-    let lib = Library::standard();
-    let process = Process::default();
-    let model = PowerModel::new(&lib, process.clone());
-    let timing = TimingModel::new(&lib, process.clone());
+    let env = FlowEnv::new();
 
     // 2. A workload: 8-bit ripple-carry adder mapped onto the library.
-    let adder = generators::ripple_carry_adder(8, &lib);
+    let adder = generators::ripple_carry_adder(8, &env.library);
     println!("circuit: {adder}");
 
     // Use every core: the parallel traversal returns exactly the same
@@ -27,58 +26,40 @@ fn main() {
         ("A (random stats)", Scenario::a()),
         ("B (latched)", Scenario::b()),
     ] {
-        let stats = scenario.input_stats(adder.primary_inputs().len(), 7);
-
-        // 3. One traversal picks the best ordering for every gate…
-        let best = optimize_parallel(
-            &adder,
-            &lib,
-            &model,
-            &stats,
-            Objective::MinimizePower,
-            threads,
-        );
-        // …and the worst ordering bounds the technique's headroom.
-        let worst = optimize_parallel(
-            &adder,
-            &lib,
-            &model,
-            &stats,
-            Objective::MaximizePower,
-            threads,
-        );
-
-        // 4. Validate with the switch-level simulator.
-        let sim_cfg = SimConfig {
-            duration: 1.0e-3,
-            warmup: 1.0e-4,
-            seed: 99,
-        };
-        let p_best = simulate(&best.circuit, &lib, &process, &timing, &stats, &sim_cfg).power;
-        let p_worst = simulate(&worst.circuit, &lib, &process, &timing, &stats, &sim_cfg).power;
-
-        let d_orig = critical_path_delay(&adder, &timing);
-        let d_best = critical_path_delay(&best.circuit, &timing);
+        // 3. One flow: the best ordering for every gate, the worst
+        // ordering as the headroom bound, and a simulation of both.
+        let report = Flow::from_circuit(adder.clone())
+            .scenario(scenario, 7)
+            .threads(threads)
+            .simulate(SimOptions {
+                duration: DurationPolicy::Fixed(1.0e-3),
+                warmup_frac: 0.1,
+                seed: 99,
+                baseline: false,
+            })
+            .run(&env)
+            .expect("in-memory flow");
+        let sim = report.sim.as_ref().expect("simulation requested");
 
         println!("\nscenario {name}:");
         println!(
             "  model:     best {:.3} µW  worst {:.3} µW  (headroom {:.1}%)",
-            best.power_after * 1e6,
-            worst.power_after * 1e6,
-            100.0 * (worst.power_after - best.power_after) / worst.power_after
+            report.power.model_best_w.expect("headroom pass") * 1e6,
+            report.power.model_worst_w.expect("headroom pass") * 1e6,
+            report.power.headroom_percent.expect("headroom pass")
         );
         println!(
             "  simulated: best {:.3} µW  worst {:.3} µW  (headroom {:.1}%)",
-            p_best * 1e6,
-            p_worst * 1e6,
-            100.0 * (p_worst - p_best) / p_worst
+            sim.optimized_w * 1e6,
+            sim.worst_w.expect("worst simulated") * 1e6,
+            sim.reduction_percent.expect("worst simulated")
         );
         println!(
             "  delay:     {:.2} ns → {:.2} ns ({:+.1}%)  gates touched: {}",
-            d_orig * 1e9,
-            d_best * 1e9,
-            100.0 * (d_best - d_orig) / d_orig,
-            best.changed_gates
+            report.delay.critical_path_before_s * 1e9,
+            report.delay.critical_path_after_s * 1e9,
+            report.delay.increase_percent,
+            report.changed_gates
         );
     }
 }

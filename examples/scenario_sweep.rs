@@ -11,10 +11,8 @@
 use transistor_reordering::prelude::*;
 
 fn main() {
-    let lib = Library::standard();
-    let model = PowerModel::new(&lib, Process::default());
-
-    let circuit = generators::alu(4, &lib);
+    let env = FlowEnv::new();
+    let circuit = generators::alu(4, &env.library);
     let n = circuit.primary_inputs().len();
     println!("circuit: {circuit}");
     println!("\nheadroom (best-vs-worst model power) vs input-density skew:");
@@ -34,15 +32,17 @@ fn main() {
                 SignalStats::new(0.5, d)
             })
             .collect();
-        let best = optimize(&circuit, &lib, &model, &stats, Objective::MinimizePower);
-        let worst = optimize(&circuit, &lib, &model, &stats, Objective::MaximizePower);
-        let m = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
+        // The flow's headroom pass is exactly this best-vs-worst sweep.
+        let report = Flow::from_circuit(circuit.clone())
+            .input_stats(stats)
+            .run(&env)
+            .expect("in-memory flow");
         println!(
             "{:>22}σ={spread:<5} {:>10.1} {:>10.3} {:>10.3}",
             "",
-            m,
-            best.power_after * 1e6,
-            worst.power_after * 1e6
+            report.power.headroom_percent.expect("headroom pass"),
+            report.power.model_best_w.expect("headroom pass") * 1e6,
+            report.power.model_worst_w.expect("headroom pass") * 1e6
         );
     }
 

@@ -22,6 +22,7 @@
 //! | [`timing`] | `tr-timing` | Elmore gate delays and static timing analysis |
 //! | [`sim`] | `tr-sim` | the switch-level validation simulator |
 //! | [`reorder`] | `tr-reorder` | the optimization algorithm (Fig. 3) and variants |
+//! | [`flow`] | `tr-flow` | the typed end-to-end pipeline (`Flow`), structured reports, the parallel batch runner |
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub use tr_boolean as boolean;
+pub use tr_flow as flow;
 pub use tr_gatelib as gatelib;
 pub use tr_netlist as netlist;
 pub use tr_power as power;
@@ -65,6 +67,9 @@ pub use tr_timing as timing;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use tr_boolean::{sop, BoolFn, Expr, SignalStats};
+    pub use tr_flow::{
+        BatchJob, BatchRunner, DelayBound, Flow, FlowEnv, FlowReport, ScenarioSpec, SimOptions,
+    };
     pub use tr_gatelib::{Cell, CellId, CellKind, Library, Process, FEMTO};
     pub use tr_netlist::{
         bench, blif, generators, map, suite, Circuit, CompiledCircuit, GateId, NetId, ResolvedGate,

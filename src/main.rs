@@ -4,39 +4,56 @@
 //! ```text
 //! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--objective min|max]
 //!                 [--delay-bound none|local|slack] [--simulate] [--vcd FILE]
-//!                 [--out FILE]
+//!                 [--out FILE] [--json]
 //! tr-opt analyze  <netlist> [--scenario a|b] [--seed N]
+//! tr-opt batch    <dir|files...> [--suite small|quick|full] [--scenarios M]
+//!                 [--report json|csv] [--simulate] [--threads N]
 //! tr-opt library
 //! ```
 //!
-//! `<netlist>` may be ISCAS `.bench`, combinational `.blif` (both get
-//! technology-mapped onto the Table 2 library) or the native mapped
-//! format `.trnet` written by `--out`.
+//! Every command is a thin veneer over `tr_flow`: `optimize` runs one
+//! [`Flow`], `batch` stamps a `Flow` template over circuits × scenarios
+//! on a thread pool. `<netlist>` may be ISCAS `.bench`, combinational
+//! `.blif` (both get technology-mapped onto the Table 2 library) or the
+//! native mapped format `.trnet` written by `--out`.
+//!
+//! Exit codes: 0 success, 1 pipeline failure (bad netlist, I/O, failed
+//! batch cells), 2 usage error.
 
 use std::process::ExitCode;
+use std::time::Instant;
+use transistor_reordering::flow::{
+    load_path, BatchJob, BatchRunner, DelayBound, DurationPolicy, Error, Flow, FlowEnv, FlowReport,
+    ScenarioSpec, SimOptions,
+};
 use transistor_reordering::prelude::*;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let result = match command.as_str() {
         "optimize" => cmd_optimize(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
+        "batch" => cmd_batch(&args[1..]),
         "library" => cmd_library(),
+        "--version" | "-V" | "version" => {
+            println!("tr-opt {}", env!("CARGO_PKG_VERSION"));
+            Ok(())
+        }
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+        other => Err(Error::Usage(format!("unknown command `{other}`\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(if e.is_usage() { 2 } else { 1 })
         }
     }
 }
@@ -47,7 +64,9 @@ tr-opt — low-power transistor reordering (Musoll & Cortadella, DATE 1996)
 USAGE:
   tr-opt optimize <netlist> [options]   pick per-gate transistor orderings
   tr-opt analyze  <netlist> [options]   report power/delay without changes
+  tr-opt batch    <inputs> [options]    run the flow over circuits × scenarios
   tr-opt library                        print the Table 2 cell library
+  tr-opt --version                      print the version
 
 OPTIONS (optimize/analyze):
   --scenario a|b        input statistics (default a: random P,D)
@@ -59,6 +78,20 @@ OPTIONS (optimize/analyze):
   --simulate            validate with the switch-level simulator
   --vcd FILE            dump a simulation waveform (implies --simulate)
   --out FILE            write the optimized netlist (native format)
+  --json                print the full flow report as JSON (optimize only)
+
+OPTIONS (batch):
+  <inputs>              netlist files and/or directories of netlists
+  --suite small|quick|full   use the built-in benchmark suite instead
+                        (small = the 13-circuit ≤100-gate set)
+  --scenarios M         comma-separated matrix of a:SEED and b:CLOCK_HZ
+                        entries (default a:1,a:2,b:2e7,b:5e7)
+  --report json|csv     one line per (circuit, scenario) on stdout
+                        (default json)
+  --objective min|max   as above
+  --delay-bound MODE    as above
+  --simulate            switch-level-validate every cell (quick profile)
+  --threads N           worker threads (default: all cores)
 
 FORMATS: .bench (ISCAS), .blif (combinational subset), .trnet (native)";
 
@@ -67,11 +100,12 @@ struct Options {
     scenario: Scenario,
     seed: u64,
     objective: Objective,
-    delay_bound: String,
+    delay_bound: DelayBound,
     threads: usize,
     simulate: bool,
     vcd: Option<String>,
     out: Option<String>,
+    json: bool,
 }
 
 /// Default worker count: everything the machine offers.
@@ -79,18 +113,47 @@ fn default_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-fn parse_options(args: &[String]) -> Result<Options, String> {
+/// The value following a flag, or a usage error naming the flag.
+fn flag_value<'a>(it: &mut std::slice::Iter<'a, String>, flag: &str) -> Result<&'a str, Error> {
+    it.next()
+        .map(String::as_str)
+        .ok_or_else(|| Error::Usage(format!("missing value for {flag}")))
+}
+
+/// Shared `--objective` parsing for `optimize`/`analyze`/`batch`.
+fn parse_objective(value: Option<&str>) -> Result<Objective, Error> {
+    match value {
+        Some("min") => Ok(Objective::MinimizePower),
+        Some("max") => Ok(Objective::MaximizePower),
+        other => Err(Error::Usage(format!("bad --objective {other:?}"))),
+    }
+}
+
+/// Shared `--threads` parsing (must be a positive integer).
+fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, Error> {
+    let threads: usize = flag_value(it, "--threads")?
+        .parse()
+        .map_err(|e| Error::Usage(format!("bad --threads: {e}")))?;
+    if threads == 0 {
+        return Err(Error::Usage("--threads must be at least 1".into()));
+    }
+    Ok(threads)
+}
+
+fn parse_options(args: &[String]) -> Result<Options, Error> {
     let mut opts = Options {
         path: String::new(),
         scenario: Scenario::a(),
         seed: 1,
         objective: Objective::MinimizePower,
-        delay_bound: "none".into(),
+        delay_bound: DelayBound::Unbounded,
         threads: default_threads(),
         simulate: false,
         vcd: None,
         out: None,
+        json: false,
     };
+    let usage = |msg: String| Error::Usage(msg);
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -98,168 +161,122 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.scenario = match it.next().map(String::as_str) {
                     Some("a") | Some("A") => Scenario::a(),
                     Some("b") | Some("B") => Scenario::b(),
-                    other => return Err(format!("bad --scenario {other:?}")),
+                    other => return Err(usage(format!("bad --scenario {other:?}"))),
                 }
             }
             "--seed" => {
-                opts.seed = it
-                    .next()
-                    .ok_or("missing value for --seed")?
+                opts.seed = flag_value(&mut it, "--seed")?
                     .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
+                    .map_err(|e| usage(format!("bad --seed: {e}")))?;
             }
-            "--objective" => {
-                opts.objective = match it.next().map(String::as_str) {
-                    Some("min") => Objective::MinimizePower,
-                    Some("max") => Objective::MaximizePower,
-                    other => return Err(format!("bad --objective {other:?}")),
-                }
-            }
+            "--objective" => opts.objective = parse_objective(it.next().map(String::as_str))?,
             "--delay-bound" => {
-                let v = it.next().ok_or("missing value for --delay-bound")?;
-                if !["none", "local", "slack"].contains(&v.as_str()) {
-                    return Err(format!("bad --delay-bound `{v}`"));
-                }
-                opts.delay_bound = v.clone();
+                opts.delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
             }
-            "--threads" => {
-                opts.threads = it
-                    .next()
-                    .ok_or("missing value for --threads")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
-                if opts.threads == 0 {
-                    return Err("--threads must be at least 1".into());
-                }
-            }
+            "--threads" => opts.threads = parse_threads(&mut it)?,
             "--simulate" => opts.simulate = true,
             "--vcd" => {
-                opts.vcd = Some(it.next().ok_or("missing value for --vcd")?.clone());
+                opts.vcd = Some(flag_value(&mut it, "--vcd")?.to_string());
                 opts.simulate = true;
             }
-            "--out" => opts.out = Some(it.next().ok_or("missing value for --out")?.clone()),
+            "--out" => opts.out = Some(flag_value(&mut it, "--out")?.to_string()),
+            "--json" => opts.json = true,
             other if !other.starts_with('-') && opts.path.is_empty() => {
                 opts.path = other.to_string();
             }
-            other => return Err(format!("unexpected argument `{other}`")),
+            other => return Err(usage(format!("unexpected argument `{other}`"))),
         }
     }
     if opts.path.is_empty() {
-        return Err("missing <netlist> argument".into());
+        return Err(usage("missing <netlist> argument".into()));
     }
     Ok(opts)
 }
 
-fn load_circuit(path: &str, library: &Library) -> Result<Circuit, String> {
-    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let stem = std::path::Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("netlist");
-    if path.ends_with(".bench") {
-        let generic = bench::parse(stem, &text).map_err(|e| e.to_string())?;
-        Ok(map::map_default(&generic, library))
-    } else if path.ends_with(".blif") {
-        let generic = blif::parse(&text).map_err(|e| e.to_string())?;
-        Ok(map::map_default(&generic, library))
-    } else {
-        tr_netlist::format::parse(&text, library).map_err(|e| e.to_string())
-    }
-}
-
-fn cmd_optimize(args: &[String]) -> Result<(), String> {
+fn cmd_optimize(args: &[String]) -> Result<(), Error> {
     let opts = parse_options(args)?;
-    let library = Library::standard();
-    let process = Process::default();
-    let model = PowerModel::new(&library, process.clone());
-    let timing = TimingModel::new(&library, process.clone());
-    let circuit = load_circuit(&opts.path, &library)?;
-    let stats = opts
-        .scenario
-        .input_stats(circuit.primary_inputs().len(), opts.seed);
+    let env = FlowEnv::new();
 
-    println!("loaded: {circuit}");
-    let result = match (opts.delay_bound.as_str(), opts.objective) {
-        ("local", Objective::MinimizePower) => {
-            optimize_delay_bounded(&circuit, &library, &model, &timing, &stats)
-        }
-        ("slack", Objective::MinimizePower) => {
-            optimize_slack_aware(&circuit, &library, &model, &timing, &stats, 0.0)
-        }
-        ("none", obj) => optimize_parallel(&circuit, &library, &model, &stats, obj, opts.threads),
-        (bound, _) => {
-            return Err(format!(
-                "--delay-bound {bound} only supports --objective min"
-            ))
-        }
-    };
+    let mut flow = Flow::open(&opts.path)
+        .scenario(opts.scenario, opts.seed)
+        .objective(opts.objective)
+        .delay_bound(opts.delay_bound)
+        .threads(opts.threads)
+        .headroom(false);
+    if opts.simulate {
+        // The waveform dump replaces the before/after comparison run.
+        let sim = SimOptions::thorough(opts.seed ^ 0xC0FFEE);
+        flow = flow.simulate(if opts.vcd.is_some() {
+            sim
+        } else {
+            sim.with_baseline()
+        });
+    }
+    if let Some(vcd_path) = &opts.vcd {
+        flow = flow.vcd(vcd_path);
+    }
+    if let Some(out) = &opts.out {
+        flow = flow.write_netlist(out);
+    }
+
+    let (report, circuit) = flow.run_full(&env)?;
+    if opts.json {
+        println!("{}", report.to_json());
+        return Ok(());
+    }
+    println!(
+        "loaded: {} ({} gates, {} inputs, {} outputs, depth {})",
+        report.circuit, report.gates, report.inputs, report.outputs, report.depth
+    );
     println!(
         "model power: {:.4e} W → {:.4e} W ({:+.1}%), {} gates retuned",
-        result.power_before,
-        result.power_after,
-        -result.reduction_percent(),
-        result.changed_gates
+        report.power.model_before_w,
+        report.power.model_after_w,
+        -report.power.reduction_percent,
+        report.changed_gates
     );
-    let d0 = critical_path_delay(&circuit, &timing);
-    let d1 = critical_path_delay(&result.circuit, &timing);
     println!(
         "critical path: {:.3} ns → {:.3} ns ({:+.1}%)",
-        d0 * 1e9,
-        d1 * 1e9,
-        100.0 * (d1 - d0) / d0
+        report.delay.critical_path_before_s * 1e9,
+        report.delay.critical_path_after_s * 1e9,
+        report.delay.increase_percent
     );
-    println!("{}", instance_demand(&result.circuit, &library).render());
-
-    if opts.simulate {
-        let duration = 2000.0
-            / stats
-                .iter()
-                .map(SignalStats::density)
-                .fold(1.0f64, f64::max);
-        let duration = duration.clamp(1.0e-6, 1.0e-2);
-        let cfg = SimConfig {
-            duration,
-            warmup: duration * 0.1,
-            seed: opts.seed ^ 0xC0FFEE,
-        };
-        if let Some(vcd_path) = &opts.vcd {
-            let drives: Vec<InputDrive> =
-                stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
-            let (report, trace) =
-                simulate_traced(&result.circuit, &library, &process, &timing, &drives, &cfg);
-            vcd::write_to_file(&result.circuit, &trace, vcd_path)
-                .map_err(|e| format!("writing {vcd_path}: {e}"))?;
-            println!(
+    println!("{}", instance_demand(&circuit, &env.library).render());
+    if let Some(sim) = &report.sim {
+        match (&opts.vcd, sim.baseline_w) {
+            (Some(vcd_path), _) => println!(
                 "simulated: {:.4e} W over {:.0} µs; waveform → {vcd_path}",
-                report.power,
-                report.measured_time * 1e6
-            );
-        } else {
-            let before = simulate(&circuit, &library, &process, &timing, &stats, &cfg);
-            let after = simulate(&result.circuit, &library, &process, &timing, &stats, &cfg);
-            println!(
+                sim.optimized_w,
+                (sim.duration_s - sim.warmup_s) * 1e6
+            ),
+            (None, Some(before)) => println!(
                 "simulated: {:.4e} W → {:.4e} W ({:+.1}%)",
-                before.power,
-                after.power,
-                100.0 * (after.power - before.power) / before.power
-            );
+                before,
+                sim.optimized_w,
+                100.0 * (sim.optimized_w - before) / before
+            ),
+            (None, None) => println!("simulated: {:.4e} W", sim.optimized_w),
         }
     }
     if let Some(out) = &opts.out {
-        std::fs::write(out, tr_netlist::format::write(&result.circuit))
-            .map_err(|e| format!("writing {out}: {e}"))?;
         println!("netlist → {out}");
     }
     Ok(())
 }
 
-fn cmd_analyze(args: &[String]) -> Result<(), String> {
+fn cmd_analyze(args: &[String]) -> Result<(), Error> {
     let opts = parse_options(args)?;
-    let library = Library::standard();
-    let process = Process::default();
-    let model = PowerModel::new(&library, process.clone());
-    let timing = TimingModel::new(&library, process);
-    let circuit = load_circuit(&opts.path, &library)?;
+    if opts.json {
+        return Err(Error::Usage(
+            "--json is only supported by `tr-opt optimize` (analyze prints text)".into(),
+        ));
+    }
+    let env = FlowEnv::new();
+    let circuit = load_path(
+        std::path::Path::new(&opts.path),
+        &env.library,
+        &Default::default(),
+    )?;
     let stats = opts
         .scenario
         .input_stats(circuit.primary_inputs().len(), opts.seed);
@@ -268,8 +285,8 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     hist.sort();
     let summary: Vec<String> = hist.iter().map(|(n, c)| format!("{n}×{c}")).collect();
     println!("cells: {}", summary.join(" "));
-    let nets = propagate(&circuit, &library, &stats);
-    let power = circuit_power(&circuit, &model, &nets);
+    let nets = propagate(&circuit, &env.library, &stats);
+    let power = circuit_power(&circuit, &env.model, &nets);
     println!(
         "model power: {:.4e} W (output nodes {:.4e} W, internal {:.4e} W)",
         power.total,
@@ -278,13 +295,150 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     );
     println!(
         "critical path: {:.3} ns over depth {}",
-        critical_path_delay(&circuit, &timing) * 1e9,
+        critical_path_delay(&circuit, &env.timing) * 1e9,
         circuit.logic_depth()
     );
     Ok(())
 }
 
-fn cmd_library() -> Result<(), String> {
+/// Batch report format.
+enum ReportFormat {
+    Json,
+    Csv,
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), Error> {
+    let usage = |msg: String| Error::Usage(msg);
+    let mut inputs: Vec<String> = Vec::new();
+    let mut suite_name: Option<String> = None;
+    let mut scenarios: Option<String> = None;
+    let mut report_format = ReportFormat::Json;
+    let mut objective = Objective::MinimizePower;
+    let mut delay_bound = DelayBound::Unbounded;
+    let mut simulate = false;
+    let mut threads = default_threads();
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--suite" => suite_name = Some(flag_value(&mut it, "--suite")?.to_string()),
+            "--scenarios" => scenarios = Some(flag_value(&mut it, "--scenarios")?.to_string()),
+            "--report" => {
+                report_format = match it.next().map(String::as_str) {
+                    Some("json") => ReportFormat::Json,
+                    Some("csv") => ReportFormat::Csv,
+                    other => return Err(usage(format!("bad --report {other:?}"))),
+                }
+            }
+            "--objective" => objective = parse_objective(it.next().map(String::as_str))?,
+            "--delay-bound" => {
+                delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
+            }
+            "--simulate" => simulate = true,
+            "--threads" => threads = parse_threads(&mut it)?,
+            other if !other.starts_with('-') => inputs.push(other.to_string()),
+            other => return Err(usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+
+    let env = FlowEnv::new();
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    if let Some(name) = &suite_name {
+        let cases = match name.as_str() {
+            "small" => suite::small_suite(&env.library),
+            "quick" => suite::quick_suite(&env.library),
+            "full" => suite::standard_suite(&env.library),
+            other => return Err(usage(format!("bad --suite `{other}`"))),
+        };
+        jobs.extend(
+            cases
+                .into_iter()
+                .map(|c| BatchJob::from_circuit(c.name, c.circuit)),
+        );
+    }
+    for input in &inputs {
+        let path = std::path::Path::new(input);
+        if path.is_dir() {
+            jobs.extend(BatchJob::from_dir(path)?);
+        } else {
+            jobs.push(BatchJob::from_path(path));
+        }
+    }
+    if jobs.is_empty() {
+        return Err(usage(
+            "no inputs: pass netlist files/directories or --suite small|quick|full".into(),
+        ));
+    }
+    let matrix = match &scenarios {
+        Some(s) => ScenarioSpec::parse_matrix(s)?,
+        None => ScenarioSpec::default_matrix(),
+    };
+
+    let mut template = Flow::from_source(transistor_reordering::flow::Source::Circuit(
+        Circuit::new("template"),
+    ))
+    .objective(objective)
+    .delay_bound(delay_bound);
+    if simulate {
+        template = template.simulate(SimOptions {
+            duration: DurationPolicy::Auto {
+                target_toggles: 400.0,
+            },
+            warmup_frac: 0.1,
+            seed: 0xBA7C4,
+            baseline: false,
+        });
+    }
+
+    eprintln!(
+        "batch: {} circuits × {} scenarios = {} runs on {} threads",
+        jobs.len(),
+        matrix.len(),
+        jobs.len() * matrix.len(),
+        threads
+    );
+    if matches!(report_format, ReportFormat::Csv) {
+        println!("{}", FlowReport::csv_header());
+    }
+    let t0 = Instant::now();
+    // A load failure (scenario "-") stands for every cell of its job.
+    let mut failed_cells = 0usize;
+    let mut completed = 0usize;
+    let results = BatchRunner::new(template)
+        .threads(threads)
+        .run(&env, &jobs, &matrix, |result| match &result.outcome {
+            Ok(report) => {
+                completed += 1;
+                match report_format {
+                    ReportFormat::Json => println!("{}", report.to_json()),
+                    ReportFormat::Csv => println!("{}", report.to_csv_row()),
+                }
+            }
+            Err(e) => {
+                failed_cells += if result.scenario == "-" {
+                    matrix.len()
+                } else {
+                    1
+                };
+                eprintln!("  {} × {}: {e}", result.job, result.scenario);
+            }
+        });
+    drop(results);
+    eprintln!(
+        "batch: {completed} runs in {:.2} s ({:.1} runs/s)",
+        t0.elapsed().as_secs_f64(),
+        completed as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+    );
+    if failed_cells > 0 {
+        return Err(Error::Batch {
+            failed: failed_cells,
+            total: jobs.len() * matrix.len(),
+        });
+    }
+    Ok(())
+}
+
+fn cmd_library() -> Result<(), Error> {
     let library = Library::standard();
     println!(
         "{:<8} {:>4} {:>7} {:>9} {:>10}",

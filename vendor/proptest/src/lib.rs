@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this vendored
 //! crate implements the subset of proptest's API the workspace's property
-//! tests use: the [`proptest!`] macro, [`Strategy`] with `prop_map`,
+//! tests use: the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map`,
 //! `any::<T>()`, range strategies, tuple strategies,
 //! `prop::collection::vec`, `ProptestConfig::with_cases`, and the
 //! `prop_assert*` macros.
