@@ -1,0 +1,512 @@
+//! Whole-circuit BDDs and the exact statistics engine.
+//!
+//! [`CircuitBdds::build`] expresses every net of a [`CompiledCircuit`] as
+//! a global Boolean function of the primary inputs — one shared manager,
+//! gates composed in topological order — so reconvergent fanout is
+//! handled *exactly*: `NAND(a, a)` is `¬a`, not a fresh independent
+//! signal. [`CircuitBdds::exact_stats`] then computes, per net, the exact
+//! Parker–McCluskey signal probability (one linear pass over the shared
+//! graph) and the exact Najm transition density
+//! `D(y) = Σᵥ P(∂y/∂xᵥ)·D(xᵥ)` via BDD Boolean differences.
+//!
+//! Unlike `tr_power::propagate_exact` (dense truth tables, capped at
+//! `tr_boolean::MAX_VARS` primary inputs) the only limit here is the
+//! manager's node budget, which the benchmark suite's arithmetic
+//! circuits don't come near under the fanin-DFS ordering.
+
+use crate::manager::{Bdd, BddError, CacheStats, Edge, DEFAULT_NODE_LIMIT};
+use crate::order::{initial_order, OrderHeuristic};
+use std::collections::HashMap;
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::{CompiledCircuit, NetId};
+
+/// Construction options for [`CircuitBdds::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BuildOptions {
+    /// Variable-ordering heuristic (default fanin-DFS).
+    pub heuristic: OrderHeuristic,
+    /// Manager node budget (default [`DEFAULT_NODE_LIMIT`]).
+    pub node_limit: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            heuristic: OrderHeuristic::default(),
+            node_limit: DEFAULT_NODE_LIMIT,
+        }
+    }
+}
+
+/// Size and cache statistics of a built [`CircuitBdds`] (reported in
+/// EXPERIMENTS.md and by the `independence_error` experiment binary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CircuitBddStats {
+    /// Nodes allocated in the manager (including dead intermediates).
+    pub allocated_nodes: usize,
+    /// Distinct nodes reachable from the per-net roots.
+    pub live_nodes: usize,
+    /// Memoization counters of the underlying manager.
+    pub cache: CacheStats,
+}
+
+/// Every net of a circuit as a BDD over the primary inputs, in one
+/// shared manager.
+///
+/// # Example
+///
+/// ```
+/// use tr_bdd::{BuildOptions, CircuitBdds};
+/// use tr_boolean::SignalStats;
+/// use tr_gatelib::Library;
+/// use tr_netlist::{generators, CompiledCircuit};
+///
+/// let lib = Library::standard();
+/// let rca = generators::ripple_carry_adder(16, &lib); // 33 inputs: over
+/// let compiled = CompiledCircuit::compile(&rca, &lib).unwrap(); // MAX_VARS
+/// let mut bdds = CircuitBdds::build(&compiled, &lib, BuildOptions::default()).unwrap();
+/// let pi = vec![SignalStats::new(0.5, 0.5); 33];
+/// let stats = bdds.exact_stats(&pi).unwrap();
+/// assert_eq!(stats.len(), compiled.net_count());
+/// ```
+#[derive(Debug)]
+pub struct CircuitBdds {
+    manager: Bdd,
+    roots: Vec<Edge>,
+    /// `order[level] = primary-input position`.
+    order: Vec<usize>,
+    /// `level_of_pi[primary-input position] = level`.
+    level_of_pi: Vec<usize>,
+}
+
+/// Builds per-net roots under a fixed order. The workhorse shared by
+/// [`CircuitBdds::build`] and the sifting refinement.
+fn build_roots(
+    compiled: &CompiledCircuit,
+    library: &Library,
+    order: &[usize],
+    node_limit: usize,
+) -> Result<(Bdd, Vec<Edge>), BddError> {
+    let n_pis = compiled.primary_inputs().len();
+    debug_assert_eq!(order.len(), n_pis, "order must be a PI permutation");
+    let mut level_of_pi = vec![0usize; n_pis];
+    for (level, &pos) in order.iter().enumerate() {
+        level_of_pi[pos] = level;
+    }
+    let mut manager = Bdd::with_node_limit(n_pis, node_limit);
+    // Nets that are neither primary inputs nor gate outputs stay ZERO —
+    // a valid circuit has none.
+    let mut roots = vec![Edge::ZERO; compiled.net_count()];
+    for (pos, net) in compiled.primary_inputs().iter().enumerate() {
+        roots[net.0] = manager.var(level_of_pi[pos]);
+    }
+    let mut args: Vec<Edge> = Vec::new();
+    for &gid in compiled.order() {
+        let gate = &compiled.gates()[gid.0];
+        args.clear();
+        args.extend(compiled.inputs(gate).iter().map(|n| roots[n.0]));
+        let function = library.cell_by_id(gate.cell).function();
+        roots[gate.output.0] = manager.compose_fn(function, &args)?;
+    }
+    Ok((manager, roots))
+}
+
+/// Live node count of a candidate order, or `usize::MAX` if it blows the
+/// node budget (so sifting treats a blow-up as strictly worse).
+fn order_cost(
+    compiled: &CompiledCircuit,
+    library: &Library,
+    order: &[usize],
+    node_limit: usize,
+) -> usize {
+    match build_roots(compiled, library, order, node_limit) {
+        Ok((manager, roots)) => manager.live_size(roots.iter().copied()),
+        Err(BddError::NodeLimit { .. }) => usize::MAX,
+    }
+}
+
+/// Bounded rebuild-based sifting: move one variable at a time through
+/// every position, keep the position minimizing the live node count, and
+/// stop after `max_rebuilds` candidate evaluations. Deterministic;
+/// returns the refined order.
+///
+/// This trades the classic in-place adjacent-swap machinery for whole-
+/// circuit rebuilds — asymptotically more work per candidate, but the
+/// suite's circuits rebuild in microseconds-to-milliseconds and the
+/// manager stays simple (no per-level unique tables, no reference
+/// counting).
+fn sift_order(
+    compiled: &CompiledCircuit,
+    library: &Library,
+    mut order: Vec<usize>,
+    node_limit: usize,
+    max_rebuilds: usize,
+) -> Vec<usize> {
+    let n = order.len();
+    if n < 3 || max_rebuilds == 0 {
+        return order;
+    }
+    let mut best_cost = order_cost(compiled, library, &order, node_limit);
+    let mut rebuilds = 0usize;
+    // Sift each variable once, in initial root-first order (root levels
+    // influence size the most). Iterate over a snapshot of variable ids,
+    // not positions: applied moves shift the positions of later
+    // variables, and indexing by position would skip some and re-sift
+    // others.
+    let vars: Vec<usize> = order.clone();
+    let mut exhausted = false;
+    for var in vars {
+        let level = order.iter().position(|&v| v == var).expect("permutation");
+        let mut best_pos = level;
+        for candidate in 0..n {
+            if candidate == level {
+                continue;
+            }
+            if rebuilds >= max_rebuilds {
+                exhausted = true;
+                break;
+            }
+            let mut trial = order.clone();
+            trial.remove(level);
+            trial.insert(candidate, var);
+            rebuilds += 1;
+            let cost = order_cost(compiled, library, &trial, node_limit);
+            if cost < best_cost {
+                best_cost = cost;
+                best_pos = candidate;
+            }
+        }
+        // Apply even when the budget ran out mid-variable: the rebuilds
+        // that found this improvement are already paid for.
+        if best_pos != level {
+            order.remove(level);
+            order.insert(best_pos, var);
+        }
+        if exhausted {
+            break;
+        }
+    }
+    order
+}
+
+impl CircuitBdds {
+    /// Builds BDDs for every net, gates composed in topological order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the circuit does not fit the
+    /// node budget under the chosen ordering.
+    pub fn build(
+        compiled: &CompiledCircuit,
+        library: &Library,
+        options: BuildOptions,
+    ) -> Result<Self, BddError> {
+        let mut order = initial_order(compiled, options.heuristic);
+        if let OrderHeuristic::Sifted { max_rebuilds } = options.heuristic {
+            order = sift_order(compiled, library, order, options.node_limit, max_rebuilds);
+        }
+        let (manager, roots) = build_roots(compiled, library, &order, options.node_limit)?;
+        let mut level_of_pi = vec![0usize; order.len()];
+        for (level, &pos) in order.iter().enumerate() {
+            level_of_pi[pos] = level;
+        }
+        Ok(CircuitBdds {
+            manager,
+            roots,
+            order,
+            level_of_pi,
+        })
+    }
+
+    /// The underlying manager (read-only).
+    pub fn manager(&self) -> &Bdd {
+        &self.manager
+    }
+
+    /// The BDD root of a net.
+    pub fn root(&self, net: NetId) -> Edge {
+        self.roots[net.0]
+    }
+
+    /// The chosen variable order: `order()[level]` is the primary-input
+    /// position at that level.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The inverse permutation of [`CircuitBdds::order`]: the manager
+    /// level a primary input (by position) was assigned to.
+    pub fn level_of_pi(&self, position: usize) -> usize {
+        self.level_of_pi[position]
+    }
+
+    /// Size and cache statistics.
+    pub fn stats(&self) -> CircuitBddStats {
+        CircuitBddStats {
+            allocated_nodes: self.manager.node_count(),
+            live_nodes: self.manager.live_size(self.roots.iter().copied()),
+            cache: self.manager.cache_stats(),
+        }
+    }
+
+    /// Exact `(P, D)` statistics for every net, given per-primary-input
+    /// statistics (independent primary inputs — the paper's §3.1 signal
+    /// model; *internal* correlation from reconvergent fanout is exact).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if a Boolean difference exceeds
+    /// the node budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_stats.len()` differs from the primary-input count.
+    pub fn exact_stats(&mut self, pi_stats: &[SignalStats]) -> Result<Vec<SignalStats>, BddError> {
+        assert_eq!(
+            pi_stats.len(),
+            self.order.len(),
+            "one SignalStats per primary input"
+        );
+        // Per-level views of the input statistics.
+        let probs: Vec<f64> = self
+            .order
+            .iter()
+            .map(|&pos| pi_stats[pos].probability())
+            .collect();
+        let dens: Vec<f64> = self
+            .order
+            .iter()
+            .map(|&pos| pi_stats[pos].density())
+            .collect();
+
+        // One probability cache for the whole pass: probabilities are a
+        // property of (node, probs), and probs is fixed here.
+        let mut p_cache: HashMap<u32, f64> = HashMap::new();
+        let mut seen = vec![false; self.order.len()];
+        let mut visited: Vec<bool> = Vec::new();
+        let mut out = Vec::with_capacity(self.roots.len());
+        for i in 0..self.roots.len() {
+            let root = self.roots[i];
+            let p = self.manager.probability(root, &probs, &mut p_cache);
+            self.manager.support_into(root, &mut seen, &mut visited);
+            let mut d = 0.0f64;
+            for level in 0..self.order.len() {
+                if !seen[level] || dens[level] == 0.0 {
+                    continue;
+                }
+                let diff = self.manager.boolean_difference(root, level)?;
+                if diff == Edge::ZERO {
+                    continue;
+                }
+                d += self.manager.probability(diff, &probs, &mut p_cache) * dens[level];
+            }
+            out.push(SignalStats::new(p, d.max(0.0)));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_gatelib::{CellKind, Library};
+    use tr_netlist::{generators, Circuit};
+
+    fn compiled(circuit: &Circuit, lib: &Library) -> CompiledCircuit {
+        CompiledCircuit::compile(circuit, lib).expect("valid circuit")
+    }
+
+    fn build(circuit: &Circuit, lib: &Library) -> CircuitBdds {
+        CircuitBdds::build(&compiled(circuit, lib), lib, BuildOptions::default())
+            .expect("fits the node budget")
+    }
+
+    #[test]
+    fn roots_agree_with_functional_evaluation() {
+        let lib = Library::standard();
+        let c = generators::array_multiplier(3, &lib);
+        let cc = compiled(&c, &lib);
+        let bdds = build(&c, &lib);
+        for m in 0..(1usize << 6) {
+            let v: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let nets = cc.evaluate(&lib, &v);
+            // The BDD assignment is per *level*; permute through order().
+            let mut by_level = vec![false; 6];
+            for (level, &pos) in bdds.order().iter().enumerate() {
+                by_level[level] = v[pos];
+            }
+            for (net, &want) in nets.iter().enumerate() {
+                assert_eq!(
+                    bdds.manager()
+                        .eval(bdds.root(tr_netlist::NetId(net)), &by_level),
+                    want,
+                    "net {net} at inputs {m:06b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reconvergence_is_exact() {
+        // y = NAND(a, a) = ¬a: probability must be 1 − P(a), and the BDD
+        // must literally be the complement of a's.
+        let lib = Library::standard();
+        let mut c = Circuit::new("reconv");
+        let a = c.add_input("a");
+        let (_, y) = c.add_gate(CellKind::Nand(2), vec![a, a], "y");
+        c.mark_output(y);
+        let mut bdds = build(&c, &lib);
+        assert_eq!(bdds.root(y), bdds.root(a).complement());
+        let stats = bdds.exact_stats(&[SignalStats::new(0.3, 2.0e5)]).unwrap();
+        assert!((stats[y.0].probability() - 0.7).abs() < 1e-15);
+        assert!((stats[y.0].density() - 2.0e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_match_truth_table_exact_on_small_circuit() {
+        // c17 has 5 inputs: tr_power::propagate_exact applies, and so
+        // does a hand truth-table check of probabilities here.
+        let lib = Library::standard();
+        let c = tr_netlist::map::map_default(&tr_netlist::bench::c17(), &lib);
+        let cc = compiled(&c, &lib);
+        let mut bdds = build(&c, &lib);
+        let pi: Vec<SignalStats> = (0..5)
+            .map(|i| SignalStats::new(0.1 + 0.17 * i as f64, 1.0e5 * (i + 1) as f64))
+            .collect();
+        let stats = bdds.exact_stats(&pi).unwrap();
+        // Brute-force probability per net from the truth table.
+        for (net, got) in stats.iter().enumerate() {
+            let mut want = 0.0f64;
+            for m in 0..(1usize << 5) {
+                let v: Vec<bool> = (0..5).map(|i| (m >> i) & 1 == 1).collect();
+                if cc.evaluate(&lib, &v)[net] {
+                    let mut term = 1.0;
+                    for (i, &bit) in v.iter().enumerate() {
+                        let p = pi[i].probability();
+                        term *= if bit { p } else { 1.0 - p };
+                    }
+                    want += term;
+                }
+            }
+            assert!(
+                (got.probability() - want).abs() < 1e-12,
+                "net {net}: {} vs {want}",
+                got.probability()
+            );
+        }
+    }
+
+    #[test]
+    fn no_input_cap() {
+        // 33 primary inputs — beyond MAX_VARS=16; BDDs handle it easily.
+        let lib = Library::standard();
+        let c = generators::ripple_carry_adder(16, &lib);
+        let mut bdds = build(&c, &lib);
+        let pi = vec![SignalStats::new(0.5, 0.5); 33];
+        let stats = bdds.exact_stats(&pi).unwrap();
+        assert_eq!(stats.len(), c.net_count());
+        // The final carry has probability 1/2 by symmetry of addition.
+        let cout = c.primary_outputs()[16];
+        assert!((stats[cout.0].probability() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fanin_dfs_beats_topological_on_the_adder() {
+        // Declaration order (a0..a15, b0..b15, cin) separates the operand
+        // bits each carry needs; fanin DFS interleaves them. The live
+        // node count should improve materially.
+        let lib = Library::standard();
+        let c = generators::ripple_carry_adder(16, &lib);
+        let cc = compiled(&c, &lib);
+        let dfs = CircuitBdds::build(
+            &cc,
+            &lib,
+            BuildOptions {
+                heuristic: OrderHeuristic::FaninDfs,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let topo = CircuitBdds::build(
+            &cc,
+            &lib,
+            BuildOptions {
+                heuristic: OrderHeuristic::Topological,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            dfs.stats().live_nodes * 2 < topo.stats().live_nodes,
+            "fanin-DFS {} vs topological {}",
+            dfs.stats().live_nodes,
+            topo.stats().live_nodes
+        );
+    }
+
+    #[test]
+    fn sifting_never_worsens_and_is_deterministic() {
+        let lib = Library::standard();
+        let c = generators::comparator(6, &lib);
+        let cc = compiled(&c, &lib);
+        let base = CircuitBdds::build(
+            &cc,
+            &lib,
+            BuildOptions {
+                heuristic: OrderHeuristic::Topological,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        let build_sifted = || {
+            CircuitBdds::build(
+                &cc,
+                &lib,
+                BuildOptions {
+                    heuristic: OrderHeuristic::Sifted { max_rebuilds: 60 },
+                    ..BuildOptions::default()
+                },
+            )
+            .unwrap()
+        };
+        let sifted = build_sifted();
+        assert!(sifted.stats().live_nodes <= base.stats().live_nodes);
+        assert_eq!(sifted.order(), build_sifted().order());
+        // Sifting must not change any function: spot-check evaluation.
+        let n = cc.primary_inputs().len();
+        for m in [0usize, 0x155, 0xFFF, 0x9A5] {
+            let v: Vec<bool> = (0..n).map(|i| (m >> i) & 1 == 1).collect();
+            let nets = cc.evaluate(&lib, &v);
+            let mut by_level = vec![false; n];
+            for (level, &pos) in sifted.order().iter().enumerate() {
+                by_level[level] = v[pos];
+            }
+            for (net, &want) in nets.iter().enumerate() {
+                assert_eq!(
+                    sifted
+                        .manager()
+                        .eval(sifted.root(tr_netlist::NetId(net)), &by_level),
+                    want
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn node_limit_surfaces_as_error() {
+        let lib = Library::standard();
+        let c = generators::array_multiplier(6, &lib);
+        let cc = compiled(&c, &lib);
+        let err = CircuitBdds::build(
+            &cc,
+            &lib,
+            BuildOptions {
+                node_limit: 64,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, BddError::NodeLimit { limit: 64 });
+    }
+}

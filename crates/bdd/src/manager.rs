@@ -1,0 +1,764 @@
+//! The shared ROBDD manager: node store, unique table, memoized ITE.
+//!
+//! Design notes, for readers coming from the textbook presentation:
+//!
+//! * **Complement edges** (Brace–Rudell–Bryant): an [`Edge`] is a node
+//!   index plus a complement bit, so negation is free and `f`/`¬f` share
+//!   every node. Canonical form: the *high* (then) edge of a stored node
+//!   is never complemented; [`Bdd::mk`] re-roots and complements the
+//!   result edge when it would be.
+//! * **Variables are levels**: the manager orders variables by their
+//!   index, so variable `0` is always the root level. Callers pick the
+//!   ordering by deciding which circuit input each manager variable
+//!   stands for (see [`crate::order`]).
+//! * **One terminal**: node `0` is the constant `1`; `0` is its
+//!   complement. The terminal's `var` is [`TERMINAL_VAR`], which sorts
+//!   below every real level.
+//! * **Memoization**: ITE, restrict and Boolean-difference results are
+//!   cached for the manager's lifetime; [`Bdd::cache_stats`] exposes the
+//!   hit counters that EXPERIMENTS.md reports. There is no garbage
+//!   collection — a manager is built, queried and dropped, which is the
+//!   whole-circuit-statistics lifecycle it exists for.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Level assigned to the terminal node: sorts after every real variable.
+pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
+
+/// Errors from BDD construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BddError {
+    /// The node store reached the configured limit; the function being
+    /// built is too large under the current variable ordering.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for BddError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BddError::NodeLimit { limit } => {
+                write!(f, "BDD node limit of {limit} nodes exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BddError {}
+
+/// A reference to a BDD function: node index plus complement bit.
+///
+/// Copyable and 4 bytes; negation ([`Edge::complement`]) costs one XOR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge(u32);
+
+impl Edge {
+    /// The constant-true function.
+    pub const ONE: Edge = Edge(0);
+    /// The constant-false function (complement of the terminal).
+    pub const ZERO: Edge = Edge(1);
+
+    #[inline]
+    fn new(index: u32, complemented: bool) -> Self {
+        Edge(index << 1 | u32::from(complemented))
+    }
+
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        (self.0 >> 1) as usize
+    }
+
+    #[inline]
+    pub(crate) fn is_complemented(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// `¬f`, for free.
+    #[inline]
+    #[must_use]
+    pub fn complement(self) -> Self {
+        Edge(self.0 ^ 1)
+    }
+
+    /// Whether this is one of the two constant functions.
+    pub fn is_constant(self) -> bool {
+        self.index() == 0
+    }
+
+    /// The raw key used in cache tables.
+    #[inline]
+    fn key(self) -> u32 {
+        self.0
+    }
+}
+
+/// One stored node. `high` is never complemented (canonical form).
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    var: u32,
+    low: Edge,
+    high: Edge,
+}
+
+/// Cache hit/lookup counters, exposed for EXPERIMENTS.md and tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// ITE cache probes.
+    pub ite_lookups: u64,
+    /// ITE cache probes that hit.
+    pub ite_hits: u64,
+    /// Restrict/Boolean-difference cache probes.
+    pub restrict_lookups: u64,
+    /// Restrict/Boolean-difference cache probes that hit.
+    pub restrict_hits: u64,
+}
+
+/// A reduced-ordered BDD manager with complement edges.
+///
+/// # Example
+///
+/// ```
+/// use tr_bdd::{Bdd, Edge};
+///
+/// let mut bdd = Bdd::new(2);
+/// let a = bdd.var(0);
+/// let b = bdd.var(1);
+/// let f = bdd.and(a, b).unwrap();
+/// assert_eq!(bdd.eval(f, &[true, true]), true);
+/// assert_eq!(bdd.eval(f, &[true, false]), false);
+/// // Complementation is free and canonical:
+/// let g = bdd.or(a.complement(), b.complement()).unwrap();
+/// assert_eq!(g, f.complement());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bdd {
+    nodes: Vec<Node>,
+    unique: HashMap<(u32, u32, u32), u32>,
+    ite_cache: HashMap<(u32, u32, u32), Edge>,
+    restrict_cache: HashMap<(u32, u32, u8), Edge>,
+    diff_cache: HashMap<(u32, u32), Edge>,
+    n_vars: usize,
+    node_limit: usize,
+    stats: CacheStats,
+}
+
+/// Default node limit: generous for the benchmark suite (the largest
+/// circuits build in tens of thousands of nodes) while bounding memory to
+/// well under a gigabyte in the worst case.
+pub const DEFAULT_NODE_LIMIT: usize = 8_000_000;
+
+impl Bdd {
+    /// A manager over `n_vars` variables with the default node limit.
+    pub fn new(n_vars: usize) -> Self {
+        Bdd::with_node_limit(n_vars, DEFAULT_NODE_LIMIT)
+    }
+
+    /// A manager with an explicit node limit (construction returns
+    /// [`BddError::NodeLimit`] once the store reaches it).
+    pub fn with_node_limit(n_vars: usize, node_limit: usize) -> Self {
+        let terminal = Node {
+            var: TERMINAL_VAR,
+            low: Edge::ONE,
+            high: Edge::ONE,
+        };
+        Bdd {
+            nodes: vec![terminal],
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+            restrict_cache: HashMap::new(),
+            diff_cache: HashMap::new(),
+            n_vars,
+            node_limit,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of variables in the ordering.
+    pub fn n_vars(&self) -> usize {
+        self.n_vars
+    }
+
+    /// Total nodes allocated (including the terminal).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Cache hit/lookup counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The single-variable function `xᵥ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn var(&mut self, var: usize) -> Edge {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        self.mk(var as u32, Edge::ZERO, Edge::ONE)
+            .expect("a single node never exceeds the limit")
+    }
+
+    /// Get-or-create the node `(var, low, high)`, enforcing canonicity.
+    fn mk(&mut self, var: u32, low: Edge, high: Edge) -> Result<Edge, BddError> {
+        if low == high {
+            return Ok(low);
+        }
+        // Canonical form: the high edge is regular. If it is complemented,
+        // store the complemented node and complement the returned edge.
+        if high.is_complemented() {
+            let inner = self.mk_raw(var, low.complement(), high.complement())?;
+            return Ok(inner.complement());
+        }
+        self.mk_raw(var, low, high)
+    }
+
+    fn mk_raw(&mut self, var: u32, low: Edge, high: Edge) -> Result<Edge, BddError> {
+        debug_assert!(!high.is_complemented());
+        if let Some(&idx) = self.unique.get(&(var, low.key(), high.key())) {
+            return Ok(Edge::new(idx, false));
+        }
+        // The terminal and one node per variable are always admitted, so
+        // `var()` cannot fail even under a tiny limit.
+        if self.nodes.len() >= self.node_limit.max(self.n_vars + 1) {
+            return Err(BddError::NodeLimit {
+                limit: self.node_limit,
+            });
+        }
+        let idx = u32::try_from(self.nodes.len()).expect("node count fits in u32");
+        self.nodes.push(Node { var, low, high });
+        self.unique.insert((var, low.key(), high.key()), idx);
+        Ok(Edge::new(idx, false))
+    }
+
+    /// The level (variable) labelling the edge's root node.
+    #[inline]
+    fn level(&self, e: Edge) -> u32 {
+        self.nodes[e.index()].var
+    }
+
+    /// Cofactors of `e` with respect to `var`, complement pushed through.
+    /// `var` must be at or above `e`'s root level.
+    #[inline]
+    fn split(&self, e: Edge, var: u32) -> (Edge, Edge) {
+        let node = &self.nodes[e.index()];
+        if node.var != var {
+            return (e, e);
+        }
+        if e.is_complemented() {
+            (node.low.complement(), node.high.complement())
+        } else {
+            (node.low, node.high)
+        }
+    }
+
+    /// If-then-else: the universal binary operator, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if the result would exceed the
+    /// node limit.
+    pub fn ite(&mut self, f: Edge, g: Edge, h: Edge) -> Result<Edge, BddError> {
+        // Terminal cases.
+        if f == Edge::ONE {
+            return Ok(g);
+        }
+        if f == Edge::ZERO {
+            return Ok(h);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        if g == Edge::ONE && h == Edge::ZERO {
+            return Ok(f);
+        }
+        if g == Edge::ZERO && h == Edge::ONE {
+            return Ok(f.complement());
+        }
+        // Collapse g/h that repeat f.
+        let (mut f, mut g, mut h) = (f, g, h);
+        if g == f {
+            g = Edge::ONE;
+        } else if g == f.complement() {
+            g = Edge::ZERO;
+        }
+        if h == f {
+            h = Edge::ZERO;
+        } else if h == f.complement() {
+            h = Edge::ONE;
+        }
+        if g == Edge::ONE && h == Edge::ZERO {
+            return Ok(f);
+        }
+        if g == h {
+            return Ok(g);
+        }
+        // Canonicalize for the cache: first argument regular, then-branch
+        // regular (complement pulled out of the result).
+        if f.is_complemented() {
+            f = f.complement();
+            std::mem::swap(&mut g, &mut h);
+        }
+        let negate = g.is_complemented();
+        if negate {
+            g = g.complement();
+            h = h.complement();
+        }
+        let key = (f.key(), g.key(), h.key());
+        self.stats.ite_lookups += 1;
+        if let Some(&hit) = self.ite_cache.get(&key) {
+            self.stats.ite_hits += 1;
+            return Ok(if negate { hit.complement() } else { hit });
+        }
+        let top = self.level(f).min(self.level(g)).min(self.level(h));
+        let (f0, f1) = self.split(f, top);
+        let (g0, g1) = self.split(g, top);
+        let (h0, h1) = self.split(h, top);
+        let t = self.ite(f1, g1, h1)?;
+        let e = self.ite(f0, g0, h0)?;
+        let result = self.mk(top, e, t)?;
+        self.ite_cache.insert(key, result);
+        Ok(if negate { result.complement() } else { result })
+    }
+
+    /// `f ∧ g`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    pub fn and(&mut self, f: Edge, g: Edge) -> Result<Edge, BddError> {
+        self.ite(f, g, Edge::ZERO)
+    }
+
+    /// `f ∨ g`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    pub fn or(&mut self, f: Edge, g: Edge) -> Result<Edge, BddError> {
+        self.ite(f, Edge::ONE, g)
+    }
+
+    /// `f ⊕ g`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    pub fn xor(&mut self, f: Edge, g: Edge) -> Result<Edge, BddError> {
+        self.ite(f, g.complement(), g)
+    }
+
+    /// The cofactor `f|ᵥₐᵣ₌ᵥₐₗ`, memoized.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn restrict(&mut self, f: Edge, var: usize, val: bool) -> Result<Edge, BddError> {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        self.restrict_rec(f, var as u32, val)
+    }
+
+    fn restrict_rec(&mut self, f: Edge, var: u32, val: bool) -> Result<Edge, BddError> {
+        let node_var = self.level(f);
+        // Ordering invariant: everything below `f`'s root is labelled with
+        // a larger variable, so once we pass `var` it cannot occur.
+        if node_var > var {
+            return Ok(f);
+        }
+        if node_var == var {
+            let (lo, hi) = self.split(f, var);
+            return Ok(if val { hi } else { lo });
+        }
+        let key = (f.key(), var, u8::from(val));
+        self.stats.restrict_lookups += 1;
+        if let Some(&hit) = self.restrict_cache.get(&key) {
+            self.stats.restrict_hits += 1;
+            return Ok(hit);
+        }
+        let (lo, hi) = self.split(f, node_var);
+        let new_lo = self.restrict_rec(lo, var, val)?;
+        let new_hi = self.restrict_rec(hi, var, val)?;
+        let result = self.mk(node_var, new_lo, new_hi)?;
+        self.restrict_cache.insert(key, result);
+        Ok(result)
+    }
+
+    /// The Boolean difference `∂f/∂xᵥ = f|ᵥ₌₁ ⊕ f|ᵥ₌₀`, memoized.
+    ///
+    /// A transition of `xᵥ` propagates to `f` exactly when the remaining
+    /// inputs satisfy this function — the core of Najm's density
+    /// propagation.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars`.
+    pub fn boolean_difference(&mut self, f: Edge, var: usize) -> Result<Edge, BddError> {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        // The difference is complement-invariant: ∂(¬f) = ∂f. Cache on the
+        // regular edge so both phases share the entry.
+        let canonical = if f.is_complemented() {
+            f.complement()
+        } else {
+            f
+        };
+        let key = (canonical.key(), var as u32);
+        if let Some(&hit) = self.diff_cache.get(&key) {
+            return Ok(hit);
+        }
+        let hi = self.restrict_rec(canonical, var as u32, true)?;
+        let lo = self.restrict_rec(canonical, var as u32, false)?;
+        let result = self.xor(hi, lo)?;
+        self.diff_cache.insert(key, result);
+        Ok(result)
+    }
+
+    /// Evaluates `f` on a full variable assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != n_vars`.
+    pub fn eval(&self, f: Edge, assignment: &[bool]) -> bool {
+        assert_eq!(assignment.len(), self.n_vars, "one value per variable");
+        let mut e = f;
+        let mut parity = false;
+        loop {
+            parity ^= e.is_complemented();
+            let node = &self.nodes[e.index()];
+            if node.var == TERMINAL_VAR {
+                return !parity;
+            }
+            e = if assignment[node.var as usize] {
+                node.high
+            } else {
+                node.low
+            };
+        }
+    }
+
+    /// The set of variables `f` depends on, as a sorted list.
+    pub fn support(&self, f: Edge) -> Vec<usize> {
+        let mut seen = vec![false; self.n_vars];
+        let mut visited = Vec::new();
+        self.support_into(f, &mut seen, &mut visited);
+        (0..self.n_vars).filter(|&v| seen[v]).collect()
+    }
+
+    /// Marks every variable `f` depends on in a caller-provided bitmap
+    /// (the allocation-free form of [`Bdd::support`], used by the density
+    /// loop), reusing `visited` as scratch (cleared on entry).
+    pub fn support_into(&self, f: Edge, seen: &mut [bool], visited: &mut Vec<bool>) {
+        assert!(seen.len() >= self.n_vars, "support bitmap too short");
+        seen[..self.n_vars].fill(false);
+        visited.clear();
+        visited.resize(self.nodes.len(), false);
+        let mut stack = vec![f.index()];
+        while let Some(idx) = stack.pop() {
+            if visited[idx] {
+                continue;
+            }
+            visited[idx] = true;
+            let node = &self.nodes[idx];
+            if node.var == TERMINAL_VAR {
+                continue;
+            }
+            seen[node.var as usize] = true;
+            stack.push(node.low.index());
+            stack.push(node.high.index());
+        }
+    }
+
+    /// Number of distinct nodes reachable from `roots` (counting the
+    /// terminal once if reached) — the "live size" of a set of functions.
+    pub fn live_size(&self, roots: impl IntoIterator<Item = Edge>) -> usize {
+        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = roots.into_iter().map(Edge::index).collect();
+        let mut count = 0usize;
+        while let Some(idx) = stack.pop() {
+            if visited[idx] {
+                continue;
+            }
+            visited[idx] = true;
+            count += 1;
+            let node = &self.nodes[idx];
+            if node.var != TERMINAL_VAR {
+                stack.push(node.low.index());
+                stack.push(node.high.index());
+            }
+        }
+        count
+    }
+
+    /// Exact probability that `f = 1` given one `P(xᵥ = 1)` per variable,
+    /// assuming the variables are independent.
+    ///
+    /// One `O(|f|)` pass: each plain node's probability is the convex
+    /// combination of its children's; a complemented edge reads `1 − P`.
+    /// `cache` maps node index → probability of the *regular* edge and
+    /// may be reused across calls **only** with identical `probs` (the
+    /// whole-circuit engine shares one cache across every net).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != n_vars`.
+    pub fn probability(&self, f: Edge, probs: &[f64], cache: &mut HashMap<u32, f64>) -> f64 {
+        assert_eq!(probs.len(), self.n_vars, "one probability per variable");
+        let p = self.probability_rec(f.index() as u32, probs, cache);
+        let p = if f.is_complemented() { 1.0 - p } else { p };
+        p.clamp(0.0, 1.0)
+    }
+
+    fn probability_rec(&self, idx: u32, probs: &[f64], cache: &mut HashMap<u32, f64>) -> f64 {
+        let node = &self.nodes[idx as usize];
+        if node.var == TERMINAL_VAR {
+            return 1.0;
+        }
+        if let Some(&p) = cache.get(&idx) {
+            return p;
+        }
+        let p_lo = {
+            let raw = self.probability_rec(node.low.index() as u32, probs, cache);
+            if node.low.is_complemented() {
+                1.0 - raw
+            } else {
+                raw
+            }
+        };
+        // The high edge is regular by canonical form.
+        let p_hi = self.probability_rec(node.high.index() as u32, probs, cache);
+        let pv = probs[node.var as usize];
+        let p = p_lo + pv * (p_hi - p_lo);
+        cache.insert(idx, p);
+        p
+    }
+
+    /// Builds the BDD of a dense truth table over argument functions:
+    /// Shannon expansion of `f` with `args[i]` substituted for variable
+    /// `i`. This is how gate outputs compose their cell function over the
+    /// fanin BDDs.
+    ///
+    /// # Errors
+    ///
+    /// As [`Bdd::ite`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `args.len() != f.nvars()`.
+    pub fn compose_fn(&mut self, f: &tr_boolean::BoolFn, args: &[Edge]) -> Result<Edge, BddError> {
+        assert_eq!(
+            args.len(),
+            f.nvars(),
+            "one argument edge per function input"
+        );
+        self.compose_rec(f, args, args.len())
+    }
+
+    fn compose_rec(
+        &mut self,
+        f: &tr_boolean::BoolFn,
+        args: &[Edge],
+        remaining: usize,
+    ) -> Result<Edge, BddError> {
+        if f.is_zero() {
+            return Ok(Edge::ZERO);
+        }
+        if f.is_one() {
+            return Ok(Edge::ONE);
+        }
+        debug_assert!(remaining > 0, "non-constant function with no variables");
+        let k = remaining - 1;
+        if !f.depends_on(k) {
+            return self.compose_rec(f, args, k);
+        }
+        let hi = self.compose_rec(&f.cofactor(k, true), args, k)?;
+        let lo = self.compose_rec(&f.cofactor(k, false), args, k)?;
+        self.ite(args[k], hi, lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tr_boolean::BoolFn;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut bdd = Bdd::new(2);
+        assert_eq!(Edge::ONE.complement(), Edge::ZERO);
+        let a = bdd.var(0);
+        assert!(bdd.eval(a, &[true, false]));
+        assert!(!bdd.eval(a, &[false, true]));
+        assert!(!bdd.eval(a.complement(), &[true, false]));
+        // var() is canonical: same node both times.
+        assert_eq!(a, bdd.var(0));
+    }
+
+    #[test]
+    fn ite_matches_truth_tables() {
+        // Exhaustively check every 3-input function pair against BoolFn.
+        let mut bdd = Bdd::new(3);
+        let vars: Vec<Edge> = (0..3).map(|v| bdd.var(v)).collect();
+        let fns: Vec<BoolFn> = (0..256u32)
+            .step_by(37)
+            .map(|tt| {
+                BoolFn::from_fn(3, |a| {
+                    (tt >> (usize::from(a[0]) | usize::from(a[1]) << 1 | usize::from(a[2]) << 2))
+                        & 1
+                        == 1
+                })
+            })
+            .collect();
+        for f in &fns {
+            let fe = bdd.compose_fn(f, &vars).unwrap();
+            for m in 0..8usize {
+                let a = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+                assert_eq!(bdd.eval(fe, &a), f.eval(&a), "{f:?} at {m:03b}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonicity_demorgan() {
+        let mut bdd = Bdd::new(2);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let nand = bdd.and(a, b).unwrap().complement();
+        let or_of_nots = bdd.or(a.complement(), b.complement()).unwrap();
+        assert_eq!(nand, or_of_nots);
+        let before = bdd.node_count();
+        // Rebuilding identical functions allocates nothing.
+        let again = bdd.and(a, b).unwrap().complement();
+        assert_eq!(again, nand);
+        assert_eq!(bdd.node_count(), before);
+    }
+
+    #[test]
+    fn xor_and_difference() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b).unwrap();
+        let f = bdd.xor(ab, c).unwrap();
+        // ∂f/∂c = 1, ∂f/∂a = b.
+        assert_eq!(bdd.boolean_difference(f, 2).unwrap(), Edge::ONE);
+        assert_eq!(bdd.boolean_difference(f, 0).unwrap(), b);
+        // Complement-invariant, served from the cache.
+        assert_eq!(bdd.boolean_difference(f.complement(), 0).unwrap(), b);
+    }
+
+    #[test]
+    fn restrict_is_cofactor() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let bc = bdd.or(b, c).unwrap();
+        let f = bdd.and(a, bc).unwrap();
+        assert_eq!(bdd.restrict(f, 0, false).unwrap(), Edge::ZERO);
+        assert_eq!(bdd.restrict(f, 0, true).unwrap(), bc);
+        let f_b0 = bdd.restrict(f, 1, false).unwrap();
+        assert_eq!(f_b0, bdd.and(a, c).unwrap());
+    }
+
+    #[test]
+    fn probability_of_majority() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2);
+        let ab = bdd.and(a, b).unwrap();
+        let ac = bdd.and(a, c).unwrap();
+        let bc = bdd.and(b, c).unwrap();
+        let t = bdd.or(ab, ac).unwrap();
+        let maj = bdd.or(t, bc).unwrap();
+        let mut cache = HashMap::new();
+        let p = bdd.probability(maj, &[0.5, 0.5, 0.5], &mut cache);
+        assert!((p - 0.5).abs() < 1e-15);
+        let mut cache2 = HashMap::new();
+        let p2 = bdd.probability(maj, &[0.2, 0.3, 0.4], &mut cache2);
+        // P(maj) = ab + ac + bc − 2abc.
+        let want = 0.2 * 0.3 + 0.2 * 0.4 + 0.3 * 0.4 - 2.0 * 0.2 * 0.3 * 0.4;
+        assert!((p2 - want).abs() < 1e-15, "{p2} vs {want}");
+        // Complemented root reads 1 − P.
+        let pc = bdd.probability(maj.complement(), &[0.2, 0.3, 0.4], &mut cache2);
+        assert!((pc - (1.0 - want)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn support_tracks_dependencies() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let c = bdd.var(2);
+        let f = bdd.xor(a, c).unwrap();
+        assert_eq!(bdd.support(f), vec![0, 2]);
+        assert_eq!(bdd.support(Edge::ONE), Vec::<usize>::new());
+        let mut seen = vec![false; 4];
+        let mut visited = Vec::new();
+        bdd.support_into(f, &mut seen, &mut visited);
+        assert_eq!(seen, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        // A parity chain over 8 vars needs ~2 nodes per level; a limit of
+        // 10 nodes (vars are always admitted) cannot hold it.
+        let mut bdd = Bdd::with_node_limit(8, 10);
+        let vars: Vec<Edge> = (0..8).map(|v| bdd.var(v)).collect();
+        let mut f = vars[0];
+        let mut hit = false;
+        for &x in &vars[1..] {
+            match bdd.xor(f, x) {
+                Ok(next) => f = next,
+                Err(BddError::NodeLimit { limit }) => {
+                    assert_eq!(limit, 10);
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit, "limit of 10 nodes should have been exceeded");
+    }
+
+    #[test]
+    fn cache_statistics_accumulate() {
+        let mut bdd = Bdd::new(6);
+        let vars: Vec<Edge> = (0..6).map(|v| bdd.var(v)).collect();
+        let mut f = vars[0];
+        for &v in &vars[1..] {
+            f = bdd.xor(f, v).unwrap();
+        }
+        // Rebuild: everything should now hit the ITE cache.
+        let mut g = vars[0];
+        for &v in &vars[1..] {
+            g = bdd.xor(g, v).unwrap();
+        }
+        assert_eq!(f, g);
+        let stats = bdd.cache_stats();
+        assert!(stats.ite_lookups > 0);
+        assert!(stats.ite_hits > 0);
+    }
+
+    #[test]
+    fn live_size_counts_shared_nodes_once() {
+        let mut bdd = Bdd::new(3);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let ab = bdd.and(a, b).unwrap();
+        // a, b, ab share structure; the union is smaller than the sum.
+        let union = bdd.live_size([a, b, ab]);
+        let solo: usize = [a, b, ab].iter().map(|&e| bdd.live_size([e])).sum();
+        assert!(union < solo);
+        assert_eq!(bdd.live_size([Edge::ONE]), 1);
+    }
+}

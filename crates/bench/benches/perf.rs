@@ -6,7 +6,9 @@
 //!   parallel;
 //! * P4 — switch-level simulator event throughput;
 //! * P5 — batch-runner throughput (circuits × scenarios grid on the
-//!   work-stealing pool).
+//!   work-stealing pool);
+//! * P6 — exact-BDD statistics throughput (build + probabilities +
+//!   densities) on the large reconvergent generators.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tr_bench::Harness;
@@ -150,12 +152,33 @@ fn p5_batch(c: &mut Criterion) {
     }
 }
 
+fn p6_bdd_propagate(c: &mut Criterion) {
+    let h = Harness::new();
+    let cases = [
+        ("csel32", generators::carry_select_adder(32, 8, &h.library)),
+        ("cskip24", generators::carry_skip_adder(24, 4, &h.library)),
+        ("mult8", generators::array_multiplier(8, &h.library)),
+    ];
+    for (name, circuit) in cases {
+        let pi = vec![SignalStats::default(); circuit.primary_inputs().len()];
+        c.bench_function(&format!("p6_bdd_propagate_{name}"), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    tr_power::propagate_exact_bdd(&circuit, &h.library, &pi)
+                        .expect("fits the node budget"),
+                )
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     p1_gate_power,
     p2_enumeration,
     p3_optimize,
     p4_simulator,
-    p5_batch
+    p5_batch,
+    p6_bdd_propagate
 );
 criterion_main!(benches);

@@ -9,6 +9,7 @@
 //! | `figure5_exploration` | Fig. 5 |
 //! | `table3_benchmarks` | Table 3 + Fig. 6 scenarios |
 //! | `ablation_model` | model ablations (ours) |
+//! | `independence_error` | exact-vs-independent statistics table (ours, via `tr-bdd`) |
 //!
 //! Since PR 3 the pipeline itself lives in `tr-flow`: the [`Harness`] is
 //! `tr_flow::FlowEnv` under its historical name, and [`table3_row`] is a

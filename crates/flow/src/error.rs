@@ -14,6 +14,7 @@ use tr_netlist::bench::ParseError;
 use tr_netlist::blif::BlifError;
 use tr_netlist::format::FormatError;
 use tr_netlist::CircuitError;
+use tr_power::PropagationError;
 
 /// Any failure of the netlist → report pipeline.
 #[derive(Debug)]
@@ -37,6 +38,8 @@ pub enum Error {
     Stats(StatsError),
     /// Boolean functions of mismatched arity were combined.
     Arity(ArityError),
+    /// A probability backend failed (BDD node budget, compile failure).
+    Propagation(PropagationError),
     /// The netlist format could not be inferred from the file name.
     UnknownFormat(PathBuf),
     /// The number of supplied input statistics does not match the
@@ -89,6 +92,7 @@ impl fmt::Display for Error {
             Error::Circuit(e) => write!(f, "invalid circuit: {e}"),
             Error::Stats(e) => write!(f, "invalid statistics: {e}"),
             Error::Arity(e) => write!(f, "{e}"),
+            Error::Propagation(e) => write!(f, "{e}"),
             Error::UnknownFormat(path) => write!(
                 f,
                 "{}: cannot infer netlist format (expected .bench, .blif or .trnet)",
@@ -117,6 +121,7 @@ impl std::error::Error for Error {
             Error::Circuit(e) => Some(e),
             Error::Stats(e) => Some(e),
             Error::Arity(e) => Some(e),
+            Error::Propagation(e) => Some(e),
             _ => None,
         }
     }
@@ -155,6 +160,12 @@ impl From<StatsError> for Error {
 impl From<ArityError> for Error {
     fn from(e: ArityError) -> Self {
         Error::Arity(e)
+    }
+}
+
+impl From<PropagationError> for Error {
+    fn from(e: PropagationError) -> Self {
+        Error::Propagation(e)
     }
 }
 
@@ -198,5 +209,6 @@ mod tests {
         .into();
         let _: Error = StatsError::InvalidDensity(-1.0).into();
         let _: Error = ArityError { left: 2, right: 3 }.into();
+        let _: Error = PropagationError::Circuit(CircuitError::Cycle).into();
     }
 }

@@ -14,10 +14,10 @@ use tr_boolean::SignalStats;
 use tr_netlist::map::MapOptions;
 use tr_netlist::{format, Circuit};
 use tr_power::scenario::Scenario;
-use tr_power::{circuit_power, propagate, Scratch};
+use tr_power::{circuit_power, propagate, propagate_with_mode, PropagationMode, Scratch};
 use tr_reorder::{
-    optimize_delay_bounded, optimize_parallel, optimize_slack_aware, optimize_with_scratch,
-    Objective, OptimizeResult,
+    optimize_delay_bounded_with_net_stats, optimize_parallel_with_net_stats,
+    optimize_slack_aware_with_net_stats, optimize_with_net_stats, Objective, OptimizeResult,
 };
 use tr_sim::{simulate, simulate_traced, vcd, InputDrive, SimConfig};
 use tr_timing::critical_path_delay;
@@ -53,6 +53,39 @@ impl DelayBound {
             "slack" => Ok(DelayBound::Slack),
             other => Err(Error::Usage(format!("bad --delay-bound `{other}`"))),
         }
+    }
+}
+
+/// Max absolute per-net probability deviation between two net-statistics
+/// vectors — the `independence_error` metric recorded in
+/// [`FlowReport`] and printed by `tr-opt analyze`.
+///
+/// # Panics
+///
+/// Panics if the vectors differ in length (they must describe the same
+/// nets).
+pub fn max_probability_deviation(a: &[SignalStats], b: &[SignalStats]) -> f64 {
+    assert_eq!(a.len(), b.len(), "statistics must cover the same nets");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.probability() - y.probability()).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Parses the CLI spelling of a probability backend (`indep`, `bdd`,
+/// `monte`); `seed` seeds the Monte Carlo backend.
+///
+/// # Errors
+///
+/// Returns [`Error::Usage`] on an unknown spelling.
+pub fn parse_prob_mode(s: &str, seed: u64) -> Result<PropagationMode, Error> {
+    match s {
+        "indep" => Ok(PropagationMode::Independent),
+        "bdd" => Ok(PropagationMode::ExactBdd),
+        "monte" => Ok(PropagationMode::monte(seed)),
+        other => Err(Error::Usage(format!(
+            "bad --prob `{other}` (expected indep, bdd or monte)"
+        ))),
     }
 }
 
@@ -156,6 +189,7 @@ pub struct Flow {
     source: Source,
     map_options: MapOptions,
     stats: StatsSpec,
+    prob: PropagationMode,
     objective: Objective,
     delay_bound: DelayBound,
     threads: usize,
@@ -175,6 +209,7 @@ impl Flow {
                 scenario: Scenario::a(),
                 seed: 1,
             },
+            prob: PropagationMode::Independent,
             objective: Objective::MinimizePower,
             delay_bound: DelayBound::Unbounded,
             threads: 1,
@@ -223,6 +258,15 @@ impl Flow {
     /// Use explicit input statistics (one per primary input).
     pub fn input_stats(mut self, stats: Vec<SignalStats>) -> Self {
         self.stats = StatsSpec::Explicit(stats);
+        self
+    }
+
+    /// The probability backend computing per-net statistics (default
+    /// [`PropagationMode::Independent`]; [`PropagationMode::ExactBdd`]
+    /// handles reconvergent-fanout correlation exactly, and the report
+    /// then records the independence error).
+    pub fn prob(mut self, mode: PropagationMode) -> Self {
+        self.prob = mode;
         self
     }
 
@@ -363,18 +407,29 @@ impl Flow {
                 got: stats.len(),
             });
         }
+        // 2b. Per-net statistics under the chosen probability backend;
+        // exact backends also measure how far the independence
+        // assumption was off (max |ΔP| over all nets).
+        let net_stats = propagate_with_mode(circuit, &env.library, &stats, self.prob)?;
+        let independence_error = match self.prob {
+            PropagationMode::Independent => None,
+            _ => {
+                let indep = propagate(circuit, &env.library, &stats);
+                Some(max_probability_deviation(&net_stats, &indep))
+            }
+        };
         timings.stats_s = t.elapsed().as_secs_f64();
 
         // 3. Optimize toward the objective, plus (unbounded only) the
         // opposite objective for the best-vs-worst headroom of Table 3.
         let t = Instant::now();
-        let primary = self.optimize_once(env, circuit, &stats, self.objective, scratch)?;
+        let primary = self.optimize_once(env, circuit, &net_stats, self.objective, scratch)?;
         let counterpart = if self.headroom && self.delay_bound == DelayBound::Unbounded {
             let opposite = match self.objective {
                 Objective::MinimizePower => Objective::MaximizePower,
                 Objective::MaximizePower => Objective::MinimizePower,
             };
-            Some(self.optimize_once(env, circuit, &stats, opposite, scratch)?)
+            Some(self.optimize_once(env, circuit, &net_stats, opposite, scratch)?)
         } else {
             None
         };
@@ -486,9 +541,10 @@ impl Flow {
         };
         timings.sim_s = t.elapsed().as_secs_f64();
 
-        // 6. Per-gate rows.
+        // 6. Per-gate rows. Net statistics are configuration-independent
+        // (the §4.2 monotonicity lemma), so the backend's stats computed
+        // on the input circuit apply verbatim to the optimized one.
         let per_gate = self.per_gate.then(|| {
-            let net_stats = propagate(&primary.circuit, &env.library, &stats);
             let power = circuit_power(&primary.circuit, &env.model, &net_stats);
             primary
                 .circuit
@@ -530,6 +586,8 @@ impl Flow {
                 Objective::MaximizePower => "max".to_string(),
             },
             delay_bound: self.delay_bound.as_str().to_string(),
+            prob_mode: self.prob.as_str().to_string(),
+            independence_error,
             changed_gates: primary.changed_gates,
             power: PowerReport {
                 model_before_w: primary.power_before,
@@ -552,36 +610,49 @@ impl Flow {
         Ok((report, primary.circuit))
     }
 
-    /// One optimization pass with the configured bounding mode.
+    /// One optimization pass with the configured bounding mode, against
+    /// the already-computed per-net statistics (whichever backend made
+    /// them).
     fn optimize_once(
         &self,
         env: &FlowEnv,
         circuit: &Circuit,
-        stats: &[SignalStats],
+        net_stats: &[SignalStats],
         objective: Objective,
         scratch: &mut Scratch,
     ) -> Result<OptimizeResult, Error> {
         match (self.delay_bound, objective) {
             (DelayBound::Unbounded, obj) => Ok(if self.threads > 1 {
-                optimize_parallel(circuit, &env.library, &env.model, stats, obj, self.threads)
+                optimize_parallel_with_net_stats(
+                    circuit,
+                    &env.library,
+                    &env.model,
+                    net_stats,
+                    obj,
+                    self.threads,
+                )
             } else {
-                optimize_with_scratch(circuit, &env.library, &env.model, stats, obj, scratch)
+                optimize_with_net_stats(circuit, &env.library, &env.model, net_stats, obj, scratch)
             }),
-            (DelayBound::Local, Objective::MinimizePower) => Ok(optimize_delay_bounded(
-                circuit,
-                &env.library,
-                &env.model,
-                &env.timing,
-                stats,
-            )),
-            (DelayBound::Slack, Objective::MinimizePower) => Ok(optimize_slack_aware(
-                circuit,
-                &env.library,
-                &env.model,
-                &env.timing,
-                stats,
-                0.0,
-            )),
+            (DelayBound::Local, Objective::MinimizePower) => {
+                Ok(optimize_delay_bounded_with_net_stats(
+                    circuit,
+                    &env.library,
+                    &env.model,
+                    &env.timing,
+                    net_stats,
+                ))
+            }
+            (DelayBound::Slack, Objective::MinimizePower) => {
+                Ok(optimize_slack_aware_with_net_stats(
+                    circuit,
+                    &env.library,
+                    &env.model,
+                    &env.timing,
+                    net_stats,
+                    0.0,
+                ))
+            }
             (bound, Objective::MaximizePower) => Err(Error::Unsupported(format!(
                 "--delay-bound {} only supports --objective min",
                 bound.as_str()
@@ -625,6 +696,44 @@ mod tests {
         assert_eq!(report.power.model_best_w, Some(direct.power_after));
         assert!(report.power.headroom_percent.unwrap() > 0.0);
         assert_eq!(report.scenario, "A#9");
+    }
+
+    #[test]
+    fn bdd_backend_reports_mode_and_independence_error() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let base = Flow::from_circuit(adder).scenario(Scenario::a(), 11);
+        let indep = base.clone().run(&env).unwrap();
+        assert_eq!(indep.prob_mode, "indep");
+        assert_eq!(indep.independence_error, None);
+        let exact = base.prob(PropagationMode::ExactBdd).run(&env).unwrap();
+        assert_eq!(exact.prob_mode, "bdd");
+        let err = exact.independence_error.expect("exact backend measures it");
+        assert!(
+            err > 1e-6 && err < 0.5,
+            "adder reconvergence error out of range: {err}"
+        );
+        // Different statistics ⇒ (generally) different power totals; at
+        // minimum the pipeline must complete and stay self-consistent.
+        assert!(exact.power.model_after_w > 0.0);
+        assert!(exact.power.model_after_w <= exact.power.model_before_w + 1e-18);
+    }
+
+    #[test]
+    fn prob_mode_parses_cli_spellings() {
+        assert_eq!(
+            parse_prob_mode("indep", 1).unwrap(),
+            PropagationMode::Independent
+        );
+        assert_eq!(
+            parse_prob_mode("bdd", 1).unwrap(),
+            PropagationMode::ExactBdd
+        );
+        assert!(matches!(
+            parse_prob_mode("monte", 9).unwrap(),
+            PropagationMode::Monte { seed: 9, .. }
+        ));
+        assert!(parse_prob_mode("exact", 1).unwrap_err().is_usage());
     }
 
     #[test]

@@ -49,6 +49,10 @@ mod source;
 pub use batch::{BatchJob, BatchResult, BatchRunner, ScenarioSpec};
 pub use env::FlowEnv;
 pub use error::Error;
-pub use flow::{sim_duration, DelayBound, DurationPolicy, Flow, SimOptions};
+pub use flow::{
+    max_probability_deviation, parse_prob_mode, sim_duration, DelayBound, DurationPolicy, Flow,
+    SimOptions,
+};
 pub use report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
 pub use source::{load_path, parse_netlist, NetlistFormat, Source};
+pub use tr_power::{PropagationError, PropagationMode};

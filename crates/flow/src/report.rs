@@ -122,6 +122,15 @@ pub struct FlowReport {
     pub objective: String,
     /// Delay-bound mode (`none`, `local` or `slack`).
     pub delay_bound: String,
+    /// Probability backend (`indep`, `bdd` or `monte`).
+    pub prob_mode: String,
+    /// Max absolute per-net probability deviation of the independence
+    /// assumption from this run's backend (present for any
+    /// non-independent backend; `None` under `indep`). Under `bdd` this
+    /// is the exact error; under `monte` it additionally carries the
+    /// estimator's sampling noise (≈ `1/√steps` per net), so small
+    /// values are indistinguishable from zero.
+    pub independence_error: Option<f64>,
     /// Gates whose configuration changed.
     pub changed_gates: usize,
     /// Model-power outcome.
@@ -155,6 +164,11 @@ impl FlowReport {
         out.push_str(&format!(
             "\"delay_bound\":{},",
             json_string(&self.delay_bound)
+        ));
+        out.push_str(&format!("\"prob_mode\":{},", json_string(&self.prob_mode)));
+        out.push_str(&format!(
+            "\"independence_error\":{},",
+            json_opt_f64(self.independence_error)
         ));
         out.push_str(&format!("\"changed_gates\":{},", self.changed_gates));
         out.push_str(&format!(
@@ -227,7 +241,8 @@ impl FlowReport {
 
     /// The CSV header matching [`FlowReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,changed_gates,\
+        "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
+         independence_error,changed_gates,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
@@ -247,6 +262,8 @@ impl FlowReport {
             self.depth.to_string(),
             self.objective.clone(),
             self.delay_bound.clone(),
+            self.prob_mode.clone(),
+            opt(self.independence_error),
             self.changed_gates.to_string(),
             format!("{}", self.power.model_before_w),
             format!("{}", self.power.model_after_w),
@@ -299,6 +316,8 @@ mod tests {
             depth: 3,
             objective: "min".into(),
             delay_bound: "none".into(),
+            prob_mode: "indep".into(),
+            independence_error: None,
             changed_gates: 2,
             power: PowerReport {
                 model_before_w: 1.0e-6,

@@ -20,6 +20,8 @@ fn sample_report() -> FlowReport {
         depth: 3,
         objective: "min".into(),
         delay_bound: "none".into(),
+        prob_mode: "indep".into(),
+        independence_error: None,
         changed_gates: 2,
         power: PowerReport {
             model_before_w: 4.5e-7,
@@ -66,7 +68,8 @@ fn sample_report() -> FlowReport {
 /// The pinned JSON serialization, byte for byte.
 const GOLDEN_JSON: &str = concat!(
     "{\"circuit\":\"c17\",\"scenario\":\"A#42\",\"gates\":6,\"inputs\":5,\"outputs\":2,",
-    "\"depth\":3,\"objective\":\"min\",\"delay_bound\":\"none\",\"changed_gates\":2,",
+    "\"depth\":3,\"objective\":\"min\",\"delay_bound\":\"none\",\"prob_mode\":\"indep\",",
+    "\"independence_error\":null,\"changed_gates\":2,",
     "\"power\":{\"model_before_w\":0.00000045,\"model_after_w\":0.0000004,",
     "\"reduction_percent\":11.125,\"model_best_w\":0.0000004,\"model_worst_w\":0.0000005,",
     "\"headroom_percent\":20},",
@@ -105,7 +108,8 @@ fn json_nulls_for_absent_sections() {
 fn csv_header_is_pinned() {
     assert_eq!(
         FlowReport::csv_header(),
-        "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,changed_gates,\
+        "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
+         independence_error,changed_gates,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
@@ -133,6 +137,8 @@ fn live_report_matches_the_schema_key_set() {
         "\"depth\":",
         "\"objective\":",
         "\"delay_bound\":",
+        "\"prob_mode\":",
+        "\"independence_error\":",
         "\"changed_gates\":",
         "\"power\":",
         "\"model_before_w\":",

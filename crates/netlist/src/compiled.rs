@@ -43,6 +43,8 @@ pub struct CompiledCircuit {
     inputs_flat: Vec<NetId>,
     order: Vec<GateId>,
     net_count: usize,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
 }
 
 impl CompiledCircuit {
@@ -86,6 +88,8 @@ impl CompiledCircuit {
             inputs_flat,
             order,
             net_count: circuit.net_count(),
+            primary_inputs: circuit.primary_inputs().to_vec(),
+            primary_outputs: circuit.primary_outputs().to_vec(),
         })
     }
 
@@ -108,6 +112,63 @@ impl CompiledCircuit {
     /// Number of nets in the source circuit.
     pub fn net_count(&self) -> usize {
         self.net_count
+    }
+
+    /// Primary-input nets, in declaration order (snapshotted at compile
+    /// time, like the rest of the structural view).
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary-output nets, in declaration order.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Evaluates the circuit on a primary-input assignment using only
+    /// interned ids — the by-id counterpart of [`Circuit::evaluate`],
+    /// with no per-gate cell hashing. Returns one value per net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len()` differs from the primary-input count or
+    /// `library` is not the library this view was compiled against.
+    pub fn evaluate(&self, library: &Library, inputs: &[bool]) -> Vec<bool> {
+        let mut values = vec![false; self.net_count];
+        self.evaluate_into(library, inputs, &mut values);
+        values
+    }
+
+    /// [`CompiledCircuit::evaluate`] into a caller-provided buffer of
+    /// `net_count` values — the zero-allocation form the Monte Carlo
+    /// estimator runs per time step.
+    ///
+    /// # Panics
+    ///
+    /// As [`CompiledCircuit::evaluate`], plus if `values.len()` differs
+    /// from the net count.
+    pub fn evaluate_into(&self, library: &Library, inputs: &[bool], values: &mut [bool]) {
+        assert_eq!(
+            inputs.len(),
+            self.primary_inputs.len(),
+            "one value per primary input"
+        );
+        assert_eq!(values.len(), self.net_count, "one value per net");
+        for (i, &net) in self.primary_inputs.iter().enumerate() {
+            values[net.0] = inputs[i];
+        }
+        let mut assignment = [false; tr_boolean::MAX_VARS];
+        for &gid in &self.order {
+            let gate = &self.gates[gid.0];
+            let nets = self.inputs(gate);
+            for (slot, net) in assignment.iter_mut().zip(nets) {
+                *slot = values[net.0];
+            }
+            values[gate.output.0] = library
+                .cell_by_id(gate.cell)
+                .function()
+                .eval(&assignment[..nets.len()]);
+        }
     }
 }
 
@@ -149,6 +210,23 @@ mod tests {
             CompiledCircuit::compile(&c, &slim),
             Err(CircuitError::UnknownCell(GateId(0)))
         );
+    }
+
+    #[test]
+    fn compiled_evaluate_matches_plain_circuit() {
+        let lib = Library::standard();
+        let c = generators::ripple_carry_adder(3, &lib);
+        let cc = CompiledCircuit::compile(&c, &lib).unwrap();
+        assert_eq!(cc.primary_inputs(), c.primary_inputs());
+        assert_eq!(cc.primary_outputs(), c.primary_outputs());
+        for m in 0..(1usize << 7) {
+            let v: Vec<bool> = (0..7).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                cc.evaluate(&lib, &v),
+                c.evaluate(&lib, &v),
+                "inputs {m:07b}"
+            );
+        }
     }
 
     #[test]

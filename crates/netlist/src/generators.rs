@@ -900,6 +900,92 @@ pub fn carry_select_adder(n: usize, block: usize, library: &Library) -> Circuit 
     map::map_default(&carry_select_adder_generic(n, block), library)
 }
 
+/// An `n`-bit carry-skip adder (generic form): ripple blocks of `block`
+/// bits with a propagate-detect skip mux around each — the third classic
+/// adder topology after ripple and select, and (like them) heavy with
+/// reconvergent fanout: every operand bit feeds both its full adder and
+/// the block-propagate AND, and the block carry-in fans out to the ripple
+/// chain *and* the skip mux. Inputs/outputs match
+/// [`ripple_carry_adder_generic`].
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_skip_adder_generic(n: usize, block: usize) -> GenericCircuit {
+    assert!(n > 0, "adder needs at least one bit");
+    assert!(block > 0, "block size must be positive");
+    let mut c = GenericCircuit::new(format!("cskip{n}"));
+    for i in 0..n {
+        c.add_input(&format!("a{i}"));
+    }
+    for i in 0..n {
+        c.add_input(&format!("b{i}"));
+    }
+    c.add_input("cin");
+    let mut carry = "cin".to_string();
+    for lo in (0..n).step_by(block) {
+        let hi = (lo + block).min(n);
+        let block_in = carry.clone();
+        // Per-bit propagate signals for the skip detector.
+        for i in lo..hi {
+            c.add_gate(
+                &format!("p{i}"),
+                GenericOp::Xor,
+                &[&format!("a{i}"), &format!("b{i}")],
+            );
+        }
+        // The ripple chain of the block.
+        let mut ripple = block_in.clone();
+        for i in lo..hi {
+            let (sum, co) = full_adder(
+                &mut c,
+                &format!("a{i}"),
+                &format!("b{i}"),
+                &ripple,
+                &format!("ks{i}"),
+            );
+            c.add_gate(&format!("s{i}"), GenericOp::Buff, &[&sum]);
+            c.add_output(&format!("s{i}"));
+            ripple = co;
+        }
+        // Block propagate: all bits propagate ⇒ the ripple carry out
+        // equals the carry in, so skipping it is sound (and fast).
+        let bp = format!("bp{lo}");
+        let props: Vec<String> = (lo..hi).map(|i| format!("p{i}")).collect();
+        let refs: Vec<&str> = props.iter().map(String::as_str).collect();
+        if refs.len() == 1 {
+            c.add_gate(&bp, GenericOp::Buff, &refs);
+        } else {
+            c.add_gate(&bp, GenericOp::And, &refs);
+        }
+        // Skip mux: carry-out = bp ? block_in : ripple.
+        let cname = if hi == n {
+            "cout".to_string()
+        } else {
+            format!("kc{hi}")
+        };
+        let nbp = format!("nbp{lo}");
+        let t0 = format!("skip0_{lo}");
+        let t1 = format!("skip1_{lo}");
+        c.add_gate(&nbp, GenericOp::Not, &[&bp]);
+        c.add_gate(&t0, GenericOp::And, &[&ripple, &nbp]);
+        c.add_gate(&t1, GenericOp::And, &[&block_in, &bp]);
+        c.add_gate(&cname, GenericOp::Or, &[&t0, &t1]);
+        carry = cname;
+    }
+    c.add_output("cout");
+    c
+}
+
+/// A carry-skip adder mapped onto the library.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `block == 0`.
+pub fn carry_skip_adder(n: usize, block: usize, library: &Library) -> Circuit {
+    map::map_default(&carry_skip_adder_generic(n, block), library)
+}
+
 /// A logarithmic barrel shifter (generic form): `n` data bits (n a power
 /// of two), `log2(n)` shift-amount bits, left rotate.
 ///
@@ -1074,6 +1160,24 @@ mod extended_tests {
         assert!(carry_select_adder(8, 4, &library)
             .validate(&library)
             .is_ok());
+    }
+
+    #[test]
+    fn carry_skip_matches_ripple() {
+        let cskip = carry_skip_adder_generic(6, 3);
+        let rca = ripple_carry_adder_generic(6);
+        for m in 0..(1usize << 13) {
+            let v: Vec<bool> = (0..13).map(|i| (m >> i) & 1 == 1).collect();
+            assert_eq!(
+                cskip.evaluate_outputs(&v),
+                rca.evaluate_outputs(&v),
+                "inputs {m:013b}"
+            );
+        }
+        let library = lib();
+        let mapped = carry_skip_adder(8, 4, &library);
+        assert!(mapped.validate(&library).is_ok());
+        assert_eq!(mapped, carry_skip_adder(8, 4, &library));
     }
 
     #[test]

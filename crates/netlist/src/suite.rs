@@ -54,6 +54,9 @@ pub fn standard_suite(library: &Library) -> Vec<BenchmarkCase> {
     push("alu4", gen::alu(4, library));
     push("alu8", gen::alu(8, library));
     push("csel16", gen::carry_select_adder(16, 4, library));
+    push("csel32", gen::carry_select_adder(32, 8, library));
+    push("cskip24", gen::carry_skip_adder(24, 4, library));
+    push("mult8", gen::array_multiplier(8, library));
     push("bshift16", gen::barrel_shifter(16, library));
     push("prio8", gen::priority_encoder(8, library));
     push("gray12", gen::gray_to_binary(12, library));
@@ -93,6 +96,10 @@ mod tests {
         let lib = Library::standard();
         let suite = standard_suite(&lib);
         assert!(suite.len() >= 20, "suite should be substantial");
+        // The PR-4 reconvergent workloads for the BDD backend are in.
+        for name in ["csel32", "cskip24", "mult8"] {
+            assert!(suite.iter().any(|c| c.name == name), "{name} missing");
+        }
         for case in &suite {
             assert!(case.circuit.validate(&lib).is_ok(), "{} invalid", case.name);
         }

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+mod mode;
 mod model;
 pub mod monte;
 pub mod reference;
@@ -63,5 +64,9 @@ pub mod scenario;
 pub use circuit::{
     circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, propagate,
     propagate_exact, CircuitPower,
+};
+pub use mode::{
+    propagate_exact_bdd, propagate_exact_bdd_with_stats, propagate_with_mode, PropagationError,
+    PropagationMode,
 };
 pub use model::{GatePower, NodePower, PowerModel, Scratch, MAX_CELL_ARITY};

@@ -1,0 +1,290 @@
+//! Selectable probability backends for whole-circuit propagation.
+//!
+//! Three ways to obtain per-net `(P, D)` statistics, one trade-off axis:
+//!
+//! | mode | correlation | cost | limit |
+//! |------|-------------|------|-------|
+//! | [`PropagationMode::Independent`] | assumed independent at every gate | one linear pass | none |
+//! | [`PropagationMode::ExactBdd`]    | exact (shared ROBDDs)             | circuit BDD size | node budget |
+//! | [`PropagationMode::Monte`]       | exact in the limit (`1/√N`)       | `steps` sweeps   | sampling noise |
+//!
+//! `Independent` is the paper's own §3 propagation; `ExactBdd` replaces
+//! the [`tr_boolean::MAX_VARS`]-capped truth-table `propagate_exact` with BDDs and no
+//! input cap; `Monte` is the assumption-free sampling estimate.
+
+use crate::monte;
+use crate::propagate;
+use std::fmt;
+use tr_bdd::{BddError, BuildOptions, CircuitBddStats, CircuitBdds};
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::{Circuit, CircuitError, CompiledCircuit};
+
+/// Which backend computes the per-net signal statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PropagationMode {
+    /// Gate-local propagation under the input-independence assumption
+    /// (the paper's §3; fast, biased on reconvergent fanout).
+    #[default]
+    Independent,
+    /// Exact whole-circuit statistics over shared ROBDDs (`tr-bdd`):
+    /// reconvergent correlation handled exactly, no primary-input cap.
+    ExactBdd,
+    /// Monte Carlo estimate: sample the stationary input process for
+    /// `steps` time steps and count probabilities and transitions.
+    /// Unbiased but noisy (`1/√steps`, worse for inputs much slower
+    /// than the simulated span) — a cross-check, not a precision
+    /// backend.
+    Monte {
+        /// Number of sampled time steps.
+        steps: usize,
+        /// RNG seed (estimates are deterministic per seed).
+        seed: u64,
+    },
+}
+
+impl PropagationMode {
+    /// A Monte Carlo mode with the default step budget (50 000 samples —
+    /// probability standard error ≈ 0.002).
+    pub fn monte(seed: u64) -> Self {
+        PropagationMode::Monte {
+            steps: 50_000,
+            seed,
+        }
+    }
+
+    /// The CLI/report spelling (`indep`, `bdd`, `monte`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PropagationMode::Independent => "indep",
+            PropagationMode::ExactBdd => "bdd",
+            PropagationMode::Monte { .. } => "monte",
+        }
+    }
+}
+
+impl fmt::Display for PropagationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Failure of a statistics backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PropagationError {
+    /// The BDD backend exceeded its node budget.
+    Bdd(BddError),
+    /// The circuit failed to compile against the library.
+    Circuit(CircuitError),
+}
+
+impl fmt::Display for PropagationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropagationError::Bdd(e) => write!(f, "exact BDD propagation failed: {e}"),
+            PropagationError::Circuit(e) => write!(f, "circuit does not compile: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PropagationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PropagationError::Bdd(e) => Some(e),
+            PropagationError::Circuit(e) => Some(e),
+        }
+    }
+}
+
+impl From<BddError> for PropagationError {
+    fn from(e: BddError) -> Self {
+        PropagationError::Bdd(e)
+    }
+}
+
+impl From<CircuitError> for PropagationError {
+    fn from(e: CircuitError) -> Self {
+        PropagationError::Circuit(e)
+    }
+}
+
+/// Per-net statistics under the chosen backend.
+///
+/// # Errors
+///
+/// Returns [`PropagationError`] if the circuit does not compile against
+/// `library` or the BDD backend blows its node budget.
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count.
+pub fn propagate_with_mode(
+    circuit: &Circuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+    mode: PropagationMode,
+) -> Result<Vec<SignalStats>, PropagationError> {
+    match mode {
+        PropagationMode::Independent => Ok(propagate(circuit, library, pi_stats)),
+        PropagationMode::ExactBdd => propagate_exact_bdd(circuit, library, pi_stats),
+        PropagationMode::Monte { steps, seed } => {
+            let compiled = CompiledCircuit::compile(circuit, library)?;
+            // Resolve the fastest input's dwell time so no flip
+            // probability needs clamping and observed-flip density
+            // counting stays exact in expectation (see
+            // `monte::estimate`). Inputs much slower than the simulated
+            // span steps·dt estimate their P with high variance; Monte
+            // is a cross-check, not a precision backend. Quiescent
+            // inputs (no dwell) make dt arbitrary.
+            let min_dwell = pi_stats
+                .iter()
+                .filter_map(|s| s.dwell_times().map(|(t0, t1)| t0.min(t1)))
+                .fold(f64::INFINITY, f64::min);
+            let dt = if min_dwell.is_finite() {
+                0.2 * min_dwell
+            } else {
+                1.0
+            };
+            Ok(monte::estimate(
+                &compiled, library, pi_stats, steps, dt, seed,
+            ))
+        }
+    }
+}
+
+/// Exact whole-circuit statistics over shared ROBDDs: the successor of
+/// [`propagate_exact`](crate::propagate_exact) with no [`tr_boolean::MAX_VARS`] cap.
+///
+/// # Errors
+///
+/// As [`propagate_with_mode`].
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count.
+pub fn propagate_exact_bdd(
+    circuit: &Circuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+) -> Result<Vec<SignalStats>, PropagationError> {
+    propagate_exact_bdd_with_stats(circuit, library, pi_stats).map(|(stats, _)| stats)
+}
+
+/// [`propagate_exact_bdd`] also returning the BDD size/cache statistics
+/// (reported by EXPERIMENTS.md and the `independence_error` binary).
+///
+/// # Errors
+///
+/// As [`propagate_with_mode`].
+///
+/// # Panics
+///
+/// Panics if `pi_stats.len()` differs from the primary-input count.
+pub fn propagate_exact_bdd_with_stats(
+    circuit: &Circuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+) -> Result<(Vec<SignalStats>, CircuitBddStats), PropagationError> {
+    let compiled = CompiledCircuit::compile(circuit, library)?;
+    let mut bdds = CircuitBdds::build(&compiled, library, BuildOptions::default())?;
+    let stats = bdds.exact_stats(pi_stats)?;
+    Ok((stats, bdds.stats()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagate_exact;
+    use tr_netlist::generators;
+
+    #[test]
+    fn bdd_matches_truth_table_exact() {
+        let lib = Library::standard();
+        let c = generators::mux_tree(3, &lib); // 11 inputs ≤ MAX_VARS
+        let pi: Vec<SignalStats> = (0..11)
+            .map(|i| SignalStats::new(0.05 + 0.08 * i as f64, 1.0e4 * (i + 1) as f64))
+            .collect();
+        let tt = propagate_exact(&c, &lib, &pi).expect("fits MAX_VARS");
+        let bdd = propagate_exact_bdd(&c, &lib, &pi).expect("fits node budget");
+        for (n, (a, b)) in tt.iter().zip(&bdd).enumerate() {
+            assert!(
+                (a.probability() - b.probability()).abs() < 1e-12,
+                "net {n}: P {a} vs {b}"
+            );
+            let rel = (a.density() - b.density()).abs() / a.density().max(1.0);
+            assert!(rel < 1e-12, "net {n}: D {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn modes_dispatch() {
+        let lib = Library::standard();
+        let c = generators::parity_tree(4, &lib);
+        let pi = vec![SignalStats::new(0.5, 1.0e5); 4];
+        let indep = propagate_with_mode(&c, &lib, &pi, PropagationMode::Independent).unwrap();
+        assert_eq!(indep, propagate(&c, &lib, &pi));
+        let bdd = propagate_with_mode(&c, &lib, &pi, PropagationMode::ExactBdd).unwrap();
+        assert_eq!(bdd.len(), c.net_count());
+        let mc = propagate_with_mode(&c, &lib, &pi, PropagationMode::monte(7)).unwrap();
+        assert_eq!(mc.len(), c.net_count());
+        // Parity of independent 0.5 inputs is exactly 1/2 — but only the
+        // exact backends know it: the mapped XOR expansion reconverges,
+        // so the independent backend is merely close.
+        let y = c.primary_outputs()[0];
+        assert!((bdd[y.0].probability() - 0.5).abs() < 1e-12);
+        assert!((mc[y.0].probability() - 0.5).abs() < 0.03);
+        assert!((indep[y.0].probability() - 0.5).abs() < 0.2);
+    }
+
+    #[test]
+    fn monte_preserves_skewed_input_statistics() {
+        // Regression: with dt derived from density alone (0.5/max_D), a
+        // P = 0.9 input had its 1→0 flip probability clamped at 0.5 but
+        // not its 0→1, dragging the simulated probability to ~0.64. The
+        // dwell-aware dt must reproduce the requested statistics.
+        let lib = Library::standard();
+        let mut c = tr_netlist::Circuit::new("skew");
+        let a = c.add_input("a");
+        let (_, y) = c.add_gate(tr_gatelib::CellKind::Inv, vec![a], "y");
+        c.mark_output(y);
+        let pi = vec![SignalStats::new(0.9, 1.0e5)];
+        let mc = propagate_with_mode(&c, &lib, &pi, PropagationMode::monte(11)).unwrap();
+        assert!(
+            (mc[a.0].probability() - 0.9).abs() < 0.02,
+            "input probability drifted: {}",
+            mc[a.0].probability()
+        );
+        let rel = (mc[a.0].density() - 1.0e5).abs() / 1.0e5;
+        assert!(rel < 0.1, "input density drifted: {}", mc[a.0].density());
+    }
+
+    #[test]
+    fn mode_spellings_round_trip() {
+        assert_eq!(PropagationMode::Independent.as_str(), "indep");
+        assert_eq!(PropagationMode::ExactBdd.as_str(), "bdd");
+        assert_eq!(PropagationMode::monte(0).as_str(), "monte");
+        assert_eq!(PropagationMode::default(), PropagationMode::Independent);
+    }
+
+    #[test]
+    fn node_limit_error_propagates() {
+        // propagate_exact_bdd uses the default budget; exercise the error
+        // path through the lower-level API instead.
+        let lib = Library::standard();
+        let c = generators::array_multiplier(6, &lib);
+        let compiled = CompiledCircuit::compile(&c, &lib).unwrap();
+        let err = CircuitBdds::build(
+            &compiled,
+            &lib,
+            tr_bdd::BuildOptions {
+                node_limit: 32,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            PropagationError::from(err),
+            PropagationError::Bdd(_)
+        ));
+    }
+}

@@ -2,33 +2,46 @@
 //!
 //! [`propagate`](crate::propagate) assumes independence at gate inputs;
 //! [`propagate_exact`](crate::propagate_exact) is exact but capped at
-//! [`tr_boolean::MAX_VARS`] primary inputs. This module provides a third,
-//! assumption-free estimate for any circuit size: sample the stationary
-//! input process at discrete steps, evaluate the circuit functionally
-//! (zero delay), and count probabilities and transitions. It converges
-//! like `1/√N` and is used by tests and EXPERIMENTS.md to bound the
-//! independence error of the fast propagation.
+//! [`tr_boolean::MAX_VARS`] primary inputs, and
+//! [`propagate_exact_bdd`](crate::propagate_exact_bdd) is exact for any
+//! input count but needs the circuit's BDDs to fit in memory. This module
+//! provides a fourth, assumption-free estimate for any circuit size:
+//! sample the stationary input process at discrete steps, evaluate the
+//! circuit functionally (zero delay), and count probabilities and
+//! transitions. It converges like `1/√N` and is used by tests and
+//! EXPERIMENTS.md to bound the independence error of the fast propagation.
+//!
+//! The estimator runs on a [`CompiledCircuit`]: each time step is one
+//! by-id sweep over the resolved gates into a reused value buffer — no
+//! cell hashing and no per-step allocation.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
-use tr_netlist::Circuit;
+use tr_netlist::CompiledCircuit;
 
 /// Monte Carlo estimate of per-net `(P, D)` statistics.
 ///
 /// The input process is simulated at `steps` discrete time points spaced
-/// `dt` apart: each input holds a Markov 0–1 process with the requested
-/// equilibrium probability and transition density (transition
-/// probabilities per step derived from the dwell times, clamped for
-/// stability). Densities are reported back in transitions per second.
+/// `dt` apart: each input holds a Markov 0–1 process with per-step flip
+/// probabilities `p(0→1) = dt/t₀`, `p(1→0) = dt/t₁` from the requested
+/// dwell times. This chain's stationary probability is the requested `P`
+/// and its expected flip rate the requested `D` *exactly*; when `dt`
+/// would push a probability past 0.5, **both** are scaled down together
+/// (an asymmetric clamp would shift the stationary point toward 0.5 —
+/// only the clamped input's density then reads low, never its
+/// probability). Densities are reported back in transitions per second.
+/// Inputs much slower than the simulated span `steps·dt` barely
+/// transition during the run: their probability estimates stay unbiased
+/// (the process starts in stationarity) but carry high variance.
 ///
 /// # Panics
 ///
-/// Panics if `pi_stats.len()` differs from the primary-input count, the
-/// circuit is invalid, `steps < 2`, or `dt <= 0`.
+/// Panics if `pi_stats.len()` differs from the primary-input count,
+/// `steps < 2`, or `dt <= 0`.
 pub fn estimate(
-    circuit: &Circuit,
+    compiled: &CompiledCircuit,
     library: &Library,
     pi_stats: &[SignalStats],
     steps: usize,
@@ -37,20 +50,26 @@ pub fn estimate(
 ) -> Vec<SignalStats> {
     assert_eq!(
         pi_stats.len(),
-        circuit.primary_inputs().len(),
+        compiled.primary_inputs().len(),
         "one SignalStats per primary input"
     );
     assert!(steps >= 2, "need at least two samples");
     assert!(dt > 0.0, "dt must be positive");
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Per-input per-step flip probabilities from the dwell times:
-    // p(1→0) = dt/t1, p(0→1) = dt/t0 (first-order; clamped).
+    // Per-input per-step flip probabilities from the dwell times. The
+    // stationary point of the (p01, p10) chain is p01/(p01+p10), so any
+    // clamping must preserve the ratio: scaling both sides keeps the
+    // stationary probability exact and only slows the clamped input's
+    // transitions.
     let flip: Vec<Option<(f64, f64)>> = pi_stats
         .iter()
         .map(|s| {
-            s.dwell_times()
-                .map(|(t0, t1)| ((dt / t0).min(0.5), (dt / t1).min(0.5)))
+            s.dwell_times().map(|(t0, t1)| {
+                let (p01, p10) = (dt / t0, dt / t1);
+                let scale = (0.5 / p01.max(p10)).min(1.0);
+                (p01 * scale, p10 * scale)
+            })
         })
         .collect();
 
@@ -58,9 +77,11 @@ pub fn estimate(
         .iter()
         .map(|s| rng.gen_bool(s.probability()))
         .collect();
-    let mut ones = vec![0u64; circuit.net_count()];
-    let mut transitions = vec![0u64; circuit.net_count()];
-    let mut prev = circuit.evaluate(library, &inputs);
+    let mut ones = vec![0u64; compiled.net_count()];
+    let mut transitions = vec![0u64; compiled.net_count()];
+    let mut prev = vec![false; compiled.net_count()];
+    let mut vals = vec![false; compiled.net_count()];
+    compiled.evaluate_into(library, &inputs, &mut prev);
 
     for _ in 1..steps {
         for (i, v) in inputs.iter_mut().enumerate() {
@@ -71,8 +92,8 @@ pub fn estimate(
                 }
             }
         }
-        let vals = circuit.evaluate(library, &inputs);
-        for (n, (&now, &before)) in vals.iter().zip(&prev).enumerate() {
+        compiled.evaluate_into(library, &inputs, &mut vals);
+        for (n, (&now, &before)) in vals.iter().zip(prev.iter()).enumerate() {
             if now {
                 ones[n] += 1;
             }
@@ -80,11 +101,11 @@ pub fn estimate(
                 transitions[n] += 1;
             }
         }
-        prev = vals;
+        std::mem::swap(&mut prev, &mut vals);
     }
 
     let total_time = (steps - 1) as f64 * dt;
-    (0..circuit.net_count())
+    (0..compiled.net_count())
         .map(|n| {
             let p = ones[n] as f64 / (steps - 1) as f64;
             let d = transitions[n] as f64 / total_time;
@@ -98,6 +119,10 @@ mod tests {
     use super::*;
     use crate::propagate;
     use tr_netlist::generators;
+
+    fn compiled(circuit: &tr_netlist::Circuit, lib: &Library) -> CompiledCircuit {
+        CompiledCircuit::compile(circuit, lib).expect("valid circuit")
+    }
 
     #[test]
     fn matches_analytic_on_tree_circuit() {
@@ -127,7 +152,7 @@ mod tests {
         let stats = vec![SignalStats::new(0.5, 1.0e5); 8];
         let analytic = propagate(&c, &lib, &stats);
         // dt small vs dwell times (2·0.5/1e5 = 1e-5 s dwell).
-        let mc = estimate(&c, &lib, &stats, 150_000, 2.0e-7, 42);
+        let mc = estimate(&compiled(&c, &lib), &lib, &stats, 150_000, 2.0e-7, 42);
         for (n, (a, m)) in analytic.iter().zip(&mc).enumerate() {
             assert!(
                 (a.probability() - m.probability()).abs() < 0.05,
@@ -146,7 +171,7 @@ mod tests {
         let lib = Library::standard();
         let c = tr_netlist::map::map_default(&tr_netlist::bench::c17(), &lib);
         let stats = vec![SignalStats::new(0.5, 1.0e5); 5];
-        let mc = estimate(&c, &lib, &stats, 30_000, 2.0e-7, 7);
+        let mc = estimate(&compiled(&c, &lib), &lib, &stats, 30_000, 2.0e-7, 7);
         for (i, &net) in c.primary_inputs().iter().enumerate() {
             assert!((mc[net.0].probability() - 0.5).abs() < 0.05, "input {i}");
             let rel = (mc[net.0].density() - 1.0e5).abs() / 1.0e5;
@@ -158,9 +183,10 @@ mod tests {
     fn deterministic_in_seed() {
         let lib = Library::standard();
         let c = generators::parity_tree(4, &lib);
+        let cc = compiled(&c, &lib);
         let stats = vec![SignalStats::new(0.4, 5.0e4); 4];
-        let a = estimate(&c, &lib, &stats, 2_000, 1.0e-6, 3);
-        let b = estimate(&c, &lib, &stats, 2_000, 1.0e-6, 3);
+        let a = estimate(&cc, &lib, &stats, 2_000, 1.0e-6, 3);
+        let b = estimate(&cc, &lib, &stats, 2_000, 1.0e-6, 3);
         assert_eq!(a, b);
     }
 
@@ -169,7 +195,7 @@ mod tests {
         let lib = Library::standard();
         let c = generators::parity_tree(4, &lib);
         let stats = vec![SignalStats::constant(true); 4];
-        let mc = estimate(&c, &lib, &stats, 1_000, 1.0e-6, 9);
+        let mc = estimate(&compiled(&c, &lib), &lib, &stats, 1_000, 1.0e-6, 9);
         for s in &mc {
             assert_eq!(s.density(), 0.0);
         }

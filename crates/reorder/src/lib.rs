@@ -123,11 +123,37 @@ pub fn optimize_with_scratch(
     objective: Objective,
     scratch: &mut Scratch,
 ) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    optimize_with_net_stats(circuit, library, model, &net_stats, objective, scratch)
+}
+
+/// [`optimize`] against caller-supplied **per-net** statistics — the
+/// entry point for exact probability backends: pass the output of
+/// [`tr_power::propagate_exact_bdd`] (or a Monte Carlo estimate) and the
+/// Fig. 3 traversal scores every configuration against correlation-exact
+/// activities instead of the independence approximation.
+///
+/// # Panics
+///
+/// Panics if `net_stats.len()` differs from the net count, the circuit
+/// is invalid, or a cell is missing from the library.
+pub fn optimize_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    objective: Objective,
+    scratch: &mut Scratch,
+) -> OptimizeResult {
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
-    let net_stats = propagate(circuit, library, pi_stats);
+    assert_eq!(
+        net_stats.len(),
+        compiled.net_count(),
+        "one SignalStats per net"
+    );
     let loads = external_loads_compiled(&compiled, model);
-    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, scratch, |i| {
+    let before = circuit_total_compiled(&compiled, model, net_stats, &loads, scratch, |i| {
         compiled.gates()[i].config as usize
     });
 
@@ -139,7 +165,7 @@ pub fn optimize_with_scratch(
     // order gives the same answer; we keep the paper's for fidelity.
     for &gid in compiled.order() {
         let gate = &compiled.gates()[gid.0];
-        gather_inputs(&compiled, gate, &net_stats, &mut buf);
+        gather_inputs(&compiled, gate, net_stats, &mut buf);
         let inputs = &buf[..gate.arity as usize];
         let load = loads[gate.output.0];
         let (best, worst) = model.best_and_worst_by_id(gate.cell, inputs, load, scratch);
@@ -153,9 +179,8 @@ pub fn optimize_with_scratch(
         choices[gid.0] = choice;
         result.set_config(gid, choice);
     }
-    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, scratch, |i| {
-        choices[i]
-    });
+    let after =
+        circuit_total_compiled(&compiled, model, net_stats, &loads, scratch, |i| choices[i]);
     OptimizeResult {
         circuit: result,
         power_before: before,
@@ -225,13 +250,35 @@ pub fn optimize_parallel(
     objective: Objective,
     threads: usize,
 ) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    optimize_parallel_with_net_stats(circuit, library, model, &net_stats, objective, threads)
+}
+
+/// [`optimize_parallel`] against caller-supplied per-net statistics (see
+/// [`optimize_with_net_stats`]).
+///
+/// # Panics
+///
+/// As [`optimize_with_net_stats`]; additionally if `threads == 0`.
+pub fn optimize_parallel_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    objective: Objective,
+    threads: usize,
+) -> OptimizeResult {
     assert!(threads > 0, "need at least one thread");
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
-    let net_stats = propagate(circuit, library, pi_stats);
+    assert_eq!(
+        net_stats.len(),
+        compiled.net_count(),
+        "one SignalStats per net"
+    );
     let loads = external_loads_compiled(&compiled, model);
     let mut scratch = Scratch::new();
-    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let before = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
         compiled.gates()[i].config as usize
     });
 
@@ -293,7 +340,7 @@ pub fn optimize_parallel(
         }
         result.set_config(tr_netlist::GateId(i), choice);
     }
-    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let after = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
         choices[i]
     });
     OptimizeResult {
@@ -326,13 +373,34 @@ pub fn optimize_delay_bounded(
     timing: &TimingModel,
     pi_stats: &[SignalStats],
 ) -> OptimizeResult {
+    let net_stats = propagate(circuit, library, pi_stats);
+    optimize_delay_bounded_with_net_stats(circuit, library, model, timing, &net_stats)
+}
+
+/// [`optimize_delay_bounded`] against caller-supplied per-net statistics
+/// (see [`optimize_with_net_stats`]).
+///
+/// # Panics
+///
+/// As [`optimize_with_net_stats`].
+pub fn optimize_delay_bounded_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    timing: &TimingModel,
+    net_stats: &[SignalStats],
+) -> OptimizeResult {
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     assert_cell_ids_aligned(circuit, &compiled, |k| timing.cell_id(k), "TimingModel");
-    let net_stats = propagate(circuit, library, pi_stats);
+    assert_eq!(
+        net_stats.len(),
+        compiled.net_count(),
+        "one SignalStats per net"
+    );
     let loads = external_loads_compiled(&compiled, model);
     let mut scratch = Scratch::new();
-    let before = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let before = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
         compiled.gates()[i].config as usize
     });
 
@@ -344,7 +412,7 @@ pub fn optimize_delay_bounded(
     for (i, gate) in compiled.gates().iter().enumerate() {
         let arity = gate.arity as usize;
         let current = gate.config as usize;
-        gather_inputs(&compiled, gate, &net_stats, &mut buf);
+        gather_inputs(&compiled, gate, net_stats, &mut buf);
         let inputs = &buf[..arity];
         let load = loads[gate.output.0];
         for (pin, slot) in budget.iter_mut().enumerate().take(arity) {
@@ -371,7 +439,7 @@ pub fn optimize_delay_bounded(
         choices[i] = best;
         result.set_config(tr_netlist::GateId(i), best);
     }
-    let after = circuit_total_compiled(&compiled, model, &net_stats, &loads, &mut scratch, |i| {
+    let after = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
         choices[i]
     });
     OptimizeResult {
@@ -409,6 +477,68 @@ mod tests {
         // There is real headroom on an adder under random stats.
         let headroom = 100.0 * (worst.power_after - best.power_after) / worst.power_after;
         assert!(headroom > 2.0, "headroom only {headroom:.2}%");
+    }
+
+    #[test]
+    fn net_stats_entry_points_match_pi_entry_points() {
+        let (lib, model, timing) = setup();
+        let c = generators::mux_tree(3, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 4);
+        let net_stats = propagate(&c, &lib, &stats);
+        let via_pi = optimize(&c, &lib, &model, &stats, Objective::MinimizePower);
+        let via_nets = optimize_with_net_stats(
+            &c,
+            &lib,
+            &model,
+            &net_stats,
+            Objective::MinimizePower,
+            &mut Scratch::new(),
+        );
+        assert_eq!(via_pi.circuit, via_nets.circuit);
+        assert_eq!(via_pi.power_after, via_nets.power_after);
+        let par = optimize_parallel_with_net_stats(
+            &c,
+            &lib,
+            &model,
+            &net_stats,
+            Objective::MinimizePower,
+            2,
+        );
+        assert_eq!(par.circuit, via_pi.circuit);
+        let bounded_pi = optimize_delay_bounded(&c, &lib, &model, &timing, &stats);
+        let bounded_nets =
+            optimize_delay_bounded_with_net_stats(&c, &lib, &model, &timing, &net_stats);
+        assert_eq!(bounded_pi.circuit, bounded_nets.circuit);
+    }
+
+    #[test]
+    fn exact_bdd_stats_plug_into_the_optimizer() {
+        // The whole point of the net-stats entry: score configurations
+        // against correlation-exact activities. On a reconvergent adder
+        // the exact statistics differ from the independent ones, and the
+        // optimizer must accept them and still never regress the (exact)
+        // power model total.
+        let (lib, model, _) = setup();
+        let c = generators::ripple_carry_adder(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 6);
+        let exact = tr_power::propagate_exact_bdd(&c, &lib, &stats).expect("fits node budget");
+        let indep = propagate(&c, &lib, &stats);
+        assert!(
+            exact
+                .iter()
+                .zip(&indep)
+                .any(|(e, i)| (e.probability() - i.probability()).abs() > 1e-6),
+            "adder carries should expose independence error"
+        );
+        let r = optimize_with_net_stats(
+            &c,
+            &lib,
+            &model,
+            &exact,
+            Objective::MinimizePower,
+            &mut Scratch::new(),
+        );
+        assert!(r.power_after <= r.power_before + 1e-18);
     }
 
     #[test]
@@ -549,4 +679,7 @@ pub mod slack;
 
 pub use analysis::{instance_demand, CellDemand, InstanceDemand};
 pub use heuristic::{optimize_rule_based, Rule};
-pub use slack::{delay_power_tradeoff, optimize_slack_aware, DelayPowerTradeoff};
+pub use slack::{
+    delay_power_tradeoff, optimize_slack_aware, optimize_slack_aware_with_net_stats,
+    DelayPowerTradeoff,
+};

@@ -41,10 +41,56 @@ pub fn optimize_slack_aware(
     pi_stats: &[SignalStats],
     margin: f64,
 ) -> OptimizeResult {
-    assert!(margin >= 0.0, "negative slack margin");
     let net_stats = propagate(circuit, library, pi_stats);
+    optimize_slack_aware_with_net_stats(circuit, library, model, timing, &net_stats, margin)
+}
+
+/// [`optimize_slack_aware`] against caller-supplied per-net statistics
+/// (see [`crate::optimize_with_net_stats`]).
+///
+/// # Panics
+///
+/// As [`optimize_slack_aware`], with `net_stats.len()` checked against
+/// the net count.
+pub fn optimize_slack_aware_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    timing: &TimingModel,
+    net_stats: &[SignalStats],
+    margin: f64,
+) -> OptimizeResult {
+    assert!(margin >= 0.0, "negative slack margin");
+    assert_eq!(
+        net_stats.len(),
+        circuit.net_count(),
+        "one SignalStats per net"
+    );
+    // Same mismatched-library guard as the other `*_with_net_stats`
+    // entry points, but without compiling a view this function never
+    // uses: resolve each distinct cell kind once against all three
+    // indices (the standard library has ~20 kinds, so the linear scan
+    // of `checked` is noise).
+    let mut checked: Vec<&tr_gatelib::CellKind> = Vec::new();
+    for gate in circuit.gates() {
+        if checked.contains(&&gate.cell) {
+            continue;
+        }
+        let lib_id = library.cell_id(&gate.cell);
+        assert!(lib_id.is_some(), "cell {} not in library", gate.cell);
+        for (got, what) in [
+            (model.cell_id(&gate.cell), "PowerModel"),
+            (timing.cell_id(&gate.cell), "TimingModel"),
+        ] {
+            assert_eq!(
+                got, lib_id,
+                "{what} was built from a different library than this circuit"
+            );
+        }
+        checked.push(&gate.cell);
+    }
     let loads = external_loads(circuit, model);
-    let before = circuit_power(circuit, model, &net_stats).total;
+    let before = circuit_power(circuit, model, net_stats).total;
 
     let order = circuit.topological_order().expect("validated circuit");
     let drivers = circuit.drivers();
@@ -136,7 +182,7 @@ pub fn optimize_slack_aware(
         result.set_config(*gid, best_cfg);
     }
 
-    let after = circuit_power(&result, model, &net_stats).total;
+    let after = circuit_power(&result, model, net_stats).total;
     OptimizeResult {
         circuit: result,
         power_before: before,

@@ -15,6 +15,7 @@
 //! | module | crate | contents |
 //! |---|---|---|
 //! | [`boolean`] | `tr-boolean` | truth-table Boolean algebra, `(P, D)` signal statistics, Najm density |
+//! | [`bdd`] | `tr-bdd` | shared ROBDD engine (complement edges), exact whole-circuit signal statistics |
 //! | [`spnet`] | `tr-spnet` | series-parallel networks, gate graphs, `H`/`G` path functions, pivot enumeration |
 //! | [`gatelib`] | `tr-gatelib` | the Table 2 cell library, configurations, instances, process parameters |
 //! | [`netlist`] | `tr-netlist` | circuits, `.bench` parsing, generators, technology mapping, benchmark suite |
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tr_bdd as bdd;
 pub use tr_boolean as boolean;
 pub use tr_flow as flow;
 pub use tr_gatelib as gatelib;
@@ -66,6 +68,7 @@ pub use tr_timing as timing;
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use tr_bdd::{Bdd, BuildOptions, CircuitBdds, OrderHeuristic};
     pub use tr_boolean::{sop, BoolFn, Expr, SignalStats};
     pub use tr_flow::{
         BatchJob, BatchRunner, DelayBound, Flow, FlowEnv, FlowReport, ScenarioSpec, SimOptions,
@@ -77,11 +80,12 @@ pub mod prelude {
     pub use tr_power::scenario::Scenario;
     pub use tr_power::{
         circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, monte,
-        propagate, propagate_exact, PowerModel, Scratch,
+        propagate, propagate_exact, propagate_exact_bdd, propagate_with_mode, PowerModel,
+        PropagationMode, Scratch,
     };
     pub use tr_reorder::{
         delay_power_tradeoff, instance_demand, optimize, optimize_delay_bounded, optimize_parallel,
-        optimize_slack_aware, InstanceDemand, Objective, OptimizeResult,
+        optimize_slack_aware, optimize_with_net_stats, InstanceDemand, Objective, OptimizeResult,
     };
     pub use tr_sim::{
         simulate, simulate_traced, simulate_with_drives, vcd, InputDrive, SimConfig, SimReport,

@@ -2,12 +2,13 @@
 //! optimizer.
 //!
 //! ```text
-//! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--objective min|max]
-//!                 [--delay-bound none|local|slack] [--simulate] [--vcd FILE]
-//!                 [--out FILE] [--json]
-//! tr-opt analyze  <netlist> [--scenario a|b] [--seed N]
+//! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|monte]
+//!                 [--objective min|max] [--delay-bound none|local|slack]
+//!                 [--simulate] [--vcd FILE] [--out FILE] [--json]
+//! tr-opt analyze  <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|monte]
 //! tr-opt batch    <dir|files...> [--suite small|quick|full] [--scenarios M]
-//!                 [--report json|csv] [--simulate] [--threads N]
+//!                 [--prob indep|bdd|monte] [--report json|csv] [--simulate]
+//!                 [--threads N]
 //! tr-opt library
 //! ```
 //!
@@ -23,8 +24,8 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use transistor_reordering::flow::{
-    load_path, BatchJob, BatchRunner, DelayBound, DurationPolicy, Error, Flow, FlowEnv, FlowReport,
-    ScenarioSpec, SimOptions,
+    load_path, max_probability_deviation, parse_prob_mode, BatchJob, BatchRunner, DelayBound,
+    DurationPolicy, Error, Flow, FlowEnv, FlowReport, PropagationMode, ScenarioSpec, SimOptions,
 };
 use transistor_reordering::prelude::*;
 
@@ -71,6 +72,8 @@ USAGE:
 OPTIONS (optimize/analyze):
   --scenario a|b        input statistics (default a: random P,D)
   --seed N              RNG seed for scenario A and the simulator
+  --prob indep|bdd|monte probability backend (default indep; bdd = exact
+                        ROBDD statistics, reconvergence handled exactly)
   --objective min|max   minimize (default) or maximize power
   --delay-bound MODE    none (default) | local | slack
   --threads N           optimizer worker threads (default: all cores;
@@ -88,6 +91,7 @@ OPTIONS (batch):
                         entries (default a:1,a:2,b:2e7,b:5e7)
   --report json|csv     one line per (circuit, scenario) on stdout
                         (default json)
+  --prob indep|bdd|monte as above
   --objective min|max   as above
   --delay-bound MODE    as above
   --simulate            switch-level-validate every cell (quick profile)
@@ -99,6 +103,7 @@ struct Options {
     path: String,
     scenario: Scenario,
     seed: u64,
+    prob: Option<String>,
     objective: Objective,
     delay_bound: DelayBound,
     threads: usize,
@@ -145,6 +150,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
         path: String::new(),
         scenario: Scenario::a(),
         seed: 1,
+        prob: None,
         objective: Objective::MinimizePower,
         delay_bound: DelayBound::Unbounded,
         threads: default_threads(),
@@ -169,6 +175,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                     .parse()
                     .map_err(|e| usage(format!("bad --seed: {e}")))?;
             }
+            "--prob" => opts.prob = Some(flag_value(&mut it, "--prob")?.to_string()),
             "--objective" => opts.objective = parse_objective(it.next().map(String::as_str))?,
             "--delay-bound" => {
                 opts.delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
@@ -193,12 +200,24 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
     Ok(opts)
 }
 
+impl Options {
+    /// Resolves `--prob` after all flags are parsed (so `--seed` applies
+    /// to the Monte Carlo backend regardless of flag order).
+    fn prob_mode(&self) -> Result<PropagationMode, Error> {
+        match &self.prob {
+            Some(s) => parse_prob_mode(s, self.seed),
+            None => Ok(PropagationMode::Independent),
+        }
+    }
+}
+
 fn cmd_optimize(args: &[String]) -> Result<(), Error> {
     let opts = parse_options(args)?;
     let env = FlowEnv::new();
 
     let mut flow = Flow::open(&opts.path)
         .scenario(opts.scenario, opts.seed)
+        .prob(opts.prob_mode()?)
         .objective(opts.objective)
         .delay_bound(opts.delay_bound)
         .threads(opts.threads)
@@ -235,6 +254,12 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
         -report.power.reduction_percent,
         report.changed_gates
     );
+    if let Some(err) = report.independence_error {
+        println!(
+            "probability backend: {} (independence error up to {:.3e} in P)",
+            report.prob_mode, err
+        );
+    }
     println!(
         "critical path: {:.3} ns → {:.3} ns ({:+.1}%)",
         report.delay.critical_path_before_s * 1e9,
@@ -285,7 +310,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
     hist.sort();
     let summary: Vec<String> = hist.iter().map(|(n, c)| format!("{n}×{c}")).collect();
     println!("cells: {}", summary.join(" "));
-    let nets = propagate(&circuit, &env.library, &stats);
+    let mode = opts.prob_mode()?;
+    let nets = propagate_with_mode(&circuit, &env.library, &stats, mode)?;
+    if mode != PropagationMode::Independent {
+        let indep = propagate(&circuit, &env.library, &stats);
+        let err = max_probability_deviation(&nets, &indep);
+        println!("probability backend: {mode} (independence error up to {err:.3e} in P)");
+    }
     let power = circuit_power(&circuit, &env.model, &nets);
     println!(
         "model power: {:.4e} W (output nodes {:.4e} W, internal {:.4e} W)",
@@ -313,6 +344,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let mut suite_name: Option<String> = None;
     let mut scenarios: Option<String> = None;
     let mut report_format = ReportFormat::Json;
+    let mut prob: Option<String> = None;
     let mut objective = Objective::MinimizePower;
     let mut delay_bound = DelayBound::Unbounded;
     let mut simulate = false;
@@ -330,6 +362,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
                     other => return Err(usage(format!("bad --report {other:?}"))),
                 }
             }
+            "--prob" => prob = Some(flag_value(&mut it, "--prob")?.to_string()),
             "--objective" => objective = parse_objective(it.next().map(String::as_str))?,
             "--delay-bound" => {
                 delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
@@ -379,6 +412,11 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     ))
     .objective(objective)
     .delay_bound(delay_bound);
+    if let Some(s) = &prob {
+        // The Monte Carlo backend takes one fixed seed across the grid —
+        // per-cell scenarios already vary the input statistics.
+        template = template.prob(parse_prob_mode(s, 0xBDD5EED)?);
+    }
     if simulate {
         template = template.simulate(SimOptions {
             duration: DurationPolicy::Auto {

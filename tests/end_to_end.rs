@@ -184,6 +184,47 @@ fn delay_bounded_optimizer_end_to_end() {
 }
 
 #[test]
+fn bdd_backend_runs_the_small_suite_and_the_new_large_circuits() {
+    // The `tr-opt --prob bdd` pipeline (Flow is exactly what the CLI
+    // drives): the full 13-circuit small suite plus the new ≥16-bit
+    // reconvergent generators, end to end, with exact statistics.
+    // (`mult8`, the third new workload, is exercised in release builds
+    // by the `p6_bdd_propagate` bench and the tr-power equivalence
+    // tests — its BDD has ~125k live nodes, too slow for a debug test.)
+    let env = FlowEnv::new();
+    let mut circuits: Vec<(String, Circuit)> = suite::small_suite(&env.library)
+        .into_iter()
+        .map(|c| (c.name, c.circuit))
+        .collect();
+    circuits.push((
+        "csel32".into(),
+        generators::carry_select_adder(32, 8, &env.library),
+    ));
+    circuits.push((
+        "cskip24".into(),
+        generators::carry_skip_adder(24, 4, &env.library),
+    ));
+    for (name, circuit) in circuits {
+        let n = circuit.primary_inputs().len();
+        let report = Flow::from_circuit(circuit)
+            .scenario(Scenario::a(), 0xB00)
+            .prob(transistor_reordering::power::PropagationMode::ExactBdd)
+            .run(&env)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.prob_mode, "bdd", "{name}");
+        assert_eq!(report.inputs, n, "{name}");
+        let err = report
+            .independence_error
+            .unwrap_or_else(|| panic!("{name}: exact backend must measure the error"));
+        assert!((0.0..=1.0).contains(&err), "{name}: error {err}");
+        assert!(
+            report.power.model_after_w <= report.power.model_before_w + 1e-18,
+            "{name}: minimize regressed"
+        );
+    }
+}
+
+#[test]
 fn exact_propagation_improves_on_reconvergent_logic() {
     // On c17 (5 inputs, reconvergent), exact and approximate propagation
     // must both be valid statistics, and the exact one is available.
