@@ -9,14 +9,29 @@
 //! graph) and the exact Najm transition density
 //! `D(y) = Σᵥ P(∂y/∂xᵥ)·D(xᵥ)` via BDD Boolean differences.
 //!
+//! **Garbage collection**: every net's root is registered with the
+//! manager as it is computed, so the only unrooted nodes are the
+//! intermediates of gate composition — exactly the allocations that
+//! used to count against the node budget. The build collects at safe
+//! points (between gates) under the manager's growth policy, and
+//! retries a gate once after a forced collection when composition hits
+//! the budget, so the limit now measures the *live* working set. The
+//! statistics pass allocates nothing at all (densities walk cofactor
+//! pairs via [`Bdd::difference_probability`] instead of materializing
+//! difference BDDs). `rnd_e` — 500 gates of dense random logic whose
+//! old materialized density pass ground ~14 M nodes of garbage into a
+//! budget error — now completes well inside the default budget.
+//!
 //! Unlike `tr_power::propagate_exact` (dense truth tables, capped at
 //! `tr_boolean::MAX_VARS` primary inputs) the only limit here is the
 //! manager's node budget, which the benchmark suite's arithmetic
 //! circuits don't come near under the fanin-DFS ordering.
 
-use crate::manager::{Bdd, BddError, CacheStats, Edge, DEFAULT_NODE_LIMIT};
+use crate::manager::{
+    Bdd, BddError, CacheStats, DensityScratch, Edge, ProbScratch, VisitScratch,
+    DEFAULT_GC_THRESHOLD, DEFAULT_NODE_LIMIT,
+};
 use crate::order::{initial_order, OrderHeuristic};
-use std::collections::HashMap;
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::{CompiledCircuit, NetId};
@@ -26,8 +41,12 @@ use tr_netlist::{CompiledCircuit, NetId};
 pub struct BuildOptions {
     /// Variable-ordering heuristic (default fanin-DFS).
     pub heuristic: OrderHeuristic,
-    /// Manager node budget (default [`DEFAULT_NODE_LIMIT`]).
+    /// Manager *live*-node budget (default [`DEFAULT_NODE_LIMIT`]).
     pub node_limit: usize,
+    /// Live-node floor below which the manager's collector stays idle
+    /// (default [`DEFAULT_GC_THRESHOLD`]). Tiny values force frequent
+    /// collections — useful for stress-testing GC transparency.
+    pub gc_threshold: usize,
 }
 
 impl Default for BuildOptions {
@@ -35,18 +54,25 @@ impl Default for BuildOptions {
         BuildOptions {
             heuristic: OrderHeuristic::default(),
             node_limit: DEFAULT_NODE_LIMIT,
+            gc_threshold: DEFAULT_GC_THRESHOLD,
         }
     }
 }
 
-/// Size and cache statistics of a built [`CircuitBdds`] (reported in
+/// Size, GC and cache statistics of a built [`CircuitBdds`] (reported in
 /// EXPERIMENTS.md and by the `independence_error` experiment binary).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CircuitBddStats {
-    /// Nodes allocated in the manager (including dead intermediates).
+    /// All-time node allocations (recycled slots count once per reuse):
+    /// together with `live_nodes` this tells the garbage story.
     pub allocated_nodes: usize,
     /// Distinct nodes reachable from the per-net roots.
     pub live_nodes: usize,
+    /// Completed mark-and-sweep collections.
+    pub gc_runs: u64,
+    /// High-water mark of the live node count (what the budget actually
+    /// had to accommodate).
+    pub peak_live: usize,
     /// Memoization counters of the underlying manager.
     pub cache: CacheStats,
 }
@@ -80,13 +106,17 @@ pub struct CircuitBdds {
     level_of_pi: Vec<usize>,
 }
 
-/// Builds per-net roots under a fixed order. The workhorse shared by
-/// [`CircuitBdds::build`] and the sifting refinement.
+/// Builds per-net roots under a fixed order, registering each net's edge
+/// as a GC root the moment it exists. Composition intermediates are the
+/// only unrooted nodes, so the manager is free to collect between gates;
+/// a gate that trips the budget is retried once after a forced
+/// collection (the aborted attempt's intermediates are garbage by then).
 fn build_roots(
     compiled: &CompiledCircuit,
     library: &Library,
     order: &[usize],
     node_limit: usize,
+    gc_threshold: usize,
 ) -> Result<(Bdd, Vec<Edge>), BddError> {
     let n_pis = compiled.primary_inputs().len();
     debug_assert_eq!(order.len(), n_pis, "order must be a PI permutation");
@@ -95,11 +125,14 @@ fn build_roots(
         level_of_pi[pos] = level;
     }
     let mut manager = Bdd::with_node_limit(n_pis, node_limit);
+    manager.set_gc_threshold(gc_threshold);
     // Nets that are neither primary inputs nor gate outputs stay ZERO —
     // a valid circuit has none.
     let mut roots = vec![Edge::ZERO; compiled.net_count()];
     for (pos, net) in compiled.primary_inputs().iter().enumerate() {
-        roots[net.0] = manager.var(level_of_pi[pos]);
+        let edge = manager.var(level_of_pi[pos]);
+        roots[net.0] = edge;
+        manager.protect(edge);
     }
     let mut args: Vec<Edge> = Vec::new();
     for &gid in compiled.order() {
@@ -107,87 +140,21 @@ fn build_roots(
         args.clear();
         args.extend(compiled.inputs(gate).iter().map(|n| roots[n.0]));
         let function = library.cell_by_id(gate.cell).function();
-        roots[gate.output.0] = manager.compose_fn(function, &args)?;
+        let edge = match manager.compose_fn(function, &args) {
+            Ok(edge) => edge,
+            Err(BddError::NodeLimit { .. }) => {
+                // Reclaim dead intermediates (including the aborted
+                // attempt's) and try once more; a second failure means
+                // the live set itself does not fit.
+                manager.gc();
+                manager.compose_fn(function, &args)?
+            }
+        };
+        roots[gate.output.0] = edge;
+        manager.protect(edge);
+        manager.maybe_gc();
     }
     Ok((manager, roots))
-}
-
-/// Live node count of a candidate order, or `usize::MAX` if it blows the
-/// node budget (so sifting treats a blow-up as strictly worse).
-fn order_cost(
-    compiled: &CompiledCircuit,
-    library: &Library,
-    order: &[usize],
-    node_limit: usize,
-) -> usize {
-    match build_roots(compiled, library, order, node_limit) {
-        Ok((manager, roots)) => manager.live_size(roots.iter().copied()),
-        Err(BddError::NodeLimit { .. }) => usize::MAX,
-    }
-}
-
-/// Bounded rebuild-based sifting: move one variable at a time through
-/// every position, keep the position minimizing the live node count, and
-/// stop after `max_rebuilds` candidate evaluations. Deterministic;
-/// returns the refined order.
-///
-/// This trades the classic in-place adjacent-swap machinery for whole-
-/// circuit rebuilds — asymptotically more work per candidate, but the
-/// suite's circuits rebuild in microseconds-to-milliseconds and the
-/// manager stays simple (no per-level unique tables, no reference
-/// counting).
-fn sift_order(
-    compiled: &CompiledCircuit,
-    library: &Library,
-    mut order: Vec<usize>,
-    node_limit: usize,
-    max_rebuilds: usize,
-) -> Vec<usize> {
-    let n = order.len();
-    if n < 3 || max_rebuilds == 0 {
-        return order;
-    }
-    let mut best_cost = order_cost(compiled, library, &order, node_limit);
-    let mut rebuilds = 0usize;
-    // Sift each variable once, in initial root-first order (root levels
-    // influence size the most). Iterate over a snapshot of variable ids,
-    // not positions: applied moves shift the positions of later
-    // variables, and indexing by position would skip some and re-sift
-    // others.
-    let vars: Vec<usize> = order.clone();
-    let mut exhausted = false;
-    for var in vars {
-        let level = order.iter().position(|&v| v == var).expect("permutation");
-        let mut best_pos = level;
-        for candidate in 0..n {
-            if candidate == level {
-                continue;
-            }
-            if rebuilds >= max_rebuilds {
-                exhausted = true;
-                break;
-            }
-            let mut trial = order.clone();
-            trial.remove(level);
-            trial.insert(candidate, var);
-            rebuilds += 1;
-            let cost = order_cost(compiled, library, &trial, node_limit);
-            if cost < best_cost {
-                best_cost = cost;
-                best_pos = candidate;
-            }
-        }
-        // Apply even when the budget ran out mid-variable: the rebuilds
-        // that found this improvement are already paid for.
-        if best_pos != level {
-            order.remove(level);
-            order.insert(best_pos, var);
-        }
-        if exhausted {
-            break;
-        }
-    }
-    order
 }
 
 impl CircuitBdds {
@@ -195,28 +162,36 @@ impl CircuitBdds {
     ///
     /// # Errors
     ///
-    /// Returns [`BddError::NodeLimit`] if the circuit does not fit the
-    /// node budget under the chosen ordering.
+    /// Returns [`BddError::NodeLimit`] if the circuit's live BDDs do not
+    /// fit the node budget under the chosen ordering (dead intermediates
+    /// are garbage-collected and never count).
     pub fn build(
         compiled: &CompiledCircuit,
         library: &Library,
         options: BuildOptions,
     ) -> Result<Self, BddError> {
-        let mut order = initial_order(compiled, options.heuristic);
-        if let OrderHeuristic::Sifted { max_rebuilds } = options.heuristic {
-            order = sift_order(compiled, library, order, options.node_limit, max_rebuilds);
-        }
-        let (manager, roots) = build_roots(compiled, library, &order, options.node_limit)?;
+        let order = initial_order(compiled, options.heuristic);
+        let (manager, roots) = build_roots(
+            compiled,
+            library,
+            &order,
+            options.node_limit,
+            options.gc_threshold,
+        )?;
         let mut level_of_pi = vec![0usize; order.len()];
         for (level, &pos) in order.iter().enumerate() {
             level_of_pi[pos] = level;
         }
-        Ok(CircuitBdds {
+        let mut this = CircuitBdds {
             manager,
             roots,
             order,
             level_of_pi,
-        })
+        };
+        if let OrderHeuristic::Sifted { max_swaps } = options.heuristic {
+            this.sift_in_place(max_swaps);
+        }
+        Ok(this)
     }
 
     /// The underlying manager (read-only).
@@ -241,23 +216,118 @@ impl CircuitBdds {
         self.level_of_pi[position]
     }
 
-    /// Size and cache statistics.
+    /// Size, GC and cache statistics.
     pub fn stats(&self) -> CircuitBddStats {
+        let gc = self.manager.gc_stats();
         CircuitBddStats {
-            allocated_nodes: self.manager.node_count(),
+            allocated_nodes: self.manager.allocated_total() as usize,
             live_nodes: self.manager.live_size(self.roots.iter().copied()),
+            gc_runs: gc.runs,
+            peak_live: gc.peak_live,
             cache: self.manager.cache_stats(),
         }
+    }
+
+    /// Live node count reachable from the circuit's net roots (the
+    /// quantity sifting minimizes).
+    fn live_size_now(&self) -> usize {
+        self.manager.live_size(self.roots.iter().copied())
+    }
+
+    /// Swaps adjacent levels `level` / `level + 1` in the manager and
+    /// keeps the level↔primary-input maps in sync.
+    fn swap_levels(&mut self, level: usize) {
+        self.manager.swap_adjacent(level as u32);
+        self.order.swap(level, level + 1);
+        self.level_of_pi[self.order[level]] = level;
+        self.level_of_pi[self.order[level + 1]] = level + 1;
+    }
+
+    /// True in-place sifting (Rudell): each variable in turn is moved
+    /// through every level by adjacent swaps inside the pool — no
+    /// rebuilds — and settled at the level minimizing the live node
+    /// count. `max_swaps` bounds the *exploration* swaps (settling back
+    /// to the best seen position is always completed, so the result
+    /// never worsens); the whole pass is deterministic. Returns the
+    /// number of exploration swaps spent.
+    ///
+    /// Net functions (over the primary inputs) are preserved exactly —
+    /// roots keep their node identity while [`CircuitBdds::order`] and
+    /// the per-level meaning are permuted together.
+    pub fn sift_in_place(&mut self, max_swaps: usize) -> usize {
+        let n = self.order.len();
+        if n < 3 || max_swaps == 0 {
+            return 0;
+        }
+        let mut swaps = 0usize;
+        // Visit variables (identified by PI position — stable across
+        // swaps) in their initial root-first order: root levels influence
+        // size the most.
+        let by_initial_level: Vec<usize> = self.order.clone();
+        for pi in by_initial_level {
+            if swaps >= max_swaps {
+                break;
+            }
+            // Sweep the strays of the previous variable so the pool scan
+            // inside each swap stays proportional to the live set.
+            self.manager.gc();
+            let mut level = self.level_of_pi[pi];
+            let mut best_size = self.live_size_now();
+            let mut best_level = level;
+            // Down to the bottom...
+            while level + 1 < n && swaps < max_swaps {
+                self.swap_levels(level);
+                swaps += 1;
+                level += 1;
+                let size = self.live_size_now();
+                if size < best_size {
+                    best_size = size;
+                    best_level = level;
+                }
+            }
+            // ...then up to the top...
+            while level > 0 && swaps < max_swaps {
+                self.swap_levels(level - 1);
+                swaps += 1;
+                level -= 1;
+                let size = self.live_size_now();
+                if size < best_size {
+                    best_size = size;
+                    best_level = level;
+                }
+            }
+            // ...and settle at the best position seen (never counted
+            // against the budget: stopping short would strand the
+            // variable somewhere worse than where it started).
+            while level < best_level {
+                self.swap_levels(level);
+                level += 1;
+            }
+            while level > best_level {
+                self.swap_levels(level - 1);
+                level -= 1;
+            }
+        }
+        self.manager.gc();
+        swaps
     }
 
     /// Exact `(P, D)` statistics for every net, given per-primary-input
     /// statistics (independent primary inputs — the paper's §3.1 signal
     /// model; *internal* correlation from reconvergent fanout is exact).
     ///
+    /// The density pass never materializes a difference BDD:
+    /// [`Bdd::difference_probability`] walks cofactor pairs over the
+    /// shared graph, so the whole statistics pass is allocation-free
+    /// (one reusable [`ProbScratch`]/[`DensityScratch`]/[`VisitScratch`]
+    /// trio shared across every net) and cannot trip the node budget —
+    /// which is why `rnd_e`, whose old materialized pass ground through
+    /// ~14 M garbage nodes into a budget error, now just completes.
+    ///
     /// # Errors
     ///
-    /// Returns [`BddError::NodeLimit`] if a Boolean difference exceeds
-    /// the node budget.
+    /// Infallible today (the signature keeps the historical `Result`
+    /// so budget-limited statistics variants can return here).
     ///
     /// # Panics
     ///
@@ -280,26 +350,30 @@ impl CircuitBdds {
             .map(|&pos| pi_stats[pos].density())
             .collect();
 
-        // One probability cache for the whole pass: probabilities are a
-        // property of (node, probs), and probs is fixed here.
-        let mut p_cache: HashMap<u32, f64> = HashMap::new();
+        // One scratch trio for the whole pass: probabilities are a
+        // property of (node, probs), and probs is fixed here. The
+        // scratches self-invalidate if the manager ever collects.
+        let mut prob = ProbScratch::new();
+        let mut density = DensityScratch::new();
+        let mut visited = VisitScratch::new();
         let mut seen = vec![false; self.order.len()];
-        let mut visited: Vec<bool> = Vec::new();
         let mut out = Vec::with_capacity(self.roots.len());
         for i in 0..self.roots.len() {
             let root = self.roots[i];
-            let p = self.manager.probability(root, &probs, &mut p_cache);
+            let p = self.manager.probability(root, &probs, &mut prob);
             self.manager.support_into(root, &mut seen, &mut visited);
             let mut d = 0.0f64;
             for level in 0..self.order.len() {
                 if !seen[level] || dens[level] == 0.0 {
                     continue;
                 }
-                let diff = self.manager.boolean_difference(root, level)?;
-                if diff == Edge::ZERO {
-                    continue;
-                }
-                d += self.manager.probability(diff, &probs, &mut p_cache) * dens[level];
+                d += self.manager.difference_probability(
+                    root,
+                    level,
+                    &probs,
+                    &mut prob,
+                    &mut density,
+                ) * dens[level];
             }
             out.push(SignalStats::new(p, d.max(0.0)));
         }
@@ -454,7 +528,7 @@ mod tests {
             &cc,
             &lib,
             BuildOptions {
-                heuristic: OrderHeuristic::Topological,
+                heuristic: OrderHeuristic::FaninDfs,
                 ..BuildOptions::default()
             },
         )
@@ -464,7 +538,7 @@ mod tests {
                 &cc,
                 &lib,
                 BuildOptions {
-                    heuristic: OrderHeuristic::Sifted { max_rebuilds: 60 },
+                    heuristic: OrderHeuristic::Sifted { max_swaps: 200 },
                     ..BuildOptions::default()
                 },
             )
@@ -490,6 +564,50 @@ mod tests {
                     want
                 );
             }
+        }
+    }
+
+    #[test]
+    fn forced_gc_is_invisible_to_results() {
+        // A tiny GC threshold forces collections throughout the build and
+        // the statistics pass; every number must match the lazy build.
+        let lib = Library::standard();
+        let c = generators::carry_select_adder(16, 4, &lib);
+        let cc = compiled(&c, &lib);
+        let n = cc.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.1 + 0.02 * i as f64, 1.0e4 * (1 + i % 7) as f64))
+            .collect();
+        let mut lazy = CircuitBdds::build(&cc, &lib, BuildOptions::default()).unwrap();
+        let mut forced = CircuitBdds::build(
+            &cc,
+            &lib,
+            BuildOptions {
+                gc_threshold: 1,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            forced.stats().gc_runs > 0,
+            "threshold 1 must force collections"
+        );
+        let a = lazy.exact_stats(&pi).unwrap();
+        let b = forced.exact_stats(&pi).unwrap();
+        for (net, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert!(
+                (x.probability() - y.probability()).abs() < 1e-12,
+                "net {net}: P {} vs {}",
+                x.probability(),
+                y.probability()
+            );
+            let tol = 1e-12 * x.density().abs().max(1.0);
+            assert!(
+                (x.density() - y.density()).abs() < tol,
+                "net {net}: D {} vs {}",
+                x.density(),
+                y.density()
+            );
         }
     }
 

@@ -11,11 +11,19 @@
 //! [`tr_netlist::CompiledCircuit`] as a global function of the primary
 //! inputs and computes **exact** signal probabilities and Najm transition
 //! densities — reconvergent correlation handled exactly, any input count
-//! that fits the node budget.
+//! whose *live* BDDs fit the node budget.
+//!
+//! The manager is built for speed at scale: a struct-of-arrays node pool
+//! with recycled slots, a custom open-addressed unique table, fixed-size
+//! direct-mapped operation caches, and **mark-and-sweep garbage
+//! collection** rooted at the registered net edges — dead composition
+//! and Boolean-difference intermediates (routinely 10–30× the live set)
+//! are reclaimed instead of counted against the budget.
 //!
 //! Variable ordering is pluggable ([`OrderHeuristic`]): topological,
 //! fanin-DFS (default; interleaves operand bits along carry chains) and
-//! a bounded rebuild-based sifting refinement.
+//! a bounded **in-place sifting** refinement (adjacent level swaps per
+//! Rudell — no rebuilds).
 //!
 //! # Example
 //!
@@ -45,5 +53,8 @@ mod manager;
 pub mod order;
 
 pub use circuit::{BuildOptions, CircuitBddStats, CircuitBdds};
-pub use manager::{Bdd, BddError, CacheStats, Edge, DEFAULT_NODE_LIMIT};
+pub use manager::{
+    Bdd, BddError, CacheStats, DensityScratch, Edge, GcStats, ProbScratch, VisitScratch,
+    DEFAULT_GC_THRESHOLD, DEFAULT_NODE_LIMIT,
+};
 pub use order::OrderHeuristic;

@@ -1,4 +1,5 @@
-//! The shared ROBDD manager: node store, unique table, memoized ITE.
+//! The shared ROBDD manager: node pool, unique table, memoized ITE,
+//! mark-and-sweep garbage collection.
 //!
 //! Design notes, for readers coming from the textbook presentation:
 //!
@@ -14,23 +15,83 @@
 //! * **One terminal**: node `0` is the constant `1`; `0` is its
 //!   complement. The terminal's `var` is [`TERMINAL_VAR`], which sorts
 //!   below every real level.
-//! * **Memoization**: ITE, restrict and Boolean-difference results are
-//!   cached for the manager's lifetime; [`Bdd::cache_stats`] exposes the
-//!   hit counters that EXPERIMENTS.md reports. There is no garbage
-//!   collection — a manager is built, queried and dropped, which is the
-//!   whole-circuit-statistics lifecycle it exists for.
+//! * **Node pool**: nodes live in a struct-of-arrays pool (`vars` /
+//!   `lows` / `highs`, each a flat `Vec<u32>`), indexed by the edge's
+//!   node index. Dead slots are threaded into a free list (next pointer
+//!   stored in `lows`) and recycled by the allocator, so a long build
+//!   touches a working set near its *live* size, not its allocation
+//!   total.
+//! * **Unique table**: a custom open-addressed hash table (power-of-two
+//!   capacity, multiplicative hashing, linear probing, no tombstones).
+//!   Slots store only the node index; key comparison reads the pool, so
+//!   the table is rebuilt — never patched — whenever pool contents
+//!   change wholesale (garbage collection, level swaps).
+//! * **Operation caches**: ITE, restrict and Boolean-difference results
+//!   go through direct-mapped caches — lossy by design, no allocation
+//!   per operation — that start small and double with the node pool up
+//!   to a fixed cap. [`Bdd::cache_stats`] exposes the hit counters that
+//!   EXPERIMENTS.md reports.
+//! * **Garbage collection**: mark-and-sweep from the *registered roots*
+//!   ([`Bdd::protect`]). Collection never runs behind the caller's back:
+//!   it happens only in [`Bdd::gc`] and [`Bdd::maybe_gc`], which callers
+//!   (the whole-circuit engine in [`crate::circuit`]) invoke at safe
+//!   points where every edge they still need is protected; `maybe_gc`
+//!   fires once the live count crosses an adaptive trigger (a multiple
+//!   of the last collection's survivor count, floored at the
+//!   configurable threshold). A collection recycles dead nodes into the
+//!   free list, rebuilds the unique table and clears the operation
+//!   caches (whose entries may reference recycled indices). **Any
+//!   unprotected edge is invalidated by a collection.**
+//! * **Node budget**: [`BddError::NodeLimit`] now fires on the *live*
+//!   node count (allocated minus recycled), not the historical
+//!   allocation total — dead intermediates that a collection can reclaim
+//!   no longer count against the budget.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Level assigned to the terminal node: sorts after every real variable.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
 
+/// Level marking a pool slot as free (on the free list, awaiting reuse).
+const FREE_VAR: u32 = u32::MAX - 1;
+
+/// Sentinel for "no index" in the free list and unique table.
+const NIL: u32 = u32::MAX;
+
+/// Unique-table capacity floor (slots).
+const MIN_TABLE_CAPACITY: usize = 1 << 10;
+
+/// Direct-mapped cache size bounds (entries). The caches start at the
+/// minimum and double as the node pool grows (a 6-gate circuit must not
+/// pay a 20-MB memset; `mult8`-scale managers want every slot), capped
+/// at the maximum. The ITE cache carries the bulk of the memoization
+/// traffic; restrict feeds the Boolean-difference loop; the difference
+/// cache holds only top-level `(f, var)` results.
+const ITE_CACHE_MIN: usize = 1 << 12;
+const ITE_CACHE_MAX: usize = 1 << 20;
+const RESTRICT_CACHE_MIN: usize = 1 << 11;
+const RESTRICT_CACHE_MAX: usize = 1 << 19;
+const DIFF_CACHE_MIN: usize = 1 << 10;
+const DIFF_CACHE_MAX: usize = 1 << 16;
+
+/// Default live-node floor below which [`Bdd::maybe_gc`] never collects.
+/// Collecting clears the operation caches (their entries may reference
+/// recycled indices), so eager collection trades cache hits for memory;
+/// two-million-node pools (~24 MB) are cheap enough to let garbage ride
+/// until the working set is genuinely large.
+pub const DEFAULT_GC_THRESHOLD: usize = 1 << 21;
+
+/// After a collection the next one arms at this multiple of the
+/// surviving live count (floored at the threshold): garbage must
+/// dominate the pool again before another cache-clearing sweep pays.
+const GC_GROWTH_FACTOR: usize = 4;
+
 /// Errors from BDD construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BddError {
-    /// The node store reached the configured limit; the function being
-    /// built is too large under the current variable ordering.
+    /// The *live* node count reached the configured limit; the function
+    /// being built is too large under the current variable ordering even
+    /// after garbage collection.
     NodeLimit {
         /// The limit that was hit.
         limit: usize,
@@ -41,7 +102,7 @@ impl fmt::Display for BddError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BddError::NodeLimit { limit } => {
-                write!(f, "BDD node limit of {limit} nodes exceeded")
+                write!(f, "BDD node limit of {limit} live nodes exceeded")
             }
         }
     }
@@ -95,14 +156,6 @@ impl Edge {
     }
 }
 
-/// One stored node. `high` is never complemented (canonical form).
-#[derive(Debug, Clone, Copy)]
-struct Node {
-    var: u32,
-    low: Edge,
-    high: Edge,
-}
-
 /// Cache hit/lookup counters, exposed for EXPERIMENTS.md and tuning.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -116,7 +169,248 @@ pub struct CacheStats {
     pub restrict_hits: u64,
 }
 
-/// A reduced-ordered BDD manager with complement edges.
+/// Garbage-collection counters ([`Bdd::gc_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Completed mark-and-sweep collections.
+    pub runs: u64,
+    /// Nodes recycled onto the free list, summed over all collections.
+    pub freed: u64,
+    /// High-water mark of the live node count.
+    pub peak_live: usize,
+}
+
+/// Direct-mapped ITE cache entry (`a == NIL` marks an empty slot).
+#[derive(Clone, Copy)]
+struct Ite4 {
+    a: u32,
+    b: u32,
+    c: u32,
+    r: u32,
+}
+
+const ITE4_EMPTY: Ite4 = Ite4 {
+    a: NIL,
+    b: 0,
+    c: 0,
+    r: 0,
+};
+
+/// Direct-mapped restrict/difference cache entry (`f == NIL` is empty;
+/// `k` packs `var << 1 | val` for restrict and plain `var` for the
+/// difference cache).
+#[derive(Clone, Copy)]
+struct Memo2 {
+    f: u32,
+    k: u32,
+    r: u32,
+}
+
+const MEMO2_EMPTY: Memo2 = Memo2 { f: NIL, k: 0, r: 0 };
+
+/// Multiplicative triple hash for the unique table and op caches: three
+/// odd-constant multiplies folded with a final avalanche, so power-of-two
+/// masking sees well-mixed high bits. No SipHash, no allocation.
+#[inline]
+fn hash3(a: u32, b: u32, c: u32) -> usize {
+    let h = (u64::from(a)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (u64::from(b)).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (u64::from(c)).wrapping_mul(0x1656_67B1_9E37_79F9);
+    let h = (h ^ (h >> 31)).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+    (h >> 32) as usize
+}
+
+/// Epoch-stamped visited set over the node pool, for traversals that
+/// repeat across many roots ([`Bdd::support_into`]). Bumping the epoch
+/// invalidates every mark in O(1) — no per-call memset of a pool-sized
+/// bitmap, which dominated the statistics pass on large managers.
+#[derive(Debug, Clone, Default)]
+pub struct VisitScratch {
+    stamp: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+}
+
+impl VisitScratch {
+    /// Empty scratch; storage grows to the pool size on first use.
+    pub fn new() -> Self {
+        VisitScratch::default()
+    }
+
+    /// Starts a fresh traversal over a pool of `n` slots.
+    fn begin(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could collide with the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+        self.stack.clear();
+    }
+
+    /// Marks `idx`; returns whether this was the first visit.
+    #[inline]
+    fn visit(&mut self, idx: usize) -> bool {
+        if self.stamp[idx] == self.epoch {
+            false
+        } else {
+            self.stamp[idx] = self.epoch;
+            true
+        }
+    }
+}
+
+/// Direct-mapped probability-memo entry for [`DensityScratch`]
+/// (`a == NIL` marks an empty slot).
+#[derive(Clone, Copy)]
+struct PairP {
+    a: u32,
+    b: u32,
+    p: f64,
+}
+
+const PAIRP_EMPTY: PairP = PairP {
+    a: NIL,
+    b: 0,
+    p: 0.0,
+};
+
+/// Memo size bounds for [`Bdd::difference_probability`] (sized to the
+/// manager's pool on first use, like the op caches): the XOR-pair memo
+/// walks the product of two cofactor graphs, the descent memo one
+/// `(node, variable)` pair per level above the differenced variable.
+const XOR_MEMO_MIN: usize = 1 << 10;
+const XOR_MEMO_MAX: usize = 1 << 18;
+const DIFF_MEMO_MIN: usize = 1 << 10;
+const DIFF_MEMO_MAX: usize = 1 << 17;
+
+/// Reusable scratch for [`Bdd::difference_probability`]: two
+/// direct-mapped probability memos (lossy, fixed-size, no allocation
+/// per query).
+///
+/// Values stay valid across calls **only** for an identical probability
+/// vector; call [`DensityScratch::reset`] when the probabilities
+/// change. A garbage collection in the manager invalidates the scratch
+/// automatically (recycled node indices would otherwise alias stale
+/// entries).
+#[derive(Clone)]
+pub struct DensityScratch {
+    xor_memo: Vec<PairP>,
+    diff_memo: Vec<PairP>,
+    gc_runs: u64,
+}
+
+impl fmt::Debug for DensityScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DensityScratch").finish_non_exhaustive()
+    }
+}
+
+impl Default for DensityScratch {
+    fn default() -> Self {
+        DensityScratch::new()
+    }
+}
+
+impl DensityScratch {
+    /// Empty scratch; the memos are sized to the manager's pool on
+    /// first use.
+    pub fn new() -> Self {
+        DensityScratch {
+            xor_memo: Vec::new(),
+            diff_memo: Vec::new(),
+            gc_runs: 0,
+        }
+    }
+
+    /// Drops all memoized values (required when the probability vector
+    /// changes between calls).
+    pub fn reset(&mut self) {
+        self.xor_memo.fill(PAIRP_EMPTY);
+        self.diff_memo.fill(PAIRP_EMPTY);
+    }
+
+    /// Sizes the memos for `bdd`'s pool (growing only, pow-2, clamped)
+    /// and invalidates the scratch if the manager has collected since
+    /// the last call.
+    fn prepare(&mut self, bdd: &Bdd) {
+        if self.gc_runs != bdd.gc.runs {
+            self.gc_runs = bdd.gc.runs;
+            self.reset();
+        }
+        let pool = bdd.vars.len();
+        let xor_want = (pool * 2)
+            .next_power_of_two()
+            .clamp(XOR_MEMO_MIN, XOR_MEMO_MAX);
+        if self.xor_memo.len() < xor_want {
+            self.xor_memo = vec![PAIRP_EMPTY; xor_want];
+        }
+        let diff_want = pool.next_power_of_two().clamp(DIFF_MEMO_MIN, DIFF_MEMO_MAX);
+        if self.diff_memo.len() < diff_want {
+            self.diff_memo = vec![PAIRP_EMPTY; diff_want];
+        }
+    }
+}
+
+/// Reusable scratch for [`Bdd::probability`]: per-node probabilities in
+/// a flat, epoch-stamped array instead of a fresh `HashMap` per call
+/// (mirroring `tr_reorder`'s `Scratch` pattern).
+///
+/// Values stay valid across calls **only** for an identical probability
+/// vector; call [`ProbScratch::reset`] when the probabilities change. A
+/// garbage collection in the manager invalidates the scratch
+/// automatically (recycled node indices would otherwise alias stale
+/// entries).
+#[derive(Debug, Clone, Default)]
+pub struct ProbScratch {
+    values: Vec<f64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    gc_runs: u64,
+}
+
+impl ProbScratch {
+    /// Empty scratch; storage grows to the pool size on first use.
+    pub fn new() -> Self {
+        ProbScratch {
+            values: Vec::new(),
+            stamp: Vec::new(),
+            epoch: 1,
+            gc_runs: 0,
+        }
+    }
+
+    /// Drops all memoized values (required when the probability vector
+    /// changes between calls).
+    pub fn reset(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: stale stamps could collide with the new epoch.
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Sizes the scratch for `bdd`'s pool and invalidates it if the
+    /// manager has collected since the last call.
+    fn prepare(&mut self, bdd: &Bdd) {
+        if self.gc_runs != bdd.gc.runs {
+            self.gc_runs = bdd.gc.runs;
+            self.reset();
+        }
+        let n = bdd.vars.len();
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.values.resize(n, 0.0);
+        }
+    }
+}
+
+/// A reduced-ordered BDD manager with complement edges, recycled nodes
+/// and a mark-and-sweep collector.
 ///
 /// # Example
 ///
@@ -133,21 +427,63 @@ pub struct CacheStats {
 /// let g = bdd.or(a.complement(), b.complement()).unwrap();
 /// assert_eq!(g, f.complement());
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Bdd {
-    nodes: Vec<Node>,
-    unique: HashMap<(u32, u32, u32), u32>,
-    ite_cache: HashMap<(u32, u32, u32), Edge>,
-    restrict_cache: HashMap<(u32, u32, u8), Edge>,
-    diff_cache: HashMap<(u32, u32), Edge>,
+    /// Node levels; `TERMINAL_VAR` for the terminal, `FREE_VAR` for
+    /// recycled slots.
+    vars: Vec<u32>,
+    /// Low (else) edges, raw bits; next-free index for recycled slots.
+    lows: Vec<u32>,
+    /// High (then) edges, raw bits — never complemented.
+    highs: Vec<u32>,
+    /// Head of the free list (`NIL` when empty).
+    free_head: u32,
+    /// Open-addressed unique table: node indices, `NIL` marks empty.
+    table: Vec<u32>,
+    table_mask: usize,
+    table_occupied: usize,
+    ite_cache: Vec<Ite4>,
+    restrict_cache: Vec<Memo2>,
+    diff_cache: Vec<Memo2>,
+    /// External roots for mark-and-sweep (see [`Bdd::protect`]).
+    roots: Vec<Edge>,
+    /// Mark bitmap scratch reused across collections.
+    mark: Vec<bool>,
     n_vars: usize,
     node_limit: usize,
+    /// Live nodes: allocated minus recycled (includes the terminal).
+    live: usize,
+    /// All-time allocation count (each free-list reuse counts again).
+    total_allocated: u64,
+    /// Level swaps leave ordering-dependent cache entries behind; the
+    /// next operation that would read them clears lazily (so a sifting
+    /// pass of hundreds of swaps pays one clear, not hundreds).
+    caches_stale: bool,
+    /// Live-count floor below which [`Bdd::maybe_gc`] stays idle.
+    gc_threshold: usize,
+    /// Live count that arms the next threshold-triggered collection.
+    next_gc: usize,
     stats: CacheStats,
+    gc: GcStats,
+}
+
+impl fmt::Debug for Bdd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Bdd")
+            .field("n_vars", &self.n_vars)
+            .field("live", &self.live)
+            .field("total_allocated", &self.total_allocated)
+            .field("node_limit", &self.node_limit)
+            .field("roots", &self.roots.len())
+            .field("gc", &self.gc)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Default node limit: generous for the benchmark suite (the largest
-/// circuits build in tens of thousands of nodes) while bounding memory to
-/// well under a gigabyte in the worst case.
+/// circuits peak in the hundreds of thousands of live nodes) while
+/// bounding memory to well under a gigabyte in the worst case. The limit
+/// counts **live** nodes; garbage awaiting collection is free.
 pub const DEFAULT_NODE_LIMIT: usize = 8_000_000;
 
 impl Bdd {
@@ -157,22 +493,34 @@ impl Bdd {
     }
 
     /// A manager with an explicit node limit (construction returns
-    /// [`BddError::NodeLimit`] once the store reaches it).
+    /// [`BddError::NodeLimit`] once the *live* node count reaches it).
     pub fn with_node_limit(n_vars: usize, node_limit: usize) -> Self {
-        let terminal = Node {
-            var: TERMINAL_VAR,
-            low: Edge::ONE,
-            high: Edge::ONE,
-        };
         Bdd {
-            nodes: vec![terminal],
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-            restrict_cache: HashMap::new(),
-            diff_cache: HashMap::new(),
+            vars: vec![TERMINAL_VAR],
+            lows: vec![Edge::ONE.key()],
+            highs: vec![Edge::ONE.key()],
+            free_head: NIL,
+            table: vec![NIL; MIN_TABLE_CAPACITY],
+            table_mask: MIN_TABLE_CAPACITY - 1,
+            table_occupied: 0,
+            ite_cache: vec![ITE4_EMPTY; ITE_CACHE_MIN],
+            restrict_cache: vec![MEMO2_EMPTY; RESTRICT_CACHE_MIN],
+            diff_cache: vec![MEMO2_EMPTY; DIFF_CACHE_MIN],
+            roots: Vec::new(),
+            mark: Vec::new(),
             n_vars,
             node_limit,
+            live: 1,
+            total_allocated: 1,
+            caches_stale: false,
+            gc_threshold: DEFAULT_GC_THRESHOLD,
+            next_gc: DEFAULT_GC_THRESHOLD,
             stats: CacheStats::default(),
+            gc: GcStats {
+                runs: 0,
+                freed: 0,
+                peak_live: 1,
+            },
         }
     }
 
@@ -181,14 +529,211 @@ impl Bdd {
         self.n_vars
     }
 
-    /// Total nodes allocated (including the terminal).
+    /// Live nodes currently in the store (allocated minus recycled,
+    /// including the terminal).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.live
+    }
+
+    /// All-time allocation count (recycled slots count once per reuse) —
+    /// together with [`Bdd::node_count`] this tells the garbage story.
+    pub fn allocated_total(&self) -> u64 {
+        self.total_allocated
     }
 
     /// Cache hit/lookup counters so far.
     pub fn cache_stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// Garbage-collection counters so far.
+    pub fn gc_stats(&self) -> GcStats {
+        self.gc
+    }
+
+    /// Registers `e` as a root: it and everything reachable from it
+    /// survive garbage collection. Roots accumulate for the manager's
+    /// lifetime (the whole-circuit engine registers one per net).
+    pub fn protect(&mut self, e: Edge) {
+        self.roots.push(e);
+    }
+
+    /// Sets the live-count floor below which [`Bdd::maybe_gc`] never
+    /// collects, and re-arms the trigger against it: raising the floor
+    /// postpones the next collection, lowering it to the current live
+    /// count (or below) makes the next safe point collect. Tiny values
+    /// force frequent collections (useful for stress-testing GC
+    /// transparency); the default is [`DEFAULT_GC_THRESHOLD`].
+    pub fn set_gc_threshold(&mut self, threshold: usize) {
+        self.gc_threshold = threshold.max(1);
+        self.next_gc = self.gc_threshold.max(self.live);
+    }
+
+    /// Collects garbage if the growth policy asks for it: the live
+    /// count crossing the adaptive trigger (four times the live size
+    /// after the previous collection, floored at the configured
+    /// threshold). Returns whether a collection ran.
+    ///
+    /// Call only at safe points: **every** edge still needed must be
+    /// reachable from a [`Bdd::protect`]-registered root.
+    pub fn maybe_gc(&mut self) -> bool {
+        if self.live >= self.next_gc {
+            self.gc();
+            return true;
+        }
+        false
+    }
+
+    /// Unconditional mark-and-sweep collection from the registered
+    /// roots. Recycles every unreachable node onto the free list,
+    /// rebuilds the unique table and clears the operation caches.
+    /// Returns the number of nodes freed.
+    ///
+    /// **Every unprotected edge is invalidated** — only call when all
+    /// live references are registered roots (or reachable from one).
+    pub fn gc(&mut self) -> usize {
+        let n = self.vars.len();
+        self.mark.clear();
+        self.mark.resize(n, false);
+        self.mark[0] = true;
+        let mut stack: Vec<u32> = Vec::new();
+        for i in 0..self.roots.len() {
+            let idx = self.roots[i].index();
+            if !self.mark[idx] {
+                self.mark[idx] = true;
+                stack.push(idx as u32);
+            }
+        }
+        while let Some(idx) = stack.pop() {
+            let idx = idx as usize;
+            if self.vars[idx] == TERMINAL_VAR {
+                continue;
+            }
+            let lo = Edge(self.lows[idx]).index();
+            let hi = Edge(self.highs[idx]).index();
+            if !self.mark[lo] {
+                self.mark[lo] = true;
+                stack.push(lo as u32);
+            }
+            if !self.mark[hi] {
+                self.mark[hi] = true;
+                stack.push(hi as u32);
+            }
+        }
+        let mut freed = 0usize;
+        for idx in 1..n {
+            if !self.mark[idx] && self.vars[idx] != FREE_VAR {
+                self.vars[idx] = FREE_VAR;
+                self.lows[idx] = self.free_head;
+                self.free_head = idx as u32;
+                freed += 1;
+            }
+        }
+        self.live -= freed;
+        self.rebuild_table();
+        self.clear_caches();
+        self.next_gc = (self.live.saturating_mul(GC_GROWTH_FACTOR)).max(self.gc_threshold);
+        self.gc.runs += 1;
+        self.gc.freed += freed as u64;
+        freed
+    }
+
+    /// Rebuilds the unique table from the pool (sized to twice the live
+    /// count, shrinking by at most half per rebuild so capacity doesn't
+    /// see-saw between collections, floored at the minimum capacity).
+    /// Every live node's triple is unique by construction, so insertion
+    /// never compares keys.
+    fn rebuild_table(&mut self) {
+        let want = (self.live * 2)
+            .next_power_of_two()
+            .max(self.table.len() / 2)
+            .max(MIN_TABLE_CAPACITY);
+        if self.table.len() == want {
+            self.table.fill(NIL);
+        } else {
+            self.table = vec![NIL; want];
+        }
+        self.table_mask = want - 1;
+        let mut occupied = 0usize;
+        for idx in 1..self.vars.len() {
+            let var = self.vars[idx];
+            if var == FREE_VAR {
+                continue;
+            }
+            let mut slot = hash3(var, self.lows[idx], self.highs[idx]) & self.table_mask;
+            while self.table[slot] != NIL {
+                slot = (slot + 1) & self.table_mask;
+            }
+            self.table[slot] = idx as u32;
+            occupied += 1;
+        }
+        self.table_occupied = occupied;
+    }
+
+    /// Doubles the unique table. Growth itself never collects — garbage
+    /// piling up is [`Bdd::maybe_gc`]'s business, and sweeping must wait
+    /// for a safe point anyway (mid-operation intermediates are not
+    /// rooted).
+    fn grow_table(&mut self) {
+        let want = self.table.len() * 2;
+        let mut table = vec![NIL; want];
+        let mask = want - 1;
+        for &idx in &self.table {
+            if idx == NIL {
+                continue;
+            }
+            let i = idx as usize;
+            let mut slot = hash3(self.vars[i], self.lows[i], self.highs[i]) & mask;
+            while table[slot] != NIL {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = idx;
+        }
+        self.table = table;
+        self.table_mask = mask;
+    }
+
+    fn clear_caches(&mut self) {
+        self.ite_cache.fill(ITE4_EMPTY);
+        self.restrict_cache.fill(MEMO2_EMPTY);
+        self.diff_cache.fill(MEMO2_EMPTY);
+        self.caches_stale = false;
+    }
+
+    /// Clears level-swap-stale cache entries before they could be read.
+    #[inline]
+    fn ensure_caches_fresh(&mut self) {
+        if self.caches_stale {
+            self.clear_caches();
+        }
+    }
+
+    /// Doubles the operation caches toward their caps as the pool
+    /// grows, so small managers stay small and big builds get full-size
+    /// memoization. Growing (re)clears the affected cache — lossy by
+    /// contract — and is safe mid-operation: every entry is verified by
+    /// its full key on lookup, so an in-flight store landing at an
+    /// out-of-date slot is just a future miss.
+    fn grow_caches(&mut self) {
+        let ite = self
+            .live
+            .next_power_of_two()
+            .clamp(ITE_CACHE_MIN, ITE_CACHE_MAX);
+        if ite > self.ite_cache.len() {
+            self.ite_cache = vec![ITE4_EMPTY; ite];
+        }
+        let restrict = (self.live / 2)
+            .next_power_of_two()
+            .clamp(RESTRICT_CACHE_MIN, RESTRICT_CACHE_MAX);
+        if restrict > self.restrict_cache.len() {
+            self.restrict_cache = vec![MEMO2_EMPTY; restrict];
+        }
+        let diff = (self.live / 8)
+            .next_power_of_two()
+            .clamp(DIFF_CACHE_MIN, DIFF_CACHE_MAX);
+        if diff > self.diff_cache.len() {
+            self.diff_cache = vec![MEMO2_EMPTY; diff];
+        }
     }
 
     /// The single-variable function `xᵥ`.
@@ -198,8 +743,11 @@ impl Bdd {
     /// Panics if `var >= n_vars`.
     pub fn var(&mut self, var: usize) -> Edge {
         assert!(var < self.n_vars, "variable {var} out of range");
-        self.mk(var as u32, Edge::ZERO, Edge::ONE)
-            .expect("a single node never exceeds the limit")
+        // Variable nodes bypass the budget: there are at most `n_vars`
+        // of them, they may legitimately be re-acquired right after a
+        // collection freed them, and a typed error here would force
+        // every caller through a Result for a node that always fits.
+        self.mk_unlimited(var as u32, Edge::ZERO, Edge::ONE)
     }
 
     /// Get-or-create the node `(var, low, high)`, enforcing canonicity.
@@ -210,48 +758,99 @@ impl Bdd {
         // Canonical form: the high edge is regular. If it is complemented,
         // store the complemented node and complement the returned edge.
         if high.is_complemented() {
-            let inner = self.mk_raw(var, low.complement(), high.complement())?;
+            let inner = self.mk_raw(var, low.complement(), high.complement(), true)?;
             return Ok(inner.complement());
         }
-        self.mk_raw(var, low, high)
+        self.mk_raw(var, low, high, true)
     }
 
-    fn mk_raw(&mut self, var: u32, low: Edge, high: Edge) -> Result<Edge, BddError> {
+    fn mk_raw(
+        &mut self,
+        var: u32,
+        low: Edge,
+        high: Edge,
+        enforce_limit: bool,
+    ) -> Result<Edge, BddError> {
         debug_assert!(!high.is_complemented());
-        if let Some(&idx) = self.unique.get(&(var, low.key(), high.key())) {
-            return Ok(Edge::new(idx, false));
+        let mut slot = hash3(var, low.key(), high.key()) & self.table_mask;
+        loop {
+            let t = self.table[slot];
+            if t == NIL {
+                break;
+            }
+            let i = t as usize;
+            if self.vars[i] == var && self.lows[i] == low.key() && self.highs[i] == high.key() {
+                return Ok(Edge::new(t, false));
+            }
+            slot = (slot + 1) & self.table_mask;
         }
-        // The terminal and one node per variable are always admitted, so
-        // `var()` cannot fail even under a tiny limit.
-        if self.nodes.len() >= self.node_limit.max(self.n_vars + 1) {
+        // The budget bounds *live* nodes: garbage awaiting collection
+        // has already been subtracted. (The terminal and variable nodes
+        // are admitted outside this check — see `var`.)
+        if enforce_limit && self.live >= self.node_limit {
             return Err(BddError::NodeLimit {
                 limit: self.node_limit,
             });
         }
-        let idx = u32::try_from(self.nodes.len()).expect("node count fits in u32");
-        self.nodes.push(Node { var, low, high });
-        self.unique.insert((var, low.key(), high.key()), idx);
+        let idx = self.alloc(var, low, high);
+        self.table[slot] = idx;
+        self.table_occupied += 1;
+        // Grow at 2/3 load: linear probing stays short, and growth flags
+        // a collection for the next safe point.
+        if self.table_occupied * 3 >= self.table.len() * 2 {
+            self.grow_table();
+        }
         Ok(Edge::new(idx, false))
+    }
+
+    /// Takes a slot off the free list, or extends the pool.
+    fn alloc(&mut self, var: u32, low: Edge, high: Edge) -> u32 {
+        self.total_allocated += 1;
+        self.live += 1;
+        if self.live > self.gc.peak_live {
+            self.gc.peak_live = self.live;
+        }
+        if self.live > self.ite_cache.len() && self.ite_cache.len() < ITE_CACHE_MAX {
+            self.grow_caches();
+        }
+        if self.free_head != NIL {
+            let idx = self.free_head;
+            let i = idx as usize;
+            debug_assert_eq!(self.vars[i], FREE_VAR);
+            self.free_head = self.lows[i];
+            self.vars[i] = var;
+            self.lows[i] = low.key();
+            self.highs[i] = high.key();
+            return idx;
+        }
+        let idx = u32::try_from(self.vars.len()).expect("node count fits in u32");
+        assert!(idx < u32::MAX >> 1, "node index fits in an edge");
+        self.vars.push(var);
+        self.lows.push(low.key());
+        self.highs.push(high.key());
+        idx
     }
 
     /// The level (variable) labelling the edge's root node.
     #[inline]
     fn level(&self, e: Edge) -> u32 {
-        self.nodes[e.index()].var
+        self.vars[e.index()]
     }
 
     /// Cofactors of `e` with respect to `var`, complement pushed through.
     /// `var` must be at or above `e`'s root level.
     #[inline]
     fn split(&self, e: Edge, var: u32) -> (Edge, Edge) {
-        let node = &self.nodes[e.index()];
-        if node.var != var {
+        let idx = e.index();
+        if self.vars[idx] != var {
             return (e, e);
         }
+        let low = Edge(self.lows[idx]);
+        let high = Edge(self.highs[idx]);
         if e.is_complemented() {
-            (node.low.complement(), node.high.complement())
+            (low.complement(), high.complement())
         } else {
-            (node.low, node.high)
+            (low, high)
         }
     }
 
@@ -307,11 +906,16 @@ impl Bdd {
             g = g.complement();
             h = h.complement();
         }
-        let key = (f.key(), g.key(), h.key());
+        self.ensure_caches_fresh();
+        let slot = hash3(f.key(), g.key(), h.key()) & (self.ite_cache.len() - 1);
         self.stats.ite_lookups += 1;
-        if let Some(&hit) = self.ite_cache.get(&key) {
-            self.stats.ite_hits += 1;
-            return Ok(if negate { hit.complement() } else { hit });
+        {
+            let e = self.ite_cache[slot];
+            if e.a == f.key() && e.b == g.key() && e.c == h.key() {
+                self.stats.ite_hits += 1;
+                let hit = Edge(e.r);
+                return Ok(if negate { hit.complement() } else { hit });
+            }
         }
         let top = self.level(f).min(self.level(g)).min(self.level(h));
         let (f0, f1) = self.split(f, top);
@@ -320,7 +924,17 @@ impl Bdd {
         let t = self.ite(f1, g1, h1)?;
         let e = self.ite(f0, g0, h0)?;
         let result = self.mk(top, e, t)?;
-        self.ite_cache.insert(key, result);
+        // The caches may have grown during the recursion; `slot` then
+        // indexes the new, larger cache at an out-of-date position —
+        // harmless for a full-key-verified lossy cache (a future miss),
+        // and always in bounds (caches only grow).
+        let slot = slot & (self.ite_cache.len() - 1);
+        self.ite_cache[slot] = Ite4 {
+            a: f.key(),
+            b: g.key(),
+            c: h.key(),
+            r: result.key(),
+        };
         Ok(if negate { result.complement() } else { result })
     }
 
@@ -376,17 +990,27 @@ impl Bdd {
             let (lo, hi) = self.split(f, var);
             return Ok(if val { hi } else { lo });
         }
-        let key = (f.key(), var, u8::from(val));
+        let k = var << 1 | u32::from(val);
+        self.ensure_caches_fresh();
+        let slot = hash3(f.key(), k, 0x5EED) & (self.restrict_cache.len() - 1);
         self.stats.restrict_lookups += 1;
-        if let Some(&hit) = self.restrict_cache.get(&key) {
-            self.stats.restrict_hits += 1;
-            return Ok(hit);
+        {
+            let e = self.restrict_cache[slot];
+            if e.f == f.key() && e.k == k {
+                self.stats.restrict_hits += 1;
+                return Ok(Edge(e.r));
+            }
         }
         let (lo, hi) = self.split(f, node_var);
         let new_lo = self.restrict_rec(lo, var, val)?;
         let new_hi = self.restrict_rec(hi, var, val)?;
         let result = self.mk(node_var, new_lo, new_hi)?;
-        self.restrict_cache.insert(key, result);
+        let slot = slot & (self.restrict_cache.len() - 1);
+        self.restrict_cache[slot] = Memo2 {
+            f: f.key(),
+            k,
+            r: result.key(),
+        };
         Ok(result)
     }
 
@@ -412,15 +1036,160 @@ impl Bdd {
         } else {
             f
         };
-        let key = (canonical.key(), var as u32);
-        if let Some(&hit) = self.diff_cache.get(&key) {
-            return Ok(hit);
+        let k = var as u32;
+        self.ensure_caches_fresh();
+        let slot = hash3(canonical.key(), k, 0xD1FF) & (self.diff_cache.len() - 1);
+        {
+            let e = self.diff_cache[slot];
+            if e.f == canonical.key() && e.k == k {
+                return Ok(Edge(e.r));
+            }
         }
-        let hi = self.restrict_rec(canonical, var as u32, true)?;
-        let lo = self.restrict_rec(canonical, var as u32, false)?;
+        let hi = self.restrict_rec(canonical, k, true)?;
+        let lo = self.restrict_rec(canonical, k, false)?;
         let result = self.xor(hi, lo)?;
-        self.diff_cache.insert(key, result);
+        let slot = slot & (self.diff_cache.len() - 1);
+        self.diff_cache[slot] = Memo2 {
+            f: canonical.key(),
+            k,
+            r: result.key(),
+        };
         Ok(result)
+    }
+
+    /// `P(∂f/∂xᵥ)` — the probability that a transition of `xᵥ`
+    /// propagates to `f` — **without materializing the difference BDD**.
+    ///
+    /// [`Bdd::boolean_difference`] builds `f|ᵥ₌₁ ⊕ f|ᵥ₌₀` as nodes
+    /// (restrict, restrict, XOR: unique-table inserts and garbage on
+    /// every step) only for the caller to reduce it straight to one
+    /// number. This walks the *pair graph* instead: descend `f` to the
+    /// differenced level, then recurse over `(then, else)` cofactor
+    /// pairs, combining child probabilities by the Shannon convex rule.
+    /// Pure reads — no allocation, no node construction, cannot hit the
+    /// node limit — with both recursions memoized in `scratch`.
+    /// Complement edges fold in as `P(¬a ⊕ b) = 1 − P(a ⊕ b)`, so each
+    /// unordered regular pair is computed once.
+    ///
+    /// This is the workhorse of the exact Najm density pass
+    /// (`D(y) = Σᵥ P(∂y/∂xᵥ)·D(xᵥ)` in `CircuitBdds::exact_stats`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= n_vars` or `probs.len() != n_vars`.
+    pub fn difference_probability(
+        &self,
+        f: Edge,
+        var: usize,
+        probs: &[f64],
+        prob: &mut ProbScratch,
+        scratch: &mut DensityScratch,
+    ) -> f64 {
+        assert!(var < self.n_vars, "variable {var} out of range");
+        assert_eq!(probs.len(), self.n_vars, "one probability per variable");
+        prob.prepare(self);
+        scratch.prepare(self);
+        self.diff_prob_rec(f, var as u32, probs, prob, scratch)
+            .clamp(0.0, 1.0)
+    }
+
+    fn diff_prob_rec(
+        &self,
+        f: Edge,
+        var: u32,
+        probs: &[f64],
+        prob: &mut ProbScratch,
+        scratch: &mut DensityScratch,
+    ) -> f64 {
+        let node_var = self.level(f);
+        // Ordering invariant: below `f`'s root every label is larger, so
+        // once we pass `var` the function no longer depends on it.
+        if node_var > var {
+            return 0.0;
+        }
+        if node_var == var {
+            let (lo, hi) = self.split(f, var);
+            return self.xor_prob(lo, hi, probs, prob, scratch);
+        }
+        // ∂(¬f) = ∂f: memoize on the regular edge.
+        let rf = if f.is_complemented() {
+            f.complement()
+        } else {
+            f
+        };
+        let slot = hash3(rf.key(), var, 0xDE25) & (scratch.diff_memo.len() - 1);
+        {
+            let e = scratch.diff_memo[slot];
+            if e.a == rf.key() && e.b == var {
+                return e.p;
+            }
+        }
+        let (lo, hi) = self.split(rf, node_var);
+        let p_lo = self.diff_prob_rec(lo, var, probs, prob, scratch);
+        let p_hi = self.diff_prob_rec(hi, var, probs, prob, scratch);
+        let pv = probs[node_var as usize];
+        let p = p_lo + pv * (p_hi - p_lo);
+        scratch.diff_memo[slot] = PairP {
+            a: rf.key(),
+            b: var,
+            p,
+        };
+        p
+    }
+
+    /// `P(a ⊕ b)` over the pair graph, memoized per unordered regular
+    /// pair (complements folded out front).
+    fn xor_prob(
+        &self,
+        a: Edge,
+        b: Edge,
+        probs: &[f64],
+        prob: &mut ProbScratch,
+        scratch: &mut DensityScratch,
+    ) -> f64 {
+        if a == b {
+            return 0.0;
+        }
+        if a == b.complement() {
+            return 1.0;
+        }
+        let flip = a.is_complemented() ^ b.is_complemented();
+        let ra = Edge(a.key() & !1);
+        let rb = Edge(b.key() & !1);
+        let (ra, rb) = if ra.key() <= rb.key() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        let q = if ra == Edge::ONE {
+            // 1 ⊕ g = ¬g.
+            1.0 - self.probability_rec(rb.index(), probs, prob)
+        } else {
+            let slot = hash3(ra.key(), rb.key(), 0x0A0B) & (scratch.xor_memo.len() - 1);
+            let e = scratch.xor_memo[slot];
+            if e.a == ra.key() && e.b == rb.key() {
+                e.p
+            } else {
+                let top = self.level(ra).min(self.level(rb));
+                let (a0, a1) = self.split(ra, top);
+                let (b0, b1) = self.split(rb, top);
+                let q0 = self.xor_prob(a0, b0, probs, prob, scratch);
+                let q1 = self.xor_prob(a1, b1, probs, prob, scratch);
+                let pv = probs[top as usize];
+                let q = q0 + pv * (q1 - q0);
+                scratch.xor_memo[slot] = PairP {
+                    a: ra.key(),
+                    b: rb.key(),
+                    p: q,
+                };
+                q
+            }
+        };
+        if flip {
+            1.0 - q
+        } else {
+            q
+        }
     }
 
     /// Evaluates `f` on a full variable assignment.
@@ -434,14 +1203,15 @@ impl Bdd {
         let mut parity = false;
         loop {
             parity ^= e.is_complemented();
-            let node = &self.nodes[e.index()];
-            if node.var == TERMINAL_VAR {
+            let idx = e.index();
+            let var = self.vars[idx];
+            if var == TERMINAL_VAR {
                 return !parity;
             }
-            e = if assignment[node.var as usize] {
-                node.high
+            e = if assignment[var as usize] {
+                Edge(self.highs[idx])
             } else {
-                node.low
+                Edge(self.lows[idx])
             };
         }
     }
@@ -449,39 +1219,41 @@ impl Bdd {
     /// The set of variables `f` depends on, as a sorted list.
     pub fn support(&self, f: Edge) -> Vec<usize> {
         let mut seen = vec![false; self.n_vars];
-        let mut visited = Vec::new();
+        let mut visited = VisitScratch::new();
         self.support_into(f, &mut seen, &mut visited);
         (0..self.n_vars).filter(|&v| seen[v]).collect()
     }
 
     /// Marks every variable `f` depends on in a caller-provided bitmap
     /// (the allocation-free form of [`Bdd::support`], used by the density
-    /// loop), reusing `visited` as scratch (cleared on entry).
-    pub fn support_into(&self, f: Edge, seen: &mut [bool], visited: &mut Vec<bool>) {
+    /// loop). `visited` carries the epoch-stamped node marks across
+    /// calls, so repeated supports cost `O(|f|)` — not `O(pool)`.
+    pub fn support_into(&self, f: Edge, seen: &mut [bool], visited: &mut VisitScratch) {
         assert!(seen.len() >= self.n_vars, "support bitmap too short");
         seen[..self.n_vars].fill(false);
-        visited.clear();
-        visited.resize(self.nodes.len(), false);
-        let mut stack = vec![f.index()];
+        visited.begin(self.vars.len());
+        let mut stack = std::mem::take(&mut visited.stack);
+        stack.push(f.index() as u32);
         while let Some(idx) = stack.pop() {
-            if visited[idx] {
+            let idx = idx as usize;
+            if !visited.visit(idx) {
                 continue;
             }
-            visited[idx] = true;
-            let node = &self.nodes[idx];
-            if node.var == TERMINAL_VAR {
+            let var = self.vars[idx];
+            if var == TERMINAL_VAR {
                 continue;
             }
-            seen[node.var as usize] = true;
-            stack.push(node.low.index());
-            stack.push(node.high.index());
+            seen[var as usize] = true;
+            stack.push(Edge(self.lows[idx]).index() as u32);
+            stack.push(Edge(self.highs[idx]).index() as u32);
         }
+        visited.stack = stack;
     }
 
     /// Number of distinct nodes reachable from `roots` (counting the
     /// terminal once if reached) — the "live size" of a set of functions.
     pub fn live_size(&self, roots: impl IntoIterator<Item = Edge>) -> usize {
-        let mut visited: Vec<bool> = vec![false; self.nodes.len()];
+        let mut visited: Vec<bool> = vec![false; self.vars.len()];
         let mut stack: Vec<usize> = roots.into_iter().map(Edge::index).collect();
         let mut count = 0usize;
         while let Some(idx) = stack.pop() {
@@ -490,10 +1262,9 @@ impl Bdd {
             }
             visited[idx] = true;
             count += 1;
-            let node = &self.nodes[idx];
-            if node.var != TERMINAL_VAR {
-                stack.push(node.low.index());
-                stack.push(node.high.index());
+            if self.vars[idx] != TERMINAL_VAR {
+                stack.push(Edge(self.lows[idx]).index());
+                stack.push(Edge(self.highs[idx]).index());
             }
         }
         count
@@ -504,41 +1275,45 @@ impl Bdd {
     ///
     /// One `O(|f|)` pass: each plain node's probability is the convex
     /// combination of its children's; a complemented edge reads `1 − P`.
-    /// `cache` maps node index → probability of the *regular* edge and
-    /// may be reused across calls **only** with identical `probs` (the
-    /// whole-circuit engine shares one cache across every net).
+    /// `scratch` memoizes per regular node and may be reused across calls
+    /// **only** with identical `probs` (the whole-circuit engine shares
+    /// one scratch across every net); call [`ProbScratch::reset`] when
+    /// the probabilities change.
     ///
     /// # Panics
     ///
     /// Panics if `probs.len() != n_vars`.
-    pub fn probability(&self, f: Edge, probs: &[f64], cache: &mut HashMap<u32, f64>) -> f64 {
+    pub fn probability(&self, f: Edge, probs: &[f64], scratch: &mut ProbScratch) -> f64 {
         assert_eq!(probs.len(), self.n_vars, "one probability per variable");
-        let p = self.probability_rec(f.index() as u32, probs, cache);
+        scratch.prepare(self);
+        let p = self.probability_rec(f.index(), probs, scratch);
         let p = if f.is_complemented() { 1.0 - p } else { p };
         p.clamp(0.0, 1.0)
     }
 
-    fn probability_rec(&self, idx: u32, probs: &[f64], cache: &mut HashMap<u32, f64>) -> f64 {
-        let node = &self.nodes[idx as usize];
-        if node.var == TERMINAL_VAR {
+    fn probability_rec(&self, idx: usize, probs: &[f64], scratch: &mut ProbScratch) -> f64 {
+        let var = self.vars[idx];
+        if var == TERMINAL_VAR {
             return 1.0;
         }
-        if let Some(&p) = cache.get(&idx) {
-            return p;
+        if scratch.stamp[idx] == scratch.epoch {
+            return scratch.values[idx];
         }
+        let low = Edge(self.lows[idx]);
         let p_lo = {
-            let raw = self.probability_rec(node.low.index() as u32, probs, cache);
-            if node.low.is_complemented() {
+            let raw = self.probability_rec(low.index(), probs, scratch);
+            if low.is_complemented() {
                 1.0 - raw
             } else {
                 raw
             }
         };
         // The high edge is regular by canonical form.
-        let p_hi = self.probability_rec(node.high.index() as u32, probs, cache);
-        let pv = probs[node.var as usize];
+        let p_hi = self.probability_rec(Edge(self.highs[idx]).index(), probs, scratch);
+        let pv = probs[var as usize];
         let p = p_lo + pv * (p_hi - p_lo);
-        cache.insert(idx, p);
+        scratch.stamp[idx] = scratch.epoch;
+        scratch.values[idx] = p;
         p
     }
 
@@ -583,6 +1358,104 @@ impl Bdd {
         let hi = self.compose_rec(&f.cofactor(k, true), args, k)?;
         let lo = self.compose_rec(&f.cofactor(k, false), args, k)?;
         self.ite(args[k], hi, lo)
+    }
+
+    /// Swaps adjacent levels `level` and `level + 1` in place — the
+    /// primitive of Rudell's sifting. Every node keeps its pool index,
+    /// so rooted edges stay valid; the *meaning* of the two levels is
+    /// exchanged (the caller swaps its level→variable map alongside).
+    ///
+    /// Three node populations are touched:
+    ///
+    /// * level-`l+1` nodes move up to level `l` unchanged (their
+    ///   children sit strictly below `l+1` either way);
+    /// * level-`l` nodes that do not reference level `l+1` move down to
+    ///   level `l+1` unchanged;
+    /// * level-`l` nodes that do reference level `l+1` are restructured
+    ///   in place around the swapped split, creating (or sharing) their
+    ///   new children at level `l+1`.
+    ///
+    /// The swap itself ignores the node limit (it may transiently
+    /// allocate before sifting shrinks the pool); dead nodes it strands
+    /// are reclaimed by the next collection. The unique table is
+    /// rebuilt; operation caches are flagged stale (entries are
+    /// ordering-dependent) and cleared lazily by the next operation.
+    /// Caller-owned [`ProbScratch`]/[`DensityScratch`] memos are *not*
+    /// tracked here — a sifting pass must end with [`Bdd::gc`] (whose
+    /// run counter those scratches watch) before statistics resume,
+    /// which [`crate::circuit::CircuitBdds::sift_in_place`] does.
+    pub(crate) fn swap_adjacent(&mut self, level: u32) {
+        let l1 = level + 1;
+        debug_assert!((l1 as usize) < self.n_vars, "swap needs two real levels");
+        // Pass 1: classify level-`level` nodes, recording the four
+        // grandchild cofactors of the dependent ones. Cofactor edges
+        // always point strictly below `l1`, so later relabeling and
+        // rewriting cannot invalidate them.
+        let mut dependent: Vec<(u32, [Edge; 4])> = Vec::new();
+        let mut move_down: Vec<u32> = Vec::new();
+        let mut move_up: Vec<u32> = Vec::new();
+        for idx in 1..self.vars.len() {
+            let var = self.vars[idx];
+            if var == level {
+                let low = Edge(self.lows[idx]);
+                let high = Edge(self.highs[idx]);
+                if self.vars[low.index()] == l1 || self.vars[high.index()] == l1 {
+                    let (e0, e1) = self.split(low, l1);
+                    let (t0, t1) = self.split(high, l1);
+                    dependent.push((idx as u32, [e0, e1, t0, t1]));
+                } else {
+                    move_down.push(idx as u32);
+                }
+            } else if var == l1 {
+                move_up.push(idx as u32);
+            }
+        }
+        // Pass 2: relabel the independent movers.
+        for idx in move_up {
+            self.vars[idx as usize] = level;
+        }
+        for idx in move_down {
+            self.vars[idx as usize] = l1;
+        }
+        // Pass 3: re-key the unique table so `mk` lookups during the
+        // rewrite see the relabeled nodes (stale dependent entries keep
+        // their old, still-unique triples and match nothing).
+        self.rebuild_table();
+        // Pass 4: restructure the dependent nodes in place. New children
+        // live at level `l1`; the high child of each is a high cofactor
+        // of a regular edge, hence regular, so no complement ever needs
+        // to escape through the node's (fixed) identity.
+        for (idx, [e0, e1, t0, t1]) in dependent {
+            let low_new = self.mk_unlimited(l1, e0, t0);
+            let high_new = self.mk_unlimited(l1, e1, t1);
+            debug_assert!(!high_new.is_complemented());
+            self.lows[idx as usize] = low_new.key();
+            self.highs[idx as usize] = high_new.key();
+        }
+        // Pass 5: the rewritten nodes changed their triples; re-key and
+        // flag the (ordering-dependent) operation caches stale — the
+        // next ITE/restrict/difference clears them lazily, so a sifting
+        // pass of hundreds of swaps pays one clear instead of hundreds
+        // of multi-megabyte memsets.
+        self.rebuild_table();
+        self.caches_stale = true;
+    }
+
+    /// `mk` without the node limit: for variable nodes (bounded by
+    /// `n_vars`, see [`Bdd::var`]) and for [`Bdd::swap_adjacent`] (a
+    /// swap must complete atomically once started).
+    fn mk_unlimited(&mut self, var: u32, low: Edge, high: Edge) -> Edge {
+        if low == high {
+            return low;
+        }
+        if high.is_complemented() {
+            return self
+                .mk_raw(var, low.complement(), high.complement(), false)
+                .expect("unlimited mk cannot fail")
+                .complement();
+        }
+        self.mk_raw(var, low, high, false)
+            .expect("unlimited mk cannot fail")
     }
 }
 
@@ -682,16 +1555,16 @@ mod tests {
         let bc = bdd.and(b, c).unwrap();
         let t = bdd.or(ab, ac).unwrap();
         let maj = bdd.or(t, bc).unwrap();
-        let mut cache = HashMap::new();
-        let p = bdd.probability(maj, &[0.5, 0.5, 0.5], &mut cache);
+        let mut scratch = ProbScratch::new();
+        let p = bdd.probability(maj, &[0.5, 0.5, 0.5], &mut scratch);
         assert!((p - 0.5).abs() < 1e-15);
-        let mut cache2 = HashMap::new();
-        let p2 = bdd.probability(maj, &[0.2, 0.3, 0.4], &mut cache2);
+        scratch.reset();
+        let p2 = bdd.probability(maj, &[0.2, 0.3, 0.4], &mut scratch);
         // P(maj) = ab + ac + bc − 2abc.
         let want = 0.2 * 0.3 + 0.2 * 0.4 + 0.3 * 0.4 - 2.0 * 0.2 * 0.3 * 0.4;
         assert!((p2 - want).abs() < 1e-15, "{p2} vs {want}");
-        // Complemented root reads 1 − P.
-        let pc = bdd.probability(maj.complement(), &[0.2, 0.3, 0.4], &mut cache2);
+        // Complemented root reads 1 − P (served from the same scratch).
+        let pc = bdd.probability(maj.complement(), &[0.2, 0.3, 0.4], &mut scratch);
         assert!((pc - (1.0 - want)).abs() < 1e-15);
     }
 
@@ -704,9 +1577,13 @@ mod tests {
         assert_eq!(bdd.support(f), vec![0, 2]);
         assert_eq!(bdd.support(Edge::ONE), Vec::<usize>::new());
         let mut seen = vec![false; 4];
-        let mut visited = Vec::new();
+        let mut visited = VisitScratch::new();
         bdd.support_into(f, &mut seen, &mut visited);
         assert_eq!(seen, vec![true, false, true, false]);
+        // Reuse across calls: the epoch bump invalidates old marks.
+        let g = bdd.var(1);
+        bdd.support_into(g, &mut seen, &mut visited);
+        assert_eq!(seen, vec![false, true, false, false]);
     }
 
     #[test]
@@ -760,5 +1637,170 @@ mod tests {
         let solo: usize = [a, b, ab].iter().map(|&e| bdd.live_size([e])).sum();
         assert!(union < solo);
         assert_eq!(bdd.live_size([Edge::ONE]), 1);
+    }
+
+    #[test]
+    fn gc_recycles_dead_nodes_and_preserves_roots() {
+        let mut bdd = Bdd::new(8);
+        let vars: Vec<Edge> = (0..8).map(|v| bdd.var(v)).collect();
+        // A kept function and a pile of garbage.
+        let mut keep = vars[0];
+        for &v in &vars[1..] {
+            keep = bdd.xor(keep, v).unwrap();
+        }
+        bdd.protect(keep);
+        let mut junk = vars[0];
+        for &v in &vars[1..] {
+            junk = bdd.and(junk, v).unwrap();
+            junk = bdd.or(junk, vars[2]).unwrap();
+        }
+        let before = bdd.node_count();
+        let freed = bdd.gc();
+        assert!(freed > 0, "the junk chain must be collected");
+        assert_eq!(bdd.node_count(), before - freed);
+        assert_eq!(bdd.node_count(), bdd.live_size([keep]));
+        // The kept parity function still evaluates correctly...
+        for m in [0usize, 0x55, 0xFF, 0x9A] {
+            let a: Vec<bool> = (0..8).map(|i| (m >> i) & 1 == 1).collect();
+            let want = a.iter().filter(|&&b| b).count() % 2 == 1;
+            assert_eq!(bdd.eval(keep, &a), want, "{m:02x}");
+        }
+        // ...and rebuilding it is a pure lookup at the top (canonicity
+        // survived the table rebuild). Variables are re-acquired: their
+        // old edges may have been collected with the junk.
+        let mut again = bdd.var(0);
+        for v in 1..8 {
+            let x = bdd.var(v);
+            again = bdd.xor(again, x).unwrap();
+        }
+        assert_eq!(again, keep);
+    }
+
+    #[test]
+    fn gc_recycled_slots_are_reused() {
+        let mut bdd = Bdd::new(6);
+        let vars: Vec<Edge> = (0..6).map(|v| bdd.var(v)).collect();
+        let keep = bdd.and(vars[0], vars[1]).unwrap();
+        bdd.protect(keep);
+        let mut junk = vars[0];
+        for &v in &vars[1..] {
+            junk = bdd.xor(junk, v).unwrap();
+        }
+        let _ = junk;
+        bdd.gc();
+        let pool_after_gc = bdd.vars.len();
+        // Rebuilding garbage of similar size fits in the recycled slots:
+        // the pool does not grow. (Variables are re-acquired — their old
+        // edges died with the junk.)
+        let vs: Vec<Edge> = (0..6).map(|v| bdd.var(v)).collect();
+        let mut again = vs[0];
+        for &v in &vs[1..] {
+            again = bdd.xor(again, v).unwrap();
+        }
+        assert_eq!(bdd.vars.len(), pool_after_gc, "free list must be reused");
+        for m in [0usize, 0x2A, 0x3F] {
+            let a: Vec<bool> = (0..6).map(|i| (m >> i) & 1 == 1).collect();
+            let want = a.iter().filter(|&&b| b).count() % 2 == 1;
+            assert_eq!(bdd.eval(again, &a), want, "{m:02x}");
+        }
+    }
+
+    #[test]
+    fn maybe_gc_honors_threshold() {
+        let mut bdd = Bdd::new(4);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let f = bdd.and(a, b).unwrap();
+        bdd.protect(f);
+        // Default threshold: far from triggering.
+        assert!(!bdd.maybe_gc());
+        assert_eq!(bdd.gc_stats().runs, 0);
+        // Tiny threshold: collects immediately.
+        bdd.set_gc_threshold(1);
+        assert!(bdd.maybe_gc());
+        assert_eq!(bdd.gc_stats().runs, 1);
+        // Raising the floor re-arms the trigger upward too: no further
+        // collection below the new floor.
+        bdd.set_gc_threshold(1 << 24);
+        assert!(!bdd.maybe_gc());
+        assert_eq!(bdd.gc_stats().runs, 1);
+    }
+
+    #[test]
+    fn var_is_admitted_at_the_limit() {
+        // The budget may be fully consumed by protected nodes; variable
+        // nodes must still be acquirable without a panic or error.
+        let mut bdd = Bdd::with_node_limit(4, 5);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let c = bdd.var(2); // live: terminal + 3 vars = 4
+        let ab = bdd.and(a, b).unwrap(); // live 5 == limit
+        bdd.protect(ab);
+        // Ordinary construction is out of budget...
+        assert!(bdd.and(ab, c).is_err());
+        // ...but a variable node is always admitted.
+        let d = bdd.var(3);
+        assert!(bdd.eval(d, &[false, false, false, true]));
+    }
+
+    #[test]
+    fn node_limit_counts_live_not_allocated() {
+        // Repeatedly build and discard garbage under a limit the live set
+        // never crosses: with GC between rounds the historic allocation
+        // total sails past the limit while construction keeps succeeding.
+        let mut bdd = Bdd::with_node_limit(6, 40);
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let keep = bdd.and(a, b).unwrap();
+        bdd.protect(keep);
+        for _round in 0..20 {
+            // Re-acquire variables each round: unprotected edges do not
+            // survive a collection.
+            let vs: Vec<Edge> = (0..6).map(|v| bdd.var(v)).collect();
+            let mut f = vs[0];
+            for &v in &vs[1..] {
+                f = bdd.xor(f, v).unwrap();
+            }
+            bdd.gc();
+        }
+        assert!(
+            bdd.allocated_total() > 40,
+            "allocation total passed the limit"
+        );
+        assert!(bdd.node_count() <= 40, "live count stayed within it");
+    }
+
+    #[test]
+    fn swap_adjacent_preserves_functions() {
+        // A function with nontrivial structure across the swapped levels:
+        // f = (x0 ∧ x1) ⊕ (x2 ∨ ¬x1).
+        let mut bdd = Bdd::new(3);
+        let x0 = bdd.var(0);
+        let x1 = bdd.var(1);
+        let x2 = bdd.var(2);
+        let a = bdd.and(x0, x1).unwrap();
+        let b = bdd.or(x2, x1.complement()).unwrap();
+        let f = bdd.xor(a, b).unwrap();
+        bdd.protect(f);
+        let reference: Vec<bool> = (0..8)
+            .map(|m| {
+                let v = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+                bdd.eval(f, &v)
+            })
+            .collect();
+        // Swap levels 0 and 1: variable x0 now lives at level 1 and x1 at
+        // level 0, so assignments must be permuted accordingly.
+        bdd.swap_adjacent(0);
+        for (m, &want) in reference.iter().enumerate() {
+            let v = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            let permuted = [v[1], v[0], v[2]];
+            assert_eq!(bdd.eval(f, &permuted), want, "minterm {m:03b}");
+        }
+        // Swap back: the original evaluation returns.
+        bdd.swap_adjacent(0);
+        for (m, &want) in reference.iter().enumerate() {
+            let v = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
+            assert_eq!(bdd.eval(f, &v), want, "minterm {m:03b}");
+        }
     }
 }

@@ -6,9 +6,11 @@
 //! is a permutation `order[level] = primary-input position`: the PI that
 //! sits at the root level of the manager comes first.
 //!
-//! Two static heuristics are provided, plus a bounded sifting refinement
-//! implemented in [`crate::circuit`] (it needs to rebuild circuit BDDs to
-//! score candidate orders):
+//! Two static heuristics are provided, plus a bounded **in-place
+//! sifting** refinement ([`crate::circuit::CircuitBdds::sift_in_place`]):
+//! adjacent variable levels are swapped inside the node pool, per
+//! Rudell, so scoring a candidate position costs one swap instead of a
+//! whole-circuit rebuild:
 //!
 //! * [`topological`] — declaration order, the identity permutation;
 //! * [`fanin_dfs`] — depth-first from the primary outputs through gate
@@ -28,14 +30,16 @@ pub enum OrderHeuristic {
     /// (default — near-optimal for arithmetic carry structures).
     #[default]
     FaninDfs,
-    /// [`OrderHeuristic::FaninDfs`] refined by a bounded, rebuild-based
-    /// sifting pass: variables are moved one at a time to the position
-    /// minimizing the live node count, spending at most `max_rebuilds`
-    /// circuit rebuilds.
+    /// [`OrderHeuristic::FaninDfs`] refined by a bounded, in-place
+    /// sifting pass: each variable is moved through every level by
+    /// adjacent swaps inside the node pool and settled where the live
+    /// node count is smallest, spending at most `max_swaps` exploration
+    /// swaps.
     Sifted {
-        /// Upper bound on candidate-order evaluations (each is one full
-        /// rebuild of the circuit's BDDs).
-        max_rebuilds: usize,
+        /// Upper bound on exploration swaps (settling a variable back to
+        /// its best position always completes, so the result never
+        /// worsens).
+        max_swaps: usize,
     },
 }
 
@@ -93,8 +97,8 @@ pub fn fanin_dfs(compiled: &CompiledCircuit) -> Vec<usize> {
 }
 
 /// Resolves a static heuristic to a concrete order. ([`OrderHeuristic::
-/// Sifted`] starts from fanin-DFS; the refinement happens in
-/// [`crate::circuit::CircuitBdds::build`].)
+/// Sifted`] starts from fanin-DFS; the in-place refinement happens in
+/// [`crate::circuit::CircuitBdds::build`] after the first construction.)
 pub fn initial_order(compiled: &CompiledCircuit, heuristic: OrderHeuristic) -> Vec<usize> {
     match heuristic {
         OrderHeuristic::Topological => topological(compiled),

@@ -1,0 +1,160 @@
+//! Semantic transparency of the manager's memory machinery: garbage
+//! collection and in-place sifting may recycle, relabel and restructure
+//! nodes at will, but `exact_stats` must not move by a single ulp
+//! beyond float tolerance.
+//!
+//! 1. A proptest builds random circuits and forces collections
+//!    throughout the build and statistics pass (GC threshold 1), pinning
+//!    every probability and density to the no-GC result at 1e-12.
+//! 2. In-place sifting (adjacent level swaps per Rudell) must preserve
+//!    every net function and every statistic, while never increasing the
+//!    live node count.
+
+use proptest::prelude::*;
+use tr_bdd::{BuildOptions, CircuitBdds, OrderHeuristic};
+use tr_boolean::SignalStats;
+use tr_gatelib::Library;
+use tr_netlist::{generators, CompiledCircuit};
+
+fn assert_stats_equal(name: &str, a: &[SignalStats], b: &[SignalStats]) {
+    assert_eq!(a.len(), b.len(), "{name}: net count");
+    for (net, (x, y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            (x.probability() - y.probability()).abs() < 1e-12,
+            "{name} net {net}: P {} vs {}",
+            x.probability(),
+            y.probability()
+        );
+        let tol = 1e-12 * x.density().abs().max(y.density().abs()).max(1.0);
+        assert!(
+            (x.density() - y.density()).abs() < tol,
+            "{name} net {net}: D {} vs {}",
+            x.density(),
+            y.density()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// GC correctness: collections forced at every safe point (threshold
+    /// 1) are invisible in the statistics of random circuits.
+    #[test]
+    fn forced_gc_matches_no_gc_statistics(
+        inputs in 3usize..9,
+        gates in 5usize..60,
+        seed in 0u64..1u64 << 48,
+        raw in prop::collection::vec((0.05f64..=0.95, 0.0f64..1.0e6), 9),
+    ) {
+        let lib = Library::standard();
+        let circuit = generators::random_circuit(inputs, gates, seed, &lib);
+        let compiled = CompiledCircuit::compile(&circuit, &lib).expect("generated circuits compile");
+        let pi: Vec<SignalStats> = raw[..inputs]
+            .iter()
+            .map(|&(p, d)| SignalStats::new(p, d))
+            .collect();
+        // Never collects: the default threshold dwarfs these circuits.
+        let mut lazy = CircuitBdds::build(&compiled, &lib, BuildOptions::default())
+            .expect("fits the budget");
+        // Collects constantly: mid-build, whenever the pool has garbage.
+        let mut forced = CircuitBdds::build(
+            &compiled,
+            &lib,
+            BuildOptions { gc_threshold: 1, ..BuildOptions::default() },
+        )
+        .expect("fits the budget");
+        prop_assert_eq!(lazy.stats().gc_runs, 0, "default threshold must stay lazy here");
+        prop_assert!(forced.stats().gc_runs > 0, "threshold 1 must force collections");
+        let a = lazy.exact_stats(&pi).expect("statistics");
+        let b = forced.exact_stats(&pi).expect("statistics");
+        assert_stats_equal("random", &a, &b);
+    }
+}
+
+/// In-place sifting preserves functions and statistics exactly, and the
+/// refined order never holds more live nodes than the starting one.
+#[test]
+fn sifting_is_semantically_invisible() {
+    let lib = Library::standard();
+    let cases = [
+        ("cmp6", generators::comparator(6, &lib)),
+        ("rca8", generators::ripple_carry_adder(8, &lib)),
+        ("rnd", generators::random_circuit(10, 80, 0x51F7, &lib)),
+    ];
+    for (name, circuit) in cases {
+        let compiled = CompiledCircuit::compile(&circuit, &lib).expect("compiles");
+        let n = compiled.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.1 + 0.07 * (i % 10) as f64, 2.0e4 * (1 + i % 4) as f64))
+            .collect();
+        let mut plain =
+            CircuitBdds::build(&compiled, &lib, BuildOptions::default()).expect("fits the budget");
+        let mut sifted = CircuitBdds::build(
+            &compiled,
+            &lib,
+            BuildOptions {
+                heuristic: OrderHeuristic::Sifted { max_swaps: 500 },
+                ..BuildOptions::default()
+            },
+        )
+        .expect("fits the budget");
+        assert!(
+            sifted.stats().live_nodes <= plain.stats().live_nodes,
+            "{name}: sifting worsened {} -> {}",
+            plain.stats().live_nodes,
+            sifted.stats().live_nodes
+        );
+        // Function preservation: every net, a spread of assignments.
+        for trial in 0..24usize {
+            let m = trial.wrapping_mul(0x9E3779B97F4A7C15usize);
+            let v: Vec<bool> = (0..n).map(|i| (m >> (i % 60)) & 1 == 1).collect();
+            let nets = compiled.evaluate(&lib, &v);
+            let mut by_level = vec![false; n];
+            for (level, &pos) in sifted.order().iter().enumerate() {
+                by_level[level] = v[pos];
+            }
+            for (net, &want) in nets.iter().enumerate() {
+                assert_eq!(
+                    sifted
+                        .manager()
+                        .eval(sifted.root(tr_netlist::NetId(net)), &by_level),
+                    want,
+                    "{name} net {net} trial {trial}"
+                );
+            }
+        }
+        // Statistic preservation to 1e-12.
+        let a = plain.exact_stats(&pi).expect("statistics");
+        let b = sifted.exact_stats(&pi).expect("statistics");
+        assert_stats_equal(name, &a, &b);
+    }
+}
+
+/// Sifting composes with forced GC: collections between and during the
+/// swap passes leave the statistics untouched.
+#[test]
+fn sifting_with_forced_gc_is_invisible() {
+    let lib = Library::standard();
+    let circuit = generators::comparator(5, &lib);
+    let compiled = CompiledCircuit::compile(&circuit, &lib).expect("compiles");
+    let n = compiled.primary_inputs().len();
+    let pi: Vec<SignalStats> = (0..n)
+        .map(|i| SignalStats::new(0.2 + 0.05 * i as f64, 1.0e5))
+        .collect();
+    let mut plain =
+        CircuitBdds::build(&compiled, &lib, BuildOptions::default()).expect("fits the budget");
+    let mut stressed = CircuitBdds::build(
+        &compiled,
+        &lib,
+        BuildOptions {
+            heuristic: OrderHeuristic::Sifted { max_swaps: 300 },
+            gc_threshold: 1,
+            ..BuildOptions::default()
+        },
+    )
+    .expect("fits the budget");
+    assert!(stressed.stats().gc_runs > 0);
+    let a = plain.exact_stats(&pi).expect("statistics");
+    let b = stressed.exact_stats(&pi).expect("statistics");
+    assert_stats_equal("cmp5", &a, &b);
+}

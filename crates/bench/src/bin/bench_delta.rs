@@ -1,0 +1,83 @@
+//! Bench regression gate: compares one benchmark's mean between two
+//! `--save-baseline` JSON files and fails (exit 1) when the current run
+//! regresses past the allowed percentage — CI wires this against the
+//! committed previous-PR baseline so a hot-path slowdown fails the job
+//! instead of hiding in an artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_delta <baseline.json> <current.json> <bench_name> <max_regress_pct>
+//! ```
+//!
+//! Example (the CI invocation):
+//!
+//! ```text
+//! cargo run --release -p tr-bench --bin bench_delta -- \
+//!     BENCH_PR4.json BENCH_PR5.json p6_bdd_propagate_mult8 25
+//! ```
+
+use std::process::ExitCode;
+
+/// Extracts `mean_ns` for `name` from a `--save-baseline` JSON file
+/// (`{"benchmarks": [{"name": "...", "mean_ns": X, "iters": N}, ...]}`).
+/// Hand-rolled like the writer in `criterion`'s vendored shim — no JSON
+/// dependency.
+fn mean_ns(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"name\": \"{name}\"");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let key = "\"mean_ns\":";
+    let at = rest.find(key)? + key.len();
+    let rest = rest[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, current_path, name, max_pct] = match args.as_slice() {
+        [a, b, c, d] => [a, b, c, d],
+        _ => {
+            eprintln!(
+                "usage: bench_delta <baseline.json> <current.json> <bench_name> <max_regress_pct>"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let max_pct: f64 = match max_pct.parse() {
+        Ok(p) => p,
+        Err(_) => {
+            eprintln!("bench_delta: max_regress_pct must be a number, got {max_pct:?}");
+            return ExitCode::from(2);
+        }
+    };
+    let read = |path: &str| match std::fs::read_to_string(path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("bench_delta: cannot read {path}: {e}");
+            None
+        }
+    };
+    let (Some(baseline), Some(current)) = (read(baseline_path), read(current_path)) else {
+        return ExitCode::from(2);
+    };
+    let (Some(base), Some(cur)) = (mean_ns(&baseline, name), mean_ns(&current, name)) else {
+        eprintln!("bench_delta: benchmark {name:?} missing from one of the files");
+        return ExitCode::from(2);
+    };
+    let delta_pct = 100.0 * (cur - base) / base;
+    println!(
+        "{name}: baseline {:.3} ms -> current {:.3} ms ({:+.1}%, limit +{max_pct}%)",
+        base / 1e6,
+        cur / 1e6,
+        delta_pct
+    );
+    if delta_pct > max_pct {
+        eprintln!("bench_delta: REGRESSION past the {max_pct}% gate");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

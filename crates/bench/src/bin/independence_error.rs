@@ -1,23 +1,33 @@
 //! The independence-error table (ours, enabled by `tr-bdd`): how far the
 //! paper's §3 input-independence assumption drifts from the exact signal
-//! statistics, per suite circuit, plus the BDD engine's size and cache
-//! statistics.
+//! statistics, per suite circuit, plus the BDD engine's size, GC and
+//! cache statistics and wall-clock — the perf trajectory of the exact
+//! backend lives in this table.
 //!
-//! For every suite circuit that fits the BDD node budget, the table
-//! reports, under Scenario B statistics (`P = 0.5`, `D = 0.5` on every
-//! input — any bias is then pure circuit structure, not input skew):
+//! For every suite circuit, the table reports, under Scenario B
+//! statistics (`P = 0.5`, `D = 0.5` on every input — any bias is then
+//! pure circuit structure, not input skew):
 //!
 //! * `maxΔP` / `rmsΔP` — max and RMS absolute deviation of the
 //!   independent probabilities from exact, over all nets;
 //! * `maxΔD%` — worst relative transition-density deviation;
-//! * `nodes` (live/allocated) and ITE-cache hit rate of the build.
+//! * `ms` — wall-clock of the whole exact pass (build + probabilities +
+//!   densities);
+//! * `live`/`alloc` — nodes reachable from the net roots vs all-time
+//!   allocations (the garbage the collector was free to recycle);
+//! * `gc`/`peak` — collections run and the live-count high-water mark
+//!   (what the node budget actually had to hold);
+//! * ITE-cache hit rate of the build.
 //!
-//! Circuits that exceed the node budget (`rnd_e`'s 32-input random logic
-//! is the expected one) are listed as such — a BDD engine that never
-//! said "no" would be lying.
+//! Since the mark-and-sweep manager bounds the budget by *live* nodes
+//! and the density pass stopped materializing difference BDDs, every
+//! suite circuit fits the default budget — including `rnd_e`'s 32-input
+//! random logic, the classic BDD worst case that used to die at 8 M
+//! allocated nodes.
 //!
 //! Run: `cargo run -p tr-bench --release --bin independence_error`
 
+use std::time::Instant;
 use tr_bench::Harness;
 use tr_boolean::SignalStats;
 use tr_power::{propagate, propagate_exact_bdd_with_stats};
@@ -25,12 +35,24 @@ use tr_power::{propagate, propagate_exact_bdd_with_stats};
 fn main() {
     let h = Harness::new();
     println!(
-        "{:<9} {:>5} {:>4} {:>9} {:>9} {:>8} {:>8} {:>9} {:>7}",
-        "circuit", "gates", "PIs", "maxdP", "rmsdP", "maxdD%", "live", "alloc", "hit%"
+        "{:<9} {:>5} {:>4} {:>9} {:>9} {:>8} {:>8} {:>8} {:>9} {:>3} {:>8} {:>6}",
+        "circuit",
+        "gates",
+        "PIs",
+        "maxdP",
+        "rmsdP",
+        "maxdD%",
+        "ms",
+        "live",
+        "alloc",
+        "gc",
+        "peak",
+        "hit%"
     );
     for case in tr_netlist::suite::standard_suite(&h.library) {
         let n = case.circuit.primary_inputs().len();
         let pi = vec![SignalStats::default(); n];
+        let start = Instant::now();
         let (exact, bdd_stats) =
             match propagate_exact_bdd_with_stats(&case.circuit, &h.library, &pi) {
                 Ok(r) => r,
@@ -44,6 +66,7 @@ fn main() {
                     continue;
                 }
             };
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let indep = propagate(&case.circuit, &h.library, &pi);
         let mut max_dp = 0.0f64;
         let mut sum_sq = 0.0f64;
@@ -63,15 +86,18 @@ fn main() {
             0.0
         };
         println!(
-            "{:<9} {:>5} {:>4} {:>9.2e} {:>9.2e} {:>8.2} {:>8} {:>9} {:>7.1}",
+            "{:<9} {:>5} {:>4} {:>9.2e} {:>9.2e} {:>8.2} {:>8.2} {:>8} {:>9} {:>3} {:>8} {:>6.1}",
             case.name,
             case.circuit.gates().len(),
             n,
             max_dp,
             rms,
             max_dd,
+            wall_ms,
             bdd_stats.live_nodes,
             bdd_stats.allocated_nodes,
+            bdd_stats.gc_runs,
+            bdd_stats.peak_live,
             hit_rate
         );
     }

@@ -5,12 +5,20 @@
 //! | mode | correlation | cost | limit |
 //! |------|-------------|------|-------|
 //! | [`PropagationMode::Independent`] | assumed independent at every gate | one linear pass | none |
-//! | [`PropagationMode::ExactBdd`]    | exact (shared ROBDDs)             | circuit BDD size | node budget |
+//! | [`PropagationMode::ExactBdd`]    | exact (shared ROBDDs)             | circuit BDD size | *live*-node budget |
 //! | [`PropagationMode::Monte`]       | exact in the limit (`1/√N`)       | `steps` sweeps   | sampling noise |
 //!
 //! `Independent` is the paper's own §3 propagation; `ExactBdd` replaces
 //! the [`tr_boolean::MAX_VARS`]-capped truth-table `propagate_exact` with BDDs and no
 //! input cap; `Monte` is the assumption-free sampling estimate.
+//!
+//! The BDD backend's node budget bounds the **live** working set, not
+//! the allocation total: the mark-and-sweep manager recycles dead
+//! composition intermediates, and the density pass never materializes
+//! difference BDDs, so a circuit only fails when the reachable per-net
+//! BDDs themselves cannot fit ([`tr_bdd::DEFAULT_NODE_LIMIT`] nodes).
+//! Every suite circuit — including `rnd_e`'s dense random logic, which
+//! used to exhaust the budget with garbage — now completes.
 
 use crate::monte;
 use crate::propagate;

@@ -233,6 +233,36 @@ fn gather_inputs(
 /// `nand2`, 48 for `oai222`), big enough to keep contention negligible.
 const PARALLEL_CHUNK: usize = 32;
 
+/// Minimum total work — summed configuration evaluations over all gates —
+/// below which [`optimize_parallel`] falls back to the serial traversal.
+/// Spawning and joining scoped threads costs tens of microseconds; a
+/// 16-bit ripple-carry adder's whole exploration (496 config evals,
+/// ~300 µs) is barely past break-even, and on small inputs the pool is a
+/// pure regression (BENCH_PR4: `p3_optimize_rca16_parallel4` 390 µs vs
+/// 318 µs serial). 1024 puts the cutoff at double that scale:
+/// parallelism has to *win*, not tie (mult8's 1792 evals still
+/// qualify).
+const PARALLEL_MIN_WORK: usize = 1024;
+
+/// Total exploration work of a circuit: one unit per (gate,
+/// configuration) pair the optimizer will evaluate.
+fn exploration_work(circuit: &Circuit, library: &Library) -> usize {
+    circuit
+        .gates()
+        .iter()
+        .map(|g| {
+            library
+                .cell(&g.cell)
+                .map_or(1, |c| c.configurations().len())
+        })
+        .sum()
+}
+
+/// Whether the thread pool pays for itself on this much work.
+fn should_parallelize(work: usize, threads: usize) -> bool {
+    threads > 1 && work >= PARALLEL_MIN_WORK
+}
+
 /// Parallel variant of [`optimize`]: gates are explored concurrently by
 /// scoped threads pulling fixed-size chunks off a shared atomic queue
 /// (work stealing in all but name — a thread stuck on a run of 48-config
@@ -257,6 +287,12 @@ pub fn optimize_parallel(
 /// [`optimize_parallel`] against caller-supplied per-net statistics (see
 /// [`optimize_with_net_stats`]).
 ///
+/// Falls back to the serial traversal when `threads == 1` or the
+/// circuit's total exploration work (gates × configurations) is too
+/// small for the thread pool to pay for itself; the result is identical
+/// either way (per-gate choices are independent given the net
+/// statistics).
+///
 /// # Panics
 ///
 /// As [`optimize_with_net_stats`]; additionally if `threads == 0`.
@@ -269,6 +305,16 @@ pub fn optimize_parallel_with_net_stats(
     threads: usize,
 ) -> OptimizeResult {
     assert!(threads > 0, "need at least one thread");
+    if !should_parallelize(exploration_work(circuit, library), threads) {
+        return optimize_with_net_stats(
+            circuit,
+            library,
+            model,
+            net_stats,
+            objective,
+            &mut Scratch::new(),
+        );
+    }
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     assert_eq!(
@@ -590,6 +636,35 @@ mod tests {
             optimize(&c, &lib, &slim_model, &stats, Objective::MinimizePower)
         }));
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn small_circuits_fall_back_to_serial() {
+        // Regression guard for BENCH_PR4's p3_optimize_rca16_parallel4
+        // (390 µs parallel vs 318 µs serial): on pool-overhead-scale work
+        // the parallel entry must take the serial path.
+        let (lib, model, _) = setup();
+        let rca16 = generators::ripple_carry_adder(16, &lib);
+        let rca_work = exploration_work(&rca16, &lib);
+        assert!(
+            !should_parallelize(rca_work, 4),
+            "rca16 ({rca_work} config evals) must fall back to serial"
+        );
+        // One thread never parallelizes, however big the work.
+        assert!(!should_parallelize(usize::MAX, 1));
+        // A large multiplier clears the threshold and keeps the pool.
+        let mult8 = generators::array_multiplier(8, &lib);
+        let mult_work = exploration_work(&mult8, &lib);
+        assert!(
+            should_parallelize(mult_work, 4),
+            "mult8 ({mult_work} config evals) should use the pool"
+        );
+        // The fallback is result-identical to the forced-parallel path.
+        let stats = Scenario::a().input_stats(rca16.primary_inputs().len(), 5);
+        let seq = optimize(&rca16, &lib, &model, &stats, Objective::MinimizePower);
+        let par = optimize_parallel(&rca16, &lib, &model, &stats, Objective::MinimizePower, 4);
+        assert_eq!(par.circuit, seq.circuit);
+        assert!((par.power_after - seq.power_after).abs() < 1e-18);
     }
 
     #[test]
