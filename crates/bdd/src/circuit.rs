@@ -34,7 +34,7 @@ use crate::manager::{
 use crate::order::{initial_order, OrderHeuristic};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
-use tr_netlist::{CompiledCircuit, NetId};
+use tr_netlist::{CompiledCircuit, GateId, NetId};
 
 /// Construction options for [`CircuitBdds::build`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -216,6 +216,15 @@ impl CircuitBdds {
         self.level_of_pi[position]
     }
 
+    /// Forces a mark-and-sweep collection from the per-net roots and
+    /// returns the number of nodes freed. Every net root survives (they
+    /// are all protected), so this is always safe; useful to trim a
+    /// long-lived incremental engine between
+    /// [`CircuitBdds::repropagate`] rounds.
+    pub fn collect_garbage(&mut self) -> usize {
+        self.manager.gc()
+    }
+
     /// Size, GC and cache statistics.
     pub fn stats(&self) -> CircuitBddStats {
         let gc = self.manager.gc_stats();
@@ -333,11 +342,42 @@ impl CircuitBdds {
     ///
     /// Panics if `pi_stats.len()` differs from the primary-input count.
     pub fn exact_stats(&mut self, pi_stats: &[SignalStats]) -> Result<Vec<SignalStats>, BddError> {
+        let nets: Vec<NetId> = (0..self.roots.len()).map(NetId).collect();
+        let mut out = vec![SignalStats::new(0.0, 0.0); self.roots.len()];
+        self.exact_stats_into(pi_stats, &nets, &mut out)?;
+        Ok(out)
+    }
+
+    /// Exact `(P, D)` statistics for a *subset* of nets, written into
+    /// `out[net.0]` — the incremental counterpart of
+    /// [`CircuitBdds::exact_stats`]. Entries for nets not listed are left
+    /// untouched, so a caller that re-derived only a dirty cone (see
+    /// [`CircuitBdds::repropagate`]) refreshes exactly those slots of a
+    /// previously computed statistics vector. Each listed net is computed
+    /// by the identical per-root walk the full pass uses, so the refreshed
+    /// entries are bit-for-bit what a full rebuild would produce.
+    ///
+    /// # Errors
+    ///
+    /// Infallible today (the signature keeps the historical `Result` so
+    /// budget-limited statistics variants can return here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_stats.len()` differs from the primary-input count or
+    /// `out.len()` differs from the net count.
+    pub fn exact_stats_into(
+        &mut self,
+        pi_stats: &[SignalStats],
+        nets: &[NetId],
+        out: &mut [SignalStats],
+    ) -> Result<(), BddError> {
         assert_eq!(
             pi_stats.len(),
             self.order.len(),
             "one SignalStats per primary input"
         );
+        assert_eq!(out.len(), self.roots.len(), "one output slot per net");
         // Per-level views of the input statistics.
         let probs: Vec<f64> = self
             .order
@@ -357,9 +397,8 @@ impl CircuitBdds {
         let mut density = DensityScratch::new();
         let mut visited = VisitScratch::new();
         let mut seen = vec![false; self.order.len()];
-        let mut out = Vec::with_capacity(self.roots.len());
-        for i in 0..self.roots.len() {
-            let root = self.roots[i];
+        for &net in nets {
+            let root = self.roots[net.0];
             let p = self.manager.probability(root, &probs, &mut prob);
             self.manager.support_into(root, &mut seen, &mut visited);
             let mut d = 0.0f64;
@@ -375,9 +414,90 @@ impl CircuitBdds {
                     &mut density,
                 ) * dens[level];
             }
-            out.push(SignalStats::new(p, d.max(0.0)));
+            out[net.0] = SignalStats::new(p, d.max(0.0));
         }
-        Ok(out)
+        Ok(())
+    }
+
+    /// Re-derives the fanout cone of `dirty_gates` after the circuit
+    /// changed (a cell substitution, or any edit that preserves the net
+    /// and gate numbering), in place: one sweep over `compiled.order()`
+    /// recomposes every gate that is itself dirty or reads a net whose
+    /// root changed, GC-safely swapping the net's protected root
+    /// (protect the new edge, then release the old one). Gates whose
+    /// recomposed function hash-conses to the *same* edge — the
+    /// config-only case, since reordering never changes a gate's Boolean
+    /// function (§4.2) — terminate their cone on the spot.
+    ///
+    /// Returns the nets whose roots actually changed, in topological
+    /// order — exactly the slots [`CircuitBdds::exact_stats_into`] must
+    /// refresh. The manager's pool, caches and unrelated roots are
+    /// reused; nothing outside the cone is recomputed.
+    ///
+    /// `compiled` must describe the *edited* circuit and match the build
+    /// in net count, primary inputs and gate order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::NodeLimit`] if a recomposed cone does not fit
+    /// the node budget even after a forced collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled` disagrees with the built circuit's net or
+    /// primary-input count.
+    pub fn repropagate(
+        &mut self,
+        compiled: &CompiledCircuit,
+        library: &Library,
+        dirty_gates: &[GateId],
+    ) -> Result<Vec<NetId>, BddError> {
+        assert_eq!(
+            compiled.net_count(),
+            self.roots.len(),
+            "compiled circuit must match the built one"
+        );
+        assert_eq!(
+            compiled.primary_inputs().len(),
+            self.order.len(),
+            "compiled circuit must match the built one"
+        );
+        let mut gate_dirty = vec![false; compiled.gates().len()];
+        for &g in dirty_gates {
+            gate_dirty[g.0] = true;
+        }
+        let mut net_dirty = vec![false; compiled.net_count()];
+        let mut dirty_nets: Vec<NetId> = Vec::new();
+        let mut args: Vec<Edge> = Vec::new();
+        for &gid in compiled.order() {
+            let gate = &compiled.gates()[gid.0];
+            if !gate_dirty[gid.0] && !compiled.inputs(gate).iter().any(|n| net_dirty[n.0]) {
+                continue;
+            }
+            args.clear();
+            args.extend(compiled.inputs(gate).iter().map(|n| self.roots[n.0]));
+            let function = library.cell_by_id(gate.cell).function();
+            let edge = match self.manager.compose_fn(function, &args) {
+                Ok(edge) => edge,
+                Err(BddError::NodeLimit { .. }) => {
+                    // Old and new roots are all protected at this point,
+                    // so a forced collection only reclaims composition
+                    // intermediates; retry once, as in the full build.
+                    self.manager.gc();
+                    self.manager.compose_fn(function, &args)?
+                }
+            };
+            let old = self.roots[gate.output.0];
+            if edge != old {
+                self.manager.protect(edge);
+                self.manager.unprotect(old);
+                self.roots[gate.output.0] = edge;
+                net_dirty[gate.output.0] = true;
+                dirty_nets.push(gate.output);
+            }
+            self.manager.maybe_gc();
+        }
+        Ok(dirty_nets)
     }
 }
 
@@ -609,6 +729,167 @@ mod tests {
                 y.density()
             );
         }
+    }
+
+    /// Swaps a victim gate's cell for its same-arity dual (NAND↔NOR,
+    /// AOI↔OAI) — a cell substitution, the function-changing edit
+    /// repropagation exists for.
+    fn toggle_cell(c: &mut Circuit, g: GateId) {
+        let new = match c.gate(g).cell.clone() {
+            CellKind::Nand(k) => CellKind::Nor(k),
+            CellKind::Nor(k) => CellKind::Nand(k),
+            CellKind::Aoi(gs) => CellKind::Oai(gs),
+            CellKind::Oai(gs) => CellKind::Aoi(gs),
+            CellKind::Inv => panic!("an inverter has no same-arity dual"),
+        };
+        c.set_cell(g, new);
+    }
+
+    fn pick_victim(c: &Circuit) -> GateId {
+        GateId(
+            c.gates()
+                .iter()
+                .position(|g| !matches!(g.cell, CellKind::Inv))
+                .expect("suite circuits contain multi-input gates"),
+        )
+    }
+
+    fn assert_stats_match(a: &[SignalStats], b: &[SignalStats]) {
+        for (net, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.probability() - y.probability()).abs() < 1e-12,
+                "net {net}: P {} vs {}",
+                x.probability(),
+                y.probability()
+            );
+            let tol = 1e-12 * x.density().abs().max(1.0);
+            assert!(
+                (x.density() - y.density()).abs() < tol,
+                "net {net}: D {} vs {}",
+                x.density(),
+                y.density()
+            );
+        }
+    }
+
+    #[test]
+    fn repropagate_matches_fresh_build_after_cell_substitution() {
+        let lib = Library::standard();
+        let mut c = generators::carry_select_adder(16, 4, &lib);
+        let n = c.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.1 + 0.02 * i as f64, 1.0e4 * (1 + i % 7) as f64))
+            .collect();
+        let mut bdds = build(&c, &lib);
+        let mut stats = bdds.exact_stats(&pi).unwrap();
+        let victim = pick_victim(&c);
+        toggle_cell(&mut c, victim);
+        let cc = compiled(&c, &lib);
+        let dirty = bdds.repropagate(&cc, &lib, &[victim]).unwrap();
+        assert!(!dirty.is_empty(), "a cell substitution must dirty its cone");
+        assert!(
+            dirty.len() < c.net_count(),
+            "the dirty cone must not be the whole circuit"
+        );
+        bdds.exact_stats_into(&pi, &dirty, &mut stats).unwrap();
+        let want = build(&c, &lib).exact_stats(&pi).unwrap();
+        assert_stats_match(&stats, &want);
+    }
+
+    #[test]
+    fn repropagate_is_a_noop_for_config_only_changes() {
+        // Reordering never changes a gate's Boolean function (§4.2), so
+        // marking every gate dirty after config flips must recompose to
+        // the same hash-consed roots and return an empty dirty set.
+        let lib = Library::standard();
+        let mut c = generators::comparator(6, &lib);
+        let n = c.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.3 + 0.04 * i as f64, 2.0e4 * (1 + i) as f64))
+            .collect();
+        let mut bdds = build(&c, &lib);
+        let before = bdds.exact_stats(&pi).unwrap();
+        let choices: Vec<usize> = c
+            .gates()
+            .iter()
+            .map(|g| lib.cell(&g.cell).unwrap().configurations().len() - 1)
+            .collect();
+        for (i, cfg) in choices.into_iter().enumerate() {
+            c.set_config(GateId(i), cfg);
+        }
+        let all: Vec<GateId> = (0..c.gates().len()).map(GateId).collect();
+        let cc = compiled(&c, &lib);
+        let dirty = bdds.repropagate(&cc, &lib, &all).unwrap();
+        assert!(dirty.is_empty(), "config flips must not dirty any net");
+        let after = bdds.exact_stats(&pi).unwrap();
+        assert_eq!(before, after, "stats must be untouched");
+    }
+
+    #[test]
+    fn repropagate_under_forced_gc_matches_fresh_build() {
+        // Collect unconditionally after every repropagation round: if the
+        // protect/unprotect swap ever left a live root unregistered, the
+        // sweep would reclaim it and the statistics would diverge.
+        let lib = Library::standard();
+        let mut c = generators::carry_skip_adder(12, 4, &lib);
+        let n = c.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.2 + 0.03 * i as f64, 1.0e4 * (1 + i % 5) as f64))
+            .collect();
+        let cc0 = compiled(&c, &lib);
+        let mut forced = CircuitBdds::build(
+            &cc0,
+            &lib,
+            BuildOptions {
+                gc_threshold: 1,
+                ..BuildOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            forced.stats().gc_runs > 0,
+            "threshold 1 must force collections during the build"
+        );
+        let mut stats = forced.exact_stats(&pi).unwrap();
+        let victim = pick_victim(&c);
+        for _ in 0..3 {
+            toggle_cell(&mut c, victim);
+            let cc = compiled(&c, &lib);
+            let dirty = forced.repropagate(&cc, &lib, &[victim]).unwrap();
+            forced.collect_garbage();
+            forced.exact_stats_into(&pi, &dirty, &mut stats).unwrap();
+            let want = build(&c, &lib).exact_stats(&pi).unwrap();
+            assert_stats_match(&stats, &want);
+        }
+    }
+
+    #[test]
+    fn repropagate_keeps_protected_roots_balanced() {
+        let lib = Library::standard();
+        let mut c = generators::carry_skip_adder(8, 4, &lib);
+        let n = c.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.4 + 0.01 * i as f64, 5.0e4))
+            .collect();
+        let mut bdds = build(&c, &lib);
+        let original = bdds.exact_stats(&pi).unwrap();
+        let before = bdds.manager().protected_count();
+        assert_eq!(before, c.net_count(), "one protected root per net");
+        let victim = pick_victim(&c);
+        let mut stats = original.clone();
+        for _ in 0..6 {
+            toggle_cell(&mut c, victim);
+            let cc = compiled(&c, &lib);
+            let dirty = bdds.repropagate(&cc, &lib, &[victim]).unwrap();
+            bdds.exact_stats_into(&pi, &dirty, &mut stats).unwrap();
+            assert_eq!(
+                bdds.manager().protected_count(),
+                before,
+                "every protect must be paired with an unprotect"
+            );
+        }
+        // An even number of toggles lands back on the original circuit.
+        assert_stats_match(&stats, &original);
     }
 
     #[test]

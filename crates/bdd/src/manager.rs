@@ -558,6 +558,28 @@ impl Bdd {
         self.roots.push(e);
     }
 
+    /// Removes one occurrence of `e` from the root set (the reverse of
+    /// [`Bdd::protect`]), so incremental rebuilds can release a replaced
+    /// net's edge without leaking it across the manager's lifetime.
+    /// Returns whether an occurrence was found; duplicate registrations
+    /// (two nets sharing one hash-consed function) are removed one at a
+    /// time, matching their one-`protect`-per-net registration.
+    pub fn unprotect(&mut self, e: Edge) -> bool {
+        if let Some(i) = self.roots.iter().position(|&r| r == e) {
+            self.roots.swap_remove(i);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of registered roots (one per [`Bdd::protect`] not yet
+    /// reversed by [`Bdd::unprotect`]) — lets incremental users assert
+    /// their protect/unprotect bookkeeping stays balanced.
+    pub fn protected_count(&self) -> usize {
+        self.roots.len()
+    }
+
     /// Sets the live-count floor below which [`Bdd::maybe_gc`] never
     /// collects, and re-arms the trigger against it: raising the floor
     /// postpones the next collection, lowering it to the current live

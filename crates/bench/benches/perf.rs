@@ -8,7 +8,10 @@
 //! * P5 — batch-runner throughput (circuits × scenarios grid on the
 //!   work-stealing pool);
 //! * P6 — exact-BDD statistics throughput (build + probabilities +
-//!   densities) on the large reconvergent generators.
+//!   densities) on the large reconvergent generators;
+//! * P7 — the fixpoint loop's inner step: dirty-cone incremental
+//!   re-propagation after one accepted cell change, against the
+//!   full-rebuild-per-change alternative it replaces.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tr_bench::Harness;
@@ -172,6 +175,103 @@ fn p6_bdd_propagate(c: &mut Criterion) {
     }
 }
 
+fn p7_fixpoint(c: &mut Criterion) {
+    let h = Harness::new();
+    let cases = [
+        ("csel32", generators::carry_select_adder(32, 8, &h.library)),
+        ("cskip24", generators::carry_skip_adder(24, 4, &h.library)),
+        ("mult8", generators::array_multiplier(8, &h.library)),
+    ];
+    // A mid-circuit gate with a same-arity dual (NAND↔NOR, AOI↔OAI).
+    let victim_of = |circuit: &Circuit| {
+        let duals: Vec<tr_netlist::GateId> = (0..circuit.gates().len())
+            .filter(|&i| !matches!(circuit.gates()[i].cell, CellKind::Inv))
+            .map(tr_netlist::GateId)
+            .collect();
+        duals[duals.len() / 2]
+    };
+    let toggle_cell = |circuit: &mut Circuit, g: tr_netlist::GateId| {
+        let dual = match circuit.gate(g).cell.clone() {
+            CellKind::Nand(k) => CellKind::Nor(k),
+            CellKind::Nor(k) => CellKind::Nand(k),
+            CellKind::Aoi(gs) => CellKind::Oai(gs),
+            CellKind::Oai(gs) => CellKind::Aoi(gs),
+            CellKind::Inv => unreachable!("inverters are filtered out"),
+        };
+        circuit.set_cell(g, dual);
+    };
+    for (name, circuit) in cases {
+        let pi = vec![SignalStats::default(); circuit.primary_inputs().len()];
+        let victim = victim_of(&circuit);
+        let configs = h
+            .library
+            .cell_by_name(circuit.gate(victim).cell.name().as_str())
+            .expect("library cell")
+            .configurations()
+            .len();
+        // The fixpoint loop's inner step: the optimizer accepted a
+        // reordering move (a config change), and the statistics must be
+        // re-validated for the edited circuit. The incremental engine
+        // recomposes the touched gate, hash-conses to the identical
+        // per-net BDD, and proves the dirty cone empty in one step.
+        c.bench_function(&format!("p7_fixpoint_incremental_{name}"), |b| {
+            let mut edited = circuit.clone();
+            let mut prop = tr_power::IncrementalPropagator::new(
+                &edited,
+                &h.library,
+                &pi,
+                tr_power::PropagationMode::ExactBdd,
+            )
+            .expect("fits the node budget");
+            let mut round = 0usize;
+            b.iter(|| {
+                round += 1;
+                edited.set_config(victim, round % configs);
+                std::hint::black_box(
+                    prop.refresh(&edited, &h.library, &[victim])
+                        .expect("fits the node budget"),
+                )
+            })
+        });
+        // What a sound implementation without dirty-cone tracking must
+        // do after every accepted change: rebuild the circuit BDDs and
+        // re-derive every net's statistics from scratch.
+        c.bench_function(&format!("p7_fixpoint_full_{name}"), |b| {
+            let mut edited = circuit.clone();
+            let mut round = 0usize;
+            b.iter(|| {
+                round += 1;
+                edited.set_config(victim, round % configs);
+                std::hint::black_box(
+                    tr_power::propagate_exact_bdd(&edited, &h.library, &pi)
+                        .expect("fits the node budget"),
+                )
+            })
+        });
+        // The worst case: a function-changing cell substitution on a
+        // mid-circuit gate. The dirty cone is real — in mult8 it covers
+        // the deep output-side nets whose density pass dominates even a
+        // full rebuild, so the win narrows as the cone widens.
+        c.bench_function(&format!("p7_fixpoint_cell_{name}"), |b| {
+            let mut edited = circuit.clone();
+            let mut prop = tr_power::IncrementalPropagator::new(
+                &edited,
+                &h.library,
+                &pi,
+                tr_power::PropagationMode::ExactBdd,
+            )
+            .expect("fits the node budget");
+            b.iter(|| {
+                toggle_cell(&mut edited, victim);
+                std::hint::black_box(
+                    prop.refresh(&edited, &h.library, &[victim])
+                        .expect("fits the node budget"),
+                )
+            })
+        });
+    }
+}
+
 criterion_group!(
     benches,
     p1_gate_power,
@@ -179,6 +279,7 @@ criterion_group!(
     p3_optimize,
     p4_simulator,
     p5_batch,
-    p6_bdd_propagate
+    p6_bdd_propagate,
+    p7_fixpoint
 );
 criterion_main!(benches);

@@ -187,8 +187,15 @@ impl BatchRunner {
     }
 
     /// Pool size (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` (same contract as
+    /// [`Flow::threads`] and `tr_reorder::optimize_parallel` — this
+    /// used to clamp silently while the others panicked).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
         self
     }
 
@@ -342,6 +349,12 @@ mod tests {
         let cell = cell.outcome.as_ref().unwrap();
         assert_eq!(cell.power.model_after_w, single.power.model_after_w);
         assert_eq!(cell.changed_gates, single.changed_gates);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_panics() {
+        let _ = BatchRunner::new(Flow::from_circuit(Circuit::new("t"))).threads(0);
     }
 
     #[test]

@@ -12,12 +12,13 @@ use crate::report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary
 use crate::source::Source;
 use tr_boolean::SignalStats;
 use tr_netlist::map::MapOptions;
-use tr_netlist::{format, Circuit};
+use tr_netlist::{format, Circuit, GateId};
 use tr_power::scenario::Scenario;
-use tr_power::{circuit_power, propagate, propagate_with_mode, PropagationMode, Scratch};
+use tr_power::{circuit_power, propagate, IncrementalPropagator, PropagationMode, Scratch};
 use tr_reorder::{
     optimize_delay_bounded_with_net_stats, optimize_parallel_with_net_stats,
-    optimize_slack_aware_with_net_stats, optimize_with_net_stats, Objective, OptimizeResult,
+    optimize_slack_aware_with_net_stats, optimize_to_fixpoint_with_propagator,
+    optimize_with_net_stats, FixpointOptions, Objective, OptimizeResult,
 };
 use tr_sim::{simulate, simulate_traced, vcd, InputDrive, SimConfig};
 use tr_timing::critical_path_delay;
@@ -192,6 +193,7 @@ pub struct Flow {
     prob: PropagationMode,
     objective: Objective,
     delay_bound: DelayBound,
+    fixpoint: bool,
     threads: usize,
     headroom: bool,
     sim: Option<SimOptions>,
@@ -212,6 +214,7 @@ impl Flow {
             prob: PropagationMode::Independent,
             objective: Objective::MinimizePower,
             delay_bound: DelayBound::Unbounded,
+            fixpoint: false,
             threads: 1,
             headroom: true,
             sim: None,
@@ -282,10 +285,28 @@ impl Flow {
         self
     }
 
+    /// Run the optimizer to a statistics fixed point (default off):
+    /// propagate → optimize → re-propagate dirty cones → repeat until no
+    /// gate changes, per [`tr_reorder::optimize_to_fixpoint`]. The
+    /// report then carries the iteration count and the measured
+    /// stale-vs-fresh power discrepancy. Only available with
+    /// [`DelayBound::Unbounded`].
+    pub fn fixpoint(mut self, on: bool) -> Self {
+        self.fixpoint = on;
+        self
+    }
+
     /// Optimizer worker threads (default 1; >1 uses the parallel
     /// work-queue traversal, identical results).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0` (same contract as
+    /// [`tr_reorder::optimize_parallel`] and
+    /// [`BatchRunner::threads`](crate::BatchRunner::threads)).
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
         self
     }
 
@@ -407,10 +428,13 @@ impl Flow {
                 got: stats.len(),
             });
         }
-        // 2b. Per-net statistics under the chosen probability backend;
-        // exact backends also measure how far the independence
-        // assumption was off (max |ΔP| over all nets).
-        let net_stats = propagate_with_mode(circuit, &env.library, &stats, self.prob)?;
+        // 2b. Per-net statistics under the chosen probability backend,
+        // held by an incremental propagator so later stages can
+        // re-derive dirty cones instead of rebuilding; exact backends
+        // also measure how far the independence assumption was off
+        // (max |ΔP| over all nets).
+        let mut propagator = IncrementalPropagator::new(circuit, &env.library, &stats, self.prob)?;
+        let net_stats = propagator.net_stats().to_vec();
         let independence_error = match self.prob {
             PropagationMode::Independent => None,
             _ => {
@@ -420,10 +444,52 @@ impl Flow {
         };
         timings.stats_s = t.elapsed().as_secs_f64();
 
-        // 3. Optimize toward the objective, plus (unbounded only) the
-        // opposite objective for the best-vs-worst headroom of Table 3.
+        // 3. Optimize toward the objective — to a statistics fixed
+        // point when requested — plus (unbounded only) the opposite
+        // objective for the best-vs-worst headroom of Table 3.
+        if self.fixpoint && self.delay_bound != DelayBound::Unbounded {
+            return Err(Error::Unsupported(format!(
+                "--fixpoint only supports --delay-bound none (got {})",
+                self.delay_bound.as_str()
+            )));
+        }
         let t = Instant::now();
-        let primary = self.optimize_once(env, circuit, &net_stats, self.objective, scratch)?;
+        let mut fixpoint_iters = None;
+        let mut stale_power_discrepancy_w = None;
+        let primary = if self.fixpoint {
+            let rep = optimize_to_fixpoint_with_propagator(
+                circuit,
+                &env.library,
+                &env.model,
+                &mut propagator,
+                FixpointOptions {
+                    objective: self.objective,
+                    threads: self.threads,
+                    ..FixpointOptions::default()
+                },
+            )?;
+            fixpoint_iters = Some(rep.iterations);
+            stale_power_discrepancy_w = Some(rep.stale_discrepancy_w());
+            rep.result
+        } else {
+            let mut primary =
+                self.optimize_once(env, circuit, &net_stats, self.objective, scratch)?;
+            // Exact backends used to report the optimized circuit's
+            // power under pre-optimization statistics — sound for the
+            // paper's config-only moves (§4.2) but never checked. Now
+            // the dirty cones of the accepted changes are re-propagated
+            // and the final number recomputed fresh, recording how far
+            // off the stale report would have been.
+            if self.prob != PropagationMode::Independent && primary.changed_gates > 0 {
+                let dirty = changed_gate_ids(circuit, &primary.circuit);
+                propagator.refresh(&primary.circuit, &env.library, &dirty)?;
+                let fresh =
+                    circuit_power(&primary.circuit, &env.model, propagator.net_stats()).total;
+                stale_power_discrepancy_w = Some((primary.power_after - fresh).abs());
+                primary.power_after = fresh;
+            }
+            primary
+        };
         let counterpart = if self.headroom && self.delay_bound == DelayBound::Unbounded {
             let opposite = match self.objective {
                 Objective::MinimizePower => Objective::MaximizePower,
@@ -589,6 +655,9 @@ impl Flow {
             prob_mode: self.prob.as_str().to_string(),
             independence_error,
             changed_gates: primary.changed_gates,
+            fixpoint_iters,
+            repropagations: propagator.repropagations(),
+            stale_power_discrepancy_w,
             power: PowerReport {
                 model_before_w: primary.power_before,
                 model_after_w: primary.power_after,
@@ -659,6 +728,20 @@ impl Flow {
             ))),
         }
     }
+}
+
+/// Gate indices whose configuration or cell differs between two
+/// structurally identical circuits — the dirty set handed to the
+/// incremental re-propagator after an accepted optimization pass.
+fn changed_gate_ids(before: &Circuit, after: &Circuit) -> Vec<GateId> {
+    before
+        .gates()
+        .iter()
+        .zip(after.gates())
+        .enumerate()
+        .filter(|(_, (b, a))| b.config != a.config || b.cell != a.cell)
+        .map(|(i, _)| GateId(i))
+        .collect()
 }
 
 /// The report label of a scenario + seed pair.
@@ -764,6 +847,74 @@ mod tests {
         assert!(best <= sim.worst_w.unwrap());
         assert!(sim.reduction_percent.unwrap() >= 0.0);
         assert_eq!(report.power.model_worst_w, Some(report.power.model_after_w));
+    }
+
+    #[test]
+    fn fixpoint_flow_converges_and_matches_the_single_pass() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let base = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 11)
+            .prob(PropagationMode::ExactBdd);
+        let single = base.clone().run(&env).unwrap();
+        let fixed = base.fixpoint(true).run(&env).unwrap();
+        assert!(fixed.changed_gates > 0, "optimizer should find moves");
+        // Config-only moves: one accepting pass, one confirming pass.
+        assert_eq!(fixed.fixpoint_iters, Some(2));
+        assert!(fixed.repropagations >= 1);
+        let disc = fixed
+            .stale_power_discrepancy_w
+            .expect("fixpoint flows measure freshness");
+        assert!(
+            disc <= 1e-12 * fixed.power.model_after_w,
+            "§4.2: config-only discrepancy must vanish, got {disc}"
+        );
+        // Same final circuit, same (fresh) power as the single pass.
+        assert_eq!(fixed.changed_gates, single.changed_gates);
+        let rel = (fixed.power.model_after_w - single.power.model_after_w).abs()
+            / single.power.model_after_w;
+        assert!(rel <= 1e-12, "fixpoint vs single-pass power: {rel}");
+    }
+
+    #[test]
+    fn fixpoint_rejects_delay_bounds() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let err = Flow::from_circuit(c)
+            .fixpoint(true)
+            .delay_bound(DelayBound::Local)
+            .run(&env)
+            .unwrap_err();
+        assert!(matches!(err, Error::Unsupported(_)));
+    }
+
+    #[test]
+    fn exact_backend_single_pass_reports_fresh_final_power() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let base = Flow::from_circuit(adder).scenario(Scenario::a(), 11);
+        // The independent backend has no staleness to measure.
+        let indep = base.clone().run(&env).unwrap();
+        assert_eq!(indep.stale_power_discrepancy_w, None);
+        assert_eq!(indep.repropagations, 0);
+        assert_eq!(indep.fixpoint_iters, None);
+        // The exact backend re-propagates the accepted changes' cones
+        // and records the (vanishing, §4.2) discrepancy.
+        let exact = base.prob(PropagationMode::ExactBdd).run(&env).unwrap();
+        assert!(exact.changed_gates > 0);
+        assert_eq!(exact.repropagations, 1);
+        let disc = exact
+            .stale_power_discrepancy_w
+            .expect("exact backends check freshness");
+        assert!(disc <= 1e-12 * exact.power.model_after_w, "got {disc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one thread")]
+    fn zero_threads_panics() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let _ = Flow::from_circuit(c).threads(0).run(&env);
     }
 
     #[test]

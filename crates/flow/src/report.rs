@@ -133,6 +133,18 @@ pub struct FlowReport {
     pub independence_error: Option<f64>,
     /// Gates whose configuration changed.
     pub changed_gates: usize,
+    /// Optimizer traversals of the fixed-point loop (`None` for the
+    /// classic single-pass flow).
+    pub fixpoint_iters: Option<usize>,
+    /// Dirty-cone statistics re-propagations this run performed
+    /// (fixed-point refreshes, or the single post-optimization
+    /// freshness check of exact-backend single-pass flows).
+    pub repropagations: usize,
+    /// `|stale − fresh|` final model power (W): the measured error of
+    /// reporting the optimized circuit under pre-optimization
+    /// statistics. Present whenever a freshness check ran; ≈0 for the
+    /// paper's config-only moves (the §4.2 lemma, verified per run).
+    pub stale_power_discrepancy_w: Option<f64>,
     /// Model-power outcome.
     pub power: PowerReport,
     /// Static-timing outcome.
@@ -171,6 +183,15 @@ impl FlowReport {
             json_opt_f64(self.independence_error)
         ));
         out.push_str(&format!("\"changed_gates\":{},", self.changed_gates));
+        match self.fixpoint_iters {
+            Some(n) => out.push_str(&format!("\"fixpoint_iters\":{n},")),
+            None => out.push_str("\"fixpoint_iters\":null,"),
+        }
+        out.push_str(&format!("\"repropagations\":{},", self.repropagations));
+        out.push_str(&format!(
+            "\"stale_power_discrepancy_w\":{},",
+            json_opt_f64(self.stale_power_discrepancy_w)
+        ));
         out.push_str(&format!(
             "\"power\":{{\"model_before_w\":{},\"model_after_w\":{},\"reduction_percent\":{},\
              \"model_best_w\":{},\"model_worst_w\":{},\"headroom_percent\":{}}},",
@@ -243,6 +264,7 @@ impl FlowReport {
     pub fn csv_header() -> &'static str {
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
          independence_error,changed_gates,\
+         fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
@@ -260,11 +282,16 @@ impl FlowReport {
             self.inputs.to_string(),
             self.outputs.to_string(),
             self.depth.to_string(),
-            self.objective.clone(),
-            self.delay_bound.clone(),
-            self.prob_mode.clone(),
+            csv_field(&self.objective),
+            csv_field(&self.delay_bound),
+            csv_field(&self.prob_mode),
             opt(self.independence_error),
             self.changed_gates.to_string(),
+            self.fixpoint_iters
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
+            self.repropagations.to_string(),
+            opt(self.stale_power_discrepancy_w),
             format!("{}", self.power.model_before_w),
             format!("{}", self.power.model_after_w),
             format!("{}", self.power.reduction_percent),
@@ -305,9 +332,8 @@ fn csv_field(s: &str) -> String {
 mod tests {
     use super::*;
 
-    #[test]
-    fn csv_header_and_row_have_same_arity() {
-        let report = FlowReport {
+    fn comma_report() -> FlowReport {
+        FlowReport {
             circuit: "c,17".into(),
             scenario: "A#1".into(),
             gates: 6,
@@ -319,6 +345,9 @@ mod tests {
             prob_mode: "indep".into(),
             independence_error: None,
             changed_gates: 2,
+            fixpoint_iters: None,
+            repropagations: 0,
+            stale_power_discrepancy_w: None,
             power: PowerReport {
                 model_before_w: 1.0e-6,
                 model_after_w: 9.0e-7,
@@ -335,11 +364,41 @@ mod tests {
             sim: None,
             per_gate: None,
             timings: StageTimings::default(),
-        };
+        }
+    }
+
+    #[test]
+    fn csv_header_and_row_have_same_arity() {
+        let report = comma_report();
         let header_fields = FlowReport::csv_header().split(',').count();
         let row_fields = report.to_csv_row().split(',').count();
         // The quoted "c,17" field adds one raw comma.
         assert_eq!(header_fields + 1, row_fields);
         assert!(report.to_csv_row().starts_with("\"c,17\""));
+    }
+
+    /// Regression: `objective`, `delay_bound` and `prob_mode` used to be
+    /// emitted raw, so a comma-bearing value would shift every later
+    /// column. All string fields must go through the quoting path.
+    #[test]
+    fn every_string_field_is_csv_quoted() {
+        let mut report = comma_report();
+        report.scenario = "A#1,B@2e7".into();
+        report.objective = "min,imize".into();
+        report.delay_bound = "none,really".into();
+        report.prob_mode = "bdd,exact".into();
+        let row = report.to_csv_row();
+        for quoted in [
+            "\"c,17\"",
+            "\"A#1,B@2e7\"",
+            "\"min,imize\"",
+            "\"none,really\"",
+            "\"bdd,exact\"",
+        ] {
+            assert!(row.contains(quoted), "missing {quoted} in {row}");
+        }
+        // Quoted, the five embedded commas cancel out: arity still holds.
+        let header_fields = FlowReport::csv_header().split(',').count();
+        assert_eq!(header_fields + 5, row.split(',').count());
     }
 }

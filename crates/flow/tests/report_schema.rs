@@ -23,6 +23,9 @@ fn sample_report() -> FlowReport {
         prob_mode: "indep".into(),
         independence_error: None,
         changed_gates: 2,
+        fixpoint_iters: Some(2),
+        repropagations: 1,
+        stale_power_discrepancy_w: Some(0.0),
         power: PowerReport {
             model_before_w: 4.5e-7,
             model_after_w: 4.0e-7,
@@ -70,6 +73,7 @@ const GOLDEN_JSON: &str = concat!(
     "{\"circuit\":\"c17\",\"scenario\":\"A#42\",\"gates\":6,\"inputs\":5,\"outputs\":2,",
     "\"depth\":3,\"objective\":\"min\",\"delay_bound\":\"none\",\"prob_mode\":\"indep\",",
     "\"independence_error\":null,\"changed_gates\":2,",
+    "\"fixpoint_iters\":2,\"repropagations\":1,\"stale_power_discrepancy_w\":0,",
     "\"power\":{\"model_before_w\":0.00000045,\"model_after_w\":0.0000004,",
     "\"reduction_percent\":11.125,\"model_best_w\":0.0000004,\"model_worst_w\":0.0000005,",
     "\"headroom_percent\":20},",
@@ -110,6 +114,7 @@ fn csv_header_is_pinned() {
         FlowReport::csv_header(),
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
          independence_error,changed_gates,\
+         fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
@@ -140,6 +145,9 @@ fn live_report_matches_the_schema_key_set() {
         "\"prob_mode\":",
         "\"independence_error\":",
         "\"changed_gates\":",
+        "\"fixpoint_iters\":",
+        "\"repropagations\":",
+        "\"stale_power_discrepancy_w\":",
         "\"power\":",
         "\"model_before_w\":",
         "\"model_after_w\":",

@@ -66,8 +66,11 @@ impl std::error::Error for CircuitError {}
 ///
 /// Nets are created first (primary inputs or internal), gates drive
 /// exactly one net each, primary outputs designate nets observable from
-/// outside. The structure is append-only; the optimizer only mutates the
-/// per-gate `config` field.
+/// outside. The structure is append-only; in-place mutation is limited
+/// to the per-gate `config` field (the optimizer's move,
+/// [`Circuit::set_config`]) and same-arity cell substitution
+/// ([`Circuit::set_cell`]), so net and gate ids are stable for a
+/// circuit's lifetime.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Circuit {
     name: String,
@@ -176,6 +179,29 @@ impl Circuit {
     /// Panics if the id is out of range.
     pub fn set_config(&mut self, id: GateId, config: usize) {
         self.gates[id.0].config = config;
+    }
+
+    /// Substitutes a gate's library cell in place, keeping its nets. The
+    /// replacement must have the same arity, so the netlist structure
+    /// (and every NetId/GateId) survives — this is the "accepted cell
+    /// change" that dirty-cone re-propagation invalidates statistics
+    /// for, unlike [`Circuit::set_config`] which preserves the gate's
+    /// Boolean function. The configuration resets to 0 (configuration
+    /// indices of different cells are unrelated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the new cell's input count
+    /// differs from the gate's.
+    pub fn set_cell(&mut self, id: GateId, cell: CellKind) {
+        let gate = &mut self.gates[id.0];
+        assert_eq!(
+            cell.arity(),
+            gate.inputs.len(),
+            "replacement cell must keep the gate's arity"
+        );
+        gate.cell = cell;
+        gate.config = 0;
     }
 
     /// The gate driving each net, if any.

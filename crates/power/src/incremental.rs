@@ -1,0 +1,609 @@
+//! Dirty-cone incremental statistics and delta power evaluation.
+//!
+//! The optimizer's inner loop scores configurations against per-net
+//! statistics computed *before* optimization. A config-only move never
+//! invalidates them (reordering preserves every gate function — the
+//! monotonicity lemma of §4.2), but an accepted *cell* change does: the
+//! fanout cone of the edited gate carries stale probabilities and
+//! densities from that point on. [`IncrementalPropagator`] keeps one
+//! statistics vector alive across edits and, on
+//! [`IncrementalPropagator::refresh`], re-derives exactly the dirty
+//! cone under the active backend:
+//!
+//! * [`PropagationMode::Independent`] — gate-local re-propagation over
+//!   the cone only, pruned the moment a recomputed net's statistics
+//!   come out unchanged;
+//! * [`PropagationMode::ExactBdd`] — [`CircuitBdds::repropagate`]
+//!   recomposes the cone's roots in the long-lived manager (GC-safe
+//!   protect/unprotect of replaced edges, no rebuild), then
+//!   [`CircuitBdds::exact_stats_into`] refreshes just those nets'
+//!   slots;
+//! * [`PropagationMode::Monte`] — re-estimates with the same step
+//!   budget, interval and seed (sampling has no cone structure to
+//!   exploit), so an unchanged circuit reproduces its estimate exactly.
+//!
+//! Refreshed entries are bit-for-bit what the corresponding full
+//! [`propagate_with_mode`](crate::propagate_with_mode) pass over the
+//! edited circuit would produce — pinned by the equivalence suite in
+//! `tests/incremental_equivalence.rs`.
+//!
+//! [`IncrementalPower`] is the matching delta path for the *power*
+//! total: a per-gate power ledger that re-scores only gates whose
+//! configuration, input statistics or output load changed, then re-sums
+//! in gate order so the total stays bitwise identical to a full
+//! [`circuit_total_compiled`](crate::circuit_total_compiled) pass.
+
+use crate::circuit::external_loads_compiled;
+use crate::mode::monte_dt;
+use crate::model::{PowerModel, Scratch, MAX_CELL_ARITY};
+use crate::monte;
+use crate::{propagate, PropagationError, PropagationMode};
+use tr_bdd::{BuildOptions, CircuitBdds};
+use tr_boolean::{prob, SignalStats};
+use tr_gatelib::Library;
+use tr_netlist::{Circuit, CompiledCircuit, GateId, NetId};
+
+/// Per-net signal statistics kept consistent across circuit edits by
+/// re-deriving only dirty cones (see the module docs).
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::SignalStats;
+/// use tr_gatelib::{CellKind, Library};
+/// use tr_netlist::Circuit;
+/// use tr_power::{IncrementalPropagator, PropagationMode};
+///
+/// let lib = Library::standard();
+/// let mut c = Circuit::new("tiny");
+/// let a = c.add_input("a");
+/// let b = c.add_input("b");
+/// let (g, y) = c.add_gate(CellKind::Nand(2), vec![a, b], "y");
+/// c.mark_output(y);
+/// let pi = vec![SignalStats::new(0.5, 1.0e5); 2];
+/// let mut prop =
+///     IncrementalPropagator::new(&c, &lib, &pi, PropagationMode::ExactBdd).unwrap();
+/// // Accept a cell change, then refresh just its fanout cone.
+/// c.set_cell(g, CellKind::Nor(2));
+/// let dirty = prop.refresh(&c, &lib, &[g]).unwrap();
+/// assert_eq!(dirty, vec![y]);
+/// assert!((prop.net_stats()[y.0].probability() - 0.25).abs() < 1e-15);
+/// ```
+#[derive(Debug)]
+pub struct IncrementalPropagator {
+    mode: PropagationMode,
+    pi_stats: Vec<SignalStats>,
+    net_stats: Vec<SignalStats>,
+    /// The long-lived engine of the `ExactBdd` backend (`None` for the
+    /// other modes).
+    bdds: Option<CircuitBdds>,
+    repropagations: usize,
+    refreshed_nets: usize,
+}
+
+impl IncrementalPropagator {
+    /// Propagates once in full under `mode` and retains everything the
+    /// backend needs for later cone refreshes (for `ExactBdd`, the
+    /// built [`CircuitBdds`] engine itself). The initial statistics are
+    /// identical to [`propagate_with_mode`](crate::propagate_with_mode)
+    /// — same code paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PropagationError`] if the circuit does not compile
+    /// against `library` or the BDD backend blows its node budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_stats.len()` differs from the primary-input count.
+    pub fn new(
+        circuit: &Circuit,
+        library: &Library,
+        pi_stats: &[SignalStats],
+        mode: PropagationMode,
+    ) -> Result<Self, PropagationError> {
+        assert_eq!(
+            pi_stats.len(),
+            circuit.primary_inputs().len(),
+            "one SignalStats per primary input"
+        );
+        let mut bdds = None;
+        let net_stats = match mode {
+            PropagationMode::Independent => propagate(circuit, library, pi_stats),
+            PropagationMode::ExactBdd => {
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                let mut engine = CircuitBdds::build(&compiled, library, BuildOptions::default())?;
+                let stats = engine.exact_stats(pi_stats)?;
+                bdds = Some(engine);
+                stats
+            }
+            PropagationMode::Monte { steps, seed } => {
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                monte::estimate(
+                    &compiled,
+                    library,
+                    pi_stats,
+                    steps,
+                    monte_dt(pi_stats),
+                    seed,
+                )
+            }
+        };
+        Ok(IncrementalPropagator {
+            mode,
+            pi_stats: pi_stats.to_vec(),
+            net_stats,
+            bdds,
+            repropagations: 0,
+            refreshed_nets: 0,
+        })
+    }
+
+    /// The active backend.
+    pub fn mode(&self) -> PropagationMode {
+        self.mode
+    }
+
+    /// The current per-net statistics (valid for the last circuit seen).
+    pub fn net_stats(&self) -> &[SignalStats] {
+        &self.net_stats
+    }
+
+    /// Number of [`IncrementalPropagator::refresh`] calls so far.
+    pub fn repropagations(&self) -> usize {
+        self.repropagations
+    }
+
+    /// Total nets whose statistics were re-derived across all refreshes
+    /// (the accumulated dirty-cone size; a full Monte re-estimate counts
+    /// every net).
+    pub fn refreshed_nets(&self) -> usize {
+        self.refreshed_nets
+    }
+
+    /// Brings the statistics up to date after `dirty_gates` of `circuit`
+    /// changed, re-deriving only their fanout cones (see the module
+    /// docs for what each backend does). `circuit` must be the *edited*
+    /// circuit, structurally identical (same nets, gates and wiring) to
+    /// the one the propagator last saw — exactly what
+    /// [`Circuit::set_config`]/[`Circuit::set_cell`] guarantee.
+    ///
+    /// Returns the nets whose statistics actually changed, in
+    /// topological order (empty for a config-only edit; every net for a
+    /// Monte re-estimate) — the set a power delta pass must re-score
+    /// against, see [`IncrementalPower::rescore`]. The refreshed vector
+    /// itself is read back via [`IncrementalPropagator::net_stats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PropagationError`] if the circuit does not compile
+    /// against `library` or a recomposed cone blows the node budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit`'s net count differs from the propagator's.
+    pub fn refresh(
+        &mut self,
+        circuit: &Circuit,
+        library: &Library,
+        dirty_gates: &[GateId],
+    ) -> Result<Vec<NetId>, PropagationError> {
+        assert_eq!(
+            circuit.net_count(),
+            self.net_stats.len(),
+            "circuit must keep its net numbering across edits"
+        );
+        self.repropagations += 1;
+        let dirty = match self.mode {
+            PropagationMode::Independent => {
+                let order = circuit.topological_order()?;
+                let mut gate_dirty = vec![false; circuit.gates().len()];
+                for &g in dirty_gates {
+                    gate_dirty[g.0] = true;
+                }
+                let mut net_dirty = vec![false; circuit.net_count()];
+                let mut dirty = Vec::new();
+                let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+                for gid in order {
+                    let gate = circuit.gate(gid);
+                    if !gate_dirty[gid.0] && !gate.inputs.iter().any(|n| net_dirty[n.0]) {
+                        continue;
+                    }
+                    let cell = library.cell(&gate.cell).expect("unknown cell");
+                    for (slot, net) in buf.iter_mut().zip(&gate.inputs) {
+                        *slot = self.net_stats[net.0];
+                    }
+                    let new = prob::propagate(cell.function(), &buf[..gate.inputs.len()]);
+                    // The cone ends wherever the recomputed statistics
+                    // come out unchanged (e.g. everywhere, for a
+                    // config-only edit).
+                    if new != self.net_stats[gate.output.0] {
+                        self.net_stats[gate.output.0] = new;
+                        net_dirty[gate.output.0] = true;
+                        dirty.push(gate.output);
+                    }
+                }
+                dirty
+            }
+            PropagationMode::ExactBdd => {
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                let bdds = self.bdds.as_mut().expect("ExactBdd retains its engine");
+                let dirty = bdds.repropagate(&compiled, library, dirty_gates)?;
+                bdds.exact_stats_into(&self.pi_stats, &dirty, &mut self.net_stats)?;
+                dirty
+            }
+            PropagationMode::Monte { steps, seed } => {
+                // Sampling has no cone structure to exploit; re-estimate
+                // with the same budget, interval and seed so an
+                // unchanged circuit reproduces its estimate exactly.
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                self.net_stats = monte::estimate(
+                    &compiled,
+                    library,
+                    &self.pi_stats,
+                    steps,
+                    monte_dt(&self.pi_stats),
+                    seed,
+                );
+                (0..self.net_stats.len()).map(NetId).collect()
+            }
+        };
+        self.refreshed_nets += dirty.len();
+        Ok(dirty)
+    }
+}
+
+/// A per-gate power ledger with delta re-scoring: the counterpart of
+/// [`IncrementalPropagator`] for the *power* side of the loop.
+///
+/// [`IncrementalPower::rescore`] re-evaluates only gates whose
+/// configuration changed, whose inputs carry refreshed statistics, or
+/// whose output load changed (a cell substitution changes the
+/// substituted gate's input pin capacitances, dirtying its *drivers*),
+/// then re-sums the ledger in gate order — so the total stays bitwise
+/// identical to a full
+/// [`circuit_total_compiled`](crate::circuit_total_compiled) pass over
+/// the same circuit and statistics.
+#[derive(Debug, Clone)]
+pub struct IncrementalPower {
+    per_gate: Vec<f64>,
+    loads: Vec<f64>,
+    total: f64,
+    rescored_gates: usize,
+}
+
+impl IncrementalPower {
+    /// Scores every gate once (configurations supplied by `config_of`,
+    /// gate index → configuration) and stores the ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net_stats` is not net-indexed for this circuit or a
+    /// configuration is out of range.
+    pub fn new(
+        compiled: &CompiledCircuit,
+        model: &PowerModel,
+        net_stats: &[SignalStats],
+        scratch: &mut Scratch,
+        mut config_of: impl FnMut(usize) -> usize,
+    ) -> Self {
+        assert_eq!(
+            net_stats.len(),
+            compiled.net_count(),
+            "one SignalStats per net"
+        );
+        let loads = external_loads_compiled(compiled, model);
+        let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+        let mut per_gate = Vec::with_capacity(compiled.gates().len());
+        for (i, gate) in compiled.gates().iter().enumerate() {
+            let nets = compiled.inputs(gate);
+            for (slot, net) in buf.iter_mut().zip(nets) {
+                *slot = net_stats[net.0];
+            }
+            per_gate.push(model.total_power_into(
+                gate.cell,
+                config_of(i),
+                &buf[..nets.len()],
+                loads[gate.output.0],
+                scratch,
+            ));
+        }
+        let total = per_gate.iter().sum();
+        IncrementalPower {
+            per_gate,
+            loads,
+            total,
+            rescored_gates: 0,
+        }
+    }
+
+    /// The current total power (W).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// One entry per gate, indexed like `compiled.gates()` (W).
+    pub fn per_gate(&self) -> &[f64] {
+        &self.per_gate
+    }
+
+    /// Total gates re-scored across all [`IncrementalPower::rescore`]
+    /// calls (the accumulated delta size).
+    pub fn rescored_gates(&self) -> usize {
+        self.rescored_gates
+    }
+
+    /// Re-scores the delta after an accepted change and returns the new
+    /// total: `dirty_gates` are gates whose configuration or cell
+    /// changed, `dirty_nets` are nets whose statistics were refreshed
+    /// (as returned by [`IncrementalPropagator::refresh`]); gates whose
+    /// output load moved (see the type docs) are picked up
+    /// automatically. `compiled` must describe the edited circuit with
+    /// the same net and gate numbering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled`/`net_stats` disagree with the ledger's gate
+    /// or net count, or a configuration is out of range.
+    #[allow(clippy::too_many_arguments)]
+    pub fn rescore(
+        &mut self,
+        compiled: &CompiledCircuit,
+        model: &PowerModel,
+        net_stats: &[SignalStats],
+        scratch: &mut Scratch,
+        dirty_gates: &[GateId],
+        dirty_nets: &[NetId],
+        mut config_of: impl FnMut(usize) -> usize,
+    ) -> f64 {
+        assert_eq!(
+            compiled.gates().len(),
+            self.per_gate.len(),
+            "circuit must keep its gate numbering across edits"
+        );
+        assert_eq!(net_stats.len(), self.loads.len(), "one SignalStats per net");
+        let mut affected = vec![false; self.per_gate.len()];
+        for &g in dirty_gates {
+            affected[g.0] = true;
+        }
+        let mut net_dirty = vec![false; self.loads.len()];
+        for &n in dirty_nets {
+            net_dirty[n.0] = true;
+        }
+        // A cell substitution moves the substituted gate's input pin
+        // capacitances: every driver of a net whose external load
+        // changed must be re-scored too.
+        let loads = external_loads_compiled(compiled, model);
+        for (i, gate) in compiled.gates().iter().enumerate() {
+            if loads[gate.output.0] != self.loads[gate.output.0] {
+                affected[i] = true;
+            }
+        }
+        self.loads = loads;
+        let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+        for (i, gate) in compiled.gates().iter().enumerate() {
+            let nets = compiled.inputs(gate);
+            if !affected[i] && !nets.iter().any(|n| net_dirty[n.0]) {
+                continue;
+            }
+            for (slot, net) in buf.iter_mut().zip(nets) {
+                *slot = net_stats[net.0];
+            }
+            self.per_gate[i] = model.total_power_into(
+                gate.cell,
+                config_of(i),
+                &buf[..nets.len()],
+                self.loads[gate.output.0],
+                scratch,
+            );
+            self.rescored_gates += 1;
+        }
+        // Re-sum in gate order: bitwise identical to a full pass.
+        self.total = self.per_gate.iter().sum();
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{circuit_total_compiled, propagate_with_mode};
+    use tr_gatelib::{CellKind, Process};
+    use tr_netlist::generators;
+
+    fn toggle_cell(c: &mut Circuit, g: GateId) {
+        let new = match c.gate(g).cell.clone() {
+            CellKind::Nand(k) => CellKind::Nor(k),
+            CellKind::Nor(k) => CellKind::Nand(k),
+            CellKind::Aoi(gs) => CellKind::Oai(gs),
+            CellKind::Oai(gs) => CellKind::Aoi(gs),
+            CellKind::Inv => panic!("an inverter has no same-arity dual"),
+        };
+        c.set_cell(g, new);
+    }
+
+    fn pick_victim(c: &Circuit) -> GateId {
+        GateId(
+            c.gates()
+                .iter()
+                .position(|g| !matches!(g.cell, CellKind::Inv))
+                .expect("multi-input gate"),
+        )
+    }
+
+    fn pi_stats(n: usize) -> Vec<SignalStats> {
+        (0..n)
+            .map(|i| SignalStats::new(0.15 + 0.03 * (i % 20) as f64, 1.0e4 * (1 + i % 6) as f64))
+            .collect()
+    }
+
+    fn full_total(
+        c: &Circuit,
+        lib: &Library,
+        model: &PowerModel,
+        net_stats: &[SignalStats],
+        scratch: &mut Scratch,
+    ) -> f64 {
+        let compiled = CompiledCircuit::compile(c, lib).unwrap();
+        let loads = external_loads_compiled(&compiled, model);
+        circuit_total_compiled(&compiled, model, net_stats, &loads, scratch, |i| {
+            compiled.gates()[i].config as usize
+        })
+    }
+
+    #[test]
+    fn initial_stats_match_propagate_with_mode() {
+        let lib = Library::standard();
+        let c = generators::carry_skip_adder(8, 4, &lib);
+        let pi = pi_stats(c.primary_inputs().len());
+        for mode in [
+            PropagationMode::Independent,
+            PropagationMode::ExactBdd,
+            PropagationMode::monte(3),
+        ] {
+            let prop = IncrementalPropagator::new(&c, &lib, &pi, mode).unwrap();
+            let want = propagate_with_mode(&c, &lib, &pi, mode).unwrap();
+            assert_eq!(prop.net_stats(), &want[..], "{mode}");
+        }
+    }
+
+    #[test]
+    fn refresh_matches_full_propagation_for_every_backend() {
+        let lib = Library::standard();
+        let mut c = generators::carry_select_adder(8, 4, &lib);
+        let pi = pi_stats(c.primary_inputs().len());
+        let victim = pick_victim(&c);
+        for mode in [
+            PropagationMode::Independent,
+            PropagationMode::ExactBdd,
+            PropagationMode::monte(9),
+        ] {
+            let mut prop = IncrementalPropagator::new(&c, &lib, &pi, mode).unwrap();
+            toggle_cell(&mut c, victim);
+            prop.refresh(&c, &lib, &[victim]).unwrap();
+            let want = propagate_with_mode(&c, &lib, &pi, mode).unwrap();
+            for (net, (x, y)) in prop.net_stats().iter().zip(&want).enumerate() {
+                assert!(
+                    (x.probability() - y.probability()).abs() < 1e-12,
+                    "{mode} net {net}: P {x} vs {y}"
+                );
+                let tol = 1e-12 * y.density().abs().max(1.0);
+                assert!(
+                    (x.density() - y.density()).abs() < tol,
+                    "{mode} net {net}: D {x} vs {y}"
+                );
+            }
+            toggle_cell(&mut c, victim); // restore for the next mode
+            prop.refresh(&c, &lib, &[victim]).unwrap();
+            assert_eq!(prop.repropagations(), 2, "{mode}");
+        }
+    }
+
+    #[test]
+    fn config_only_refresh_re_derives_nothing() {
+        let lib = Library::standard();
+        let mut c = generators::comparator(4, &lib);
+        let pi = pi_stats(c.primary_inputs().len());
+        let mut prop =
+            IncrementalPropagator::new(&c, &lib, &pi, PropagationMode::Independent).unwrap();
+        let before = prop.net_stats().to_vec();
+        let choices: Vec<usize> = c
+            .gates()
+            .iter()
+            .map(|g| lib.cell(&g.cell).unwrap().configurations().len() - 1)
+            .collect();
+        for (i, cfg) in choices.into_iter().enumerate() {
+            c.set_config(GateId(i), cfg);
+        }
+        let all: Vec<GateId> = (0..c.gates().len()).map(GateId).collect();
+        let dirty = prop.refresh(&c, &lib, &all).unwrap();
+        assert!(dirty.is_empty(), "§4.2: no net may change");
+        assert_eq!(prop.refreshed_nets(), 0);
+        assert_eq!(prop.net_stats(), &before[..]);
+    }
+
+    #[test]
+    fn delta_power_is_bitwise_identical_to_a_full_pass() {
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        let mut c = generators::carry_skip_adder(8, 4, &lib);
+        let pi = pi_stats(c.primary_inputs().len());
+        let mut prop =
+            IncrementalPropagator::new(&c, &lib, &pi, PropagationMode::Independent).unwrap();
+        let mut scratch = Scratch::new();
+        let compiled = CompiledCircuit::compile(&c, &lib).unwrap();
+        let mut ledger =
+            IncrementalPower::new(&compiled, &model, prop.net_stats(), &mut scratch, |i| {
+                compiled.gates()[i].config as usize
+            });
+        assert_eq!(
+            ledger.total(),
+            full_total(&c, &lib, &model, prop.net_stats(), &mut scratch)
+        );
+        // A cell substitution: refresh statistics, then delta-rescore.
+        let victim = pick_victim(&c);
+        toggle_cell(&mut c, victim);
+        let dirty = prop.refresh(&c, &lib, &[victim]).unwrap();
+        assert!(!dirty.is_empty(), "a cell substitution dirties its cone");
+        let fresh = CompiledCircuit::compile(&c, &lib).unwrap();
+        let total = ledger.rescore(
+            &fresh,
+            &model,
+            prop.net_stats(),
+            &mut scratch,
+            &[victim],
+            &dirty,
+            |i| fresh.gates()[i].config as usize,
+        );
+        assert_eq!(
+            total,
+            full_total(&c, &lib, &model, prop.net_stats(), &mut scratch),
+            "delta total must be bitwise identical"
+        );
+    }
+
+    #[test]
+    fn delta_power_rescored_set_is_smaller_than_the_circuit() {
+        let lib = Library::standard();
+        let model = PowerModel::new(&lib, Process::default());
+        let mut c = generators::array_multiplier(4, &lib);
+        let pi = pi_stats(c.primary_inputs().len());
+        let mut prop =
+            IncrementalPropagator::new(&c, &lib, &pi, PropagationMode::ExactBdd).unwrap();
+        let mut scratch = Scratch::new();
+        let compiled = CompiledCircuit::compile(&c, &lib).unwrap();
+        let mut ledger =
+            IncrementalPower::new(&compiled, &model, prop.net_stats(), &mut scratch, |i| {
+                compiled.gates()[i].config as usize
+            });
+        // Pick a victim deep in the array so its cone is a strict subset.
+        let victim = GateId(
+            (0..c.gates().len())
+                .rev()
+                .find(|&i| !matches!(c.gates()[i].cell, CellKind::Inv))
+                .unwrap(),
+        );
+        toggle_cell(&mut c, victim);
+        let dirty = prop.refresh(&c, &lib, &[victim]).unwrap();
+        let fresh = CompiledCircuit::compile(&c, &lib).unwrap();
+        let total = ledger.rescore(
+            &fresh,
+            &model,
+            prop.net_stats(),
+            &mut scratch,
+            &[victim],
+            &dirty,
+            |i| fresh.gates()[i].config as usize,
+        );
+        assert!(
+            ledger.rescored_gates() < c.gates().len() / 2,
+            "rescored {} of {} gates",
+            ledger.rescored_gates(),
+            c.gates().len()
+        );
+        assert_eq!(
+            total,
+            full_total(&c, &lib, &model, prop.net_stats(), &mut scratch)
+        );
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 mod circuit;
+mod incremental;
 mod mode;
 mod model;
 pub mod monte;
@@ -65,6 +66,7 @@ pub use circuit::{
     circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, propagate,
     propagate_exact, CircuitPower,
 };
+pub use incremental::{IncrementalPower, IncrementalPropagator};
 pub use mode::{
     propagate_exact_bdd, propagate_exact_bdd_with_stats, propagate_with_mode, PropagationError,
     PropagationMode,

@@ -137,26 +137,33 @@ pub fn propagate_with_mode(
         PropagationMode::ExactBdd => propagate_exact_bdd(circuit, library, pi_stats),
         PropagationMode::Monte { steps, seed } => {
             let compiled = CompiledCircuit::compile(circuit, library)?;
-            // Resolve the fastest input's dwell time so no flip
-            // probability needs clamping and observed-flip density
-            // counting stays exact in expectation (see
-            // `monte::estimate`). Inputs much slower than the simulated
-            // span steps·dt estimate their P with high variance; Monte
-            // is a cross-check, not a precision backend. Quiescent
-            // inputs (no dwell) make dt arbitrary.
-            let min_dwell = pi_stats
-                .iter()
-                .filter_map(|s| s.dwell_times().map(|(t0, t1)| t0.min(t1)))
-                .fold(f64::INFINITY, f64::min);
-            let dt = if min_dwell.is_finite() {
-                0.2 * min_dwell
-            } else {
-                1.0
-            };
             Ok(monte::estimate(
-                &compiled, library, pi_stats, steps, dt, seed,
+                &compiled,
+                library,
+                pi_stats,
+                steps,
+                monte_dt(pi_stats),
+                seed,
             ))
         }
+    }
+}
+
+/// The Monte Carlo sample interval: resolve the fastest input's dwell
+/// time so no flip probability needs clamping and observed-flip density
+/// counting stays exact in expectation (see `monte::estimate`). Inputs
+/// much slower than the simulated span `steps·dt` estimate their P with
+/// high variance; Monte is a cross-check, not a precision backend.
+/// Quiescent inputs (no dwell) make dt arbitrary.
+pub(crate) fn monte_dt(pi_stats: &[SignalStats]) -> f64 {
+    let min_dwell = pi_stats
+        .iter()
+        .filter_map(|s| s.dwell_times().map(|(t0, t1)| t0.min(t1)))
+        .fold(f64::INFINITY, f64::min);
+    if min_dwell.is_finite() {
+        0.2 * min_dwell
+    } else {
+        1.0
     }
 }
 

@@ -1,0 +1,141 @@
+//! The dirty-cone contract: after every accepted change, incremental
+//! re-propagation must be indistinguishable (to 1e-12) from throwing the
+//! engine away and rebuilding — on randomized input statistics and
+//! change sequences over the light suite circuits, on a deterministic
+//! multi-change `csel32` scenario, and for one accepted change on
+//! **every** circuit of the benchmark suite.
+
+use proptest::prelude::*;
+use std::sync::OnceLock;
+use tr_boolean::SignalStats;
+use tr_gatelib::{CellKind, Library};
+use tr_netlist::suite::BenchmarkCase;
+use tr_netlist::{suite, Circuit, GateId};
+use tr_power::{propagate_exact_bdd, IncrementalPropagator, PropagationMode};
+
+fn library() -> &'static Library {
+    static LIB: OnceLock<Library> = OnceLock::new();
+    LIB.get_or_init(Library::standard)
+}
+
+/// Suite circuits whose primary-input count is within `max_pis`.
+fn suite_up_to(max_pis: usize) -> Vec<BenchmarkCase> {
+    suite::standard_suite(library())
+        .into_iter()
+        .filter(|c| c.circuit.primary_inputs().len() <= max_pis)
+        .collect()
+}
+
+/// Gates with a same-arity dual cell (everything but inverters).
+fn candidates(c: &Circuit) -> Vec<GateId> {
+    (0..c.gates().len())
+        .filter(|&i| !matches!(c.gates()[i].cell, CellKind::Inv))
+        .map(GateId)
+        .collect()
+}
+
+/// Swaps a gate's cell for its same-arity dual (NAND↔NOR, AOI↔OAI) —
+/// the function-changing "accepted cell change" of the fixpoint loop.
+fn toggle_cell(c: &mut Circuit, g: GateId) {
+    let new = match c.gate(g).cell.clone() {
+        CellKind::Nand(k) => CellKind::Nor(k),
+        CellKind::Nor(k) => CellKind::Nand(k),
+        CellKind::Aoi(gs) => CellKind::Oai(gs),
+        CellKind::Oai(gs) => CellKind::Aoi(gs),
+        CellKind::Inv => panic!("an inverter has no same-arity dual"),
+    };
+    c.set_cell(g, new);
+}
+
+/// Asserts `(P, D)` agreement to 1e-12 (absolute in P, relative in D).
+fn assert_stats_close(name: &str, net: usize, a: &SignalStats, b: &SignalStats) {
+    assert!(
+        (a.probability() - b.probability()).abs() < 1e-12,
+        "{name} net {net}: P {} vs {}",
+        a.probability(),
+        b.probability()
+    );
+    let d_tol = 1e-12 * a.density().abs().max(b.density().abs()).max(1.0);
+    assert!(
+        (a.density() - b.density()).abs() < d_tol,
+        "{name} net {net}: D {} vs {}",
+        a.density(),
+        b.density()
+    );
+}
+
+/// Applies a sequence of accepted cell changes to `circuit`, refreshing
+/// incrementally after each, and pins every refresh against a full
+/// rebuild of the edited circuit.
+fn run_sequence(name: &str, circuit: &Circuit, pi: &[SignalStats], picks: &[u32]) {
+    let lib = library();
+    let mut c = circuit.clone();
+    let mut prop = IncrementalPropagator::new(&c, lib, pi, PropagationMode::ExactBdd)
+        .expect("fits node budget");
+    let cands = candidates(&c);
+    assert!(!cands.is_empty(), "{name}: no toggleable gate");
+    for &pick in picks {
+        let victim = cands[pick as usize % cands.len()];
+        toggle_cell(&mut c, victim);
+        prop.refresh(&c, lib, &[victim])
+            .expect("refresh fits budget");
+        let want = propagate_exact_bdd(&c, lib, pi).expect("rebuild fits budget");
+        for (net, (a, b)) in prop.net_stats().iter().zip(&want).enumerate() {
+            assert_stats_close(name, net, a, b);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+    /// Randomized statistics and change sequences over every ≤12-input
+    /// suite circuit: four accepted changes each, every one checked
+    /// against a full rebuild.
+    #[test]
+    fn incremental_matches_full_rebuild_on_light_suite(
+        raw in prop::collection::vec((0.0f64..=1.0, 0.0f64..1.0e6), 12),
+        picks in prop::collection::vec(any::<u32>(), 4),
+    ) {
+        for case in suite_up_to(12) {
+            let n = case.circuit.primary_inputs().len();
+            let pi: Vec<SignalStats> = raw[..n]
+                .iter()
+                .map(|&(p, d)| SignalStats::new(p, d))
+                .collect();
+            run_sequence(&case.name, &case.circuit, &pi, &picks);
+        }
+    }
+}
+
+/// The deterministic `csel32` scenario (65 primary inputs — far past
+/// any truth-table oracle): six accepted changes, including an
+/// immediate un-toggle (picks 4 and 5 hit the same victim), each
+/// checked against a full rebuild.
+#[test]
+fn incremental_matches_full_rebuild_on_csel32() {
+    let case = suite::standard_suite(library())
+        .into_iter()
+        .find(|c| c.name == "csel32")
+        .expect("csel32 registered in the suite");
+    let n = case.circuit.primary_inputs().len();
+    let pi: Vec<SignalStats> = (0..n)
+        .map(|i| SignalStats::new(0.08 + 0.013 * (i % 64) as f64, 2.0e4 * (1 + i % 9) as f64))
+        .collect();
+    run_sequence("csel32", &case.circuit, &pi, &[0, 17, 43, 9, 26, 26]);
+}
+
+/// One accepted change on **every** circuit of the suite (the
+/// acceptance bar: incremental matches a full `exact_stats` rebuild to
+/// 1e-12 on every suite circuit, `rnd_e`'s 500 dense random gates
+/// included). The victim sits mid-circuit so the cone is non-trivial.
+#[test]
+fn incremental_matches_full_rebuild_on_every_suite_circuit() {
+    for case in suite::standard_suite(library()) {
+        let n = case.circuit.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.1 + 0.025 * (i % 30) as f64, 1.0e4 * (1 + i % 7) as f64))
+            .collect();
+        let mid = candidates(&case.circuit).len() as u32 / 2;
+        run_sequence(&case.name, &case.circuit, &pi, &[mid]);
+    }
+}

@@ -749,10 +749,15 @@ mod tests {
 }
 
 pub mod analysis;
+pub mod fixpoint;
 pub mod heuristic;
 pub mod slack;
 
 pub use analysis::{instance_demand, CellDemand, InstanceDemand};
+pub use fixpoint::{
+    optimize_to_fixpoint, optimize_to_fixpoint_with_propagator, FixpointOptions, FixpointReport,
+    FixpointTermination, DEFAULT_MAX_ITERATIONS,
+};
 pub use heuristic::{optimize_rule_based, Rule};
 pub use slack::{
     delay_power_tradeoff, optimize_slack_aware, optimize_slack_aware_with_net_stats,

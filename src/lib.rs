@@ -80,12 +80,13 @@ pub mod prelude {
     pub use tr_power::scenario::Scenario;
     pub use tr_power::{
         circuit_power, circuit_total_compiled, external_loads, external_loads_compiled, monte,
-        propagate, propagate_exact, propagate_exact_bdd, propagate_with_mode, PowerModel,
-        PropagationMode, Scratch,
+        propagate, propagate_exact, propagate_exact_bdd, propagate_with_mode, IncrementalPower,
+        IncrementalPropagator, PowerModel, PropagationMode, Scratch,
     };
     pub use tr_reorder::{
         delay_power_tradeoff, instance_demand, optimize, optimize_delay_bounded, optimize_parallel,
-        optimize_slack_aware, optimize_with_net_stats, InstanceDemand, Objective, OptimizeResult,
+        optimize_slack_aware, optimize_to_fixpoint, optimize_with_net_stats, FixpointOptions,
+        FixpointReport, FixpointTermination, InstanceDemand, Objective, OptimizeResult,
     };
     pub use tr_sim::{
         simulate, simulate_traced, simulate_with_drives, vcd, InputDrive, SimConfig, SimReport,

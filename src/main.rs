@@ -76,6 +76,10 @@ OPTIONS (optimize/analyze):
                         ROBDD statistics, reconvergence handled exactly)
   --objective min|max   minimize (default) or maximize power
   --delay-bound MODE    none (default) | local | slack
+  --fixpoint            iterate optimize ↔ re-propagate dirty cones until
+                        no gate changes (reports iterations and the
+                        stale-vs-fresh power discrepancy; --delay-bound
+                        none only)
   --threads N           optimizer worker threads (default: all cores;
                         applies to --delay-bound none)
   --simulate            validate with the switch-level simulator
@@ -94,6 +98,7 @@ OPTIONS (batch):
   --prob indep|bdd|monte as above
   --objective min|max   as above
   --delay-bound MODE    as above
+  --fixpoint            as above
   --simulate            switch-level-validate every cell (quick profile)
   --threads N           worker threads (default: all cores)
 
@@ -106,6 +111,7 @@ struct Options {
     prob: Option<String>,
     objective: Objective,
     delay_bound: DelayBound,
+    fixpoint: bool,
     threads: usize,
     simulate: bool,
     vcd: Option<String>,
@@ -153,6 +159,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
         prob: None,
         objective: Objective::MinimizePower,
         delay_bound: DelayBound::Unbounded,
+        fixpoint: false,
         threads: default_threads(),
         simulate: false,
         vcd: None,
@@ -180,6 +187,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
             "--delay-bound" => {
                 opts.delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
             }
+            "--fixpoint" => opts.fixpoint = true,
             "--threads" => opts.threads = parse_threads(&mut it)?,
             "--simulate" => opts.simulate = true,
             "--vcd" => {
@@ -220,6 +228,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
         .prob(opts.prob_mode()?)
         .objective(opts.objective)
         .delay_bound(opts.delay_bound)
+        .fixpoint(opts.fixpoint)
         .threads(opts.threads)
         .headroom(false);
     if opts.simulate {
@@ -259,6 +268,15 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
             "probability backend: {} (independence error up to {:.3e} in P)",
             report.prob_mode, err
         );
+    }
+    if let Some(iters) = report.fixpoint_iters {
+        println!(
+            "fixpoint: {iters} iterations, {} cone re-propagations",
+            report.repropagations
+        );
+    }
+    if let Some(disc) = report.stale_power_discrepancy_w {
+        println!("stale-statistics discrepancy: {disc:.3e} W");
     }
     println!(
         "critical path: {:.3} ns → {:.3} ns ({:+.1}%)",
@@ -329,6 +347,38 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
         critical_path_delay(&circuit, &env.timing) * 1e9,
         circuit.logic_depth()
     );
+    if opts.fixpoint {
+        // Read-only: run the fixed-point loop to report its convergence
+        // behavior without touching the netlist.
+        let rep = optimize_to_fixpoint(
+            &circuit,
+            &env.library,
+            &env.model,
+            &stats,
+            mode,
+            FixpointOptions {
+                objective: opts.objective,
+                ..FixpointOptions::default()
+            },
+        )?;
+        println!(
+            "fixpoint: {} after {} iterations ({} cone re-propagations, {} nets re-derived)",
+            if rep.converged() {
+                "converged"
+            } else {
+                "hit the iteration cap"
+            },
+            rep.iterations,
+            rep.repropagations,
+            rep.refreshed_nets
+        );
+        println!(
+            "fixpoint power: {:.4e} W → {:.4e} W, stale-statistics discrepancy {:.3e} W",
+            rep.result.power_before,
+            rep.result.power_after,
+            rep.stale_discrepancy_w()
+        );
+    }
     Ok(())
 }
 
@@ -347,6 +397,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let mut prob: Option<String> = None;
     let mut objective = Objective::MinimizePower;
     let mut delay_bound = DelayBound::Unbounded;
+    let mut fixpoint = false;
     let mut simulate = false;
     let mut threads = default_threads();
 
@@ -367,6 +418,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
             "--delay-bound" => {
                 delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
             }
+            "--fixpoint" => fixpoint = true,
             "--simulate" => simulate = true,
             "--threads" => threads = parse_threads(&mut it)?,
             other if !other.starts_with('-') => inputs.push(other.to_string()),
@@ -411,7 +463,8 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
         Circuit::new("template"),
     ))
     .objective(objective)
-    .delay_bound(delay_bound);
+    .delay_bound(delay_bound)
+    .fixpoint(fixpoint);
     if let Some(s) = &prob {
         // The Monte Carlo backend takes one fixed seed across the grid —
         // per-cell scenarios already vary the input statistics.
