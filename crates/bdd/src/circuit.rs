@@ -32,6 +32,7 @@ use crate::manager::{
     DEFAULT_GC_THRESHOLD, DEFAULT_NODE_LIMIT,
 };
 use crate::order::{initial_order, OrderHeuristic};
+use tr_boolean::govern::Governor;
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::{CompiledCircuit, GateId, NetId};
@@ -73,6 +74,10 @@ pub struct CircuitBddStats {
     /// High-water mark of the live node count (what the budget actually
     /// had to accommodate).
     pub peak_live: usize,
+    /// Registered GC roots (one per net plus any caller additions) —
+    /// incremental users assert this stays balanced across
+    /// [`CircuitBdds::repropagate`] rounds and interrupted runs.
+    pub protected_count: usize,
     /// Memoization counters of the underlying manager.
     pub cache: CacheStats,
 }
@@ -117,6 +122,7 @@ fn build_roots(
     order: &[usize],
     node_limit: usize,
     gc_threshold: usize,
+    governor: Option<&Governor>,
 ) -> Result<(Bdd, Vec<Edge>), BddError> {
     let n_pis = compiled.primary_inputs().len();
     debug_assert_eq!(order.len(), n_pis, "order must be a PI permutation");
@@ -126,6 +132,7 @@ fn build_roots(
     }
     let mut manager = Bdd::with_node_limit(n_pis, node_limit);
     manager.set_gc_threshold(gc_threshold);
+    manager.set_governor(governor.cloned());
     // Nets that are neither primary inputs nor gate outputs stay ZERO —
     // a valid circuit has none.
     let mut roots = vec![Edge::ZERO; compiled.net_count()];
@@ -149,6 +156,9 @@ fn build_roots(
                 manager.gc();
                 manager.compose_fn(function, &args)?
             }
+            // Cancellation/deadline: no retry will help; the half-built
+            // attempt is ordinary garbage.
+            Err(e @ BddError::Interrupted(_)) => return Err(e),
         };
         roots[gate.output.0] = edge;
         manager.protect(edge);
@@ -170,6 +180,26 @@ impl CircuitBdds {
         library: &Library,
         options: BuildOptions,
     ) -> Result<Self, BddError> {
+        CircuitBdds::build_governed(compiled, library, options, None)
+    }
+
+    /// [`CircuitBdds::build`] under a [`Governor`]: the manager checks
+    /// the governor on every node allocation, so a cancelled token or a
+    /// passed deadline aborts the build (and any later governed
+    /// operation on the result) with [`BddError::Interrupted`]. The
+    /// governor stays attached to the manager; replace or detach it with
+    /// [`CircuitBdds::set_governor`].
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitBdds::build`], plus [`BddError::Interrupted`] when
+    /// the governor trips.
+    pub fn build_governed(
+        compiled: &CompiledCircuit,
+        library: &Library,
+        options: BuildOptions,
+        governor: Option<&Governor>,
+    ) -> Result<Self, BddError> {
         let order = initial_order(compiled, options.heuristic);
         let (manager, roots) = build_roots(
             compiled,
@@ -177,6 +207,7 @@ impl CircuitBdds {
             &order,
             options.node_limit,
             options.gc_threshold,
+            governor,
         )?;
         let mut level_of_pi = vec![0usize; order.len()];
         for (level, &pos) in order.iter().enumerate() {
@@ -192,6 +223,67 @@ impl CircuitBdds {
             this.sift_in_place(max_swaps);
         }
         Ok(this)
+    }
+
+    /// [`CircuitBdds::build_governed`] under an explicit variable order
+    /// (a permutation of primary-input positions) instead of a
+    /// heuristic — how the degradation ladder retries a budget-blown
+    /// build under the information-measure order
+    /// ([`crate::order::info_measure`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`CircuitBdds::build_governed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of
+    /// `0..primary_inputs().len()`.
+    pub fn build_with_order(
+        compiled: &CompiledCircuit,
+        library: &Library,
+        options: BuildOptions,
+        order: Vec<usize>,
+        governor: Option<&Governor>,
+    ) -> Result<Self, BddError> {
+        let n_pis = compiled.primary_inputs().len();
+        let mut seen = vec![false; n_pis];
+        assert!(
+            order.len() == n_pis
+                && order.iter().all(|&p| {
+                    let fresh = p < n_pis && !seen[p];
+                    if fresh {
+                        seen[p] = true;
+                    }
+                    fresh
+                }),
+            "order must be a permutation of primary-input positions"
+        );
+        let (manager, roots) = build_roots(
+            compiled,
+            library,
+            &order,
+            options.node_limit,
+            options.gc_threshold,
+            governor,
+        )?;
+        let mut level_of_pi = vec![0usize; order.len()];
+        for (level, &pos) in order.iter().enumerate() {
+            level_of_pi[pos] = level;
+        }
+        Ok(CircuitBdds {
+            manager,
+            roots,
+            order,
+            level_of_pi,
+        })
+    }
+
+    /// Attaches (or with `None` detaches) a [`Governor`] that every
+    /// subsequent fallible operation on this engine — repropagation,
+    /// statistics walks, node allocation — checks cooperatively.
+    pub fn set_governor(&mut self, governor: Option<Governor>) {
+        self.manager.set_governor(governor);
     }
 
     /// The underlying manager (read-only).
@@ -233,6 +325,7 @@ impl CircuitBdds {
             live_nodes: self.manager.live_size(self.roots.iter().copied()),
             gc_runs: gc.runs,
             peak_live: gc.peak_live,
+            protected_count: self.manager.protected_count(),
             cache: self.manager.cache_stats(),
         }
     }
@@ -275,6 +368,17 @@ impl CircuitBdds {
         let by_initial_level: Vec<usize> = self.order.clone();
         for pi in by_initial_level {
             if swaps >= max_swaps {
+                break;
+            }
+            // Sifting is best-effort optimization: a tripped governor
+            // stops it at a variable boundary (levels are consistent
+            // there) instead of surfacing an error — the BDDs stay
+            // valid, just less compact.
+            if self
+                .manager
+                .governor()
+                .is_some_and(|g| g.check_now("sift").is_err())
+            {
                 break;
             }
             // Sweep the strays of the previous variable so the pool scan
@@ -335,8 +439,9 @@ impl CircuitBdds {
     ///
     /// # Errors
     ///
-    /// Infallible today (the signature keeps the historical `Result`
-    /// so budget-limited statistics variants can return here).
+    /// Returns [`BddError::Interrupted`] when an attached [`Governor`]
+    /// trips mid-pass (the engine itself stays consistent — no roots
+    /// move during statistics).
     ///
     /// # Panics
     ///
@@ -359,8 +464,9 @@ impl CircuitBdds {
     ///
     /// # Errors
     ///
-    /// Infallible today (the signature keeps the historical `Result` so
-    /// budget-limited statistics variants can return here).
+    /// Returns [`BddError::Interrupted`] when an attached [`Governor`]
+    /// trips mid-pass; already-written `out` slots hold valid values,
+    /// the rest are untouched.
     ///
     /// # Panics
     ///
@@ -398,6 +504,12 @@ impl CircuitBdds {
         let mut visited = VisitScratch::new();
         let mut seen = vec![false; self.order.len()];
         for &net in nets {
+            // A boundary check per net keeps deadline latency bounded
+            // even when every per-level walk below is cache-hot (and
+            // therefore skips the manager's amortized checks).
+            if let Some(g) = self.manager.governor() {
+                g.check_now("exact-stats")?;
+            }
             let root = self.roots[net.0];
             let p = self.manager.probability(root, &probs, &mut prob);
             self.manager.support_into(root, &mut seen, &mut visited);
@@ -412,7 +524,7 @@ impl CircuitBdds {
                     &probs,
                     &mut prob,
                     &mut density,
-                ) * dens[level];
+                )? * dens[level];
             }
             out[net.0] = SignalStats::new(p, d.max(0.0));
         }
@@ -440,7 +552,9 @@ impl CircuitBdds {
     /// # Errors
     ///
     /// Returns [`BddError::NodeLimit`] if a recomposed cone does not fit
-    /// the node budget even after a forced collection.
+    /// the node budget even after a forced collection, and
+    /// [`BddError::Interrupted`] when an attached [`Governor`] trips
+    /// mid-sweep (roots stay protected and consistent either way).
     ///
     /// # Panics
     ///
@@ -486,6 +600,12 @@ impl CircuitBdds {
                     self.manager.gc();
                     self.manager.compose_fn(function, &args)?
                 }
+                // Interrupted mid-cone: every root swapped so far was
+                // protected before its predecessor was released, so the
+                // engine is consistent — it just describes a circuit
+                // partway through the edit. Callers treat the whole
+                // repropagation as failed and rebuild or fall back.
+                Err(e @ BddError::Interrupted(_)) => return Err(e),
             };
             let old = self.roots[gate.output.0];
             if edge != old {
@@ -890,6 +1010,45 @@ mod tests {
         }
         // An even number of toggles lands back on the original circuit.
         assert_stats_match(&stats, &original);
+    }
+
+    #[test]
+    fn tripped_governor_interrupts_the_build() {
+        let lib = Library::standard();
+        let c = generators::array_multiplier(6, &lib);
+        let cc = compiled(&c, &lib);
+        let gov = Governor::with_trip_after(200);
+        let err = CircuitBdds::build_governed(&cc, &lib, BuildOptions::default(), Some(&gov))
+            .unwrap_err();
+        assert!(
+            matches!(&err, BddError::Interrupted(i) if i.phase == "bdd"),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn interrupted_stats_leave_the_engine_consistent() {
+        // Cancel mid-statistics, then detach the governor and rerun: the
+        // results must match a fresh engine, and the protected-root count
+        // must never move.
+        let lib = Library::standard();
+        let c = generators::carry_select_adder(16, 4, &lib);
+        let cc = compiled(&c, &lib);
+        let n = cc.primary_inputs().len();
+        let pi: Vec<SignalStats> = (0..n)
+            .map(|i| SignalStats::new(0.1 + 0.02 * i as f64, 1.0e4 * (1 + i % 7) as f64))
+            .collect();
+        let mut bdds = build(&c, &lib);
+        let baseline_protected = bdds.stats().protected_count;
+        assert_eq!(baseline_protected, c.net_count());
+        bdds.set_governor(Some(Governor::with_trip_after(500)));
+        let err = bdds.exact_stats(&pi).unwrap_err();
+        assert!(matches!(err, BddError::Interrupted(_)), "{err:?}");
+        assert_eq!(bdds.stats().protected_count, baseline_protected);
+        bdds.set_governor(None);
+        let got = bdds.exact_stats(&pi).unwrap();
+        let want = build(&c, &lib).exact_stats(&pi).unwrap();
+        assert_stats_match(&got, &want);
     }
 
     #[test]

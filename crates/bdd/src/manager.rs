@@ -48,6 +48,7 @@
 //!   no longer count against the budget.
 
 use std::fmt;
+use tr_boolean::govern::{Governor, Interrupted};
 
 /// Level assigned to the terminal node: sorts after every real variable.
 pub(crate) const TERMINAL_VAR: u32 = u32::MAX;
@@ -87,7 +88,7 @@ pub const DEFAULT_GC_THRESHOLD: usize = 1 << 21;
 const GC_GROWTH_FACTOR: usize = 4;
 
 /// Errors from BDD construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BddError {
     /// The *live* node count reached the configured limit; the function
     /// being built is too large under the current variable ordering even
@@ -96,6 +97,16 @@ pub enum BddError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The manager's [`Governor`] tripped (cancellation, deadline or a
+    /// deterministic work-limit trip point) mid-operation. The pool and
+    /// unique table stay consistent — protected roots are untouched and
+    /// any half-built intermediates are ordinary garbage for the next
+    /// collection — so the manager remains fully usable.
+    ///
+    /// Boxed so the error variant does not widen `Result<Edge, BddError>`
+    /// on the ITE hot path (a fat error would push every recursive
+    /// return through memory).
+    Interrupted(Box<Interrupted>),
 }
 
 impl fmt::Display for BddError {
@@ -104,11 +115,24 @@ impl fmt::Display for BddError {
             BddError::NodeLimit { limit } => {
                 write!(f, "BDD node limit of {limit} live nodes exceeded")
             }
+            BddError::Interrupted(i) => write!(f, "{i}"),
         }
     }
 }
 
 impl std::error::Error for BddError {}
+
+impl From<Interrupted> for BddError {
+    fn from(i: Interrupted) -> Self {
+        BddError::Interrupted(Box::new(i))
+    }
+}
+
+/// Zero-sized "the governor tripped" marker used inside the density
+/// walk's recursion, so its `Result<f64, Tripped>` stays two machine
+/// words and returns in registers. Converted to the full
+/// [`BddError::Interrupted`] at the walk's public entry point.
+struct Tripped;
 
 /// A reference to a BDD function: node index plus complement bit.
 ///
@@ -465,6 +489,9 @@ pub struct Bdd {
     next_gc: usize,
     stats: CacheStats,
     gc: GcStats,
+    /// Optional cooperative-cancellation governor, consulted (amortized)
+    /// on every node get-or-create and every probability-walk visit.
+    governor: Option<Governor>,
 }
 
 impl fmt::Debug for Bdd {
@@ -521,6 +548,53 @@ impl Bdd {
                 freed: 0,
                 peak_live: 1,
             },
+            governor: None,
+        }
+    }
+
+    /// Attaches (or detaches, with `None`) a cooperative [`Governor`]:
+    /// subsequent node creation and probability walks check it every
+    /// ~4k operations and return [`BddError::Interrupted`] once it
+    /// trips. Interruption never corrupts the manager — see
+    /// [`BddError::Interrupted`].
+    pub fn set_governor(&mut self, governor: Option<Governor>) {
+        self.governor = governor;
+    }
+
+    /// The attached governor, if any.
+    pub fn governor(&self) -> Option<&Governor> {
+        self.governor.as_ref()
+    }
+
+    /// Amortized governor check, tagged with the BDD phase.
+    #[inline]
+    fn govern_check(&self) -> Result<(), BddError> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.check("bdd").map_err(BddError::from),
+        }
+    }
+
+    /// Amortized governor check for the density walk's hot recursion:
+    /// the error is a zero-sized marker so `Result<f64, Tripped>` still
+    /// returns in registers; [`Bdd::trip_error`] rebuilds the real
+    /// [`Interrupted`] at the walk's entry point.
+    #[inline]
+    fn govern_poll(&self) -> Result<(), Tripped> {
+        match &self.governor {
+            None => Ok(()),
+            Some(g) => g.check("bdd").map_err(|_| Tripped),
+        }
+    }
+
+    /// Materializes the [`BddError::Interrupted`] a [`Tripped`] marker
+    /// stands for. Every trip condition is monotone (a cancelled token
+    /// stays cancelled, a passed deadline stays passed, the work counter
+    /// only grows), so re-consulting the governor reproduces the trip.
+    fn trip_error(&self) -> BddError {
+        match self.governor.as_ref().map(|g| g.check_now("bdd")) {
+            Some(Err(i)) => BddError::from(i),
+            _ => unreachable!("density walk aborted without a tripped governor"),
         }
     }
 
@@ -569,6 +643,11 @@ impl Bdd {
             self.roots.swap_remove(i);
             true
         } else {
+            debug_assert!(
+                false,
+                "unprotect without a matching protect: {e:?} is not a registered root \
+                 (a protect/unprotect imbalance leaks roots or frees live nodes)"
+            );
             false
         }
     }
@@ -794,6 +873,12 @@ impl Bdd {
         enforce_limit: bool,
     ) -> Result<Edge, BddError> {
         debug_assert!(!high.is_complemented());
+        // The unlimited path (variable nodes, level swaps) must stay
+        // infallible: a half-done level swap would corrupt the order, so
+        // sifting is interrupted only *between* swaps, never inside one.
+        if enforce_limit {
+            self.govern_check()?;
+        }
         let mut slot = hash3(var, low.key(), high.key()) & self.table_mask;
         loop {
             let t = self.table[slot];
@@ -1096,6 +1181,12 @@ impl Bdd {
     /// This is the workhorse of the exact Najm density pass
     /// (`D(y) = Σᵥ P(∂y/∂xᵥ)·D(xᵥ)` in `CircuitBdds::exact_stats`).
     ///
+    /// # Errors
+    ///
+    /// Returns [`BddError::Interrupted`] if an attached governor trips
+    /// mid-walk (the walk allocates nothing, so interruption leaves no
+    /// garbage — only a cold memo).
+    ///
     /// # Panics
     ///
     /// Panics if `var >= n_vars` or `probs.len() != n_vars`.
@@ -1106,13 +1197,15 @@ impl Bdd {
         probs: &[f64],
         prob: &mut ProbScratch,
         scratch: &mut DensityScratch,
-    ) -> f64 {
+    ) -> Result<f64, BddError> {
         assert!(var < self.n_vars, "variable {var} out of range");
         assert_eq!(probs.len(), self.n_vars, "one probability per variable");
         prob.prepare(self);
         scratch.prepare(self);
-        self.diff_prob_rec(f, var as u32, probs, prob, scratch)
-            .clamp(0.0, 1.0)
+        match self.diff_prob_rec(f, var as u32, probs, prob, scratch) {
+            Ok(p) => Ok(p.clamp(0.0, 1.0)),
+            Err(Tripped) => Err(self.trip_error()),
+        }
     }
 
     fn diff_prob_rec(
@@ -1122,17 +1215,18 @@ impl Bdd {
         probs: &[f64],
         prob: &mut ProbScratch,
         scratch: &mut DensityScratch,
-    ) -> f64 {
+    ) -> Result<f64, Tripped> {
         let node_var = self.level(f);
         // Ordering invariant: below `f`'s root every label is larger, so
         // once we pass `var` the function no longer depends on it.
         if node_var > var {
-            return 0.0;
+            return Ok(0.0);
         }
         if node_var == var {
             let (lo, hi) = self.split(f, var);
             return self.xor_prob(lo, hi, probs, prob, scratch);
         }
+        self.govern_poll()?;
         // ∂(¬f) = ∂f: memoize on the regular edge.
         let rf = if f.is_complemented() {
             f.complement()
@@ -1143,12 +1237,12 @@ impl Bdd {
         {
             let e = scratch.diff_memo[slot];
             if e.a == rf.key() && e.b == var {
-                return e.p;
+                return Ok(e.p);
             }
         }
         let (lo, hi) = self.split(rf, node_var);
-        let p_lo = self.diff_prob_rec(lo, var, probs, prob, scratch);
-        let p_hi = self.diff_prob_rec(hi, var, probs, prob, scratch);
+        let p_lo = self.diff_prob_rec(lo, var, probs, prob, scratch)?;
+        let p_hi = self.diff_prob_rec(hi, var, probs, prob, scratch)?;
         let pv = probs[node_var as usize];
         let p = p_lo + pv * (p_hi - p_lo);
         scratch.diff_memo[slot] = PairP {
@@ -1156,7 +1250,7 @@ impl Bdd {
             b: var,
             p,
         };
-        p
+        Ok(p)
     }
 
     /// `P(a ⊕ b)` over the pair graph, memoized per unordered regular
@@ -1168,13 +1262,14 @@ impl Bdd {
         probs: &[f64],
         prob: &mut ProbScratch,
         scratch: &mut DensityScratch,
-    ) -> f64 {
+    ) -> Result<f64, Tripped> {
         if a == b {
-            return 0.0;
+            return Ok(0.0);
         }
         if a == b.complement() {
-            return 1.0;
+            return Ok(1.0);
         }
+        self.govern_poll()?;
         let flip = a.is_complemented() ^ b.is_complemented();
         let ra = Edge(a.key() & !1);
         let rb = Edge(b.key() & !1);
@@ -1195,8 +1290,8 @@ impl Bdd {
                 let top = self.level(ra).min(self.level(rb));
                 let (a0, a1) = self.split(ra, top);
                 let (b0, b1) = self.split(rb, top);
-                let q0 = self.xor_prob(a0, b0, probs, prob, scratch);
-                let q1 = self.xor_prob(a1, b1, probs, prob, scratch);
+                let q0 = self.xor_prob(a0, b0, probs, prob, scratch)?;
+                let q1 = self.xor_prob(a1, b1, probs, prob, scratch)?;
                 let pv = probs[top as usize];
                 let q = q0 + pv * (q1 - q0);
                 scratch.xor_memo[slot] = PairP {
@@ -1207,11 +1302,7 @@ impl Bdd {
                 q
             }
         };
-        if flip {
-            1.0 - q
-        } else {
-            q
-        }
+        Ok(if flip { 1.0 - q } else { q })
     }
 
     /// Evaluates `f` on a full variable assignment.
@@ -1624,6 +1715,7 @@ mod tests {
                     hit = true;
                     break;
                 }
+                Err(e @ BddError::Interrupted(_)) => panic!("no governor attached: {e}"),
             }
         }
         assert!(hit, "limit of 10 nodes should have been exceeded");

@@ -1,0 +1,339 @@
+//! Cooperative run governance: cancellation tokens, deadlines, and the
+//! typed [`Interrupted`] error every governed loop in the workspace
+//! returns instead of running unbounded.
+//!
+//! The primitives live here — in the workspace's foundation crate — so
+//! the BDD manager, the reorder optimizers, the event-driven simulator
+//! and the Monte Carlo estimator can all check the *same* [`Governor`]
+//! without a dependency cycle; `tr_flow::govern` re-exports them next
+//! to the flow-level `RunBudget`.
+//!
+//! Checks are amortized: a governed loop calls [`Governor::check`] once
+//! per unit of work (a node allocation, a pair-graph visit, a simulator
+//! event, a Monte Carlo step) and the governor consults the clock and
+//! the cancellation flag only every [`CHECK_PERIOD`] calls — one relaxed
+//! atomic increment and a branch otherwise, cheap enough for the hot
+//! paths it guards.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How many [`Governor::check`] calls pass between real clock/flag
+/// inspections (~4k, so a tripped deadline or token is noticed within a
+/// few thousand node allocations or simulator events).
+pub const CHECK_PERIOD: u64 = 4096;
+
+/// A shared cancellation flag: cloneable, thread-safe, sticky.
+///
+/// Cancelling is a one-way latch — every [`Governor`] holding a clone
+/// observes it at its next amortized check and returns [`Interrupted`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Latches the token; every holder observes it on its next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Why a governed run stopped early.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TripReason {
+    /// The shared [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The work-unit trip point (fault injection /
+    /// [`Governor::with_trip_after`]) was reached.
+    WorkLimit,
+}
+
+impl TripReason {
+    /// The report spelling (`cancelled`, `deadline`, `work-limit`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TripReason::Cancelled => "cancelled",
+            TripReason::Deadline => "deadline",
+            TripReason::WorkLimit => "work-limit",
+        }
+    }
+}
+
+/// The typed early-termination error of every governed loop: which
+/// phase was interrupted, why, how long it had run, and how much work
+/// it had done.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interrupted {
+    /// The governed phase that observed the trip (`"bdd"`,
+    /// `"optimize"`, `"fixpoint"`, `"simulate"`, `"monte"`, …).
+    pub phase: &'static str,
+    /// Why the run stopped.
+    pub reason: TripReason,
+    /// Wall-clock time since the governor started.
+    pub elapsed: Duration,
+    /// Work units ([`Governor::check`] calls) completed before the trip.
+    pub work_done: u64,
+}
+
+impl fmt::Display for Interrupted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} interrupted ({}) after {:.1} ms and {} work units",
+            self.phase,
+            self.reason.as_str(),
+            self.elapsed.as_secs_f64() * 1e3,
+            self.work_done
+        )
+    }
+}
+
+impl std::error::Error for Interrupted {}
+
+#[derive(Debug)]
+struct Inner {
+    cancel: CancelToken,
+    started: Instant,
+    deadline: Option<Instant>,
+    /// Trip unconditionally once this many work units have passed —
+    /// the deterministic cancellation point fault injection and the
+    /// cancellation-safety proptests rely on (wall clocks are not
+    /// reproducible; work counts are).
+    trip_after: Option<u64>,
+    work: AtomicU64,
+}
+
+/// An amortized deadline/cancellation checker shared by every governed
+/// loop of one run. Cheap to clone (one `Arc`); clones share the work
+/// counter, the deadline and the token.
+///
+/// # Example
+///
+/// ```
+/// use tr_boolean::govern::{Governor, TripReason};
+///
+/// let gov = Governor::unbounded();
+/// assert!(gov.check("demo").is_ok());
+/// gov.token().cancel();
+/// let err = gov.check_now("demo").unwrap_err();
+/// assert_eq!(err.reason, TripReason::Cancelled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Governor {
+    inner: Arc<Inner>,
+}
+
+impl Governor {
+    /// A governor with an optional deadline (measured from now) and a
+    /// fresh cancellation token.
+    pub fn new(deadline: Option<Duration>) -> Self {
+        Governor::with_token(CancelToken::new(), deadline)
+    }
+
+    /// A governor observing a caller-owned token, with an optional
+    /// deadline measured from now.
+    pub fn with_token(cancel: CancelToken, deadline: Option<Duration>) -> Self {
+        let started = Instant::now();
+        Governor {
+            inner: Arc::new(Inner {
+                cancel,
+                started,
+                deadline: deadline.map(|d| started + d),
+                trip_after: None,
+                work: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A governor with no deadline (cancellable via its token only).
+    pub fn unbounded() -> Self {
+        Governor::new(None)
+    }
+
+    /// A governor that trips deterministically once `work` check calls
+    /// have passed — the reproducible cancellation point used by fault
+    /// injection and the cancellation-safety tests.
+    pub fn with_trip_after(work: u64) -> Self {
+        let started = Instant::now();
+        Governor {
+            inner: Arc::new(Inner {
+                cancel: CancelToken::new(),
+                started,
+                deadline: None,
+                trip_after: Some(work),
+                work: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The shared cancellation token (clone it into other threads; the
+    /// governor observes [`CancelToken::cancel`] at its next check).
+    pub fn token(&self) -> CancelToken {
+        self.inner.cancel.clone()
+    }
+
+    /// Wall-clock time since the governor was created.
+    pub fn elapsed(&self) -> Duration {
+        self.inner.started.elapsed()
+    }
+
+    /// Work units counted so far (one per [`Governor::check`]).
+    pub fn work_done(&self) -> u64 {
+        self.inner.work.load(Ordering::Relaxed)
+    }
+
+    /// Whether the shared token has been cancelled.
+    pub fn cancelled(&self) -> bool {
+        self.inner.cancel.is_cancelled()
+    }
+
+    /// Whether the wall-clock deadline (if any) has passed.
+    pub fn deadline_exceeded(&self) -> bool {
+        self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Records one unit of work and, every [`CHECK_PERIOD`] units,
+    /// consults the token, the deadline and the trip point. The hot-path
+    /// cost is one relaxed atomic increment and a branch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Interrupted`] (tagged with `phase`) once the token is
+    /// cancelled, the deadline passes, or the trip point is reached.
+    #[inline]
+    pub fn check(&self, phase: &'static str) -> Result<(), Interrupted> {
+        let work = self.inner.work.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(t) = self.inner.trip_after {
+            if work > t {
+                return Err(self.interrupted(phase, TripReason::WorkLimit));
+            }
+        }
+        if !work.is_multiple_of(CHECK_PERIOD) {
+            return Ok(());
+        }
+        self.check_now(phase)
+    }
+
+    /// Consults the token and the deadline immediately (no
+    /// amortization) — for loop *boundaries* (between fixpoint
+    /// iterations, between per-net density walks) where a check is
+    /// cheap relative to the work it gates.
+    ///
+    /// # Errors
+    ///
+    /// As [`Governor::check`].
+    pub fn check_now(&self, phase: &'static str) -> Result<(), Interrupted> {
+        if let Some(t) = self.inner.trip_after {
+            if self.work_done() > t {
+                return Err(self.interrupted(phase, TripReason::WorkLimit));
+            }
+        }
+        if self.cancelled() {
+            return Err(self.interrupted(phase, TripReason::Cancelled));
+        }
+        if self.deadline_exceeded() {
+            return Err(self.interrupted(phase, TripReason::Deadline));
+        }
+        Ok(())
+    }
+
+    fn interrupted(&self, phase: &'static str, reason: TripReason) -> Interrupted {
+        Interrupted {
+            phase,
+            reason,
+            elapsed: self.elapsed(),
+            work_done: self.work_done(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_governor_passes_checks() {
+        let gov = Governor::unbounded();
+        for _ in 0..3 * CHECK_PERIOD {
+            gov.check("test").unwrap();
+        }
+        assert_eq!(gov.work_done(), 3 * CHECK_PERIOD);
+        assert!(!gov.cancelled());
+    }
+
+    #[test]
+    fn cancellation_is_observed_within_one_period() {
+        let gov = Governor::unbounded();
+        gov.token().cancel();
+        let mut tripped = None;
+        for i in 0..2 * CHECK_PERIOD {
+            if let Err(e) = gov.check("test") {
+                tripped = Some((i, e));
+                break;
+            }
+        }
+        let (i, e) = tripped.expect("cancel must be observed");
+        assert!(i < CHECK_PERIOD, "observed after {i} checks");
+        assert_eq!(e.reason, TripReason::Cancelled);
+        assert_eq!(e.phase, "test");
+    }
+
+    #[test]
+    fn zero_deadline_trips_immediately() {
+        let gov = Governor::new(Some(Duration::ZERO));
+        let e = gov.check_now("test").unwrap_err();
+        assert_eq!(e.reason, TripReason::Deadline);
+        assert!(gov.deadline_exceeded());
+    }
+
+    #[test]
+    fn trip_after_is_deterministic() {
+        let n = 100u64;
+        let gov = Governor::with_trip_after(n);
+        for _ in 0..n {
+            gov.check("test").unwrap();
+        }
+        let e = gov.check("test").unwrap_err();
+        assert_eq!(e.reason, TripReason::WorkLimit);
+        assert_eq!(e.work_done, n + 1);
+    }
+
+    #[test]
+    fn clones_share_the_counter_and_token() {
+        let gov = Governor::unbounded();
+        let clone = gov.clone();
+        clone.check("test").unwrap();
+        assert_eq!(gov.work_done(), 1);
+        gov.token().cancel();
+        assert!(clone.cancelled());
+    }
+
+    #[test]
+    fn interrupted_displays_its_fields() {
+        let e = Interrupted {
+            phase: "bdd",
+            reason: TripReason::Deadline,
+            elapsed: Duration::from_millis(50),
+            work_done: 12345,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bdd"), "{s}");
+        assert!(s.contains("deadline"), "{s}");
+        assert!(s.contains("12345"), "{s}");
+    }
+}

@@ -38,6 +38,7 @@
 
 mod expr;
 mod func;
+pub mod govern;
 pub mod prob;
 pub mod sop;
 mod stats;

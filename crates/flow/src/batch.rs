@@ -2,6 +2,7 @@
 //! work-stealing thread pool, streaming one report per (circuit,
 //! scenario) as it completes.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -231,10 +232,15 @@ impl BatchRunner {
         let mut results = Vec::with_capacity(jobs.len() * matrix.len());
         let mut loaded: Vec<(String, Circuit)> = Vec::with_capacity(jobs.len());
         for job in jobs {
-            match job
-                .source
-                .load(&env.library, self.template.map_options_value())
-            {
+            // The parser/mapper runs outside the worker fence, so it
+            // gets its own: a panicking loader fails its job, not the
+            // whole grid.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                job.source
+                    .load(&env.library, self.template.map_options_value())
+            }))
+            .unwrap_or_else(|payload| Err(Error::Panicked(panic_message(payload))));
+            match outcome {
                 Ok(circuit) => loaded.push((job.name.clone(), circuit)),
                 Err(e) => {
                     let result = BatchResult {
@@ -267,12 +273,23 @@ impl BatchRunner {
                         let Some(&(j, s)) = grid.get(i) else { break };
                         let (name, circuit) = &loaded[j];
                         let spec = &matrix[s];
-                        let outcome = self
-                            .template
-                            .clone()
-                            .scenario(spec.scenario, spec.seed)
-                            .run_pipeline(env, circuit, name.clone(), 0.0, &mut scratch)
-                            .map(|(report, _)| report);
+                        // Fence the cell: a panicking pipeline stage
+                        // becomes this cell's reported outcome instead
+                        // of tearing down the whole grid. The scratch
+                        // arena is rebuilt afterwards — the unwound
+                        // stage may have left it mid-update.
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            let _ = crate::faultpoint::hit("batch-cell");
+                            self.template
+                                .clone()
+                                .scenario(spec.scenario, spec.seed)
+                                .run_pipeline(env, circuit, name.clone(), 0.0, &mut scratch)
+                                .map(|(report, _)| report)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            scratch = Scratch::new();
+                            Err(Error::Panicked(panic_message(payload)))
+                        });
                         if tx
                             .send(BatchResult {
                                 job: name.clone(),
@@ -293,6 +310,18 @@ impl BatchRunner {
             }
         });
         results
+    }
+}
+
+/// The human-readable payload of a caught panic (`panic!` with a string
+/// or `String` — anything else gets a placeholder).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

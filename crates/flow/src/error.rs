@@ -9,6 +9,7 @@
 use std::fmt;
 use std::path::PathBuf;
 
+use tr_boolean::govern::Interrupted;
 use tr_boolean::{ArityError, StatsError};
 use tr_netlist::bench::ParseError;
 use tr_netlist::blif::BlifError;
@@ -53,6 +54,16 @@ pub enum Error {
     /// The requested option combination is not supported (e.g. a delay
     /// bound with `--objective max`).
     Unsupported(String),
+    /// The run was cut short — cancelled through its
+    /// [`CancelToken`](crate::CancelToken), or a budget tripped with
+    /// degradation disabled. Carries which phase stopped, why, and how
+    /// much work was done.
+    Interrupted(Interrupted),
+    /// A pipeline stage panicked. Only the batch runner produces this:
+    /// it fences every cell with `catch_unwind` so one panicking cell
+    /// becomes a reported per-cell outcome instead of killing the whole
+    /// grid.
+    Panicked(String),
     /// Some cells of a batch run failed (each already reported on
     /// stderr by the driver).
     Batch {
@@ -71,6 +82,17 @@ impl Error {
     /// than a pipeline failure (data-side, exit code 1).
     pub fn is_usage(&self) -> bool {
         matches!(self, Error::Usage(_))
+    }
+
+    /// The CLI exit code for this error: 2 for usage errors, 3 for a
+    /// batch with failed cells (partial failure — the successful cells'
+    /// reports are still on stdout), 1 for everything else.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::Usage(_) => 2,
+            Error::Batch { .. } => 3,
+            _ => 1,
+        }
     }
 
     /// Convenience constructor for I/O failures with path context.
@@ -103,6 +125,8 @@ impl fmt::Display for Error {
                 "circuit has {expected} primary inputs but {got} input statistics were supplied"
             ),
             Error::Unsupported(what) => write!(f, "unsupported: {what}"),
+            Error::Interrupted(i) => write!(f, "{i}"),
+            Error::Panicked(msg) => write!(f, "stage panicked: {msg}"),
             Error::Batch { failed, total } => {
                 write!(f, "batch: {failed} of {total} runs failed")
             }
@@ -122,6 +146,7 @@ impl std::error::Error for Error {
             Error::Stats(e) => Some(e),
             Error::Arity(e) => Some(e),
             Error::Propagation(e) => Some(e),
+            Error::Interrupted(e) => Some(e),
             _ => None,
         }
     }
@@ -165,7 +190,18 @@ impl From<ArityError> for Error {
 
 impl From<PropagationError> for Error {
     fn from(e: PropagationError) -> Self {
-        Error::Propagation(e)
+        // Interruption is a run-control outcome, not a backend defect;
+        // surface it uniformly no matter which layer it bubbled out of.
+        match e {
+            PropagationError::Interrupted(i) => Error::Interrupted(i),
+            e => Error::Propagation(e),
+        }
+    }
+}
+
+impl From<Interrupted> for Error {
+    fn from(i: Interrupted) -> Self {
+        Error::Interrupted(i)
     }
 }
 
@@ -179,6 +215,32 @@ mod tests {
         assert!(Error::Usage("bad flag".into()).is_usage());
         assert!(!Error::Unsupported("x".into()).is_usage());
         assert!(!Error::io("f", std::io::Error::other("gone")).is_usage());
+    }
+
+    #[test]
+    fn exit_codes_distinguish_usage_batch_and_pipeline() {
+        assert_eq!(Error::Usage("bad".into()).exit_code(), 2);
+        assert_eq!(
+            Error::Batch {
+                failed: 1,
+                total: 4
+            }
+            .exit_code(),
+            3
+        );
+        assert_eq!(Error::Unsupported("x".into()).exit_code(), 1);
+        assert_eq!(Error::Panicked("boom".into()).exit_code(), 1);
+    }
+
+    #[test]
+    fn propagation_interruptions_normalize_to_interrupted() {
+        use tr_boolean::govern::Governor;
+        let trip = Governor::with_trip_after(0)
+            .check("test")
+            .expect_err("trips on the first unit of work");
+        let e: Error = PropagationError::Interrupted(trip).into();
+        assert!(matches!(e, Error::Interrupted(i) if i.phase == "test"));
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Deterministic fault injection for the robustness test suite.
+//!
+//! The pipeline carries named *faultpoints* — fixed sites such as
+//! `"exact-build"` (the stage-2b exact-BDD construction),
+//! `"info-reorder-retry"` (the ladder's rung-1 rebuild) and
+//! `"batch-cell"` (the top of every batch worker cell). A test *arms* a
+//! site with a [`Fault`]; the next time execution reaches it, the fault
+//! fires — a forced BDD node-limit failure, an injected panic, or an
+//! injected delay — and the site disarms itself. `arm_nth` fires on
+//! the nth visit instead, so a specific cell of a batch grid can be
+//! failed deterministically. There is no randomness anywhere: given the
+//! same arming and the same (deterministic) pipeline, the same site
+//! visit fires every run.
+//!
+//! The whole registry sits behind the `fault-injection` cargo feature.
+//! Without it, [`hit`] compiles to `None` and the armed-state API does
+//! not exist, so production builds carry no injection surface at all.
+//! With it, the registry is process-global: tests that arm the same
+//! sites must serialize themselves (see `tests/fault_injection.rs`).
+
+/// What an armed faultpoint does when execution reaches it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Report a BDD node-limit failure from this site (the caller maps
+    /// it onto its own error type), driving the degradation ladder
+    /// without needing a circuit that actually blows the budget.
+    NodeLimit,
+    /// Panic at this site — how the batch runner's per-cell isolation is
+    /// proven.
+    Panic,
+    /// Sleep this many milliseconds, then proceed — long enough to blow
+    /// a short deadline at the *next* governor check, deterministically.
+    DelayMs(u64),
+}
+
+#[cfg(feature = "fault-injection")]
+mod registry {
+    use super::Fault;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    /// site → (fault, visits remaining before it fires).
+    static SITES: Mutex<Option<HashMap<String, (Fault, u64)>>> = Mutex::new(None);
+
+    pub(super) fn arm(site: &str, fault: Fault, nth: u64) {
+        assert!(nth >= 1, "nth is 1-based");
+        SITES
+            .lock()
+            .expect("faultpoint registry poisoned")
+            .get_or_insert_with(HashMap::new)
+            .insert(site.to_string(), (fault, nth));
+    }
+
+    pub(super) fn disarm_all() {
+        if let Some(map) = SITES.lock().expect("faultpoint registry poisoned").as_mut() {
+            map.clear();
+        }
+    }
+
+    pub(super) fn take(site: &str) -> Option<Fault> {
+        let mut guard = SITES.lock().expect("faultpoint registry poisoned");
+        let map = guard.as_mut()?;
+        let (fault, remaining) = map.get_mut(site)?;
+        *remaining -= 1;
+        if *remaining == 0 {
+            let fault = *fault;
+            map.remove(site);
+            Some(fault)
+        } else {
+            None
+        }
+    }
+}
+
+/// Arms `site` to fire `fault` on its next visit (single-shot).
+#[cfg(feature = "fault-injection")]
+pub fn arm(site: &str, fault: Fault) {
+    registry::arm(site, fault, 1);
+}
+
+/// Arms `site` to fire `fault` on its `nth` visit (1-based, single-shot).
+#[cfg(feature = "fault-injection")]
+pub fn arm_nth(site: &str, fault: Fault, nth: u64) {
+    registry::arm(site, fault, nth);
+}
+
+/// Disarms every site (test teardown).
+#[cfg(feature = "fault-injection")]
+pub fn disarm_all() {
+    registry::disarm_all();
+}
+
+/// A pipeline site announcing itself. [`Fault::Panic`] panics here;
+/// [`Fault::DelayMs`] sleeps here and returns `None`;
+/// [`Fault::NodeLimit`] is returned for the caller to convert into its
+/// own typed failure. Compiles to `None` without the `fault-injection`
+/// feature.
+pub fn hit(site: &str) -> Option<Fault> {
+    #[cfg(feature = "fault-injection")]
+    {
+        match registry::take(site) {
+            Some(Fault::Panic) => panic!("injected fault: panic at faultpoint `{site}`"),
+            Some(Fault::DelayMs(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                None
+            }
+            other => other,
+        }
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        None
+    }
+}
+
+#[cfg(all(test, feature = "fault-injection"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sites_fire_once_on_the_armed_visit() {
+        disarm_all();
+        arm_nth("t-site", Fault::NodeLimit, 3);
+        assert_eq!(hit("t-site"), None);
+        assert_eq!(hit("t-site"), None);
+        assert_eq!(hit("t-site"), Some(Fault::NodeLimit));
+        assert_eq!(hit("t-site"), None, "single-shot");
+        assert_eq!(hit("never-armed"), None);
+        disarm_all();
+    }
+}

@@ -8,19 +8,25 @@ use std::time::Instant;
 
 use crate::env::FlowEnv;
 use crate::error::Error;
+use crate::faultpoint::{self, Fault};
+use crate::govern::{CancelToken, Governor, RunBudget, TripReason};
 use crate::report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
 use crate::source::Source;
+use tr_bdd::BddError;
 use tr_boolean::SignalStats;
 use tr_netlist::map::MapOptions;
-use tr_netlist::{format, Circuit, GateId};
+use tr_netlist::{format, Circuit, CompiledCircuit, GateId};
 use tr_power::scenario::Scenario;
-use tr_power::{circuit_power, propagate, IncrementalPropagator, PropagationMode, Scratch};
-use tr_reorder::{
-    optimize_delay_bounded_with_net_stats, optimize_parallel_with_net_stats,
-    optimize_slack_aware_with_net_stats, optimize_to_fixpoint_with_propagator,
-    optimize_with_net_stats, FixpointOptions, Objective, OptimizeResult,
+use tr_power::{
+    circuit_power, propagate, IncrementalPropagator, PropagationError, PropagationMode,
+    PropagatorOptions, Scratch,
 };
-use tr_sim::{simulate, simulate_traced, vcd, InputDrive, SimConfig};
+use tr_reorder::{
+    optimize_delay_bounded_with_net_stats, optimize_governed_with_net_stats,
+    optimize_parallel_governed_with_net_stats, optimize_slack_aware_with_net_stats,
+    optimize_to_fixpoint_governed, FixpointOptions, Objective, OptimizeResult,
+};
+use tr_sim::{simulate_governed, simulate_traced, vcd, InputDrive, SimConfig};
 use tr_timing::critical_path_delay;
 
 /// Delay-bounding mode of the optimization stage.
@@ -161,6 +167,37 @@ pub fn sim_duration(stats: &[SignalStats], target_toggles: f64) -> f64 {
     (target_toggles / max_d).clamp(1.0e-6, 1.0e-2)
 }
 
+/// Degradation bookkeeping for one run: whether a budget tripped, the
+/// first failure's message, and the deepest ladder rung reached —
+/// exactly what [`FlowReport`] records as `degraded`/`degrade_reason`/
+/// `degrade_rung`.
+#[derive(Debug, Default)]
+struct LadderState {
+    degraded: bool,
+    reason: Option<String>,
+    rung: Option<&'static str>,
+}
+
+impl LadderState {
+    /// Records one ladder step. The *first* failure's message is kept
+    /// (later steps are consequences of it); the rung is overwritten so
+    /// the report shows the deepest one reached.
+    fn record(&mut self, rung: &'static str, reason: &dyn std::fmt::Display) {
+        self.degraded = true;
+        if self.reason.is_none() {
+            self.reason = Some(reason.to_string());
+        }
+        self.rung = Some(rung);
+    }
+}
+
+/// The failure an armed `NodeLimit` faultpoint stands in for.
+fn injected_node_limit(limit: Option<usize>) -> PropagationError {
+    PropagationError::Bdd(BddError::NodeLimit {
+        limit: limit.unwrap_or(0),
+    })
+}
+
 /// Where the input statistics come from.
 #[derive(Debug, Clone)]
 enum StatsSpec {
@@ -200,6 +237,9 @@ pub struct Flow {
     vcd: Option<PathBuf>,
     out: Option<PathBuf>,
     per_gate: bool,
+    budget: RunBudget,
+    cancel: Option<CancelToken>,
+    degrade: bool,
 }
 
 impl Flow {
@@ -221,6 +261,9 @@ impl Flow {
             vcd: None,
             out: None,
             per_gate: false,
+            budget: RunBudget::default(),
+            cancel: None,
+            degrade: true,
         }
     }
 
@@ -342,6 +385,57 @@ impl Flow {
         self
     }
 
+    /// Resource bounds for the run (default: unbounded). What a tripped
+    /// bound does depends on [`Flow::degrade`].
+    pub fn budget(mut self, budget: RunBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token: another thread calling
+    /// [`CancelToken::cancel`] aborts the run at its next governed check
+    /// with [`Error::Interrupted`]. Cancellation is always a real abort,
+    /// never a degradation.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether a tripped budget degrades gracefully (default `true`):
+    /// the run completes through the degradation ladder — a blown BDD
+    /// node budget retries once under the information-measure variable
+    /// order, then falls back to the independent backend; a blown
+    /// deadline finishes the remaining stages ungoverned — and the
+    /// report records `degraded`, the reason and the rung. With `false`
+    /// the trip surfaces as a typed error instead.
+    pub fn degrade(mut self, on: bool) -> Self {
+        self.degrade = on;
+        self
+    }
+
+    /// The full governor for budget-enforced stages: deadline plus the
+    /// caller's token, `None` when neither bound exists. Created once
+    /// per pipeline run and shared by every stage, so the deadline is
+    /// wall-clock from the start of the run.
+    fn full_governor(&self) -> Option<Governor> {
+        if self.cancel.is_none() && self.budget.deadline.is_none() {
+            return None;
+        }
+        Some(match &self.cancel {
+            Some(token) => Governor::with_token(token.clone(), self.budget.deadline),
+            None => Governor::new(self.budget.deadline),
+        })
+    }
+
+    /// The governor for stages running *after* a degradation: no
+    /// deadline (the run must complete), but explicit cancellation still
+    /// aborts.
+    fn cancel_governor(&self) -> Option<Governor> {
+        self.cancel
+            .as_ref()
+            .map(|token| Governor::with_token(token.clone(), None))
+    }
+
     /// The configured mapper options (the batch runner's pre-load pass
     /// needs them without consuming the template).
     pub(crate) fn map_options_value(&self) -> &MapOptions {
@@ -406,6 +500,14 @@ impl Flow {
                 "a VCD dump needs a simulation: set Flow::simulate alongside Flow::vcd".into(),
             ));
         }
+        // Pre-flight: a token cancelled before the run starts aborts it
+        // before any work is done.
+        if let Some(governor) = self.cancel_governor() {
+            governor.check_now("flow")?;
+        }
+        // One governor for the whole run: every governed stage shares
+        // its deadline, token and work counter.
+        let run_governor = self.full_governor();
         let t_total = Instant::now();
         let mut timings = StageTimings {
             load_s,
@@ -432,10 +534,20 @@ impl Flow {
         // held by an incremental propagator so later stages can
         // re-derive dirty cones instead of rebuilding; exact backends
         // also measure how far the independence assumption was off
-        // (max |ΔP| over all nets).
-        let mut propagator = IncrementalPropagator::new(circuit, &env.library, &stats, self.prob)?;
+        // (max |ΔP| over all nets). Under a budget this is where the
+        // degradation ladder lives: `prob` tracks the backend that
+        // actually produced the statistics.
+        let mut ladder = LadderState::default();
+        let (mut propagator, mut prob) = self.build_propagator(
+            env,
+            circuit,
+            &stats,
+            run_governor.as_ref(),
+            true,
+            &mut ladder,
+        )?;
         let net_stats = propagator.net_stats().to_vec();
-        let independence_error = match self.prob {
+        let independence_error = match prob {
             PropagationMode::Independent => None,
             _ => {
                 let indep = propagate(circuit, &env.library, &stats);
@@ -457,36 +569,96 @@ impl Flow {
         let mut fixpoint_iters = None;
         let mut stale_power_discrepancy_w = None;
         let primary = if self.fixpoint {
-            let rep = optimize_to_fixpoint_with_propagator(
+            let options = FixpointOptions {
+                objective: self.objective,
+                threads: self.threads,
+                max_iterations: self
+                    .budget
+                    .max_fixpoint_iters
+                    .unwrap_or(FixpointOptions::default().max_iterations),
+            };
+            let governor = if ladder.degraded {
+                self.cancel_governor()
+            } else {
+                run_governor.clone()
+            };
+            let rep = match optimize_to_fixpoint_governed(
                 circuit,
                 &env.library,
                 &env.model,
                 &mut propagator,
-                FixpointOptions {
-                    objective: self.objective,
-                    threads: self.threads,
-                    ..FixpointOptions::default()
-                },
-            )?;
+                options,
+                governor.as_ref(),
+            ) {
+                Ok(rep) => rep,
+                Err(PropagationError::Interrupted(i))
+                    if self.degrade && i.reason != TripReason::Cancelled =>
+                {
+                    ladder.record("finish-ungoverned", &i);
+                    // An interrupted loop may leave the propagator's
+                    // statistics describing an intermediate circuit;
+                    // rebuild it fresh (deadline off) and rerun from the
+                    // original circuit.
+                    let (rebuilt, rebuilt_mode) = self.build_propagator(
+                        env,
+                        circuit,
+                        &stats,
+                        run_governor.as_ref(),
+                        false,
+                        &mut ladder,
+                    )?;
+                    propagator = rebuilt;
+                    prob = rebuilt_mode;
+                    optimize_to_fixpoint_governed(
+                        circuit,
+                        &env.library,
+                        &env.model,
+                        &mut propagator,
+                        options,
+                        self.cancel_governor().as_ref(),
+                    )?
+                }
+                Err(e) => return Err(e.into()),
+            };
             fixpoint_iters = Some(rep.iterations);
             stale_power_discrepancy_w = Some(rep.stale_discrepancy_w());
             rep.result
         } else {
-            let mut primary =
-                self.optimize_once(env, circuit, &net_stats, self.objective, scratch)?;
+            let mut primary = self.optimize_once_degradable(
+                env,
+                circuit,
+                &net_stats,
+                self.objective,
+                scratch,
+                run_governor.as_ref(),
+                &mut ladder,
+            )?;
             // Exact backends used to report the optimized circuit's
             // power under pre-optimization statistics — sound for the
             // paper's config-only moves (§4.2) but never checked. Now
             // the dirty cones of the accepted changes are re-propagated
             // and the final number recomputed fresh, recording how far
             // off the stale report would have been.
-            if self.prob != PropagationMode::Independent && primary.changed_gates > 0 {
+            if prob != PropagationMode::Independent && primary.changed_gates > 0 {
                 let dirty = changed_gate_ids(circuit, &primary.circuit);
-                propagator.refresh(&primary.circuit, &env.library, &dirty)?;
-                let fresh =
-                    circuit_power(&primary.circuit, &env.model, propagator.net_stats()).total;
-                stale_power_discrepancy_w = Some((primary.power_after - fresh).abs());
-                primary.power_after = fresh;
+                match propagator.refresh(&primary.circuit, &env.library, &dirty) {
+                    Ok(_) => {
+                        let fresh =
+                            circuit_power(&primary.circuit, &env.model, propagator.net_stats())
+                                .total;
+                        stale_power_discrepancy_w = Some((primary.power_after - fresh).abs());
+                        primary.power_after = fresh;
+                    }
+                    Err(PropagationError::Interrupted(i))
+                        if self.degrade && i.reason != TripReason::Cancelled =>
+                    {
+                        // The freshness check is verification, not
+                        // product: skip it rather than fail the run;
+                        // `degraded` flags the gap.
+                        ladder.record("finish-ungoverned", &i);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             primary
         };
@@ -495,11 +667,25 @@ impl Flow {
                 Objective::MinimizePower => Objective::MaximizePower,
                 Objective::MaximizePower => Objective::MinimizePower,
             };
-            Some(self.optimize_once(env, circuit, &net_stats, opposite, scratch)?)
+            Some(self.optimize_once_degradable(
+                env,
+                circuit,
+                &net_stats,
+                opposite,
+                scratch,
+                run_governor.as_ref(),
+                &mut ladder,
+            )?)
         } else {
             None
         };
         timings.optimize_s = t.elapsed().as_secs_f64();
+
+        // Stage boundary: a deadline blown during optimization that no
+        // amortized in-loop check caught (small circuits do little
+        // governed work between checks) is detected here,
+        // deterministically.
+        self.checkpoint(run_governor.as_ref(), &mut ladder)?;
 
         let (model_best_w, model_worst_w) = match (&counterpart, self.objective) {
             (Some(c), Objective::MinimizePower) => (Some(primary.power_after), Some(c.power_after)),
@@ -534,6 +720,9 @@ impl Flow {
                     seed: opts.seed,
                 };
                 let optimized_w = if self.vcd.is_some() {
+                    // The traced run keeps every transition for the VCD
+                    // dump; it is explicitly requested, so it runs
+                    // ungoverned.
                     let drives: Vec<InputDrive> =
                         stats.iter().map(|s| InputDrive::Stochastic(*s)).collect();
                     let (report, trace) = simulate_traced(
@@ -547,38 +736,38 @@ impl Flow {
                     vcd_trace = Some(trace);
                     report.power
                 } else {
-                    simulate(
+                    self.simulate_power_degradable(
+                        env,
                         &primary.circuit,
-                        &env.library,
-                        &env.process,
-                        &env.timing,
                         &stats,
                         &cfg,
-                    )
-                    .power
+                        run_governor.as_ref(),
+                        &mut ladder,
+                    )?
                 };
-                let baseline_w = opts.baseline.then(|| {
-                    simulate(
+                let baseline_w = if opts.baseline {
+                    Some(self.simulate_power_degradable(
+                        env,
                         circuit,
-                        &env.library,
-                        &env.process,
-                        &env.timing,
                         &stats,
                         &cfg,
-                    )
-                    .power
-                });
-                let counterpart_w = counterpart.as_ref().map(|c| {
-                    simulate(
+                        run_governor.as_ref(),
+                        &mut ladder,
+                    )?)
+                } else {
+                    None
+                };
+                let counterpart_w = match &counterpart {
+                    Some(c) => Some(self.simulate_power_degradable(
+                        env,
                         &c.circuit,
-                        &env.library,
-                        &env.process,
-                        &env.timing,
                         &stats,
                         &cfg,
-                    )
-                    .power
-                });
+                        run_governor.as_ref(),
+                        &mut ladder,
+                    )?),
+                    None => None,
+                };
                 // With the headroom pass the two sim measurements are
                 // best/worst regardless of the primary objective; without
                 // it, neither bound was established (a delay-bounded
@@ -652,7 +841,10 @@ impl Flow {
                 Objective::MaximizePower => "max".to_string(),
             },
             delay_bound: self.delay_bound.as_str().to_string(),
-            prob_mode: self.prob.as_str().to_string(),
+            prob_mode: prob.as_str().to_string(),
+            degraded: ladder.degraded,
+            degrade_reason: ladder.reason,
+            degrade_rung: ladder.rung.map(str::to_string),
             independence_error,
             changed_gates: primary.changed_gates,
             fixpoint_iters,
@@ -679,6 +871,231 @@ impl Flow {
         Ok((report, primary.circuit))
     }
 
+    /// Stage 2b: builds the statistics propagator under the configured
+    /// budget, walking the degradation ladder on a recoverable failure
+    /// (see [`Flow::degrade`]). `deadline_on` is false for post-trip
+    /// rebuilds, where only cancellation is still enforced. Returns the
+    /// propagator plus the backend that actually produced the
+    /// statistics.
+    fn build_propagator(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        stats: &[SignalStats],
+        run_governor: Option<&Governor>,
+        deadline_on: bool,
+        ladder: &mut LadderState,
+    ) -> Result<(IncrementalPropagator, PropagationMode), Error> {
+        let governor = |deadline: bool| {
+            if deadline {
+                run_governor.cloned()
+            } else {
+                self.cancel_governor()
+            }
+        };
+        // A post-trip rebuild that already fell back stays independent.
+        let mode = if ladder.rung == Some("independent-fallback") {
+            PropagationMode::Independent
+        } else {
+            self.prob
+        };
+        let first = if mode == PropagationMode::ExactBdd
+            && faultpoint::hit("exact-build") == Some(Fault::NodeLimit)
+        {
+            Err(injected_node_limit(self.budget.bdd_node_budget))
+        } else {
+            IncrementalPropagator::new_with(
+                circuit,
+                &env.library,
+                stats,
+                mode,
+                &PropagatorOptions {
+                    node_limit: self.budget.bdd_node_budget,
+                    governor: governor(deadline_on),
+                    bdd_order: None,
+                },
+            )
+        };
+        let err = match first {
+            Ok(p) => return Ok((p, mode)),
+            Err(e) => e,
+        };
+        // Explicit cancellation is a real abort; so is any trip when
+        // degradation is off.
+        if let PropagationError::Interrupted(i) = &err {
+            if i.reason == TripReason::Cancelled {
+                return Err(Error::Interrupted(*i));
+            }
+        }
+        if !self.degrade {
+            return Err(err.into());
+        }
+        let node_limit_blown = matches!(&err, PropagationError::Bdd(BddError::NodeLimit { .. }));
+        if !node_limit_blown && !matches!(&err, PropagationError::Interrupted(_)) {
+            // Compile/validation failures are defects, not resource
+            // exhaustion — no ladder for those.
+            return Err(err.into());
+        }
+        // Rung 1 (blown node budget only): the half-built engine was
+        // dropped above, freeing every node; retry once under the cheap
+        // information-measure order — high-entropy inputs driving large
+        // fanout cones get the top levels — which often fits where the
+        // structural default does not. A blown deadline skips straight
+        // to rung 2: a second exact build would blow it again.
+        if node_limit_blown {
+            let compiled = CompiledCircuit::compile(circuit, &env.library)?;
+            let probs: Vec<f64> = stats.iter().map(|s| s.probability()).collect();
+            let order = tr_bdd::order::info_measure(&compiled, &probs);
+            let retry = if faultpoint::hit("info-reorder-retry") == Some(Fault::NodeLimit) {
+                Err(injected_node_limit(self.budget.bdd_node_budget))
+            } else {
+                IncrementalPropagator::new_with(
+                    circuit,
+                    &env.library,
+                    stats,
+                    PropagationMode::ExactBdd,
+                    &PropagatorOptions {
+                        node_limit: self.budget.bdd_node_budget,
+                        governor: governor(deadline_on),
+                        bdd_order: Some(order),
+                    },
+                )
+            };
+            match retry {
+                Ok(p) => {
+                    ladder.record("info-reorder-retry", &err);
+                    return Ok((p, PropagationMode::ExactBdd));
+                }
+                Err(PropagationError::Interrupted(i)) if i.reason == TripReason::Cancelled => {
+                    return Err(Error::Interrupted(i));
+                }
+                Err(_) => {} // fall through to rung 2
+            }
+        }
+        // Rung 2: the independence assumption — always fits, always
+        // fast. From here on the deadline is no longer enforced (the
+        // request must complete); only explicit cancellation aborts.
+        let fallback = IncrementalPropagator::new_with(
+            circuit,
+            &env.library,
+            stats,
+            PropagationMode::Independent,
+            &PropagatorOptions {
+                governor: self.cancel_governor(),
+                ..PropagatorOptions::default()
+            },
+        )?;
+        ladder.record("independent-fallback", &err);
+        Ok((fallback, PropagationMode::Independent))
+    }
+
+    /// One governed optimization pass; a tripped budget degrades to an
+    /// ungoverned rerun instead of failing (cancellation still aborts).
+    #[allow(clippy::too_many_arguments)]
+    fn optimize_once_degradable(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        net_stats: &[SignalStats],
+        objective: Objective,
+        scratch: &mut Scratch,
+        run_governor: Option<&Governor>,
+        ladder: &mut LadderState,
+    ) -> Result<OptimizeResult, Error> {
+        let governor = if ladder.degraded {
+            self.cancel_governor()
+        } else {
+            run_governor.cloned()
+        };
+        match self.optimize_once(
+            env,
+            circuit,
+            net_stats,
+            objective,
+            scratch,
+            governor.as_ref(),
+        ) {
+            Err(Error::Interrupted(i)) if self.degrade && i.reason != TripReason::Cancelled => {
+                ladder.record("finish-ungoverned", &i);
+                self.optimize_once(
+                    env,
+                    circuit,
+                    net_stats,
+                    objective,
+                    scratch,
+                    self.cancel_governor().as_ref(),
+                )
+            }
+            other => other,
+        }
+    }
+
+    /// One governed switch-level simulation; a tripped budget degrades
+    /// to an ungoverned rerun instead of failing.
+    fn simulate_power_degradable(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        stats: &[SignalStats],
+        cfg: &SimConfig,
+        run_governor: Option<&Governor>,
+        ladder: &mut LadderState,
+    ) -> Result<f64, Error> {
+        let governor = if ladder.degraded {
+            self.cancel_governor()
+        } else {
+            run_governor.cloned()
+        };
+        let run = |governor: Option<&Governor>| {
+            simulate_governed(
+                circuit,
+                &env.library,
+                &env.process,
+                &env.timing,
+                stats,
+                cfg,
+                governor,
+            )
+        };
+        match run(governor.as_ref()) {
+            Ok(report) => Ok(report.power),
+            Err(i) if self.degrade && i.reason != TripReason::Cancelled => {
+                ladder.record("finish-ungoverned", &i);
+                Ok(run(self.cancel_governor().as_ref())?.power)
+            }
+            Err(i) => Err(Error::Interrupted(i)),
+        }
+    }
+
+    /// A deterministic stage-boundary governor check. A trip here
+    /// degrades — the remaining stages run under cancellation only,
+    /// recorded as the `finish-ungoverned` rung — or, for explicit
+    /// cancellation or with degradation off, aborts the run.
+    fn checkpoint(
+        &self,
+        run_governor: Option<&Governor>,
+        ladder: &mut LadderState,
+    ) -> Result<(), Error> {
+        if ladder.degraded {
+            // Already finishing ungoverned; only cancellation applies.
+            if let Some(governor) = self.cancel_governor() {
+                governor.check_now("flow")?;
+            }
+            return Ok(());
+        }
+        let Some(governor) = run_governor else {
+            return Ok(());
+        };
+        match governor.check_now("flow") {
+            Ok(()) => Ok(()),
+            Err(i) if self.degrade && i.reason != TripReason::Cancelled => {
+                ladder.record("finish-ungoverned", &i);
+                Ok(())
+            }
+            Err(i) => Err(Error::Interrupted(i)),
+        }
+    }
+
     /// One optimization pass with the configured bounding mode, against
     /// the already-computed per-net statistics (whichever backend made
     /// them).
@@ -689,19 +1106,32 @@ impl Flow {
         net_stats: &[SignalStats],
         objective: Objective,
         scratch: &mut Scratch,
+        governor: Option<&Governor>,
     ) -> Result<OptimizeResult, Error> {
+        // Faultpoint: an injected delay here blows a short deadline at
+        // the optimizer's first governor check, deterministically.
+        let _ = faultpoint::hit("optimize");
         match (self.delay_bound, objective) {
             (DelayBound::Unbounded, obj) => Ok(if self.threads > 1 {
-                optimize_parallel_with_net_stats(
+                optimize_parallel_governed_with_net_stats(
                     circuit,
                     &env.library,
                     &env.model,
                     net_stats,
                     obj,
                     self.threads,
-                )
+                    governor,
+                )?
             } else {
-                optimize_with_net_stats(circuit, &env.library, &env.model, net_stats, obj, scratch)
+                optimize_governed_with_net_stats(
+                    circuit,
+                    &env.library,
+                    &env.model,
+                    net_stats,
+                    obj,
+                    scratch,
+                    governor,
+                )?
             }),
             (DelayBound::Local, Objective::MinimizePower) => {
                 Ok(optimize_delay_bounded_with_net_stats(
@@ -969,6 +1399,87 @@ mod tests {
         assert!(report.delay.increase_percent <= 1e-9);
         // Bounded flows skip the headroom pass.
         assert_eq!(report.power.headroom_percent, None);
+    }
+
+    #[test]
+    fn zero_deadline_degrades_to_independent_and_completes() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let report = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 11)
+            .prob(PropagationMode::ExactBdd)
+            .budget(RunBudget::default().deadline_ms(0))
+            .run(&env)
+            .expect("degradation ladder must land the run");
+        assert!(report.degraded);
+        assert_eq!(report.degrade_rung.as_deref(), Some("independent-fallback"));
+        assert_eq!(report.prob_mode, "indep");
+        assert!(report.degrade_reason.is_some());
+        assert!(report.power.model_after_w > 0.0);
+    }
+
+    #[test]
+    fn tiny_node_budget_climbs_the_ladder_but_completes() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let report = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 11)
+            .prob(PropagationMode::ExactBdd)
+            .budget(RunBudget::default().bdd_nodes(4))
+            .run(&env)
+            .expect("node-limit ladder must land the run");
+        assert!(report.degraded);
+        // 4 nodes is too few under ANY order: the info-measure retry also
+        // blows the budget and the run lands on the independent backend.
+        assert_eq!(report.degrade_rung.as_deref(), Some("independent-fallback"));
+        assert_eq!(report.prob_mode, "indep");
+        let reason = report.degrade_reason.expect("first failure recorded");
+        assert!(reason.contains("node limit"), "reason: {reason}");
+    }
+
+    #[test]
+    fn generous_node_budget_stays_exact_and_undegraded() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let report = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 11)
+            .prob(PropagationMode::ExactBdd)
+            .budget(RunBudget::default().bdd_nodes(1 << 20))
+            .run(&env)
+            .unwrap();
+        assert!(!report.degraded);
+        assert_eq!(report.degrade_rung, None);
+        assert_eq!(report.prob_mode, "bdd");
+    }
+
+    #[test]
+    fn pre_cancelled_token_aborts_with_interrupted() {
+        let env = FlowEnv::new();
+        let c = generators::parity_tree(4, &env.library);
+        let token = CancelToken::new();
+        token.cancel();
+        let err = Flow::from_circuit(c).cancel(token).run(&env).unwrap_err();
+        match err {
+            Error::Interrupted(i) => assert_eq!(i.reason, TripReason::Cancelled),
+            other => panic!("expected Interrupted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn degrade_off_surfaces_the_typed_error() {
+        let env = FlowEnv::new();
+        let adder = generators::ripple_carry_adder(8, &env.library);
+        let err = Flow::from_circuit(adder)
+            .scenario(Scenario::a(), 11)
+            .prob(PropagationMode::ExactBdd)
+            .budget(RunBudget::default().bdd_nodes(4))
+            .degrade(false)
+            .run(&env)
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("node limit"),
+            "expected the NodeLimit error verbatim, got: {err}"
+        );
     }
 
     #[test]

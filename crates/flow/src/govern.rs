@@ -1,0 +1,105 @@
+//! Run governance: resource budgets for one pipeline run.
+//!
+//! A [`RunBudget`] bounds how much a [`Flow`](crate::Flow) run may cost —
+//! wall-clock deadline, BDD live-node budget, fixed-point iteration cap —
+//! and a [`CancelToken`] lets another thread abort it cooperatively. The
+//! low-level machinery (the [`Governor`] every long-running loop checks,
+//! the typed [`Interrupted`] trip report) lives in
+//! [`tr_boolean::govern`] and is re-exported here so flow callers need
+//! only this module.
+//!
+//! What happens when a budget trips depends on
+//! [`Flow::degrade`](crate::Flow::degrade):
+//!
+//! * **degrade on** (default): the run *completes anyway*, walking the
+//!   degradation ladder — a blown BDD node budget retries once under the
+//!   information-measure variable order, then falls back to the
+//!   independent backend; a blown deadline finishes the remaining stages
+//!   ungoverned. The report records `degraded`, the reason and the
+//!   ladder rung reached.
+//! * **degrade off**: the trip surfaces as a typed error
+//!   ([`Error::Interrupted`](crate::Error::Interrupted) or the BDD
+//!   node-limit error).
+//!
+//! Explicit cancellation through a [`CancelToken`] is always a real
+//! abort, never a degradation: the caller asked the run to stop.
+
+use std::time::Duration;
+
+pub use tr_boolean::govern::{CancelToken, Governor, Interrupted, TripReason};
+
+/// Resource bounds for one pipeline run (all unbounded by default).
+///
+/// ```
+/// use tr_flow::RunBudget;
+///
+/// let budget = RunBudget::default().deadline_ms(5_000).bdd_nodes(1 << 16);
+/// assert!(!budget.is_unbounded());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock deadline for the run. Enforced cooperatively by every
+    /// governed loop (BDD construction, statistics walks, the optimizer,
+    /// the fixed-point loop, the simulator's event loop, Monte Carlo
+    /// steps), so the overshoot is bounded by one check interval.
+    pub deadline: Option<Duration>,
+    /// Live-node budget for the exact-BDD backend (the engine's default
+    /// when `None`); the first rung of the degradation ladder exists to
+    /// recover from blowing it.
+    pub bdd_node_budget: Option<usize>,
+    /// Cap on optimizer traversals of the fixed-point loop (the loop's
+    /// own default when `None`). Reaching it is convergence-by-fiat, not
+    /// an error, exactly as `tr_reorder::FixpointOptions::max_iterations`.
+    pub max_fixpoint_iters: Option<usize>,
+}
+
+impl RunBudget {
+    /// No bounds at all (same as `Default`).
+    pub fn unbounded() -> Self {
+        RunBudget::default()
+    }
+
+    /// Whether every bound is absent.
+    pub fn is_unbounded(&self) -> bool {
+        self.deadline.is_none()
+            && self.bdd_node_budget.is_none()
+            && self.max_fixpoint_iters.is_none()
+    }
+
+    /// Sets the wall-clock deadline in milliseconds.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Duration::from_millis(ms));
+        self
+    }
+
+    /// Sets the exact-BDD live-node budget.
+    pub fn bdd_nodes(mut self, nodes: usize) -> Self {
+        self.bdd_node_budget = Some(nodes);
+        self
+    }
+
+    /// Sets the fixed-point iteration cap.
+    pub fn fixpoint_iters(mut self, iters: usize) -> Self {
+        self.max_fixpoint_iters = Some(iters);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_builders_compose() {
+        assert!(RunBudget::unbounded().is_unbounded());
+        let b = RunBudget::default()
+            .deadline_ms(250)
+            .bdd_nodes(4096)
+            .fixpoint_iters(3);
+        assert_eq!(b.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(b.bdd_node_budget, Some(4096));
+        assert_eq!(b.max_fixpoint_iters, Some(3));
+        assert!(!b.is_unbounded());
+        assert!(!RunBudget::default().bdd_nodes(1).is_unbounded());
+    }
+}

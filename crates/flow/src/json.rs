@@ -43,6 +43,14 @@ pub fn json_opt_f64(v: Option<f64>) -> String {
     }
 }
 
+/// Formats an optional string (`None` → `null`).
+pub fn json_opt_string(v: Option<&str>) -> String {
+    match v {
+        Some(s) => json_string(s),
+        None => "null".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,5 +69,7 @@ mod tests {
         assert_eq!(json_f64(f64::INFINITY), "null");
         assert_eq!(json_opt_f64(None), "null");
         assert_eq!(json_opt_f64(Some(2.0)), "2");
+        assert_eq!(json_opt_string(None), "null");
+        assert_eq!(json_opt_string(Some("a\"b")), "\"a\\\"b\"");
     }
 }

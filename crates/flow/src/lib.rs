@@ -17,7 +17,13 @@
 //! * [`BatchRunner`] — one `Flow` template stamped over many circuits ×
 //!   a scenario matrix on a work-stealing thread pool, reusing per-
 //!   thread scratch arenas and streaming one report per (circuit,
-//!   scenario) as it completes. Surfaced on the CLI as `tr-opt batch`.
+//!   scenario) as it completes; every cell is panic-fenced, so one
+//!   crashing cell is a reported outcome, not a lost grid. Surfaced on
+//!   the CLI as `tr-opt batch`;
+//! * [`RunBudget`] + [`CancelToken`] — deadlines, BDD node budgets and
+//!   cooperative cancellation for any run, with a degradation ladder
+//!   ([`Flow::degrade`]) that completes budget-blown runs under cheaper
+//!   backends and records how in the report (see [`govern`]).
 //!
 //! ```
 //! use tr_flow::{Flow, FlowEnv, SimOptions};
@@ -41,7 +47,9 @@
 mod batch;
 mod env;
 mod error;
+pub mod faultpoint;
 mod flow;
+pub mod govern;
 pub mod json;
 mod report;
 mod source;
@@ -53,6 +61,7 @@ pub use flow::{
     max_probability_deviation, parse_prob_mode, sim_duration, DelayBound, DurationPolicy, Flow,
     SimOptions,
 };
+pub use govern::{CancelToken, Governor, Interrupted, RunBudget, TripReason};
 pub use report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
 pub use source::{load_path, parse_netlist, NetlistFormat, Source};
 pub use tr_power::{PropagationError, PropagationMode};

@@ -9,7 +9,7 @@
 //! Unit conventions, encoded in the field names: `_w` watts, `_s`
 //! seconds, `_percent` percent.
 
-use crate::json::{json_f64, json_opt_f64, json_string};
+use crate::json::{json_f64, json_opt_f64, json_opt_string, json_string};
 
 /// Model-power outcome of the optimization stage.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,8 +122,23 @@ pub struct FlowReport {
     pub objective: String,
     /// Delay-bound mode (`none`, `local` or `slack`).
     pub delay_bound: String,
-    /// Probability backend (`indep`, `bdd` or `monte`).
+    /// Probability backend the statistics were *actually* computed with
+    /// (`indep`, `bdd` or `monte`). When the degradation ladder fell
+    /// back, this is the fallback backend, with `degraded`,
+    /// `degrade_reason` and `degrade_rung` telling the story.
     pub prob_mode: String,
+    /// Whether a resource budget tripped and the run completed through
+    /// the degradation ladder instead of aborting.
+    pub degraded: bool,
+    /// The failure that started the degradation (e.g. the node-limit or
+    /// deadline message), when `degraded`.
+    pub degrade_reason: Option<String>,
+    /// The deepest ladder rung reached: `info-reorder-retry` (exact
+    /// backend rebuilt under the information-measure order),
+    /// `independent-fallback` (statistics recomputed under the
+    /// independence assumption), or `finish-ungoverned` (statistics
+    /// survived; a later stage finished without deadline enforcement).
+    pub degrade_rung: Option<String>,
     /// Max absolute per-net probability deviation of the independence
     /// assumption from this run's backend (present for any
     /// non-independent backend; `None` under `indep`). Under `bdd` this
@@ -178,6 +193,15 @@ impl FlowReport {
             json_string(&self.delay_bound)
         ));
         out.push_str(&format!("\"prob_mode\":{},", json_string(&self.prob_mode)));
+        out.push_str(&format!("\"degraded\":{},", self.degraded));
+        out.push_str(&format!(
+            "\"degrade_reason\":{},",
+            json_opt_string(self.degrade_reason.as_deref())
+        ));
+        out.push_str(&format!(
+            "\"degrade_rung\":{},",
+            json_opt_string(self.degrade_rung.as_deref())
+        ));
         out.push_str(&format!(
             "\"independence_error\":{},",
             json_opt_f64(self.independence_error)
@@ -263,6 +287,7 @@ impl FlowReport {
     /// The CSV header matching [`FlowReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
+         degraded,degrade_reason,degrade_rung,\
          independence_error,changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
@@ -285,6 +310,15 @@ impl FlowReport {
             csv_field(&self.objective),
             csv_field(&self.delay_bound),
             csv_field(&self.prob_mode),
+            self.degraded.to_string(),
+            self.degrade_reason
+                .as_deref()
+                .map(csv_field)
+                .unwrap_or_default(),
+            self.degrade_rung
+                .as_deref()
+                .map(csv_field)
+                .unwrap_or_default(),
             opt(self.independence_error),
             self.changed_gates.to_string(),
             self.fixpoint_iters
@@ -343,6 +377,9 @@ mod tests {
             objective: "min".into(),
             delay_bound: "none".into(),
             prob_mode: "indep".into(),
+            degraded: false,
+            degrade_reason: None,
+            degrade_rung: None,
             independence_error: None,
             changed_gates: 2,
             fixpoint_iters: None,
@@ -387,6 +424,7 @@ mod tests {
         report.objective = "min,imize".into();
         report.delay_bound = "none,really".into();
         report.prob_mode = "bdd,exact".into();
+        report.degrade_reason = Some("bdd interrupted (deadline), sadly".into());
         let row = report.to_csv_row();
         for quoted in [
             "\"c,17\"",
@@ -394,11 +432,12 @@ mod tests {
             "\"min,imize\"",
             "\"none,really\"",
             "\"bdd,exact\"",
+            "\"bdd interrupted (deadline), sadly\"",
         ] {
             assert!(row.contains(quoted), "missing {quoted} in {row}");
         }
-        // Quoted, the five embedded commas cancel out: arity still holds.
+        // Quoted, the six embedded commas cancel out: arity still holds.
         let header_fields = FlowReport::csv_header().split(',').count();
-        assert_eq!(header_fields + 5, row.split(',').count());
+        assert_eq!(header_fields + 6, row.split(',').count());
     }
 }

@@ -21,6 +21,9 @@ fn sample_report() -> FlowReport {
         objective: "min".into(),
         delay_bound: "none".into(),
         prob_mode: "indep".into(),
+        degraded: true,
+        degrade_reason: Some("bdd interrupted (deadline) after 50 ms and 4096 work units".into()),
+        degrade_rung: Some("independent-fallback".into()),
         independence_error: None,
         changed_gates: 2,
         fixpoint_iters: Some(2),
@@ -72,6 +75,9 @@ fn sample_report() -> FlowReport {
 const GOLDEN_JSON: &str = concat!(
     "{\"circuit\":\"c17\",\"scenario\":\"A#42\",\"gates\":6,\"inputs\":5,\"outputs\":2,",
     "\"depth\":3,\"objective\":\"min\",\"delay_bound\":\"none\",\"prob_mode\":\"indep\",",
+    "\"degraded\":true,",
+    "\"degrade_reason\":\"bdd interrupted (deadline) after 50 ms and 4096 work units\",",
+    "\"degrade_rung\":\"independent-fallback\",",
     "\"independence_error\":null,\"changed_gates\":2,",
     "\"fixpoint_iters\":2,\"repropagations\":1,\"stale_power_discrepancy_w\":0,",
     "\"power\":{\"model_before_w\":0.00000045,\"model_after_w\":0.0000004,",
@@ -113,6 +119,7 @@ fn csv_header_is_pinned() {
     assert_eq!(
         FlowReport::csv_header(),
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
+         degraded,degrade_reason,degrade_rung,\
          independence_error,changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
@@ -143,6 +150,9 @@ fn live_report_matches_the_schema_key_set() {
         "\"objective\":",
         "\"delay_bound\":",
         "\"prob_mode\":",
+        "\"degraded\":",
+        "\"degrade_reason\":",
+        "\"degrade_rung\":",
         "\"independence_error\":",
         "\"changed_gates\":",
         "\"fixpoint_iters\":",

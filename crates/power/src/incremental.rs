@@ -39,9 +39,30 @@ use crate::model::{PowerModel, Scratch, MAX_CELL_ARITY};
 use crate::monte;
 use crate::{propagate, PropagationError, PropagationMode};
 use tr_bdd::{BuildOptions, CircuitBdds};
+use tr_boolean::govern::Governor;
 use tr_boolean::{prob, SignalStats};
 use tr_gatelib::Library;
 use tr_netlist::{Circuit, CompiledCircuit, GateId, NetId};
+
+/// Resource knobs for a governed [`IncrementalPropagator`] (see
+/// [`IncrementalPropagator::new_with`]). `Default` reproduces the
+/// ungoverned constructor exactly.
+#[derive(Debug, Clone, Default)]
+pub struct PropagatorOptions {
+    /// Override of the BDD backend's live-node budget
+    /// ([`tr_bdd::DEFAULT_NODE_LIMIT`] when `None`); ignored by the
+    /// other backends.
+    pub node_limit: Option<usize>,
+    /// Governor every backend pass checks cooperatively: the BDD build,
+    /// every later statistics walk and repropagation (the governor stays
+    /// attached to the engine), and each Monte Carlo step.
+    pub governor: Option<Governor>,
+    /// Explicit BDD variable order (a permutation of primary-input
+    /// positions) instead of the default fanin-DFS heuristic — how the
+    /// degradation ladder retries a budget-blown build under the
+    /// information-measure order ([`tr_bdd::order::info_measure`]).
+    pub bdd_order: Option<Vec<usize>>,
+}
 
 /// Per-net signal statistics kept consistent across circuit edits by
 /// re-deriving only dirty cones (see the module docs).
@@ -77,6 +98,9 @@ pub struct IncrementalPropagator {
     /// The long-lived engine of the `ExactBdd` backend (`None` for the
     /// other modes).
     bdds: Option<CircuitBdds>,
+    /// Governor re-applied to Monte re-estimates (the BDD backend's
+    /// governor lives inside its engine instead).
+    monte_governor: Option<Governor>,
     repropagations: usize,
     refreshed_nets: usize,
 }
@@ -102,6 +126,37 @@ impl IncrementalPropagator {
         pi_stats: &[SignalStats],
         mode: PropagationMode,
     ) -> Result<Self, PropagationError> {
+        IncrementalPropagator::new_with(
+            circuit,
+            library,
+            pi_stats,
+            mode,
+            &PropagatorOptions::default(),
+        )
+    }
+
+    /// [`IncrementalPropagator::new`] under explicit resource knobs: an
+    /// optional node-budget override, an optional [`Governor`] (which
+    /// stays attached, so every later [`IncrementalPropagator::refresh`]
+    /// is governed too), and an optional explicit BDD variable order.
+    ///
+    /// # Errors
+    ///
+    /// As [`IncrementalPropagator::new`], plus
+    /// [`PropagationError::Interrupted`] when the governor trips.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_stats.len()` differs from the primary-input count,
+    /// or `options.bdd_order` is present and not a permutation of
+    /// primary-input positions.
+    pub fn new_with(
+        circuit: &Circuit,
+        library: &Library,
+        pi_stats: &[SignalStats],
+        mode: PropagationMode,
+        options: &PropagatorOptions,
+    ) -> Result<Self, PropagationError> {
         assert_eq!(
             pi_stats.len(),
             circuit.primary_inputs().len(),
@@ -112,21 +167,42 @@ impl IncrementalPropagator {
             PropagationMode::Independent => propagate(circuit, library, pi_stats),
             PropagationMode::ExactBdd => {
                 let compiled = CompiledCircuit::compile(circuit, library)?;
-                let mut engine = CircuitBdds::build(&compiled, library, BuildOptions::default())?;
+                let build = BuildOptions {
+                    node_limit: options
+                        .node_limit
+                        .unwrap_or(BuildOptions::default().node_limit),
+                    ..BuildOptions::default()
+                };
+                let mut engine = match &options.bdd_order {
+                    Some(order) => CircuitBdds::build_with_order(
+                        &compiled,
+                        library,
+                        build,
+                        order.clone(),
+                        options.governor.as_ref(),
+                    )?,
+                    None => CircuitBdds::build_governed(
+                        &compiled,
+                        library,
+                        build,
+                        options.governor.as_ref(),
+                    )?,
+                };
                 let stats = engine.exact_stats(pi_stats)?;
                 bdds = Some(engine);
                 stats
             }
             PropagationMode::Monte { steps, seed } => {
                 let compiled = CompiledCircuit::compile(circuit, library)?;
-                monte::estimate(
+                monte::estimate_governed(
                     &compiled,
                     library,
                     pi_stats,
                     steps,
                     monte_dt(pi_stats),
                     seed,
-                )
+                    options.governor.as_ref(),
+                )?
             }
         };
         Ok(IncrementalPropagator {
@@ -134,6 +210,9 @@ impl IncrementalPropagator {
             pi_stats: pi_stats.to_vec(),
             net_stats,
             bdds,
+            // The Monte backend has no engine to pin a governor to; keep
+            // our own clone so refreshes stay governed.
+            monte_governor: options.governor.clone(),
             repropagations: 0,
             refreshed_nets: 0,
         })
@@ -142,6 +221,16 @@ impl IncrementalPropagator {
     /// The active backend.
     pub fn mode(&self) -> PropagationMode {
         self.mode
+    }
+
+    /// Attaches (or with `None` detaches) a [`Governor`] for every
+    /// subsequent refresh — how the degradation ladder stops enforcing a
+    /// deadline once it has already degraded (the run must complete).
+    pub fn set_governor(&mut self, governor: Option<Governor>) {
+        if let Some(bdds) = &mut self.bdds {
+            bdds.set_governor(governor.clone());
+        }
+        self.monte_governor = governor;
     }
 
     /// The current per-net statistics (valid for the last circuit seen).
@@ -237,14 +326,15 @@ impl IncrementalPropagator {
                 // with the same budget, interval and seed so an
                 // unchanged circuit reproduces its estimate exactly.
                 let compiled = CompiledCircuit::compile(circuit, library)?;
-                self.net_stats = monte::estimate(
+                self.net_stats = monte::estimate_governed(
                     &compiled,
                     library,
                     &self.pi_stats,
                     steps,
                     monte_dt(&self.pi_stats),
                     seed,
-                );
+                    self.monte_governor.as_ref(),
+                )?;
                 (0..self.net_stats.len()).map(NetId).collect()
             }
         };

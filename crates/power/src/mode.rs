@@ -24,6 +24,7 @@ use crate::monte;
 use crate::propagate;
 use std::fmt;
 use tr_bdd::{BddError, BuildOptions, CircuitBddStats, CircuitBdds};
+use tr_boolean::govern::Interrupted;
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::{Circuit, CircuitError, CompiledCircuit};
@@ -84,6 +85,11 @@ pub enum PropagationError {
     Bdd(BddError),
     /// The circuit failed to compile against the library.
     Circuit(CircuitError),
+    /// A governed backend was cancelled or ran past its deadline
+    /// (cooperative — the engine was left consistent). Kept distinct
+    /// from [`PropagationError::Bdd`] so callers can tell "this run was
+    /// cut short" from "this circuit does not fit".
+    Interrupted(Interrupted),
 }
 
 impl fmt::Display for PropagationError {
@@ -91,6 +97,7 @@ impl fmt::Display for PropagationError {
         match self {
             PropagationError::Bdd(e) => write!(f, "exact BDD propagation failed: {e}"),
             PropagationError::Circuit(e) => write!(f, "circuit does not compile: {e}"),
+            PropagationError::Interrupted(i) => write!(f, "propagation {i}"),
         }
     }
 }
@@ -100,13 +107,26 @@ impl std::error::Error for PropagationError {
         match self {
             PropagationError::Bdd(e) => Some(e),
             PropagationError::Circuit(e) => Some(e),
+            PropagationError::Interrupted(i) => Some(i),
         }
     }
 }
 
 impl From<BddError> for PropagationError {
     fn from(e: BddError) -> Self {
-        PropagationError::Bdd(e)
+        match e {
+            // Normalize: interruption is a property of the *run*, not of
+            // the BDD backend, so it surfaces the same way from every
+            // governed backend.
+            BddError::Interrupted(i) => PropagationError::Interrupted(*i),
+            other => PropagationError::Bdd(other),
+        }
+    }
+}
+
+impl From<Interrupted> for PropagationError {
+    fn from(i: Interrupted) -> Self {
+        PropagationError::Interrupted(i)
     }
 }
 

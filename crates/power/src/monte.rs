@@ -17,6 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use tr_boolean::govern::{Governor, Interrupted};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::CompiledCircuit;
@@ -48,6 +49,31 @@ pub fn estimate(
     dt: f64,
     seed: u64,
 ) -> Vec<SignalStats> {
+    estimate_governed(compiled, library, pi_stats, steps, dt, seed, None)
+        .expect("ungoverned estimate cannot be interrupted")
+}
+
+/// [`estimate`] under an optional [`Governor`], checked once per sampled
+/// time step (each step is one full-circuit sweep — a natural work
+/// unit). An interrupted estimate returns no partial statistics: a
+/// truncated sample would be silently biased toward the initial state.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when the governor trips mid-run.
+///
+/// # Panics
+///
+/// As [`estimate`].
+pub fn estimate_governed(
+    compiled: &CompiledCircuit,
+    library: &Library,
+    pi_stats: &[SignalStats],
+    steps: usize,
+    dt: f64,
+    seed: u64,
+    governor: Option<&Governor>,
+) -> Result<Vec<SignalStats>, Interrupted> {
     assert_eq!(
         pi_stats.len(),
         compiled.primary_inputs().len(),
@@ -84,6 +110,9 @@ pub fn estimate(
     compiled.evaluate_into(library, &inputs, &mut prev);
 
     for _ in 1..steps {
+        if let Some(g) = governor {
+            g.check("monte")?;
+        }
         for (i, v) in inputs.iter_mut().enumerate() {
             if let Some((p01, p10)) = flip[i] {
                 let p = if *v { p10 } else { p01 };
@@ -105,13 +134,13 @@ pub fn estimate(
     }
 
     let total_time = (steps - 1) as f64 * dt;
-    (0..compiled.net_count())
+    Ok((0..compiled.net_count())
         .map(|n| {
             let p = ones[n] as f64 / (steps - 1) as f64;
             let d = transitions[n] as f64 / total_time;
             SignalStats::new(p.clamp(0.0, 1.0), d)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

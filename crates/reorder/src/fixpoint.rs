@@ -26,7 +26,11 @@
 //! an error but a typed [`FixpointTermination::IterationCap`] report,
 //! with the final numbers still computed from fresh statistics.
 
-use crate::{optimize_parallel_with_net_stats, optimize_with_net_stats, Objective, OptimizeResult};
+use crate::{
+    optimize_governed_with_net_stats, optimize_parallel_governed_with_net_stats, Objective,
+    OptimizeResult,
+};
+use tr_boolean::govern::Governor;
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::{Circuit, CompiledCircuit, GateId};
@@ -50,7 +54,7 @@ pub struct FixpointOptions {
     pub max_iterations: usize,
     /// Worker threads per traversal (1 = serial; the parallel traversal
     /// is used above its break-even work threshold, exactly as
-    /// [`optimize_parallel_with_net_stats`]).
+    /// [`crate::optimize_parallel_with_net_stats`]).
     pub threads: usize,
 }
 
@@ -161,7 +165,7 @@ fn total_power(
 ///
 /// # Panics
 ///
-/// As [`optimize_with_net_stats`]; additionally if
+/// As [`crate::optimize_with_net_stats`]; additionally if
 /// `options.threads == 0`.
 pub fn optimize_to_fixpoint(
     circuit: &Circuit,
@@ -195,6 +199,31 @@ pub fn optimize_to_fixpoint_with_propagator(
     propagator: &mut IncrementalPropagator,
     options: FixpointOptions,
 ) -> Result<FixpointReport, PropagationError> {
+    optimize_to_fixpoint_governed(circuit, library, model, propagator, options, None)
+}
+
+/// [`optimize_to_fixpoint_with_propagator`] under an optional
+/// [`Governor`]: each optimizer traversal checks it per gate, each
+/// iteration boundary checks it immediately, and the propagator's own
+/// governor (if it carries one) governs the refreshes. The input circuit
+/// is never modified, so an interrupted loop loses nothing but time.
+///
+/// # Errors
+///
+/// As [`optimize_to_fixpoint`], plus
+/// [`PropagationError::Interrupted`] when a governor trips.
+///
+/// # Panics
+///
+/// As [`optimize_to_fixpoint`].
+pub fn optimize_to_fixpoint_governed(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    propagator: &mut IncrementalPropagator,
+    options: FixpointOptions,
+    governor: Option<&Governor>,
+) -> Result<FixpointReport, PropagationError> {
     assert!(options.threads > 0, "need at least one thread");
     assert!(options.max_iterations > 0, "need at least one iteration");
     let repropagations_before = propagator.repropagations();
@@ -207,25 +236,30 @@ pub fn optimize_to_fixpoint_with_propagator(
     let mut stale_power = f64::NAN;
     let mut iterations = 0usize;
     loop {
+        if let Some(g) = governor {
+            g.check_now("fixpoint")?;
+        }
         iterations += 1;
         let r = if options.threads > 1 {
-            optimize_parallel_with_net_stats(
+            optimize_parallel_governed_with_net_stats(
                 &current,
                 library,
                 model,
                 propagator.net_stats(),
                 options.objective,
                 options.threads,
-            )
+                governor,
+            )?
         } else {
-            optimize_with_net_stats(
+            optimize_governed_with_net_stats(
                 &current,
                 library,
                 model,
                 propagator.net_stats(),
                 options.objective,
                 &mut scratch,
-            )
+                governor,
+            )?
         };
         if iterations == 1 {
             power_before = r.power_before;

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use tr_boolean::govern::{Governor, Interrupted};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
 use tr_netlist::{Circuit, CompiledCircuit, ResolvedGate};
@@ -145,6 +146,31 @@ pub fn optimize_with_net_stats(
     objective: Objective,
     scratch: &mut Scratch,
 ) -> OptimizeResult {
+    optimize_governed_with_net_stats(circuit, library, model, net_stats, objective, scratch, None)
+        .expect("ungoverned traversal cannot be interrupted")
+}
+
+/// [`optimize_with_net_stats`] under an optional [`Governor`], checked
+/// once per gate (a gate's configuration sweep is the traversal's unit
+/// of work). An interrupted traversal returns no partial result — the
+/// input circuit is untouched either way.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when the governor trips mid-traversal.
+///
+/// # Panics
+///
+/// As [`optimize_with_net_stats`].
+pub fn optimize_governed_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    objective: Objective,
+    scratch: &mut Scratch,
+    governor: Option<&Governor>,
+) -> Result<OptimizeResult, Interrupted> {
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
     assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
     assert_eq!(
@@ -164,6 +190,9 @@ pub fn optimize_with_net_stats(
     // Depth-first gate list (paper Fig. 3). With the monotonic model any
     // order gives the same answer; we keep the paper's for fidelity.
     for &gid in compiled.order() {
+        if let Some(g) = governor {
+            g.check("optimize")?;
+        }
         let gate = &compiled.gates()[gid.0];
         gather_inputs(&compiled, gate, net_stats, &mut buf);
         let inputs = &buf[..gate.arity as usize];
@@ -181,12 +210,12 @@ pub fn optimize_with_net_stats(
     }
     let after =
         circuit_total_compiled(&compiled, model, net_stats, &loads, scratch, |i| choices[i]);
-    OptimizeResult {
+    Ok(OptimizeResult {
         circuit: result,
         power_before: before,
         power_after: after,
         changed_gates: changed,
-    }
+    })
 }
 
 /// Verifies — once per distinct cell, so the cost is a branch per gate
@@ -304,15 +333,43 @@ pub fn optimize_parallel_with_net_stats(
     objective: Objective,
     threads: usize,
 ) -> OptimizeResult {
+    optimize_parallel_governed_with_net_stats(
+        circuit, library, model, net_stats, objective, threads, None,
+    )
+    .expect("ungoverned traversal cannot be interrupted")
+}
+
+/// [`optimize_parallel_with_net_stats`] under an optional [`Governor`]:
+/// every worker checks the *same* shared governor once per gate, so a
+/// trip observed by any thread stops the whole pool within one queue
+/// chunk (the others hit the tripped state at their own next check).
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when the governor trips mid-traversal.
+///
+/// # Panics
+///
+/// As [`optimize_parallel_with_net_stats`].
+pub fn optimize_parallel_governed_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    objective: Objective,
+    threads: usize,
+    governor: Option<&Governor>,
+) -> Result<OptimizeResult, Interrupted> {
     assert!(threads > 0, "need at least one thread");
     if !should_parallelize(exploration_work(circuit, library), threads) {
-        return optimize_with_net_stats(
+        return optimize_governed_with_net_stats(
             circuit,
             library,
             model,
             net_stats,
             objective,
             &mut Scratch::new(),
+            governor,
         );
     }
     let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
@@ -330,7 +387,7 @@ pub fn optimize_parallel_with_net_stats(
 
     let n = compiled.gates().len();
     let next = AtomicUsize::new(0);
-    let partials: Vec<Vec<(usize, usize)>> = std::thread::scope(|scope| {
+    let partials: Vec<Result<Vec<(usize, usize)>, Interrupted>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 let compiled = &compiled;
@@ -350,6 +407,9 @@ pub fn optimize_parallel_with_net_stats(
                             .iter()
                             .enumerate()
                         {
+                            if let Some(g) = governor {
+                                g.check("optimize")?;
+                            }
                             gather_inputs(compiled, gate, net_stats, &mut buf);
                             let (best, worst) = model.best_and_worst_by_id(
                                 gate.cell,
@@ -364,7 +424,7 @@ pub fn optimize_parallel_with_net_stats(
                             out.push((start + i, choice));
                         }
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
@@ -375,8 +435,10 @@ pub fn optimize_parallel_with_net_stats(
     });
 
     let mut choices = vec![0usize; n];
-    for (i, choice) in partials.into_iter().flatten() {
-        choices[i] = choice;
+    for partial in partials {
+        for (i, choice) in partial? {
+            choices[i] = choice;
+        }
     }
     let mut result = circuit.clone();
     let mut changed = 0usize;
@@ -389,12 +451,12 @@ pub fn optimize_parallel_with_net_stats(
     let after = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
         choices[i]
     });
-    OptimizeResult {
+    Ok(OptimizeResult {
         circuit: result,
         power_before: before,
         power_after: after,
         changed_gates: changed,
-    }
+    })
 }
 
 /// Delay-bounded optimization — the paper's §6 future-work direction (b):
@@ -755,8 +817,8 @@ pub mod slack;
 
 pub use analysis::{instance_demand, CellDemand, InstanceDemand};
 pub use fixpoint::{
-    optimize_to_fixpoint, optimize_to_fixpoint_with_propagator, FixpointOptions, FixpointReport,
-    FixpointTermination, DEFAULT_MAX_ITERATIONS,
+    optimize_to_fixpoint, optimize_to_fixpoint_governed, optimize_to_fixpoint_with_propagator,
+    FixpointOptions, FixpointReport, FixpointTermination, DEFAULT_MAX_ITERATIONS,
 };
 pub use heuristic::{optimize_rule_based, Rule};
 pub use slack::{

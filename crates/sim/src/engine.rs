@@ -3,6 +3,7 @@
 use crate::waveform::generate_waveform;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use tr_boolean::govern::{Governor, Interrupted};
 use tr_boolean::SignalStats;
 use tr_gatelib::{Library, Process};
 use tr_netlist::{Circuit, NetId};
@@ -110,6 +111,36 @@ pub fn simulate(
     simulate_with_drives(circuit, library, process, timing, &drives, config)
 }
 
+/// [`simulate`] under an optional [`Governor`], checked once per
+/// simulator event (an input toggle or an output commit — the event
+/// loop's unit of work). An interrupted run returns no partial report: a
+/// truncated event window would misreport power for the measured span.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when the governor trips mid-run.
+///
+/// # Panics
+///
+/// As [`simulate`].
+pub fn simulate_governed(
+    circuit: &Circuit,
+    library: &Library,
+    process: &Process,
+    timing: &TimingModel,
+    pi_stats: &[SignalStats],
+    config: &SimConfig,
+    governor: Option<&Governor>,
+) -> Result<SimReport, Interrupted> {
+    let drives: Vec<InputDrive> = pi_stats
+        .iter()
+        .map(|s| InputDrive::Stochastic(*s))
+        .collect();
+    run(
+        circuit, library, process, timing, &drives, config, None, governor,
+    )
+}
+
 /// One recorded value change (for waveform dumping).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -153,7 +184,9 @@ pub fn simulate_traced(
         drives,
         config,
         Some(&mut trace),
-    );
+        None,
+    )
+    .expect("ungoverned simulation cannot be interrupted");
     (report, trace)
 }
 
@@ -171,7 +204,10 @@ pub fn simulate_with_drives(
     drives: &[InputDrive],
     config: &SimConfig,
 ) -> SimReport {
-    run(circuit, library, process, timing, drives, config, None)
+    run(
+        circuit, library, process, timing, drives, config, None, None,
+    )
+    .expect("ungoverned simulation cannot be interrupted")
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -183,7 +219,8 @@ fn run(
     drives: &[InputDrive],
     config: &SimConfig,
     mut trace: Option<&mut Trace>,
-) -> SimReport {
+    governor: Option<&Governor>,
+) -> Result<SimReport, Interrupted> {
     assert_eq!(
         drives.len(),
         circuit.primary_inputs().len(),
@@ -332,6 +369,9 @@ fn run(
         if t >= end_fs {
             break;
         }
+        if let Some(g) = governor {
+            g.check("simulate")?;
+        }
         match event {
             Event::InputToggle { net } => {
                 net_values[net] = !net_values[net];
@@ -416,7 +456,7 @@ fn run(
     }
 
     let measured_time = config.duration - config.warmup;
-    SimReport {
+    Ok(SimReport {
         measured_time,
         energy,
         power: energy / measured_time,
@@ -424,7 +464,7 @@ fn run(
         net_transitions,
         final_values: net_values,
         conflicts,
-    }
+    })
 }
 
 #[cfg(test)]

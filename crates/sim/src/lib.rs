@@ -46,7 +46,7 @@ pub mod vcd;
 mod waveform;
 
 pub use engine::{
-    simulate, simulate_traced, simulate_with_drives, InputDrive, SimConfig, SimReport, Trace,
-    TraceEvent,
+    simulate, simulate_governed, simulate_traced, simulate_with_drives, InputDrive, SimConfig,
+    SimReport, Trace, TraceEvent,
 };
 pub use waveform::generate_waveform;

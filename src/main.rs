@@ -18,14 +18,16 @@
 //! `.blif` (both get technology-mapped onto the Table 2 library) or the
 //! native mapped format `.trnet` written by `--out`.
 //!
-//! Exit codes: 0 success, 1 pipeline failure (bad netlist, I/O, failed
-//! batch cells), 2 usage error.
+//! Exit codes: 0 success, 1 pipeline failure (bad netlist, I/O), 2
+//! usage error, 3 batch completed with failed cells (partial results
+//! are on stdout, the failure summary on stderr).
 
 use std::process::ExitCode;
 use std::time::Instant;
 use transistor_reordering::flow::{
     load_path, max_probability_deviation, parse_prob_mode, BatchJob, BatchRunner, DelayBound,
-    DurationPolicy, Error, Flow, FlowEnv, FlowReport, PropagationMode, ScenarioSpec, SimOptions,
+    DurationPolicy, Error, Flow, FlowEnv, FlowReport, PropagationMode, RunBudget, ScenarioSpec,
+    SimOptions,
 };
 use transistor_reordering::prelude::*;
 
@@ -54,7 +56,7 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::from(if e.is_usage() { 2 } else { 1 })
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -86,6 +88,13 @@ OPTIONS (optimize/analyze):
   --vcd FILE            dump a simulation waveform (implies --simulate)
   --out FILE            write the optimized netlist (native format)
   --json                print the full flow report as JSON (optimize only)
+  --deadline-ms N       wall-clock budget for the run (optimize only)
+  --node-budget N       live-node budget for the exact BDD backend
+                        (optimize only)
+  --degrade on|off      on (default): a blown budget degrades gracefully
+                        (exact → info-measure reorder retry → independent
+                        fallback; the report records `degraded` and the
+                        ladder rung). off: a blown budget is an error
 
 OPTIONS (batch):
   <inputs>              netlist files and/or directories of netlists
@@ -101,6 +110,9 @@ OPTIONS (batch):
   --fixpoint            as above
   --simulate            switch-level-validate every cell (quick profile)
   --threads N           worker threads (default: all cores)
+  --deadline-ms N       per-cell wall-clock budget
+  --node-budget N       per-cell BDD live-node budget
+  --degrade on|off      as above (per cell)
 
 FORMATS: .bench (ISCAS), .blif (combinational subset), .trnet (native)";
 
@@ -117,6 +129,8 @@ struct Options {
     vcd: Option<String>,
     out: Option<String>,
     json: bool,
+    budget: RunBudget,
+    degrade: bool,
 }
 
 /// Default worker count: everything the machine offers.
@@ -138,6 +152,45 @@ fn parse_objective(value: Option<&str>) -> Result<Objective, Error> {
         Some("max") => Ok(Objective::MaximizePower),
         other => Err(Error::Usage(format!("bad --objective {other:?}"))),
     }
+}
+
+/// Shared `--degrade on|off` parsing.
+fn parse_degrade(value: Option<&str>) -> Result<bool, Error> {
+    match value {
+        Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        other => Err(Error::Usage(format!(
+            "bad --degrade {other:?} (want on|off)"
+        ))),
+    }
+}
+
+/// Shared `--deadline-ms`/`--node-budget` parsing onto a [`RunBudget`].
+fn parse_budget_flag(
+    budget: &mut RunBudget,
+    flag: &str,
+    it: &mut std::slice::Iter<'_, String>,
+) -> Result<(), Error> {
+    let value = flag_value(it, flag)?;
+    match flag {
+        "--deadline-ms" => {
+            let ms: u64 = value
+                .parse()
+                .map_err(|e| Error::Usage(format!("bad --deadline-ms: {e}")))?;
+            *budget = budget.deadline_ms(ms);
+        }
+        "--node-budget" => {
+            let nodes: usize = value
+                .parse()
+                .map_err(|e| Error::Usage(format!("bad --node-budget: {e}")))?;
+            if nodes == 0 {
+                return Err(Error::Usage("--node-budget must be at least 1".into()));
+            }
+            *budget = budget.bdd_nodes(nodes);
+        }
+        other => unreachable!("not a budget flag: {other}"),
+    }
+    Ok(())
 }
 
 /// Shared `--threads` parsing (must be a positive integer).
@@ -165,6 +218,8 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
         vcd: None,
         out: None,
         json: false,
+        budget: RunBudget::default(),
+        degrade: true,
     };
     let usage = |msg: String| Error::Usage(msg);
     let mut it = args.iter();
@@ -196,6 +251,10 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
             }
             "--out" => opts.out = Some(flag_value(&mut it, "--out")?.to_string()),
             "--json" => opts.json = true,
+            flag @ ("--deadline-ms" | "--node-budget") => {
+                parse_budget_flag(&mut opts.budget, flag, &mut it)?;
+            }
+            "--degrade" => opts.degrade = parse_degrade(it.next().map(String::as_str))?,
             other if !other.starts_with('-') && opts.path.is_empty() => {
                 opts.path = other.to_string();
             }
@@ -230,6 +289,8 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
         .delay_bound(opts.delay_bound)
         .fixpoint(opts.fixpoint)
         .threads(opts.threads)
+        .budget(opts.budget)
+        .degrade(opts.degrade)
         .headroom(false);
     if opts.simulate {
         // The waveform dump replaces the before/after comparison run.
@@ -267,6 +328,13 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
         println!(
             "probability backend: {} (independence error up to {:.3e} in P)",
             report.prob_mode, err
+        );
+    }
+    if report.degraded {
+        println!(
+            "degraded: {} ({})",
+            report.degrade_rung.as_deref().unwrap_or("?"),
+            report.degrade_reason.as_deref().unwrap_or("?")
         );
     }
     if let Some(iters) = report.fixpoint_iters {
@@ -312,6 +380,13 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
     if opts.json {
         return Err(Error::Usage(
             "--json is only supported by `tr-opt optimize` (analyze prints text)".into(),
+        ));
+    }
+    if !opts.budget.is_unbounded() {
+        return Err(Error::Usage(
+            "--deadline-ms/--node-budget are only supported by `tr-opt optimize` and \
+             `tr-opt batch`"
+                .into(),
         ));
     }
     let env = FlowEnv::new();
@@ -400,6 +475,8 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let mut fixpoint = false;
     let mut simulate = false;
     let mut threads = default_threads();
+    let mut budget = RunBudget::default();
+    let mut degrade = true;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -421,6 +498,10 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
             "--fixpoint" => fixpoint = true,
             "--simulate" => simulate = true,
             "--threads" => threads = parse_threads(&mut it)?,
+            flag @ ("--deadline-ms" | "--node-budget") => {
+                parse_budget_flag(&mut budget, flag, &mut it)?;
+            }
+            "--degrade" => degrade = parse_degrade(it.next().map(String::as_str))?,
             other if !other.starts_with('-') => inputs.push(other.to_string()),
             other => return Err(usage(format!("unexpected argument `{other}`"))),
         }
@@ -464,7 +545,9 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     ))
     .objective(objective)
     .delay_bound(delay_bound)
-    .fixpoint(fixpoint);
+    .fixpoint(fixpoint)
+    .budget(budget)
+    .degrade(degrade);
     if let Some(s) = &prob {
         // The Monte Carlo backend takes one fixed seed across the grid —
         // per-cell scenarios already vary the input statistics.
@@ -494,6 +577,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let t0 = Instant::now();
     // A load failure (scenario "-") stands for every cell of its job.
     let mut failed_cells = 0usize;
+    let mut failures: Vec<String> = Vec::new();
     let mut completed = 0usize;
     let results = BatchRunner::new(template)
         .threads(threads)
@@ -511,6 +595,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
                 } else {
                     1
                 };
+                failures.push(format!("{}×{}", result.job, result.scenario));
                 eprintln!("  {} × {}: {e}", result.job, result.scenario);
             }
         });
@@ -521,6 +606,13 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
         completed as f64 / t0.elapsed().as_secs_f64().max(1e-9)
     );
     if failed_cells > 0 {
+        // One machine-grepable summary line naming every failed cell;
+        // the per-cell diagnostics streamed above as they happened.
+        eprintln!(
+            "batch: {failed_cells}/{} cells failed: {}",
+            jobs.len() * matrix.len(),
+            failures.join(" ")
+        );
         return Err(Error::Batch {
             failed: failed_cells,
             total: jobs.len() * matrix.len(),
