@@ -87,6 +87,26 @@ pub const DEFAULT_GC_THRESHOLD: usize = 1 << 21;
 /// dominate the pool again before another cache-clearing sweep pays.
 const GC_GROWTH_FACTOR: usize = 4;
 
+/// Floor for [`apportioned_gc_threshold`]: even with hundreds of
+/// coexisting engines, collecting below ~16k live nodes costs more in
+/// cleared caches than it recovers in memory.
+const APPORTIONED_GC_FLOOR: usize = 1 << 14;
+
+/// The GC threshold each of `engines` concurrently live managers should
+/// use so their *combined* uncollected garbage stays near one
+/// [`DEFAULT_GC_THRESHOLD`], instead of `engines` times it.
+///
+/// The default threshold assumes one manager owns the process: two
+/// million nodes (~24 MB) of garbage are allowed to ride before the
+/// first cache-clearing sweep. A partitioned statistics pass runs one
+/// manager per pool worker — with N workers at the default floor the
+/// fleet could hold N×2M dead nodes before any engine collects. Callers
+/// that know how many engines coexist divide the budget here (floored,
+/// so tiny shares don't thrash the operation caches).
+pub fn apportioned_gc_threshold(engines: usize) -> usize {
+    (DEFAULT_GC_THRESHOLD / engines.max(1)).max(APPORTIONED_GC_FLOOR)
+}
+
 /// Errors from BDD construction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum BddError {
@@ -668,6 +688,48 @@ impl Bdd {
     pub fn set_gc_threshold(&mut self, threshold: usize) {
         self.gc_threshold = threshold.max(1);
         self.next_gc = self.gc_threshold.max(self.live);
+    }
+
+    /// Replaces the live-node budget for subsequent construction.
+    /// Lowering it below the current live count does not free anything;
+    /// the next allocation that finds `live >= limit` fails.
+    pub fn set_node_limit(&mut self, node_limit: usize) {
+        self.node_limit = node_limit;
+    }
+
+    /// Returns the manager to its just-constructed state over `n_vars`
+    /// variables **without deallocating**: the node pool, unique table,
+    /// operation caches and mark bitmap all keep their grown capacity, so
+    /// a pool worker can evaluate hundreds of regions through one engine
+    /// with zero steady-state allocation (the same pattern as
+    /// `optimize_with_scratch`).
+    ///
+    /// Every previously returned [`Edge`] is invalidated, all roots are
+    /// dropped, and the GC epoch advances so caller-held [`ProbScratch`]/
+    /// [`DensityScratch`] values self-invalidate on their next use.
+    /// Cache/GC *counters* keep accumulating across resets (they tell the
+    /// engine's whole-lifetime story); the governor stays attached.
+    pub fn reset(&mut self, n_vars: usize) {
+        self.vars.truncate(1);
+        self.lows.truncate(1);
+        self.highs.truncate(1);
+        self.free_head = NIL;
+        // Keep the grown table: re-filling in place beats reallocating,
+        // and an over-sized table only lowers the load factor.
+        self.table.fill(NIL);
+        self.table_occupied = 0;
+        self.ite_cache.fill(ITE4_EMPTY);
+        self.restrict_cache.fill(MEMO2_EMPTY);
+        self.diff_cache.fill(MEMO2_EMPTY);
+        self.roots.clear();
+        self.live = 1;
+        self.caches_stale = false;
+        self.next_gc = self.gc_threshold;
+        self.n_vars = n_vars;
+        // Advance the GC epoch: external scratches key their memoized
+        // node values to it, and every node index they memoized is now
+        // dangling.
+        self.gc.runs += 1;
     }
 
     /// Collects garbage if the growth policy asks for it: the live
@@ -1916,5 +1978,83 @@ mod tests {
             let v = [m & 1 == 1, m >> 1 & 1 == 1, m >> 2 & 1 == 1];
             assert_eq!(bdd.eval(f, &v), want, "minterm {m:03b}");
         }
+    }
+
+    #[test]
+    fn reset_reuses_capacity_and_invalidates_scratches() {
+        let mut bdd = Bdd::new(8);
+        let mut prob = ProbScratch::new();
+        // Build something sizable so the pool and table grow.
+        let vs: Vec<Edge> = (0..8).map(|v| bdd.var(v)).collect();
+        let mut f = vs[0];
+        for &v in &vs[1..] {
+            let t = bdd.and(f, v).unwrap();
+            f = bdd.xor(t, v).unwrap();
+        }
+        bdd.protect(f);
+        let grown_pool = bdd.vars.capacity();
+        let p_before = bdd.probability(f, &[0.3; 8], &mut prob);
+        assert!(p_before.is_finite());
+
+        bdd.reset(3);
+        assert_eq!(bdd.n_vars(), 3);
+        assert_eq!(bdd.node_count(), 1, "only the terminal survives");
+        assert_eq!(bdd.protected_count(), 0, "roots are dropped");
+        assert!(
+            bdd.vars.capacity() >= grown_pool,
+            "pool capacity is retained across reset"
+        );
+
+        // The engine behaves exactly like a fresh manager, and the
+        // caller-held scratch (whose memoized node values now point at
+        // recycled slots) self-invalidates via the bumped GC epoch.
+        let a = bdd.var(0);
+        let b = bdd.var(1);
+        let g = bdd.or(a, b).unwrap();
+        let p = bdd.probability(g, &[0.5, 0.5, 0.5], &mut prob);
+        assert!((p - 0.75).abs() < 1e-12);
+
+        let mut fresh = Bdd::new(3);
+        let fa = fresh.var(0);
+        let fb = fresh.var(1);
+        let fg = fresh.or(fa, fb).unwrap();
+        let mut fresh_prob = ProbScratch::new();
+        assert_eq!(p, fresh.probability(fg, &[0.5, 0.5, 0.5], &mut fresh_prob));
+    }
+
+    #[test]
+    fn reset_rearms_gc_trigger_and_keeps_threshold() {
+        let mut bdd = Bdd::new(4);
+        bdd.set_gc_threshold(8);
+        bdd.reset(4);
+        // Build garbage past the small threshold: maybe_gc must fire,
+        // proving reset re-armed the trigger from the configured
+        // threshold rather than a stale adaptive value. Each iteration
+        // composes a distinct function so hash-consing cannot cap the
+        // pool below the trigger.
+        let vs: Vec<Edge> = (0..4).map(|v| bdd.var(v)).collect();
+        let mut f = vs[0];
+        for round in 0..4 {
+            for &v in &vs {
+                let t = bdd.and(f, v).unwrap();
+                f = if round % 2 == 0 {
+                    bdd.xor(t, v).unwrap()
+                } else {
+                    bdd.or(t, v).unwrap()
+                };
+            }
+        }
+        assert!(bdd.node_count() >= 8);
+        assert!(bdd.maybe_gc(), "threshold survives reset");
+        assert_eq!(bdd.node_count(), 1);
+    }
+
+    #[test]
+    fn apportioned_threshold_divides_and_floors() {
+        assert_eq!(apportioned_gc_threshold(0), DEFAULT_GC_THRESHOLD);
+        assert_eq!(apportioned_gc_threshold(1), DEFAULT_GC_THRESHOLD);
+        assert_eq!(apportioned_gc_threshold(4), DEFAULT_GC_THRESHOLD / 4);
+        // Hundreds of engines hit the floor instead of thrashing.
+        assert_eq!(apportioned_gc_threshold(1 << 10), 1 << 14);
     }
 }

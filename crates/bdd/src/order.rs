@@ -131,15 +131,7 @@ pub fn info_measure(compiled: &CompiledCircuit, pi_probs: &[f64]) -> Vec<usize> 
             readers[input.0].push(gid);
         }
     }
-    let entropy = |p: f64| {
-        let p = p.clamp(0.0, 1.0);
-        if p <= 0.0 || p >= 1.0 {
-            0.0
-        } else {
-            -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
-        }
-    };
-    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(n_pis);
+    let mut cones: Vec<usize> = Vec::with_capacity(n_pis);
     let mut seen_gate = vec![u32::MAX; compiled.gates().len()];
     let mut frontier: Vec<usize> = Vec::new();
     for (pos, net) in compiled.primary_inputs().iter().enumerate() {
@@ -157,8 +149,41 @@ pub fn info_measure(compiled: &CompiledCircuit, pi_probs: &[f64]) -> Vec<usize> 
             let out = compiled.gates()[gid].output;
             frontier.extend(readers[out.0].iter().copied());
         }
-        scored.push((entropy(pi_probs[pos]) * cone as f64, pos));
+        cones.push(cone);
     }
+    rank_by_information(pi_probs, &cones)
+}
+
+/// The ranking kernel behind [`info_measure`], decoupled from circuit
+/// traversal so per-region engines (whose "inputs" are a mix of primary
+/// inputs and cut nets) can reuse it: position `i` is scored
+/// `H(probs[i]) × cone_sizes[i]` (binary entropy times fanout-cone gate
+/// count) and positions are returned by descending score, ties broken by
+/// ascending position — fully deterministic.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn rank_by_information(probs: &[f64], cone_sizes: &[usize]) -> Vec<usize> {
+    assert_eq!(
+        probs.len(),
+        cone_sizes.len(),
+        "one cone size per scored probability"
+    );
+    let entropy = |p: f64| {
+        let p = p.clamp(0.0, 1.0);
+        if p <= 0.0 || p >= 1.0 {
+            0.0
+        } else {
+            -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+        }
+    };
+    let mut scored: Vec<(f64, usize)> = probs
+        .iter()
+        .zip(cone_sizes)
+        .enumerate()
+        .map(|(pos, (&p, &cone))| (entropy(p) * cone as f64, pos))
+        .collect();
     // Descending score, ascending position on ties — fully deterministic
     // (scores are finite: entropy ∈ [0, 1], cone ≤ gate count).
     scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));

@@ -11,7 +11,11 @@
 //!   densities) on the large reconvergent generators;
 //! * P7 — the fixpoint loop's inner step: dirty-cone incremental
 //!   re-propagation after one accepted cell change, against the
-//!   full-rebuild-per-change alternative it replaces.
+//!   full-rebuild-per-change alternative it replaces;
+//! * P8 — the cone-partitioned exact backend: propagation on mult8
+//!   (against `p6_bdd_propagate_mult8`, the monolithic engine it must
+//!   beat ≥2×) and on mult16, past the monolithic ceiling, plus
+//!   region-sharded parallel optimization.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tr_bench::Harness;
@@ -272,6 +276,95 @@ fn p7_fixpoint(c: &mut Criterion) {
     }
 }
 
+fn p8_partitioned(c: &mut Criterion) {
+    use tr_power::partition::{packing_options, propagate_partitioned, PartitionConfig};
+
+    let h = Harness::new();
+    let mult8 = generators::array_multiplier(8, &h.library);
+    let pi = vec![SignalStats::default(); mult8.primary_inputs().len()];
+    // The acceptance point: the accuracy-biased config (few, large
+    // regions) that holds |ΔP| ≤ 0.05 on mult8 — compare against
+    // `p6_bdd_propagate_mult8`, the monolithic run it must beat ≥2×.
+    let accuracy = PartitionConfig::new(1 << 16, 40).with_region_cost(2048);
+    c.bench_function("p8_partitioned_propagate_mult8", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                propagate_partitioned(&mult8, &h.library, &pi, &accuracy)
+                    .expect("fits the per-region budget"),
+            )
+        })
+    });
+    // The speed-biased default cut (what `--prob part` runs untuned).
+    let default_config = PartitionConfig::new(
+        tr_power::partition::DEFAULT_REGION_NODES,
+        tr_power::partition::DEFAULT_CUT_WIDTH,
+    );
+    c.bench_function("p8_partitioned_propagate_mult8_default", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                propagate_partitioned(&mult8, &h.library, &pi, &default_config)
+                    .expect("fits the per-region budget"),
+            )
+        })
+    });
+    // Past the monolithic ceiling: mult16's 2848 gates, where the
+    // whole-circuit engine cannot run at all (node-budget blowup).
+    let big = generators::array_multiplier(16, &h.library);
+    let big_pi = vec![SignalStats::default(); big.primary_inputs().len()];
+    c.bench_function("p8_partitioned_propagate_mult16", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                propagate_partitioned(&big, &h.library, &big_pi, &default_config)
+                    .expect("fits the per-region budget"),
+            )
+        })
+    });
+
+    // Region-sharded optimization: exact per-net statistics feeding the
+    // reorderer, workers claiming whole regions (dirty statistics stay
+    // region-local), against the plain gate-parallel traversal.
+    let compiled = tr_netlist::CompiledCircuit::compile(&mult8, &h.library).expect("compiles");
+    let part = tr_netlist::partition::partition(
+        &compiled,
+        &packing_options(
+            tr_power::partition::DEFAULT_REGION_NODES,
+            tr_power::partition::DEFAULT_CUT_WIDTH,
+            None,
+        ),
+    );
+    let (net_stats, _) =
+        propagate_partitioned(&mult8, &h.library, &pi, &default_config).expect("fits");
+    c.bench_function("p8_partitioned_optimize_mult8_sharded4", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                tr_reorder::optimize_sharded_governed_with_net_stats(
+                    &mult8,
+                    &h.library,
+                    &h.model,
+                    &net_stats,
+                    Objective::MinimizePower,
+                    &part,
+                    4,
+                    None,
+                )
+                .expect("ungoverned"),
+            )
+        })
+    });
+    c.bench_function("p8_partitioned_optimize_mult8_parallel4", |b| {
+        b.iter(|| {
+            std::hint::black_box(tr_reorder::optimize_parallel_with_net_stats(
+                &mult8,
+                &h.library,
+                &h.model,
+                &net_stats,
+                Objective::MinimizePower,
+                4,
+            ))
+        })
+    });
+}
+
 criterion_group!(
     benches,
     p1_gate_power,
@@ -280,6 +373,7 @@ criterion_group!(
     p4_simulator,
     p5_batch,
     p6_bdd_propagate,
-    p7_fixpoint
+    p7_fixpoint,
+    p8_partitioned
 );
 criterion_main!(benches);

@@ -23,8 +23,9 @@ use tr_power::{
 };
 use tr_reorder::{
     optimize_delay_bounded_with_net_stats, optimize_governed_with_net_stats,
-    optimize_parallel_governed_with_net_stats, optimize_slack_aware_with_net_stats,
-    optimize_to_fixpoint_governed, FixpointOptions, Objective, OptimizeResult,
+    optimize_parallel_governed_with_net_stats, optimize_sharded_governed_with_net_stats,
+    optimize_slack_aware_with_net_stats, optimize_to_fixpoint_governed, FixpointOptions, Objective,
+    OptimizeResult,
 };
 use tr_sim::{simulate_governed, simulate_traced, vcd, InputDrive, SimConfig};
 use tr_timing::critical_path_delay;
@@ -80,7 +81,10 @@ pub fn max_probability_deviation(a: &[SignalStats], b: &[SignalStats]) -> f64 {
 }
 
 /// Parses the CLI spelling of a probability backend (`indep`, `bdd`,
-/// `monte`); `seed` seeds the Monte Carlo backend.
+/// `part`, `monte`); `seed` seeds the Monte Carlo backend. `part`
+/// returns [`PropagationMode::partitioned`] with its default budgets —
+/// callers with `--region-nodes`/`--cut-width` overrides patch the
+/// returned variant's fields.
 ///
 /// # Errors
 ///
@@ -89,9 +93,10 @@ pub fn parse_prob_mode(s: &str, seed: u64) -> Result<PropagationMode, Error> {
     match s {
         "indep" => Ok(PropagationMode::Independent),
         "bdd" => Ok(PropagationMode::ExactBdd),
+        "part" => Ok(PropagationMode::partitioned()),
         "monte" => Ok(PropagationMode::monte(seed)),
         other => Err(Error::Usage(format!(
-            "bad --prob `{other}` (expected indep, bdd or monte)"
+            "bad --prob `{other}` (expected indep, bdd, part or monte)"
         ))),
     }
 }
@@ -404,10 +409,12 @@ impl Flow {
     /// Whether a tripped budget degrades gracefully (default `true`):
     /// the run completes through the degradation ladder — a blown BDD
     /// node budget retries once under the information-measure variable
-    /// order, then falls back to the independent backend; a blown
-    /// deadline finishes the remaining stages ungoverned — and the
-    /// report records `degraded`, the reason and the rung. With `false`
-    /// the trip surfaces as a typed error instead.
+    /// order (exact backend) or with halved regions (partitioned
+    /// backend, up to three halvings), then falls back to the
+    /// independent backend; a blown deadline finishes the remaining
+    /// stages ungoverned — and the report records `degraded`, the
+    /// reason and the rung. With `false` the trip surfaces as a typed
+    /// error instead.
     pub fn degrade(mut self, on: bool) -> Self {
         self.degrade = on;
         self
@@ -629,6 +636,7 @@ impl Flow {
                 circuit,
                 &net_stats,
                 self.objective,
+                propagator.partition(),
                 scratch,
                 run_governor.as_ref(),
                 &mut ladder,
@@ -672,6 +680,7 @@ impl Flow {
                 circuit,
                 &net_stats,
                 opposite,
+                propagator.partition(),
                 scratch,
                 run_governor.as_ref(),
                 &mut ladder,
@@ -829,6 +838,18 @@ impl Flow {
         timings.write_s = t.elapsed().as_secs_f64();
         timings.total_s = load_s + t_total.elapsed().as_secs_f64();
 
+        // Partition-backend shape, from the propagator that actually
+        // produced the statistics (post-ladder, so a shrink-regions
+        // retry reports its shrunk partition).
+        let (partition_regions, partition_error_bound) = match propagator.partition_summary() {
+            Some((regions, _cut_nets, approx_fraction)) => (Some(regions), Some(approx_fraction)),
+            None => (None, None),
+        };
+        let max_cut_width = match prob {
+            PropagationMode::PartitionedBdd { max_cut_width, .. } => Some(max_cut_width),
+            _ => None,
+        };
+
         let report = FlowReport {
             circuit: name,
             scenario: scenario_label,
@@ -846,6 +867,9 @@ impl Flow {
             degrade_reason: ladder.reason,
             degrade_rung: ladder.rung.map(str::to_string),
             independence_error,
+            partition_regions,
+            max_cut_width,
+            partition_error_bound,
             changed_gates: primary.changed_gates,
             fixpoint_iters,
             repropagations: propagator.repropagations(),
@@ -899,9 +923,11 @@ impl Flow {
         } else {
             self.prob
         };
-        let first = if mode == PropagationMode::ExactBdd
-            && faultpoint::hit("exact-build") == Some(Fault::NodeLimit)
-        {
+        let injected = (mode == PropagationMode::ExactBdd
+            && faultpoint::hit("exact-build") == Some(Fault::NodeLimit))
+            || (matches!(mode, PropagationMode::PartitionedBdd { .. })
+                && faultpoint::hit("part-build") == Some(Fault::NodeLimit));
+        let first = if injected {
             Err(injected_node_limit(self.budget.bdd_node_budget))
         } else {
             IncrementalPropagator::new_with(
@@ -936,13 +962,69 @@ impl Flow {
             // exhaustion — no ladder for those.
             return Err(err.into());
         }
+        // Rung 1 for the partitioned backend (blown node budget only):
+        // shrink the regions. The per-region BDD size tracks region size
+        // super-linearly, so halving the per-region budget — which
+        // halves the packing cost — reliably shrinks the biggest region
+        // engine far more than 2×. Up to three halvings; the cut only
+        // ever moves toward the gate-local (independent) limit, so each
+        // step trades accuracy for fit, exactly what a degradation rung
+        // should do.
+        if node_limit_blown {
+            if let PropagationMode::PartitionedBdd {
+                max_region_nodes,
+                max_cut_width,
+            } = mode
+            {
+                // An armed faultpoint fails the whole rung (every
+                // halving), mirroring `info-reorder-retry`.
+                let rung_injected = faultpoint::hit("shrink-regions") == Some(Fault::NodeLimit);
+                let mut nodes = if max_region_nodes == 0 {
+                    tr_power::partition::DEFAULT_REGION_NODES
+                } else {
+                    max_region_nodes
+                };
+                for _ in 0..3 {
+                    if rung_injected || nodes <= 2 {
+                        break;
+                    }
+                    nodes /= 2;
+                    let shrunk = PropagationMode::PartitionedBdd {
+                        max_region_nodes: nodes,
+                        max_cut_width,
+                    };
+                    match IncrementalPropagator::new_with(
+                        circuit,
+                        &env.library,
+                        stats,
+                        shrunk,
+                        &PropagatorOptions {
+                            node_limit: self.budget.bdd_node_budget,
+                            governor: governor(deadline_on),
+                            bdd_order: None,
+                        },
+                    ) {
+                        Ok(p) => {
+                            ladder.record("shrink-regions", &err);
+                            return Ok((p, shrunk));
+                        }
+                        Err(PropagationError::Interrupted(i))
+                            if i.reason == TripReason::Cancelled =>
+                        {
+                            return Err(Error::Interrupted(i));
+                        }
+                        Err(_) => {} // halve again, then rung 2
+                    }
+                }
+            }
+        }
         // Rung 1 (blown node budget only): the half-built engine was
         // dropped above, freeing every node; retry once under the cheap
         // information-measure order — high-entropy inputs driving large
         // fanout cones get the top levels — which often fits where the
         // structural default does not. A blown deadline skips straight
         // to rung 2: a second exact build would blow it again.
-        if node_limit_blown {
+        if node_limit_blown && mode == PropagationMode::ExactBdd {
             let compiled = CompiledCircuit::compile(circuit, &env.library)?;
             let probs: Vec<f64> = stats.iter().map(|s| s.probability()).collect();
             let order = tr_bdd::order::info_measure(&compiled, &probs);
@@ -998,6 +1080,7 @@ impl Flow {
         circuit: &Circuit,
         net_stats: &[SignalStats],
         objective: Objective,
+        partition: Option<&tr_netlist::partition::Partition>,
         scratch: &mut Scratch,
         run_governor: Option<&Governor>,
         ladder: &mut LadderState,
@@ -1012,6 +1095,7 @@ impl Flow {
             circuit,
             net_stats,
             objective,
+            partition,
             scratch,
             governor.as_ref(),
         ) {
@@ -1022,6 +1106,7 @@ impl Flow {
                     circuit,
                     net_stats,
                     objective,
+                    partition,
                     scratch,
                     self.cancel_governor().as_ref(),
                 )
@@ -1098,13 +1183,16 @@ impl Flow {
 
     /// One optimization pass with the configured bounding mode, against
     /// the already-computed per-net statistics (whichever backend made
-    /// them).
+    /// them). With a partition (the `part` backend) and worker threads,
+    /// the pass shards by region — same results, region-local schedule.
+    #[allow(clippy::too_many_arguments)]
     fn optimize_once(
         &self,
         env: &FlowEnv,
         circuit: &Circuit,
         net_stats: &[SignalStats],
         objective: Objective,
+        partition: Option<&tr_netlist::partition::Partition>,
         scratch: &mut Scratch,
         governor: Option<&Governor>,
     ) -> Result<OptimizeResult, Error> {
@@ -1113,15 +1201,27 @@ impl Flow {
         let _ = faultpoint::hit("optimize");
         match (self.delay_bound, objective) {
             (DelayBound::Unbounded, obj) => Ok(if self.threads > 1 {
-                optimize_parallel_governed_with_net_stats(
-                    circuit,
-                    &env.library,
-                    &env.model,
-                    net_stats,
-                    obj,
-                    self.threads,
-                    governor,
-                )?
+                match partition {
+                    Some(part) => optimize_sharded_governed_with_net_stats(
+                        circuit,
+                        &env.library,
+                        &env.model,
+                        net_stats,
+                        obj,
+                        part,
+                        self.threads,
+                        governor,
+                    )?,
+                    None => optimize_parallel_governed_with_net_stats(
+                        circuit,
+                        &env.library,
+                        &env.model,
+                        net_stats,
+                        obj,
+                        self.threads,
+                        governor,
+                    )?,
+                }
             } else {
                 optimize_governed_with_net_stats(
                     circuit,
@@ -1247,6 +1347,78 @@ mod tests {
             PropagationMode::Monte { seed: 9, .. }
         ));
         assert!(parse_prob_mode("exact", 1).unwrap_err().is_usage());
+    }
+
+    #[test]
+    fn partitioned_backend_reports_its_shape() {
+        let env = FlowEnv::new();
+        let c = generators::array_multiplier(6, &env.library);
+        let report = Flow::from_circuit(c)
+            .scenario(Scenario::a(), 7)
+            .prob(PropagationMode::partitioned())
+            .run(&env)
+            .unwrap();
+        // Whether this lands undegraded or through the shrink-regions
+        // rung depends on the stimulus (the information-measure variable
+        // order is statistics-driven); either way the statistics must
+        // come from the partitioned backend and report its shape.
+        assert_eq!(report.prob_mode, "part");
+        if report.degraded {
+            assert_eq!(report.degrade_rung.as_deref(), Some("shrink-regions"));
+        }
+        let regions = report.partition_regions.expect("part reports regions");
+        assert!(regions > 1, "a 6-bit multiplier must split");
+        assert_eq!(
+            report.max_cut_width,
+            Some(tr_power::partition::DEFAULT_CUT_WIDTH)
+        );
+        let bound = report
+            .partition_error_bound
+            .expect("part reports its structural bound");
+        assert!(bound > 0.0 && bound <= 1.0, "bound: {bound}");
+        assert!(report.independence_error.is_some());
+        assert!(report.power.model_after_w > 0.0);
+    }
+
+    #[test]
+    fn partitioned_cut_width_zero_matches_exact_bdd() {
+        let env = FlowEnv::new();
+        let c = generators::ripple_carry_adder(8, &env.library);
+        let base = Flow::from_circuit(c).scenario(Scenario::a(), 11);
+        let exact = base
+            .clone()
+            .prob(PropagationMode::ExactBdd)
+            .run(&env)
+            .unwrap();
+        let part = base
+            .prob(PropagationMode::PartitionedBdd {
+                max_region_nodes: 1 << 16,
+                max_cut_width: 0,
+            })
+            .run(&env)
+            .unwrap();
+        assert_eq!(part.partition_regions, Some(1));
+        assert_eq!(
+            part.partition_error_bound,
+            Some(0.0),
+            "0.0 certifies exactness"
+        );
+        assert_eq!(part.power.model_after_w, exact.power.model_after_w);
+        assert_eq!(part.changed_gates, exact.changed_gates);
+    }
+
+    #[test]
+    fn partitioned_threads_agree_with_sequential() {
+        let env = FlowEnv::new();
+        let c = generators::array_multiplier(6, &env.library);
+        let base = Flow::from_circuit(c)
+            .scenario(Scenario::b(), 0)
+            .prob(PropagationMode::partitioned());
+        let seq = base.clone().threads(1).run(&env).unwrap();
+        let par = base.threads(4).run(&env).unwrap();
+        assert_eq!(seq.power.model_after_w, par.power.model_after_w);
+        assert_eq!(seq.changed_gates, par.changed_gates);
+        assert_eq!(seq.partition_regions, par.partition_regions);
     }
 
     #[test]

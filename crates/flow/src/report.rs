@@ -135,9 +135,11 @@ pub struct FlowReport {
     pub degrade_reason: Option<String>,
     /// The deepest ladder rung reached: `info-reorder-retry` (exact
     /// backend rebuilt under the information-measure order),
-    /// `independent-fallback` (statistics recomputed under the
-    /// independence assumption), or `finish-ungoverned` (statistics
-    /// survived; a later stage finished without deadline enforcement).
+    /// `shrink-regions` (partitioned backend rebuilt with halved
+    /// per-region budgets), `independent-fallback` (statistics
+    /// recomputed under the independence assumption), or
+    /// `finish-ungoverned` (statistics survived; a later stage finished
+    /// without deadline enforcement).
     pub degrade_rung: Option<String>,
     /// Max absolute per-net probability deviation of the independence
     /// assumption from this run's backend (present for any
@@ -146,6 +148,19 @@ pub struct FlowReport {
     /// estimator's sampling noise (≈ `1/√steps` per net), so small
     /// values are indistinguishable from zero.
     pub independence_error: Option<f64>,
+    /// Regions of the cone partition the `part` backend evaluated
+    /// (`None` for every other backend).
+    pub partition_regions: Option<usize>,
+    /// The `part` backend's cut-width budget — external inputs per
+    /// region (`None` for every other backend).
+    pub max_cut_width: Option<usize>,
+    /// The `part` backend's *structural* error bound: the fraction of
+    /// gate-driven nets not provably exact under the cut, i.e. an upper
+    /// bound on how much of the circuit can deviate from full-BDD
+    /// statistics at all. `0.0` certifies the statistics equal full-BDD
+    /// up to rounding. This bounds coverage, not magnitude — measured
+    /// |ΔP| magnitudes live in the equivalence suite and EXPERIMENTS.
+    pub partition_error_bound: Option<f64>,
     /// Gates whose configuration changed.
     pub changed_gates: usize,
     /// Optimizer traversals of the fixed-point loop (`None` for the
@@ -205,6 +220,18 @@ impl FlowReport {
         out.push_str(&format!(
             "\"independence_error\":{},",
             json_opt_f64(self.independence_error)
+        ));
+        match self.partition_regions {
+            Some(n) => out.push_str(&format!("\"partition_regions\":{n},")),
+            None => out.push_str("\"partition_regions\":null,"),
+        }
+        match self.max_cut_width {
+            Some(n) => out.push_str(&format!("\"max_cut_width\":{n},")),
+            None => out.push_str("\"max_cut_width\":null,"),
+        }
+        out.push_str(&format!(
+            "\"partition_error_bound\":{},",
+            json_opt_f64(self.partition_error_bound)
         ));
         out.push_str(&format!("\"changed_gates\":{},", self.changed_gates));
         match self.fixpoint_iters {
@@ -288,7 +315,8 @@ impl FlowReport {
     pub fn csv_header() -> &'static str {
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
          degraded,degrade_reason,degrade_rung,\
-         independence_error,changed_gates,\
+         independence_error,partition_regions,max_cut_width,partition_error_bound,\
+         changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
@@ -320,6 +348,13 @@ impl FlowReport {
                 .map(csv_field)
                 .unwrap_or_default(),
             opt(self.independence_error),
+            self.partition_regions
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
+            self.max_cut_width
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
+            opt(self.partition_error_bound),
             self.changed_gates.to_string(),
             self.fixpoint_iters
                 .map(|n| n.to_string())
@@ -381,6 +416,9 @@ mod tests {
             degrade_reason: None,
             degrade_rung: None,
             independence_error: None,
+            partition_regions: None,
+            max_cut_width: None,
+            partition_error_bound: None,
             changed_gates: 2,
             fixpoint_iters: None,
             repropagations: 0,

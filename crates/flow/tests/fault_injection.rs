@@ -71,6 +71,50 @@ fn injected_node_limit_on_both_rungs_falls_back_to_independent() {
 }
 
 #[test]
+fn injected_node_limit_recovers_on_the_shrink_regions_rung() {
+    let _guard = suite_lock();
+    let env = FlowEnv::new();
+    arm("part-build", Fault::NodeLimit);
+    let report = Flow::from_circuit(generators::array_multiplier(6, &env.library))
+        .scenario(Scenario::a(), 11)
+        .prob(PropagationMode::partitioned())
+        .run(&env)
+        .expect("shrink-regions absorbs a single node-limit failure");
+    assert!(report.degraded);
+    assert_eq!(report.degrade_rung.as_deref(), Some("shrink-regions"));
+    // The retry succeeded with halved regions: still the partitioned
+    // backend, with its shape in the report.
+    assert_eq!(report.prob_mode, "part");
+    assert!(report.partition_regions.is_some());
+    assert!(report.partition_error_bound.is_some());
+    let reason = report.degrade_reason.expect("first failure recorded");
+    assert!(reason.contains("node limit"), "reason: {reason}");
+    assert!(report.power.model_after_w > 0.0);
+    disarm_all();
+}
+
+#[test]
+fn injected_node_limit_on_both_partition_rungs_falls_back_to_independent() {
+    let _guard = suite_lock();
+    let env = FlowEnv::new();
+    arm("part-build", Fault::NodeLimit);
+    // The shrink-regions site fails the whole rung (every halving).
+    arm("shrink-regions", Fault::NodeLimit);
+    let report = Flow::from_circuit(generators::array_multiplier(6, &env.library))
+        .scenario(Scenario::a(), 11)
+        .prob(PropagationMode::partitioned())
+        .run(&env)
+        .expect("rung 2 always lands");
+    assert!(report.degraded);
+    assert_eq!(report.degrade_rung.as_deref(), Some("independent-fallback"));
+    assert_eq!(report.prob_mode, "indep");
+    assert_eq!(report.partition_regions, None);
+    assert_eq!(report.partition_error_bound, None);
+    assert!(report.power.model_after_w > 0.0);
+    disarm_all();
+}
+
+#[test]
 fn injected_node_limit_with_degrade_off_is_a_typed_error() {
     let _guard = suite_lock();
     let env = FlowEnv::new();

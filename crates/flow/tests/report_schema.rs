@@ -25,6 +25,9 @@ fn sample_report() -> FlowReport {
         degrade_reason: Some("bdd interrupted (deadline) after 50 ms and 4096 work units".into()),
         degrade_rung: Some("independent-fallback".into()),
         independence_error: None,
+        partition_regions: Some(11),
+        max_cut_width: Some(24),
+        partition_error_bound: Some(0.5),
         changed_gates: 2,
         fixpoint_iters: Some(2),
         repropagations: 1,
@@ -78,7 +81,8 @@ const GOLDEN_JSON: &str = concat!(
     "\"degraded\":true,",
     "\"degrade_reason\":\"bdd interrupted (deadline) after 50 ms and 4096 work units\",",
     "\"degrade_rung\":\"independent-fallback\",",
-    "\"independence_error\":null,\"changed_gates\":2,",
+    "\"independence_error\":null,\"partition_regions\":11,\"max_cut_width\":24,",
+    "\"partition_error_bound\":0.5,\"changed_gates\":2,",
     "\"fixpoint_iters\":2,\"repropagations\":1,\"stale_power_discrepancy_w\":0,",
     "\"power\":{\"model_before_w\":0.00000045,\"model_after_w\":0.0000004,",
     "\"reduction_percent\":11.125,\"model_best_w\":0.0000004,\"model_worst_w\":0.0000005,",
@@ -120,7 +124,8 @@ fn csv_header_is_pinned() {
         FlowReport::csv_header(),
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
          degraded,degrade_reason,degrade_rung,\
-         independence_error,changed_gates,\
+         independence_error,partition_regions,max_cut_width,partition_error_bound,\
+         changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
@@ -154,6 +159,9 @@ fn live_report_matches_the_schema_key_set() {
         "\"degrade_reason\":",
         "\"degrade_rung\":",
         "\"independence_error\":",
+        "\"partition_regions\":",
+        "\"max_cut_width\":",
+        "\"partition_error_bound\":",
         "\"changed_gates\":",
         "\"fixpoint_iters\":",
         "\"repropagations\":",

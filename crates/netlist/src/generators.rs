@@ -604,6 +604,158 @@ pub fn random_circuit(inputs: usize, gates: usize, seed: u64, library: &Library)
     c
 }
 
+/// An ISCAS85-class random circuit: `n_gates` library gates over an
+/// input count scaled the way the ISCAS85 set scales (roughly one
+/// primary input per 16 gates, at least 32 — c7552 has 207 inputs for
+/// 3512 gates). Deterministic for a given `(seed, n_gates)` pair.
+///
+/// This is the workload class the partitioned statistics backend exists
+/// for: far past the whole-circuit BDD ceiling, with enough primary
+/// inputs that no dense truth-table method applies either.
+///
+/// # Panics
+///
+/// Panics if `n_gates == 0`.
+pub fn rnd_large(seed: u64, n_gates: usize, library: &Library) -> Circuit {
+    let inputs = (n_gates / 16).max(32);
+    random_circuit(inputs, n_gates, seed, library)
+}
+
+/// Generic form of [`mac_tree`]: `terms` products of `bits`×`bits`
+/// multiplications summed by a balanced tree of ripple adders.
+///
+/// Inputs `t{k}_a{i}` and `t{k}_b{i}` for term `k < terms`; outputs
+/// `mac0..` (LSB first) spelling `Σₖ aₖ·bₖ`.
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `terms == 0`.
+pub fn mac_tree_generic(bits: usize, terms: usize) -> GenericCircuit {
+    assert!(bits >= 2, "multiplier needs at least 2 bits");
+    assert!(terms > 0, "need at least one product term");
+    let mut c = GenericCircuit::new(format!("mac{bits}x{terms}"));
+    for t in 0..terms {
+        for i in 0..bits {
+            c.add_input(&format!("t{t}_a{i}"));
+        }
+        for i in 0..bits {
+            c.add_input(&format!("t{t}_b{i}"));
+        }
+    }
+    // One array multiplier per term: partial-product dot matrix reduced
+    // column-wise, exactly like `array_multiplier_generic`.
+    let mut operands: Vec<Vec<String>> = Vec::with_capacity(terms);
+    for t in 0..terms {
+        let mut cols: Vec<Vec<String>> = vec![Vec::new(); 2 * bits];
+        for i in 0..bits {
+            for j in 0..bits {
+                let pp = format!("t{t}_pp{i}_{j}");
+                c.add_gate(
+                    &pp,
+                    GenericOp::And,
+                    &[&format!("t{t}_a{i}"), &format!("t{t}_b{j}")],
+                );
+                cols[i + j].push(pp);
+            }
+        }
+        let mut tag = 0usize;
+        for w in 0..cols.len() {
+            while cols[w].len() > 1 {
+                if cols[w].len() >= 3 {
+                    let z = cols[w].pop().expect("len>=3");
+                    let y = cols[w].pop().expect("len>=3");
+                    let x = cols[w].pop().expect("len>=3");
+                    let (s, co) = full_adder(&mut c, &x, &y, &z, &format!("t{t}_r{tag}"));
+                    tag += 1;
+                    cols[w].push(s);
+                    if w + 1 < cols.len() {
+                        cols[w + 1].push(co);
+                    }
+                } else {
+                    let y = cols[w].pop().expect("len==2");
+                    let x = cols[w].pop().expect("len==2");
+                    let (s, co) = half_adder(&mut c, &x, &y, &format!("t{t}_r{tag}"));
+                    tag += 1;
+                    cols[w].push(s);
+                    if w + 1 < cols.len() {
+                        cols[w + 1].push(co);
+                    }
+                }
+            }
+        }
+        // The top column of the 2-bit product matrix is empty; narrower
+        // operands just mean a shorter vector.
+        operands.push(
+            cols.into_iter()
+                .filter_map(|col| col.into_iter().next())
+                .collect(),
+        );
+    }
+    // Balanced reduction tree of ripple adders; adding two w-bit
+    // operands yields w+1 bits (half adder at the LSB, the carry out
+    // becomes the MSB). Odd operands ride up a level unchanged.
+    let mut level = 0usize;
+    while operands.len() > 1 {
+        let mut next: Vec<Vec<String>> = Vec::with_capacity(operands.len().div_ceil(2));
+        let mut pairs = operands.chunks_exact(2);
+        for (p, pair) in pairs.by_ref().enumerate() {
+            let (a, b) = (&pair[0], &pair[1]);
+            let width = a.len().max(b.len());
+            let mut sum: Vec<String> = Vec::with_capacity(width + 1);
+            let mut carry: Option<String> = None;
+            for i in 0..width {
+                let tag = format!("l{level}_{p}_fa{i}");
+                match (a.get(i), b.get(i), carry.take()) {
+                    (Some(x), Some(y), None) => {
+                        let (s, co) = half_adder(&mut c, x, y, &tag);
+                        sum.push(s);
+                        carry = Some(co);
+                    }
+                    (Some(x), Some(y), Some(z)) => {
+                        let (s, co) = full_adder(&mut c, x, y, &z, &tag);
+                        sum.push(s);
+                        carry = Some(co);
+                    }
+                    (Some(x), None, Some(z)) | (None, Some(x), Some(z)) => {
+                        let (s, co) = half_adder(&mut c, x, &z, &tag);
+                        sum.push(s);
+                        carry = Some(co);
+                    }
+                    (Some(x), None, None) | (None, Some(x), None) => sum.push(x.clone()),
+                    (None, None, _) => unreachable!("i < max width"),
+                }
+            }
+            if let Some(co) = carry {
+                sum.push(co);
+            }
+            next.push(sum);
+        }
+        if let [odd] = pairs.remainder() {
+            next.push(odd.clone());
+        }
+        operands = next;
+        level += 1;
+    }
+    for (w, sig) in operands[0].iter().enumerate() {
+        let name = format!("mac{w}");
+        c.add_gate(&name, GenericOp::Buff, &[sig]);
+        c.add_output(&name);
+    }
+    c
+}
+
+/// A multiply-accumulate tree (`terms` products of `bits`×`bits`, summed
+/// by a balanced adder tree) mapped onto the library — the ≥2000-gate
+/// arithmetic workload of the large suite tier (at `bits = 8`,
+/// `terms = 4` the mapped circuit passes 2000 gates).
+///
+/// # Panics
+///
+/// Panics if `bits < 2` or `terms == 0`.
+pub fn mac_tree(bits: usize, terms: usize, library: &Library) -> Circuit {
+    map::map_default(&mac_tree_generic(bits, terms), library)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1257,5 +1409,77 @@ mod extended_tests {
         );
         assert_eq!(barrel_shifter(8, &library), barrel_shifter(8, &library));
         assert_eq!(priority_encoder(8, &library), priority_encoder(8, &library));
+    }
+
+    #[test]
+    fn mac_tree_multiply_accumulates() {
+        // 3 terms of 3×3 products, random-ish operand sweeps.
+        let g = mac_tree_generic(3, 3);
+        for trial in 0..64usize {
+            let m = trial.wrapping_mul(0x9E3779B9) & ((1 << 18) - 1);
+            let mut v = Vec::with_capacity(18);
+            let mut want = 0usize;
+            for t in 0..3 {
+                let a = (m >> (6 * t)) & 7;
+                let b = (m >> (6 * t + 3)) & 7;
+                for i in 0..3 {
+                    v.push((a >> i) & 1 == 1);
+                }
+                for i in 0..3 {
+                    v.push((b >> i) & 1 == 1);
+                }
+                want += a * b;
+            }
+            let out = g.evaluate_outputs(&v);
+            let got: usize = out
+                .iter()
+                .enumerate()
+                .map(|(i, &bit)| usize::from(bit) << i)
+                .sum();
+            assert_eq!(got, want, "inputs {m:018b}");
+        }
+    }
+
+    #[test]
+    fn mac_tree_handles_odd_term_counts() {
+        // terms = 5 exercises the odd-operand carry-up path.
+        let g = mac_tree_generic(2, 5);
+        let mut v = Vec::with_capacity(20);
+        let mut want = 0usize;
+        for t in 0..5 {
+            let (a, b) = (t % 4, (t + 1) % 4);
+            for i in 0..2 {
+                v.push((a >> i) & 1 == 1);
+            }
+            for i in 0..2 {
+                v.push((b >> i) & 1 == 1);
+            }
+            want += a * b;
+        }
+        let out = g.evaluate_outputs(&v);
+        let got: usize = out
+            .iter()
+            .enumerate()
+            .map(|(i, &bit)| usize::from(bit) << i)
+            .sum();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn large_generators_reach_iscas_scale() {
+        let library = lib();
+        let mac = mac_tree(8, 4, &library);
+        assert!(mac.validate(&library).is_ok());
+        assert!(
+            mac.gates().len() >= 2000,
+            "mac_tree(8, 4) must pass 2000 gates, has {}",
+            mac.gates().len()
+        );
+        let rnd = rnd_large(7, 2400, &library);
+        assert!(rnd.validate(&library).is_ok());
+        assert_eq!(rnd.gates().len(), 2400);
+        assert!(rnd.primary_inputs().len() >= 32);
+        assert_eq!(rnd, rnd_large(7, 2400, &library), "deterministic");
+        assert_eq!(mac, mac_tree(8, 4, &library), "deterministic");
     }
 }

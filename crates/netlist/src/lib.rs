@@ -18,6 +18,8 @@
 //! * [`generators`] — programmatic builders for adders, multipliers,
 //!   parity trees, decoders, comparators, ALU slices, mux trees and
 //!   seeded random circuits;
+//! * [`partition`] — cone partitioning of a [`CompiledCircuit`] into
+//!   fanout-bounded regions for per-region exact statistics;
 //! * [`suite`] — the benchmark suite used by the Table 3 reproduction
 //!   (deterministic substitutes for the MCNC set, same gate-count range).
 //!
@@ -51,6 +53,7 @@ pub mod format;
 pub mod generators;
 mod generic;
 pub mod map;
+pub mod partition;
 pub mod suite;
 
 pub use circuit::{Circuit, CircuitError, Gate, GateId, NetId};

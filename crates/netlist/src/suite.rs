@@ -68,6 +68,29 @@ pub fn standard_suite(library: &Library) -> Vec<BenchmarkCase> {
     cases
 }
 
+/// The large tier: ISCAS85-class circuits (≥~2000 gates) that sit far
+/// past the whole-circuit BDD ceiling — the workload the partitioned
+/// exact-statistics backend (`--prob part`) exists for. Kept separate
+/// from [`standard_suite`] so the Table 3 tiers and their pinned counts
+/// stay untouched.
+///
+/// Deterministic: same library → same circuits, in the same order.
+pub fn large_suite(library: &Library) -> Vec<BenchmarkCase> {
+    let mut cases: Vec<BenchmarkCase> = Vec::new();
+    let mut push = |name: &str, circuit: Circuit| {
+        cases.push(BenchmarkCase {
+            name: name.to_string(),
+            circuit,
+        });
+    };
+    push("mult16", gen::array_multiplier(16, library));
+    push("mac8x4", gen::mac_tree(8, 4, library));
+    push("rnd_large_a", gen::rnd_large(0xA11CE, 2000, library));
+    push("rnd_large_b", gen::rnd_large(0xB0B0, 3000, library));
+    push("rca128", gen::ripple_carry_adder(128, library));
+    cases
+}
+
 /// A fast subset (≲150 gates each) for smoke tests and `--quick` runs.
 pub fn quick_suite(library: &Library) -> Vec<BenchmarkCase> {
     standard_suite(library)
@@ -138,6 +161,29 @@ mod tests {
         assert_eq!(small.len(), 13, "small suite is pinned at 13 circuits");
         for case in &small {
             assert!(case.circuit.gates().len() <= 100, "{} too big", case.name);
+        }
+    }
+
+    #[test]
+    fn large_suite_is_iscas_scale_and_deterministic() {
+        let lib = Library::standard();
+        let large = large_suite(&lib);
+        assert!(large.len() >= 4);
+        assert!(
+            large.iter().any(|c| c.circuit.gates().len() >= 2000),
+            "at least one ≥2000-gate circuit"
+        );
+        for case in &large {
+            assert!(
+                case.circuit.gates().len() >= 500,
+                "{} too small for the large tier",
+                case.name
+            );
+            assert!(case.circuit.validate(&lib).is_ok(), "{} invalid", case.name);
+        }
+        let again = large_suite(&lib);
+        for (a, b) in large.iter().zip(&again) {
+            assert_eq!(a.circuit, b.circuit, "{} not deterministic", a.name);
         }
     }
 

@@ -1,0 +1,52 @@
+//! Pins the committed `.bench` serialization of one large-tier
+//! generator instance and proves the parser round-trips it.
+//!
+//! The golden file is the contract: `mac_tree_generic(4, 4)` must keep
+//! producing byte-identical `.bench` text (so the committed instance
+//! stays a faithful artifact of the generator), and `parse ∘ write`
+//! must be the identity on it (so external ISCAS-style tooling can
+//! consume what we emit). Regenerate with
+//! `BLESS=1 cargo test -p tr-netlist --test bench_roundtrip`.
+
+use std::path::PathBuf;
+use tr_netlist::{bench, generators};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+        .join("mac4x4.bench")
+}
+
+#[test]
+fn committed_mac4x4_bench_round_trips() {
+    let generated = bench::write(&generators::mac_tree_generic(4, 4));
+    let path = golden_path();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &generated).unwrap();
+    }
+    let golden = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with BLESS=1", path.display()));
+    assert_eq!(
+        golden, generated,
+        "mac_tree_generic(4, 4) drifted from the committed .bench golden"
+    );
+
+    // parse ∘ write is the identity on the golden text…
+    let parsed = bench::parse("mac4x4", &golden).expect("golden parses");
+    assert_eq!(bench::write(&parsed), golden, ".bench round trip");
+
+    // …and the parsed circuit is functionally the generator's circuit.
+    let original = generators::mac_tree_generic(4, 4);
+    let n_inputs = original.inputs().len();
+    for trial in 0..32usize {
+        let m = trial.wrapping_mul(0x9E3779B9);
+        let v: Vec<bool> = (0..n_inputs).map(|i| (m >> (i % 32)) & 1 == 1).collect();
+        assert_eq!(
+            parsed.evaluate_outputs(&v),
+            original.evaluate_outputs(&v),
+            "trial {trial}"
+        );
+    }
+}

@@ -18,6 +18,11 @@
 //!   protect/unprotect of replaced edges, no rebuild), then
 //!   [`CircuitBdds::exact_stats_into`] refreshes just those nets'
 //!   slots;
+//! * [`PropagationMode::PartitionedBdd`] — dirty gates map to dirty
+//!   *regions* of the cone partition; each dirty region re-evaluates in
+//!   a reusable per-propagator engine (bit-for-bit the constructor's
+//!   pass), and the cascade follows region dependency edges only while
+//!   output statistics actually change;
 //! * [`PropagationMode::Monte`] — re-estimates with the same step
 //!   budget, interval and seed (sampling has no cone structure to
 //!   exploit), so an unchanged circuit reproduces its estimate exactly.
@@ -37,11 +42,13 @@ use crate::circuit::external_loads_compiled;
 use crate::mode::monte_dt;
 use crate::model::{PowerModel, Scratch, MAX_CELL_ARITY};
 use crate::monte;
+use crate::partition::{packing_options, RegionEvaluator};
 use crate::{propagate, PropagationError, PropagationMode};
 use tr_bdd::{BuildOptions, CircuitBdds};
 use tr_boolean::govern::Governor;
 use tr_boolean::{prob, SignalStats};
 use tr_gatelib::Library;
+use tr_netlist::partition::Partition;
 use tr_netlist::{Circuit, CompiledCircuit, GateId, NetId};
 
 /// Resource knobs for a governed [`IncrementalPropagator`] (see
@@ -62,6 +69,31 @@ pub struct PropagatorOptions {
     /// degradation ladder retries a budget-blown build under the
     /// information-measure order ([`tr_bdd::order::info_measure`]).
     pub bdd_order: Option<Vec<usize>>,
+}
+
+/// The `PartitionedBdd` backend's long-lived refresh state.
+#[derive(Debug)]
+struct PartitionState {
+    partition: Partition,
+    evaluator: RegionEvaluator,
+    /// For each gate, the regions that *recompose* it in their
+    /// cut-refinement expansion (beyond the region that owns it). A
+    /// dirty gate must also dirty these regions, or their locally
+    /// re-expanded copy of the logic would go stale.
+    expanders: Vec<Vec<u32>>,
+    /// Fraction of gate-driven nets not provably exact under the cut,
+    /// captured at construction (see [`Partition::approx_fraction`]).
+    approx_fraction: f64,
+}
+
+fn expander_map(partition: &Partition, n_gates: usize) -> Vec<Vec<u32>> {
+    let mut map = vec![Vec::new(); n_gates];
+    for (r, region) in partition.regions().iter().enumerate() {
+        for g in &region.expansion {
+            map[g.0].push(r as u32);
+        }
+    }
+    map
 }
 
 /// Per-net signal statistics kept consistent across circuit edits by
@@ -98,6 +130,10 @@ pub struct IncrementalPropagator {
     /// The long-lived engine of the `ExactBdd` backend (`None` for the
     /// other modes).
     bdds: Option<CircuitBdds>,
+    /// The `PartitionedBdd` backend's partition plus its reusable
+    /// single-region evaluator (`None` for the other modes). Dirty gates
+    /// map to dirty *regions*; only those re-evaluate.
+    partition: Option<PartitionState>,
     /// Governor re-applied to Monte re-estimates (the BDD backend's
     /// governor lives inside its engine instead).
     monte_governor: Option<Governor>,
@@ -163,6 +199,7 @@ impl IncrementalPropagator {
             "one SignalStats per primary input"
         );
         let mut bdds = None;
+        let mut partition_state = None;
         let net_stats = match mode {
             PropagationMode::Independent => propagate(circuit, library, pi_stats),
             PropagationMode::ExactBdd => {
@@ -192,6 +229,54 @@ impl IncrementalPropagator {
                 bdds = Some(engine);
                 stats
             }
+            PropagationMode::PartitionedBdd {
+                max_region_nodes,
+                max_cut_width,
+            } => {
+                // Evaluate serially through the same RegionEvaluator
+                // later refreshes use, so a refreshed region reproduces
+                // its statistics bit-for-bit (no-cascade on config-only
+                // edits depends on this).
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                // The run-level node budget caps the per-region budget:
+                // every region engine is bounded separately, so the cap
+                // applies region by region, not to the sum.
+                let region_nodes = match options.node_limit {
+                    Some(limit) if max_region_nodes > 1 => max_region_nodes.min(limit.max(2)),
+                    _ => max_region_nodes,
+                };
+                let part = tr_netlist::partition::partition(
+                    &compiled,
+                    &packing_options(region_nodes, max_cut_width, None),
+                );
+                let mut evaluator = RegionEvaluator::new(
+                    compiled.net_count(),
+                    region_nodes,
+                    1,
+                    options.governor.clone(),
+                );
+                let mut stats = vec![SignalStats::new(0.0, 0.0); compiled.net_count()];
+                for (pi, s) in compiled.primary_inputs().iter().zip(pi_stats) {
+                    stats[pi.0] = *s;
+                }
+                for region in part.regions() {
+                    let out = evaluator
+                        .evaluate(&compiled, library, region, &stats)?
+                        .to_vec();
+                    for (net, s) in region.outputs.iter().zip(out) {
+                        stats[net.0] = s;
+                    }
+                }
+                let expanders = expander_map(&part, compiled.gates().len());
+                let approx_fraction = part.approx_fraction(&compiled);
+                partition_state = Some(PartitionState {
+                    partition: part,
+                    evaluator,
+                    expanders,
+                    approx_fraction,
+                });
+                stats
+            }
             PropagationMode::Monte { steps, seed } => {
                 let compiled = CompiledCircuit::compile(circuit, library)?;
                 monte::estimate_governed(
@@ -210,6 +295,7 @@ impl IncrementalPropagator {
             pi_stats: pi_stats.to_vec(),
             net_stats,
             bdds,
+            partition: partition_state,
             // The Monte backend has no engine to pin a governor to; keep
             // our own clone so refreshes stay governed.
             monte_governor: options.governor.clone(),
@@ -230,12 +316,39 @@ impl IncrementalPropagator {
         if let Some(bdds) = &mut self.bdds {
             bdds.set_governor(governor.clone());
         }
+        if let Some(state) = &mut self.partition {
+            state.evaluator.set_governor(governor.clone());
+        }
         self.monte_governor = governor;
     }
 
     /// The current per-net statistics (valid for the last circuit seen).
     pub fn net_stats(&self) -> &[SignalStats] {
         &self.net_stats
+    }
+
+    /// The `PartitionedBdd` backend's partition shape as
+    /// `(regions, cut_nets, approx_fraction)`; `None` for the other
+    /// backends. `approx_fraction` is the fraction of gate-driven nets
+    /// not *provably* exact under the cut (`0.0` certifies the
+    /// statistics equal full-BDD up to rounding — see
+    /// [`Partition::approx_fraction`]).
+    pub fn partition_summary(&self) -> Option<(usize, usize, f64)> {
+        self.partition.as_ref().map(|s| {
+            (
+                s.partition.regions().len(),
+                s.partition.cut_nets().len(),
+                s.approx_fraction,
+            )
+        })
+    }
+
+    /// The `PartitionedBdd` backend's cone partition itself (`None` for
+    /// the other backends) — the region schedule callers hand to
+    /// `tr_reorder::optimize_sharded_governed_with_net_stats` so the
+    /// optimizer shards over the same regions the statistics did.
+    pub fn partition(&self) -> Option<&Partition> {
+        self.partition.as_ref().map(|s| &s.partition)
     }
 
     /// Number of [`IncrementalPropagator::refresh`] calls so far.
@@ -319,6 +432,60 @@ impl IncrementalPropagator {
                 let bdds = self.bdds.as_mut().expect("ExactBdd retains its engine");
                 let dirty = bdds.repropagate(&compiled, library, dirty_gates)?;
                 bdds.exact_stats_into(&self.pi_stats, &dirty, &mut self.net_stats)?;
+                dirty
+            }
+            PropagationMode::PartitionedBdd { .. } => {
+                // Dirty gates dirty their owning regions; a re-evaluated
+                // region whose outputs change dirties its dependents.
+                // Regions are topologically indexed, so one pass in
+                // index order settles the cascade, and the re-evaluation
+                // is bit-for-bit the constructor's pass — a config-only
+                // edit reproduces identical statistics and the cascade
+                // stops immediately.
+                let compiled = CompiledCircuit::compile(circuit, library)?;
+                let state = self
+                    .partition
+                    .as_mut()
+                    .expect("PartitionedBdd retains its partition");
+                let n_regions = state.partition.regions().len();
+                let mut region_dirty = vec![false; n_regions];
+                for &g in dirty_gates {
+                    region_dirty[state.partition.region_of(g)] = true;
+                    // Regions that re-expanded this gate behind their cut
+                    // hold a private copy of its logic; refresh them too.
+                    if let Some(rs) = state.expanders.get(g.0) {
+                        for &r in rs {
+                            region_dirty[r as usize] = true;
+                        }
+                    }
+                }
+                let mut dirty = Vec::new();
+                for r in 0..n_regions {
+                    if !region_dirty[r] {
+                        continue;
+                    }
+                    let region = &state.partition.regions()[r];
+                    let out =
+                        state
+                            .evaluator
+                            .evaluate(&compiled, library, region, &self.net_stats)?;
+                    let mut changed: Vec<(NetId, SignalStats)> = Vec::new();
+                    for (net, s) in region.outputs.iter().zip(out) {
+                        if *s != self.net_stats[net.0] {
+                            changed.push((*net, *s));
+                        }
+                    }
+                    if changed.is_empty() {
+                        continue;
+                    }
+                    for &dep in state.partition.dependents(r) {
+                        region_dirty[dep as usize] = true;
+                    }
+                    for (net, s) in changed {
+                        self.net_stats[net.0] = s;
+                        dirty.push(net);
+                    }
+                }
                 dirty
             }
             PropagationMode::Monte { steps, seed } => {

@@ -59,6 +59,7 @@ mod incremental;
 mod mode;
 mod model;
 pub mod monte;
+pub mod partition;
 pub mod reference;
 pub mod scenario;
 
@@ -72,3 +73,6 @@ pub use mode::{
     PropagationMode,
 };
 pub use model::{GatePower, NodePower, PowerModel, Scratch, MAX_CELL_ARITY};
+pub use partition::{
+    propagate_partitioned, propagate_partitioned_compiled, PartitionConfig, PartitionReport,
+};

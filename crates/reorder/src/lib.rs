@@ -41,6 +41,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use tr_boolean::govern::{Governor, Interrupted};
 use tr_boolean::SignalStats;
 use tr_gatelib::Library;
+use tr_netlist::partition::Partition;
 use tr_netlist::{Circuit, CompiledCircuit, ResolvedGate};
 use tr_power::{
     circuit_total_compiled, external_loads_compiled, propagate, PowerModel, Scratch, MAX_CELL_ARITY,
@@ -459,6 +460,137 @@ pub fn optimize_parallel_governed_with_net_stats(
     })
 }
 
+/// Region-sharded variant of [`optimize_parallel_with_net_stats`] for
+/// the partitioned statistics backend: workers pull whole partition
+/// *regions* off the shared queue instead of fixed-size gate chunks, so
+/// the optimizer's unit of work matches the propagator's and a region's
+/// gates — which share input nets and therefore statistics cache lines —
+/// are explored by one thread. Per-gate choices are independent given
+/// the net statistics, so the result is bitwise identical to the serial
+/// and chunk-parallel traversals; only the schedule differs.
+///
+/// # Errors
+///
+/// Returns [`Interrupted`] when the governor trips mid-traversal.
+///
+/// # Panics
+///
+/// As [`optimize_parallel_with_net_stats`]; additionally if `partition`
+/// does not cover exactly this circuit's gates.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_sharded_governed_with_net_stats(
+    circuit: &Circuit,
+    library: &Library,
+    model: &PowerModel,
+    net_stats: &[SignalStats],
+    objective: Objective,
+    partition: &Partition,
+    threads: usize,
+    governor: Option<&Governor>,
+) -> Result<OptimizeResult, Interrupted> {
+    assert!(threads > 0, "need at least one thread");
+    let total_gates: usize = partition.regions().iter().map(|r| r.gates.len()).sum();
+    assert_eq!(
+        total_gates,
+        circuit.gates().len(),
+        "partition must cover the circuit"
+    );
+    if !should_parallelize(exploration_work(circuit, library), threads) {
+        return optimize_governed_with_net_stats(
+            circuit,
+            library,
+            model,
+            net_stats,
+            objective,
+            &mut Scratch::new(),
+            governor,
+        );
+    }
+    let compiled = CompiledCircuit::compile(circuit, library).expect("validated circuit");
+    assert_cell_ids_aligned(circuit, &compiled, |k| model.cell_id(k), "PowerModel");
+    assert_eq!(
+        net_stats.len(),
+        compiled.net_count(),
+        "one SignalStats per net"
+    );
+    let loads = external_loads_compiled(&compiled, model);
+    let mut scratch = Scratch::new();
+    let before = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
+        compiled.gates()[i].config as usize
+    });
+
+    let n_regions = partition.regions().len();
+    let next = AtomicUsize::new(0);
+    let partials: Vec<Result<Vec<(usize, usize)>, Interrupted>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let compiled = &compiled;
+                let net_stats = &net_stats;
+                let loads = &loads;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut scratch = Scratch::new();
+                    let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
+                    let mut out = Vec::new();
+                    loop {
+                        let r = next.fetch_add(1, Ordering::Relaxed);
+                        if r >= n_regions {
+                            break;
+                        }
+                        for &gid in &partition.regions()[r].gates {
+                            if let Some(g) = governor {
+                                g.check("optimize")?;
+                            }
+                            let gate = &compiled.gates()[gid.0];
+                            gather_inputs(compiled, gate, net_stats, &mut buf);
+                            let (best, worst) = model.best_and_worst_by_id(
+                                gate.cell,
+                                &buf[..gate.arity as usize],
+                                loads[gate.output.0],
+                                &mut scratch,
+                            );
+                            let choice = match objective {
+                                Objective::MinimizePower => best,
+                                Objective::MaximizePower => worst,
+                            };
+                            out.push((gid.0, choice));
+                        }
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("optimizer worker panicked"))
+            .collect()
+    });
+
+    let mut choices = vec![0usize; compiled.gates().len()];
+    for partial in partials {
+        for (i, choice) in partial? {
+            choices[i] = choice;
+        }
+    }
+    let mut result = circuit.clone();
+    let mut changed = 0usize;
+    for (i, &choice) in choices.iter().enumerate() {
+        if circuit.gates()[i].config != choice {
+            changed += 1;
+        }
+        result.set_config(tr_netlist::GateId(i), choice);
+    }
+    let after = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
+        choices[i]
+    });
+    Ok(OptimizeResult {
+        circuit: result,
+        power_before: before,
+        power_after: after,
+        changed_gates: changed,
+    })
+}
+
 /// Delay-bounded optimization — the paper's §6 future-work direction (b):
 /// "it is possible to obtain power reductions without increasing the
 /// delay of the circuit".
@@ -740,6 +872,43 @@ mod tests {
                 optimize_parallel(&c, &lib, &model, &stats, Objective::MinimizePower, threads);
             assert_eq!(par.circuit, seq.circuit, "threads={threads}");
             assert!((par.power_after - seq.power_after).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn region_sharded_matches_sequential() {
+        let (lib, model, _) = setup();
+        let c = generators::array_multiplier(8, &lib);
+        let stats = Scenario::a().input_stats(c.primary_inputs().len(), 8);
+        let net_stats = propagate(&c, &lib, &stats);
+        let seq = optimize_with_net_stats(
+            &c,
+            &lib,
+            &model,
+            &net_stats,
+            Objective::MinimizePower,
+            &mut Scratch::new(),
+        );
+        let compiled = CompiledCircuit::compile(&c, &lib).unwrap();
+        let part = tr_netlist::partition::partition(
+            &compiled,
+            &tr_netlist::partition::PartitionOptions::default(),
+        );
+        assert!(part.regions().len() > 1, "want a real shard schedule");
+        for threads in [1, 2, 4] {
+            let sharded = optimize_sharded_governed_with_net_stats(
+                &c,
+                &lib,
+                &model,
+                &net_stats,
+                Objective::MinimizePower,
+                &part,
+                threads,
+                None,
+            )
+            .unwrap();
+            assert_eq!(sharded.circuit, seq.circuit, "threads={threads}");
+            assert!((sharded.power_after - seq.power_after).abs() < 1e-18);
         }
     }
 

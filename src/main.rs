@@ -2,12 +2,13 @@
 //! optimizer.
 //!
 //! ```text
-//! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|monte]
+//! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|part|monte]
+//!                 [--region-nodes N] [--cut-width N]
 //!                 [--objective min|max] [--delay-bound none|local|slack]
 //!                 [--simulate] [--vcd FILE] [--out FILE] [--json]
-//! tr-opt analyze  <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|monte]
-//! tr-opt batch    <dir|files...> [--suite small|quick|full] [--scenarios M]
-//!                 [--prob indep|bdd|monte] [--report json|csv] [--simulate]
+//! tr-opt analyze  <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|part|monte]
+//! tr-opt batch    <dir|files...> [--suite small|quick|full|large] [--scenarios M]
+//!                 [--prob indep|bdd|part|monte] [--report json|csv] [--simulate]
 //!                 [--threads N]
 //! tr-opt library
 //! ```
@@ -74,8 +75,15 @@ USAGE:
 OPTIONS (optimize/analyze):
   --scenario a|b        input statistics (default a: random P,D)
   --seed N              RNG seed for scenario A and the simulator
-  --prob indep|bdd|monte probability backend (default indep; bdd = exact
-                        ROBDD statistics, reconvergence handled exactly)
+  --prob indep|bdd|part|monte
+                        probability backend (default indep; bdd = exact
+                        ROBDD statistics, reconvergence handled exactly;
+                        part = cone-partitioned BDD, exact within regions)
+  --region-nodes N      partitioned backend: live-node budget per region
+                        (default 8192; only meaningful with --prob part)
+  --cut-width N         partitioned backend: max cut nets per region
+                        (default 24; 0 = never cut, exactly full-BDD;
+                        only meaningful with --prob part)
   --objective min|max   minimize (default) or maximize power
   --delay-bound MODE    none (default) | local | slack
   --fixpoint            iterate optimize ↔ re-propagate dirty cones until
@@ -98,13 +106,16 @@ OPTIONS (optimize/analyze):
 
 OPTIONS (batch):
   <inputs>              netlist files and/or directories of netlists
-  --suite small|quick|full   use the built-in benchmark suite instead
-                        (small = the 13-circuit ≤100-gate set)
+  --suite small|quick|full|large   use the built-in benchmark suite
+                        instead (small = the 13-circuit ≤100-gate set;
+                        large = the ≥1000-gate stress set)
   --scenarios M         comma-separated matrix of a:SEED and b:CLOCK_HZ
                         entries (default a:1,a:2,b:2e7,b:5e7)
   --report json|csv     one line per (circuit, scenario) on stdout
                         (default json)
-  --prob indep|bdd|monte as above
+  --prob indep|bdd|part|monte as above
+  --region-nodes N      as above
+  --cut-width N         as above
   --objective min|max   as above
   --delay-bound MODE    as above
   --fixpoint            as above
@@ -121,6 +132,8 @@ struct Options {
     scenario: Scenario,
     seed: u64,
     prob: Option<String>,
+    region_nodes: Option<usize>,
+    cut_width: Option<usize>,
     objective: Objective,
     delay_bound: DelayBound,
     fixpoint: bool,
@@ -204,12 +217,52 @@ fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, Error> 
     Ok(threads)
 }
 
+/// Shared `--region-nodes`/`--cut-width` value parsing.
+fn parse_usize_flag(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, Error> {
+    flag_value(it, flag)?
+        .parse()
+        .map_err(|e| Error::Usage(format!("bad {flag}: {e}")))
+}
+
+/// Applies `--region-nodes`/`--cut-width` overrides to a parsed
+/// propagation mode. The flags only shape the partitioned backend, so
+/// combining them with any other `--prob` is a usage error rather than
+/// a silent no-op.
+fn apply_partition_overrides(
+    mode: &mut PropagationMode,
+    region_nodes: Option<usize>,
+    cut_width: Option<usize>,
+) -> Result<(), Error> {
+    if region_nodes.is_none() && cut_width.is_none() {
+        return Ok(());
+    }
+    match mode {
+        PropagationMode::PartitionedBdd {
+            max_region_nodes,
+            max_cut_width,
+        } => {
+            if let Some(n) = region_nodes {
+                *max_region_nodes = n;
+            }
+            if let Some(w) = cut_width {
+                *max_cut_width = w;
+            }
+            Ok(())
+        }
+        _ => Err(Error::Usage(
+            "--region-nodes/--cut-width require --prob part".into(),
+        )),
+    }
+}
+
 fn parse_options(args: &[String]) -> Result<Options, Error> {
     let mut opts = Options {
         path: String::new(),
         scenario: Scenario::a(),
         seed: 1,
         prob: None,
+        region_nodes: None,
+        cut_width: None,
         objective: Objective::MinimizePower,
         delay_bound: DelayBound::Unbounded,
         fixpoint: false,
@@ -238,6 +291,10 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                     .map_err(|e| usage(format!("bad --seed: {e}")))?;
             }
             "--prob" => opts.prob = Some(flag_value(&mut it, "--prob")?.to_string()),
+            "--region-nodes" => {
+                opts.region_nodes = Some(parse_usize_flag(&mut it, "--region-nodes")?);
+            }
+            "--cut-width" => opts.cut_width = Some(parse_usize_flag(&mut it, "--cut-width")?),
             "--objective" => opts.objective = parse_objective(it.next().map(String::as_str))?,
             "--delay-bound" => {
                 opts.delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
@@ -271,10 +328,12 @@ impl Options {
     /// Resolves `--prob` after all flags are parsed (so `--seed` applies
     /// to the Monte Carlo backend regardless of flag order).
     fn prob_mode(&self) -> Result<PropagationMode, Error> {
-        match &self.prob {
-            Some(s) => parse_prob_mode(s, self.seed),
-            None => Ok(PropagationMode::Independent),
-        }
+        let mut mode = match &self.prob {
+            Some(s) => parse_prob_mode(s, self.seed)?,
+            None => PropagationMode::Independent,
+        };
+        apply_partition_overrides(&mut mode, self.region_nodes, self.cut_width)?;
+        Ok(mode)
     }
 }
 
@@ -470,6 +529,8 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let mut scenarios: Option<String> = None;
     let mut report_format = ReportFormat::Json;
     let mut prob: Option<String> = None;
+    let mut region_nodes: Option<usize> = None;
+    let mut cut_width: Option<usize> = None;
     let mut objective = Objective::MinimizePower;
     let mut delay_bound = DelayBound::Unbounded;
     let mut fixpoint = false;
@@ -491,6 +552,10 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
                 }
             }
             "--prob" => prob = Some(flag_value(&mut it, "--prob")?.to_string()),
+            "--region-nodes" => {
+                region_nodes = Some(parse_usize_flag(&mut it, "--region-nodes")?);
+            }
+            "--cut-width" => cut_width = Some(parse_usize_flag(&mut it, "--cut-width")?),
             "--objective" => objective = parse_objective(it.next().map(String::as_str))?,
             "--delay-bound" => {
                 delay_bound = DelayBound::parse(flag_value(&mut it, "--delay-bound")?)?;
@@ -514,6 +579,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
             "small" => suite::small_suite(&env.library),
             "quick" => suite::quick_suite(&env.library),
             "full" => suite::standard_suite(&env.library),
+            "large" => suite::large_suite(&env.library),
             other => return Err(usage(format!("bad --suite `{other}`"))),
         };
         jobs.extend(
@@ -532,7 +598,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     }
     if jobs.is_empty() {
         return Err(usage(
-            "no inputs: pass netlist files/directories or --suite small|quick|full".into(),
+            "no inputs: pass netlist files/directories or --suite small|quick|full|large".into(),
         ));
     }
     let matrix = match &scenarios {
@@ -548,10 +614,15 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     .fixpoint(fixpoint)
     .budget(budget)
     .degrade(degrade);
-    if let Some(s) = &prob {
-        // The Monte Carlo backend takes one fixed seed across the grid —
-        // per-cell scenarios already vary the input statistics.
-        template = template.prob(parse_prob_mode(s, 0xBDD5EED)?);
+    // The Monte Carlo backend takes one fixed seed across the grid —
+    // per-cell scenarios already vary the input statistics.
+    let mut mode = match &prob {
+        Some(s) => parse_prob_mode(s, 0xBDD5EED)?,
+        None => PropagationMode::Independent,
+    };
+    apply_partition_overrides(&mut mode, region_nodes, cut_width)?;
+    if prob.is_some() {
+        template = template.prob(mode);
     }
     if simulate {
         template = template.simulate(SimOptions {

@@ -90,6 +90,58 @@ fn clean_batch_exits_0() {
     );
 }
 
+/// The partitioned backend is reachable from the command line and its
+/// shape lands in the JSON report; its tuning flags are rejected when
+/// they cannot apply.
+#[test]
+fn partitioned_backend_flags_round_trip() {
+    let dir = std::env::temp_dir().join(format!("tr-opt-part-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("good.bench"), GOOD_BENCH).unwrap();
+    let out = tr_opt()
+        .args([
+            "optimize",
+            "--prob",
+            "part",
+            "--region-nodes",
+            "4096",
+            "--cut-width",
+            "8",
+            "--json",
+        ])
+        .arg(dir.join("good.bench"))
+        .output()
+        .expect("binary runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("\"prob_mode\":\"part\""),
+        "report: {stdout}"
+    );
+    assert!(stdout.contains("\"max_cut_width\":8"), "report: {stdout}");
+    assert!(
+        stdout.contains("\"partition_regions\":1"),
+        "a one-gate circuit is a single region: {stdout}"
+    );
+    assert!(
+        stdout.contains("\"partition_error_bound\":0"),
+        "one region means exact: {stdout}"
+    );
+
+    // The tuning flags are meaningless without `--prob part`.
+    let out = tr_opt()
+        .args(["optimize", "x.bench", "--region-nodes", "4096"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "flags without part are usage");
+}
+
 /// A budget-blown governed run under `--degrade on` (the default) still
 /// exits 0 and reports how it degraded.
 #[test]
