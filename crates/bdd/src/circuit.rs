@@ -200,6 +200,11 @@ impl CircuitBdds {
         options: BuildOptions,
         governor: Option<&Governor>,
     ) -> Result<Self, BddError> {
+        let _g = tr_trace::span!(
+            "bdd.build",
+            pis = compiled.primary_inputs().len(),
+            gates = compiled.gates().len()
+        );
         let order = initial_order(compiled, options.heuristic);
         let (manager, roots) = build_roots(
             compiled,
@@ -222,6 +227,7 @@ impl CircuitBdds {
         if let OrderHeuristic::Sifted { max_swaps } = options.heuristic {
             this.sift_in_place(max_swaps);
         }
+        tr_trace::counter!("bdd.cache_hit_rate", this.manager.cache_stats().hit_rate());
         Ok(this)
     }
 
@@ -258,6 +264,12 @@ impl CircuitBdds {
                     fresh
                 }),
             "order must be a permutation of primary-input positions"
+        );
+        let _g = tr_trace::span!(
+            "bdd.build",
+            pis = compiled.primary_inputs().len(),
+            gates = compiled.gates().len(),
+            explicit_order = true
         );
         let (manager, roots) = build_roots(
             compiled,
@@ -357,6 +369,7 @@ impl CircuitBdds {
     /// roots keep their node identity while [`CircuitBdds::order`] and
     /// the per-level meaning are permuted together.
     pub fn sift_in_place(&mut self, max_swaps: usize) -> usize {
+        let _g = tr_trace::span!("bdd.sift", max_swaps = max_swaps);
         let n = self.order.len();
         if n < 3 || max_swaps == 0 {
             return 0;
@@ -484,6 +497,7 @@ impl CircuitBdds {
             "one SignalStats per primary input"
         );
         assert_eq!(out.len(), self.roots.len(), "one output slot per net");
+        let _g = tr_trace::span!("bdd.exact_stats", nets = nets.len());
         // Per-level views of the input statistics.
         let probs: Vec<f64> = self
             .order
@@ -528,6 +542,7 @@ impl CircuitBdds {
             }
             out[net.0] = SignalStats::new(p, d.max(0.0));
         }
+        tr_trace::counter!("bdd.cache_hit_rate", self.manager.cache_stats().hit_rate());
         Ok(())
     }
 
@@ -576,6 +591,7 @@ impl CircuitBdds {
             self.order.len(),
             "compiled circuit must match the built one"
         );
+        let _g = tr_trace::span!("bdd.repropagate", dirty_gates = dirty_gates.len());
         let mut gate_dirty = vec![false; compiled.gates().len()];
         for &g in dirty_gates {
             gate_dirty[g.0] = true;

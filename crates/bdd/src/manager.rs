@@ -213,6 +213,19 @@ pub struct CacheStats {
     pub restrict_hits: u64,
 }
 
+impl CacheStats {
+    /// Combined hit fraction over both op caches (0 when nothing was
+    /// probed) — the headline number for the report's `perf` block.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.ite_lookups + self.restrict_lookups;
+        if lookups == 0 {
+            0.0
+        } else {
+            (self.ite_hits + self.restrict_hits) as f64 / lookups as f64
+        }
+    }
+}
+
 /// Garbage-collection counters ([`Bdd::gc_stats`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct GcStats {
@@ -222,6 +235,43 @@ pub struct GcStats {
     pub freed: u64,
     /// High-water mark of the live node count.
     pub peak_live: usize,
+}
+
+/// One coherent snapshot of the engine's health ([`Bdd::engine_stats`]):
+/// the op-cache and GC counters that previously had to be read through
+/// two separate calls (and could drift between them), plus the live and
+/// all-time node counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Op-cache hit/lookup counters.
+    pub caches: CacheStats,
+    /// Collection counters, including the live-node high-water mark.
+    pub gc: GcStats,
+    /// Live nodes right now (allocated minus recycled, incl. terminal).
+    pub live: usize,
+    /// All-time allocation count (recycled slots count once per reuse).
+    pub allocated_total: u64,
+}
+
+/// GC-epoch tracker shared by every external memo keyed on node indices
+/// ([`DensityScratch`], [`ProbScratch`]): a collection recycles indices,
+/// so any memoized value may alias a different node afterwards.
+#[derive(Debug, Clone, Copy, Default)]
+struct GcEpoch {
+    runs: u64,
+}
+
+impl GcEpoch {
+    /// Catches up with the manager's collection count; returns whether a
+    /// collection has run since the previous call (= the memo is stale).
+    fn stale(&mut self, bdd: &Bdd) -> bool {
+        if self.runs == bdd.gc.runs {
+            false
+        } else {
+            self.runs = bdd.gc.runs;
+            true
+        }
+    }
 }
 
 /// Direct-mapped ITE cache entry (`a == NIL` marks an empty slot).
@@ -344,7 +394,7 @@ const DIFF_MEMO_MAX: usize = 1 << 17;
 pub struct DensityScratch {
     xor_memo: Vec<PairP>,
     diff_memo: Vec<PairP>,
-    gc_runs: u64,
+    epoch: GcEpoch,
 }
 
 impl fmt::Debug for DensityScratch {
@@ -366,7 +416,7 @@ impl DensityScratch {
         DensityScratch {
             xor_memo: Vec::new(),
             diff_memo: Vec::new(),
-            gc_runs: 0,
+            epoch: GcEpoch::default(),
         }
     }
 
@@ -381,8 +431,7 @@ impl DensityScratch {
     /// and invalidates the scratch if the manager has collected since
     /// the last call.
     fn prepare(&mut self, bdd: &Bdd) {
-        if self.gc_runs != bdd.gc.runs {
-            self.gc_runs = bdd.gc.runs;
+        if self.epoch.stale(bdd) {
             self.reset();
         }
         let pool = bdd.vars.len();
@@ -412,8 +461,8 @@ impl DensityScratch {
 pub struct ProbScratch {
     values: Vec<f64>,
     stamp: Vec<u32>,
-    epoch: u32,
-    gc_runs: u64,
+    stamp_epoch: u32,
+    epoch: GcEpoch,
 }
 
 impl ProbScratch {
@@ -422,27 +471,26 @@ impl ProbScratch {
         ProbScratch {
             values: Vec::new(),
             stamp: Vec::new(),
-            epoch: 1,
-            gc_runs: 0,
+            stamp_epoch: 1,
+            epoch: GcEpoch::default(),
         }
     }
 
     /// Drops all memoized values (required when the probability vector
     /// changes between calls).
     pub fn reset(&mut self) {
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
+        self.stamp_epoch = self.stamp_epoch.wrapping_add(1);
+        if self.stamp_epoch == 0 {
             // Wrapped: stale stamps could collide with the new epoch.
             self.stamp.fill(0);
-            self.epoch = 1;
+            self.stamp_epoch = 1;
         }
     }
 
     /// Sizes the scratch for `bdd`'s pool and invalidates it if the
     /// manager has collected since the last call.
     fn prepare(&mut self, bdd: &Bdd) {
-        if self.gc_runs != bdd.gc.runs {
-            self.gc_runs = bdd.gc.runs;
+        if self.epoch.stale(bdd) {
             self.reset();
         }
         let n = bdd.vars.len();
@@ -645,6 +693,19 @@ impl Bdd {
         self.gc
     }
 
+    /// One coherent snapshot of caches, GC counters, peak and current
+    /// live nodes — prefer this over separate [`Bdd::cache_stats`] /
+    /// [`Bdd::gc_stats`] / [`Bdd::node_count`] calls, which can drift
+    /// apart when operations run in between.
+    pub fn engine_stats(&self) -> EngineStats {
+        EngineStats {
+            caches: self.stats,
+            gc: self.gc,
+            live: self.live,
+            allocated_total: self.total_allocated,
+        }
+    }
+
     /// Registers `e` as a root: it and everything reachable from it
     /// survive garbage collection. Roots accumulate for the manager's
     /// lifetime (the whole-circuit engine registers one per net).
@@ -755,6 +816,7 @@ impl Bdd {
     /// **Every unprotected edge is invalidated** — only call when all
     /// live references are registered roots (or reachable from one).
     pub fn gc(&mut self) -> usize {
+        let _g = tr_trace::span!("bdd.gc", live = self.live);
         let n = self.vars.len();
         self.mark.clear();
         self.mark.resize(n, false);
@@ -798,6 +860,7 @@ impl Bdd {
         self.next_gc = (self.live.saturating_mul(GC_GROWTH_FACTOR)).max(self.gc_threshold);
         self.gc.runs += 1;
         self.gc.freed += freed as u64;
+        tr_trace::counter!("bdd.live", self.live);
         freed
     }
 
@@ -1471,7 +1534,7 @@ impl Bdd {
         if var == TERMINAL_VAR {
             return 1.0;
         }
-        if scratch.stamp[idx] == scratch.epoch {
+        if scratch.stamp[idx] == scratch.stamp_epoch {
             return scratch.values[idx];
         }
         let low = Edge(self.lows[idx]);
@@ -1487,7 +1550,7 @@ impl Bdd {
         let p_hi = self.probability_rec(Edge(self.highs[idx]).index(), probs, scratch);
         let pv = probs[var as usize];
         let p = p_lo + pv * (p_hi - p_lo);
-        scratch.stamp[idx] = scratch.epoch;
+        scratch.stamp[idx] = scratch.stamp_epoch;
         scratch.values[idx] = p;
         p
     }

@@ -1,0 +1,47 @@
+//! `trace_summary` — fold a Chrome trace-event JSON self-profile
+//! (written by `tr-opt --trace` or [`tr_trace::write_chrome_trace`])
+//! into a per-span-name table: count, total, mean and exact p99
+//! duration, sorted by total time descending.
+//!
+//! ```text
+//! trace_summary out.json
+//! ```
+//!
+//! The fold validates the trace as it goes — balanced B/E pairs per
+//! thread, monotone timestamps — so a corrupt file is an error, not a
+//! silently wrong table. Exit codes: 0 success, 1 unreadable file, 2
+//! usage error, 3 malformed trace.
+
+use std::process::ExitCode;
+
+use tr_trace::summary::fold;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_summary <trace.json>");
+        return ExitCode::from(2);
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match fold(&src) {
+        Ok(summary) => {
+            println!(
+                "{path}: {} events, wall {:.3} ms",
+                summary.events,
+                summary.wall_us as f64 / 1.0e3
+            );
+            print!("{}", summary.render_table());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: malformed trace {path}: {e}");
+            ExitCode::from(3)
+        }
+    }
+}

@@ -227,6 +227,16 @@ impl BatchRunner {
             on_result(&result);
             return vec![result];
         }
+        // A traced template profiles the whole batch: one run-level
+        // trace file with every worker on its own named track, instead
+        // of each cell clobbering the same file (per-cell tracing is
+        // only handled inside `Flow::run`, which batch bypasses).
+        let trace_path = self.template.trace_path();
+        if trace_path.is_some() {
+            tr_trace::reset();
+            tr_trace::enable();
+            tr_trace::set_thread_name("batch-main");
+        }
         // Parse/map each netlist once, up front; the workers then borrow
         // the circuits without any per-cell cloning.
         let mut results = Vec::with_capacity(jobs.len() * matrix.len());
@@ -261,18 +271,24 @@ impl BatchRunner {
         let (tx, rx) = mpsc::channel::<BatchResult>();
 
         std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(grid.len().max(1)) {
+            for w in 0..self.threads.min(grid.len().max(1)) {
                 let tx = tx.clone();
                 let next = &next;
                 let grid = &grid;
                 let loaded = &loaded;
                 scope.spawn(move || {
+                    tr_trace::set_thread_name(&format!("batch-worker-{w}"));
                     let mut scratch = Scratch::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(j, s)) = grid.get(i) else { break };
                         let (name, circuit) = &loaded[j];
                         let spec = &matrix[s];
+                        let _cell = tr_trace::span!(
+                            "batch.cell",
+                            job = name.as_str(),
+                            scenario = spec.label.as_str()
+                        );
                         // Fence the cell: a panicking pipeline stage
                         // becomes this cell's reported outcome instead
                         // of tearing down the whole grid. The scratch
@@ -309,6 +325,18 @@ impl BatchRunner {
                 results.push(result);
             }
         });
+        if let Some(path) = trace_path {
+            tr_trace::disable();
+            if let Err(e) = tr_trace::write_chrome_trace(path) {
+                let result = BatchResult {
+                    job: "-".to_string(),
+                    scenario: "-".to_string(),
+                    outcome: Err(Error::io(path, e)),
+                };
+                on_result(&result);
+                results.push(result);
+            }
+        }
         results
     }
 }

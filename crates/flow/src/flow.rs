@@ -10,7 +10,10 @@ use crate::env::FlowEnv;
 use crate::error::Error;
 use crate::faultpoint::{self, Fault};
 use crate::govern::{CancelToken, Governor, RunBudget, TripReason};
-use crate::report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
+use crate::report::{
+    DegradeEvent, DelayReport, FlowReport, GateReport, PerfReport, PowerReport, SimSummary,
+    StageTimings,
+};
 use crate::source::Source;
 use tr_bdd::BddError;
 use tr_boolean::SignalStats;
@@ -176,23 +179,56 @@ pub fn sim_duration(stats: &[SignalStats], target_toggles: f64) -> f64 {
 /// first failure's message, and the deepest ladder rung reached —
 /// exactly what [`FlowReport`] records as `degraded`/`degrade_reason`/
 /// `degrade_rung`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct LadderState {
     degraded: bool,
     reason: Option<String>,
     rung: Option<&'static str>,
+    /// Every rung taken in order, surfaced as
+    /// [`FlowReport::degrade_events`].
+    events: Vec<DegradeEvent>,
+    /// Pipeline start, the zero of each event's `elapsed_ms`.
+    t0: Instant,
 }
 
 impl LadderState {
-    /// Records one ladder step. The *first* failure's message is kept
-    /// (later steps are consequences of it); the rung is overwritten so
-    /// the report shows the deepest one reached.
-    fn record(&mut self, rung: &'static str, reason: &dyn std::fmt::Display) {
+    fn new() -> Self {
+        LadderState {
+            degraded: false,
+            reason: None,
+            rung: None,
+            events: Vec::new(),
+            t0: Instant::now(),
+        }
+    }
+
+    /// Records one ladder step in `phase` (`stats`, `optimize`, `sim`
+    /// or `boundary`). The *first* failure's message is kept (later
+    /// steps are consequences of it); the rung is overwritten so the
+    /// report shows the deepest one reached; the full history
+    /// accumulates in `events`.
+    fn record(&mut self, rung: &'static str, phase: &'static str, reason: &dyn std::fmt::Display) {
         self.degraded = true;
         if self.reason.is_none() {
             self.reason = Some(reason.to_string());
         }
         self.rung = Some(rung);
+        self.events.push(DegradeEvent {
+            rung: rung.to_string(),
+            phase: phase.to_string(),
+            elapsed_ms: self.t0.elapsed().as_secs_f64() * 1.0e3,
+        });
+        tr_trace::instant!("flow.degrade", rung = rung, phase = phase);
+    }
+}
+
+/// Disables the tracer when a traced [`Flow::run`] unwinds through an
+/// error (the success path disables before writing the trace file).
+struct TraceOff;
+
+impl Drop for TraceOff {
+    fn drop(&mut self) {
+        tr_trace::disable();
     }
 }
 
@@ -241,6 +277,7 @@ pub struct Flow {
     sim: Option<SimOptions>,
     vcd: Option<PathBuf>,
     out: Option<PathBuf>,
+    trace: Option<PathBuf>,
     per_gate: bool,
     budget: RunBudget,
     cancel: Option<CancelToken>,
@@ -265,6 +302,7 @@ impl Flow {
             sim: None,
             vcd: None,
             out: None,
+            trace: None,
             per_gate: false,
             budget: RunBudget::default(),
             cancel: None,
@@ -384,6 +422,22 @@ impl Flow {
         self
     }
 
+    /// Write a Chrome trace-event JSON self-profile of the run
+    /// (loadable in Perfetto / `chrome://tracing`): the tracer is
+    /// enabled for the duration of [`Flow::run`] and every span the
+    /// pipeline and its backends emit — stage spans, BDD builds and
+    /// GCs, per-region evaluations, optimizer passes — lands in `path`.
+    /// The tracer is process-global, so concurrent traced flows in one
+    /// process interleave into whichever file is written last; the
+    /// batch runner instead traces at the run level (`tr-opt batch
+    /// --trace`), merging every worker into one file. No-op when the
+    /// workspace is built with `--no-default-features` (tracing
+    /// compiled out).
+    pub fn trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace = Some(path.into());
+        self
+    }
+
     /// Include per-gate power/configuration rows in the report.
     pub fn per_gate(mut self, on: bool) -> Self {
         self.per_gate = on;
@@ -456,6 +510,12 @@ impl Flow {
         self.out.is_some() || self.vcd.is_some()
     }
 
+    /// The self-profile destination, if any (the batch runner hoists it
+    /// to the run level instead of letting every cell clobber one file).
+    pub(crate) fn trace_path(&self) -> Option<&PathBuf> {
+        self.trace.as_ref()
+    }
+
     /// Runs the pipeline with a private scratch arena.
     pub fn run(&self, env: &FlowEnv) -> Result<FlowReport, Error> {
         self.run_with_scratch(env, &mut Scratch::new())
@@ -483,12 +543,30 @@ impl Flow {
         env: &FlowEnv,
         scratch: &mut Scratch,
     ) -> Result<(FlowReport, Circuit), Error> {
+        // Tracing spans the whole run, including the load stage; the
+        // guard keeps a failed run from leaving the process-global
+        // tracer enabled.
+        let _trace_guard = self.trace.as_ref().map(|_| {
+            tr_trace::reset();
+            tr_trace::enable();
+            tr_trace::set_thread_name("flow-main");
+            TraceOff
+        });
         // 1. Load: read, parse, technology-map.
         let t = Instant::now();
-        let circuit = self.source.load(&env.library, &self.map_options)?;
-        circuit.validate(&env.library)?;
+        let circuit = {
+            let _s = tr_trace::span!("flow.load");
+            let circuit = self.source.load(&env.library, &self.map_options)?;
+            circuit.validate(&env.library)?;
+            circuit
+        };
         let load_s = t.elapsed().as_secs_f64();
-        self.run_pipeline(env, &circuit, self.source.name(), load_s, scratch)
+        let result = self.run_pipeline(env, &circuit, self.source.name(), load_s, scratch)?;
+        if let Some(path) = &self.trace {
+            tr_trace::disable();
+            tr_trace::write_chrome_trace(path).map_err(|e| Error::io(path, e))?;
+        }
+        Ok(result)
     }
 
     /// Stages 2–7 over an already-loaded circuit. The batch runner calls
@@ -523,6 +601,11 @@ impl Flow {
 
         // 2. Input statistics.
         let t = Instant::now();
+        let stats_span = tr_trace::span!(
+            "flow.stats",
+            gates = circuit.gates().len(),
+            mode = self.prob.as_str()
+        );
         let n_inputs = circuit.primary_inputs().len();
         let (stats, scenario_label) = match &self.stats {
             StatsSpec::Scenario { scenario, seed } => (
@@ -544,7 +627,7 @@ impl Flow {
         // (max |ΔP| over all nets). Under a budget this is where the
         // degradation ladder lives: `prob` tracks the backend that
         // actually produced the statistics.
-        let mut ladder = LadderState::default();
+        let mut ladder = LadderState::new();
         let (mut propagator, mut prob) = self.build_propagator(
             env,
             circuit,
@@ -561,6 +644,7 @@ impl Flow {
                 Some(max_probability_deviation(&net_stats, &indep))
             }
         };
+        drop(stats_span);
         timings.stats_s = t.elapsed().as_secs_f64();
 
         // 3. Optimize toward the objective — to a statistics fixed
@@ -573,6 +657,12 @@ impl Flow {
             )));
         }
         let t = Instant::now();
+        let optimize_span = tr_trace::span!(
+            "flow.optimize",
+            gates = circuit.gates().len(),
+            fixpoint = self.fixpoint,
+            threads = self.threads
+        );
         let mut fixpoint_iters = None;
         let mut stale_power_discrepancy_w = None;
         let primary = if self.fixpoint {
@@ -601,7 +691,7 @@ impl Flow {
                 Err(PropagationError::Interrupted(i))
                     if self.degrade && i.reason != TripReason::Cancelled =>
                 {
-                    ladder.record("finish-ungoverned", &i);
+                    ladder.record("finish-ungoverned", "optimize", &i);
                     // An interrupted loop may leave the propagator's
                     // statistics describing an intermediate circuit;
                     // rebuild it fresh (deadline off) and rerun from the
@@ -663,7 +753,7 @@ impl Flow {
                         // The freshness check is verification, not
                         // product: skip it rather than fail the run;
                         // `degraded` flags the gap.
-                        ladder.record("finish-ungoverned", &i);
+                        ladder.record("finish-ungoverned", "optimize", &i);
                     }
                     Err(e) => return Err(e.into()),
                 }
@@ -688,6 +778,7 @@ impl Flow {
         } else {
             None
         };
+        drop(optimize_span);
         timings.optimize_s = t.elapsed().as_secs_f64();
 
         // Stage boundary: a deadline blown during optimization that no
@@ -710,12 +801,15 @@ impl Flow {
 
         // 4. Static timing, before and after.
         let t = Instant::now();
+        let timing_span = tr_trace::span!("flow.timing");
         let delay_before = critical_path_delay(circuit, &env.timing);
         let delay_after = critical_path_delay(&primary.circuit, &env.timing);
+        drop(timing_span);
         timings.timing_s = t.elapsed().as_secs_f64();
 
         // 5. Switch-level validation.
         let t = Instant::now();
+        let sim_span = tr_trace::span!("flow.sim", enabled = self.sim.is_some());
         let mut vcd_trace = None;
         let sim_summary = match &self.sim {
             Some(opts) => {
@@ -803,6 +897,7 @@ impl Flow {
             }
             None => None,
         };
+        drop(sim_span);
         timings.sim_s = t.elapsed().as_secs_f64();
 
         // 6. Per-gate rows. Net statistics are configuration-independent
@@ -828,6 +923,7 @@ impl Flow {
 
         // 7. Artifacts.
         let t = Instant::now();
+        let write_span = tr_trace::span!("flow.write");
         if let Some(path) = &self.out {
             std::fs::write(path, format::write(&primary.circuit))
                 .map_err(|e| Error::io(path, e))?;
@@ -835,6 +931,7 @@ impl Flow {
         if let (Some(path), Some(trace)) = (&self.vcd, &vcd_trace) {
             vcd::write_to_file(&primary.circuit, trace, path).map_err(|e| Error::io(path, e))?;
         }
+        drop(write_span);
         timings.write_s = t.elapsed().as_secs_f64();
         timings.total_s = load_s + t_total.elapsed().as_secs_f64();
 
@@ -849,6 +946,20 @@ impl Flow {
             PropagationMode::PartitionedBdd { max_cut_width, .. } => Some(max_cut_width),
             _ => None,
         };
+
+        // Engine-health self-profile, one coherent snapshot from the
+        // backend that produced the statistics. The incremental
+        // propagator walks its region schedule serially, so `part`
+        // utilization is 1.0 by the `PartitionReport` convention.
+        let engine = propagator.engine_stats();
+        let perf = PerfReport {
+            peak_live_nodes: engine.map(|s| s.gc.peak_live),
+            cache_hit_rate: engine.map(|s| s.caches.hit_rate()),
+            region_utilization: partition_regions.map(|_| 1.0),
+        };
+        if let Some(rate) = perf.cache_hit_rate {
+            tr_trace::counter!("flow.cache_hit_rate", rate);
+        }
 
         let report = FlowReport {
             circuit: name,
@@ -866,6 +977,7 @@ impl Flow {
             degraded: ladder.degraded,
             degrade_reason: ladder.reason,
             degrade_rung: ladder.rung.map(str::to_string),
+            degrade_events: ladder.events,
             independence_error,
             partition_regions,
             max_cut_width,
@@ -890,6 +1002,7 @@ impl Flow {
             },
             sim: sim_summary,
             per_gate,
+            perf,
             timings,
         };
         Ok((report, primary.circuit))
@@ -1005,7 +1118,7 @@ impl Flow {
                         },
                     ) {
                         Ok(p) => {
-                            ladder.record("shrink-regions", &err);
+                            ladder.record("shrink-regions", "stats", &err);
                             return Ok((p, shrunk));
                         }
                         Err(PropagationError::Interrupted(i))
@@ -1045,7 +1158,7 @@ impl Flow {
             };
             match retry {
                 Ok(p) => {
-                    ladder.record("info-reorder-retry", &err);
+                    ladder.record("info-reorder-retry", "stats", &err);
                     return Ok((p, PropagationMode::ExactBdd));
                 }
                 Err(PropagationError::Interrupted(i)) if i.reason == TripReason::Cancelled => {
@@ -1067,7 +1180,7 @@ impl Flow {
                 ..PropagatorOptions::default()
             },
         )?;
-        ladder.record("independent-fallback", &err);
+        ladder.record("independent-fallback", "stats", &err);
         Ok((fallback, PropagationMode::Independent))
     }
 
@@ -1100,7 +1213,7 @@ impl Flow {
             governor.as_ref(),
         ) {
             Err(Error::Interrupted(i)) if self.degrade && i.reason != TripReason::Cancelled => {
-                ladder.record("finish-ungoverned", &i);
+                ladder.record("finish-ungoverned", "optimize", &i);
                 self.optimize_once(
                     env,
                     circuit,
@@ -1145,7 +1258,7 @@ impl Flow {
         match run(governor.as_ref()) {
             Ok(report) => Ok(report.power),
             Err(i) if self.degrade && i.reason != TripReason::Cancelled => {
-                ladder.record("finish-ungoverned", &i);
+                ladder.record("finish-ungoverned", "sim", &i);
                 Ok(run(self.cancel_governor().as_ref())?.power)
             }
             Err(i) => Err(Error::Interrupted(i)),
@@ -1174,7 +1287,7 @@ impl Flow {
         match governor.check_now("flow") {
             Ok(()) => Ok(()),
             Err(i) if self.degrade && i.reason != TripReason::Cancelled => {
-                ladder.record("finish-ungoverned", &i);
+                ladder.record("finish-ungoverned", "boundary", &i);
                 Ok(())
             }
             Err(i) => Err(Error::Interrupted(i)),

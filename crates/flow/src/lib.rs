@@ -62,6 +62,9 @@ pub use flow::{
     SimOptions,
 };
 pub use govern::{CancelToken, Governor, Interrupted, RunBudget, TripReason};
-pub use report::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
+pub use report::{
+    DegradeEvent, DelayReport, FlowReport, GateReport, PerfReport, PowerReport, SimSummary,
+    StageTimings,
+};
 pub use source::{load_path, parse_netlist, NetlistFormat, Source};
 pub use tr_power::{PropagationError, PropagationMode};

@@ -11,6 +11,41 @@
 
 use crate::json::{json_f64, json_opt_f64, json_opt_string, json_string};
 
+/// One step down the degradation ladder, in the order the rungs were
+/// hit. `degrade_rung` keeps only the deepest rung; this array is the
+/// full history — which budgets tripped, in which pipeline phase, and
+/// when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradeEvent {
+    /// The rung taken (`shrink-regions`, `info-reorder-retry`,
+    /// `independent-fallback` or `finish-ungoverned`).
+    pub rung: String,
+    /// Pipeline phase the trip was handled in (`stats`, `optimize`,
+    /// `sim` or `boundary`).
+    pub phase: String,
+    /// Milliseconds from the start of the pipeline to the rung.
+    pub elapsed_ms: f64,
+}
+
+/// Engine-health block of the run: the self-profiling numbers that
+/// complement the per-stage wall-times in [`StageTimings`]. All fields
+/// are `None` when the statistics backend has no BDD engine (`indep`,
+/// `monte`).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PerfReport {
+    /// High-water mark of the engine's live node count (the monolithic
+    /// engine under `bdd`; the shared region engine under `part`).
+    pub peak_live_nodes: Option<usize>,
+    /// Combined ITE/restrict op-cache hit fraction over the whole run.
+    pub cache_hit_rate: Option<f64>,
+    /// Fraction of region-schedule thread-time spent evaluating regions
+    /// (`part` only). The flow's incremental propagator evaluates its
+    /// region schedule serially, so this is 1.0 by the
+    /// [`tr_power::PartitionReport::pool_utilization`] convention; the
+    /// parallel pool's measured utilization is surfaced there.
+    pub region_utilization: Option<f64>,
+}
+
 /// Model-power outcome of the optimization stage.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerReport {
@@ -141,6 +176,9 @@ pub struct FlowReport {
     /// `finish-ungoverned` (statistics survived; a later stage finished
     /// without deadline enforcement).
     pub degrade_rung: Option<String>,
+    /// Every ladder rung taken, in order — empty when the run never
+    /// degraded. `degrade_rung` is always the last entry's rung.
+    pub degrade_events: Vec<DegradeEvent>,
     /// Max absolute per-net probability deviation of the independence
     /// assumption from this run's backend (present for any
     /// non-independent backend; `None` under `indep`). Under `bdd` this
@@ -183,6 +221,9 @@ pub struct FlowReport {
     pub sim: Option<SimSummary>,
     /// Per-gate rows, when requested.
     pub per_gate: Option<Vec<GateReport>>,
+    /// Engine-health self-profile (peak live nodes, cache hit rate,
+    /// region utilization).
+    pub perf: PerfReport,
     /// Wall-clock per stage.
     pub timings: StageTimings,
 }
@@ -217,6 +258,19 @@ impl FlowReport {
             "\"degrade_rung\":{},",
             json_opt_string(self.degrade_rung.as_deref())
         ));
+        out.push_str("\"degrade_events\":[");
+        for (i, e) in self.degrade_events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rung\":{},\"phase\":{},\"elapsed_ms\":{}}}",
+                json_string(&e.rung),
+                json_string(&e.phase),
+                json_f64(e.elapsed_ms),
+            ));
+        }
+        out.push_str("],");
         out.push_str(&format!(
             "\"independence_error\":{},",
             json_opt_f64(self.independence_error)
@@ -296,6 +350,15 @@ impl FlowReport {
             }
             None => out.push_str("\"per_gate\":null,"),
         }
+        match self.perf.peak_live_nodes {
+            Some(n) => out.push_str(&format!("\"perf\":{{\"peak_live_nodes\":{n},")),
+            None => out.push_str("\"perf\":{\"peak_live_nodes\":null,"),
+        }
+        out.push_str(&format!(
+            "\"cache_hit_rate\":{},\"region_utilization\":{}}},",
+            json_opt_f64(self.perf.cache_hit_rate),
+            json_opt_f64(self.perf.region_utilization),
+        ));
         out.push_str(&format!(
             "\"timings\":{{\"load_s\":{},\"stats_s\":{},\"optimize_s\":{},\"timing_s\":{},\
              \"sim_s\":{},\"write_s\":{},\"total_s\":{}}}",
@@ -314,14 +377,15 @@ impl FlowReport {
     /// The CSV header matching [`FlowReport::to_csv_row`].
     pub fn csv_header() -> &'static str {
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
-         degraded,degrade_reason,degrade_rung,\
+         degraded,degrade_reason,degrade_rung,degrade_events,\
          independence_error,partition_regions,max_cut_width,partition_error_bound,\
          changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
-         sim_reduction_percent,load_s,stats_s,optimize_s,timing_s,sim_s,write_s,total_s"
+         sim_reduction_percent,peak_live_nodes,cache_hit_rate,region_utilization,\
+         load_s,stats_s,optimize_s,timing_s,sim_s,write_s,total_s"
     }
 
     /// Serializes the report as one CSV row (per-gate rows are JSON-only).
@@ -347,6 +411,8 @@ impl FlowReport {
                 .as_deref()
                 .map(csv_field)
                 .unwrap_or_default(),
+            // The full event array is JSON-only; CSV carries the count.
+            self.degrade_events.len().to_string(),
             opt(self.independence_error),
             self.partition_regions
                 .map(|n| n.to_string())
@@ -376,6 +442,12 @@ impl FlowReport {
             opt(sim.and_then(|s| s.best_w)),
             opt(sim.and_then(|s| s.worst_w)),
             opt(sim.and_then(|s| s.reduction_percent)),
+            self.perf
+                .peak_live_nodes
+                .map(|n| n.to_string())
+                .unwrap_or_default(),
+            opt(self.perf.cache_hit_rate),
+            opt(self.perf.region_utilization),
             format!("{}", self.timings.load_s),
             format!("{}", self.timings.stats_s),
             format!("{}", self.timings.optimize_s),
@@ -415,6 +487,7 @@ mod tests {
             degraded: false,
             degrade_reason: None,
             degrade_rung: None,
+            degrade_events: Vec::new(),
             independence_error: None,
             partition_regions: None,
             max_cut_width: None,
@@ -438,6 +511,7 @@ mod tests {
             },
             sim: None,
             per_gate: None,
+            perf: PerfReport::default(),
             timings: StageTimings::default(),
         }
     }

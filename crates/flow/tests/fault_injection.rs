@@ -41,6 +41,12 @@ fn injected_node_limit_recovers_on_the_info_reorder_rung() {
         .expect("rung 1 absorbs a single node-limit failure");
     assert!(report.degraded);
     assert_eq!(report.degrade_rung.as_deref(), Some("info-reorder-retry"));
+    // The full history carries the single rung with its phase and a
+    // sensible timestamp.
+    assert_eq!(report.degrade_events.len(), 1);
+    assert_eq!(report.degrade_events[0].rung, "info-reorder-retry");
+    assert_eq!(report.degrade_events[0].phase, "stats");
+    assert!(report.degrade_events[0].elapsed_ms >= 0.0);
     // The retry succeeded, so the run stays on the exact backend and
     // still measures the independence error.
     assert_eq!(report.prob_mode, "bdd");
@@ -64,6 +70,11 @@ fn injected_node_limit_on_both_rungs_falls_back_to_independent() {
         .expect("rung 2 always lands");
     assert!(report.degraded);
     assert_eq!(report.degrade_rung.as_deref(), Some("independent-fallback"));
+    // A failed retry records no event: the history has the one rung
+    // that actually landed, and it matches `degrade_rung`.
+    assert_eq!(report.degrade_events.len(), 1);
+    assert_eq!(report.degrade_events[0].rung, "independent-fallback");
+    assert_eq!(report.degrade_events[0].phase, "stats");
     assert_eq!(report.prob_mode, "indep");
     assert_eq!(report.independence_error, None);
     assert!(report.power.model_after_w > 0.0);
@@ -82,6 +93,9 @@ fn injected_node_limit_recovers_on_the_shrink_regions_rung() {
         .expect("shrink-regions absorbs a single node-limit failure");
     assert!(report.degraded);
     assert_eq!(report.degrade_rung.as_deref(), Some("shrink-regions"));
+    assert_eq!(report.degrade_events.len(), 1);
+    assert_eq!(report.degrade_events[0].rung, "shrink-regions");
+    assert_eq!(report.degrade_events[0].phase, "stats");
     // The retry succeeded with halved regions: still the partitioned
     // backend, with its shape in the report.
     assert_eq!(report.prob_mode, "part");
@@ -134,8 +148,8 @@ fn injected_node_limit_with_degrade_off_is_a_typed_error() {
 }
 
 /// An injected delay at the optimize faultpoint blows the run's
-/// deadline; the next boundary check (the exact backend's freshness
-/// refresh) trips, and the remaining stages finish ungoverned.
+/// deadline; the next stage-boundary checkpoint trips, and the
+/// remaining stages finish ungoverned.
 #[test]
 fn injected_delay_blows_the_deadline_and_finishes_ungoverned() {
     let _guard = suite_lock();
@@ -149,6 +163,15 @@ fn injected_delay_blows_the_deadline_and_finishes_ungoverned() {
         .expect("a blown deadline degrades, never aborts");
     assert!(report.degraded);
     assert_eq!(report.degrade_rung.as_deref(), Some("finish-ungoverned"));
+    // The deepest rung in the report is always the last event, and the
+    // event timeline is monotone.
+    let events = &report.degrade_events;
+    assert!(!events.is_empty());
+    assert_eq!(events.last().unwrap().rung, "finish-ungoverned");
+    assert_eq!(events.last().unwrap().phase, "boundary");
+    assert!(events
+        .windows(2)
+        .all(|w| w[0].elapsed_ms <= w[1].elapsed_ms));
     // The exact statistics were computed before the trip: the backend
     // does not downgrade.
     assert_eq!(report.prob_mode, "bdd");

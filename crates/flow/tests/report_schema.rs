@@ -5,7 +5,10 @@
 //! test fails, you are changing the public data contract: bump it
 //! consciously, updating README's batch walkthrough alongside.
 
-use tr_flow::{DelayReport, FlowReport, GateReport, PowerReport, SimSummary, StageTimings};
+use tr_flow::{
+    DegradeEvent, DelayReport, FlowReport, GateReport, PerfReport, PowerReport, SimSummary,
+    StageTimings,
+};
 
 /// A fully-populated report with hand-picked values (no floats that
 /// format differently across platforms; Rust's shortest-round-trip
@@ -24,6 +27,18 @@ fn sample_report() -> FlowReport {
         degraded: true,
         degrade_reason: Some("bdd interrupted (deadline) after 50 ms and 4096 work units".into()),
         degrade_rung: Some("independent-fallback".into()),
+        degrade_events: vec![
+            DegradeEvent {
+                rung: "info-reorder-retry".into(),
+                phase: "stats".into(),
+                elapsed_ms: 50.5,
+            },
+            DegradeEvent {
+                rung: "independent-fallback".into(),
+                phase: "stats".into(),
+                elapsed_ms: 61.25,
+            },
+        ],
         independence_error: None,
         partition_regions: Some(11),
         max_cut_width: Some(24),
@@ -62,6 +77,11 @@ fn sample_report() -> FlowReport {
             config_after: 1,
             power_w: 2.5e-8,
         }]),
+        perf: PerfReport {
+            peak_live_nodes: Some(4096),
+            cache_hit_rate: Some(0.75),
+            region_utilization: Some(1.0),
+        },
         timings: StageTimings {
             load_s: 0.001,
             stats_s: 0.0005,
@@ -81,6 +101,9 @@ const GOLDEN_JSON: &str = concat!(
     "\"degraded\":true,",
     "\"degrade_reason\":\"bdd interrupted (deadline) after 50 ms and 4096 work units\",",
     "\"degrade_rung\":\"independent-fallback\",",
+    "\"degrade_events\":[",
+    "{\"rung\":\"info-reorder-retry\",\"phase\":\"stats\",\"elapsed_ms\":50.5},",
+    "{\"rung\":\"independent-fallback\",\"phase\":\"stats\",\"elapsed_ms\":61.25}],",
     "\"independence_error\":null,\"partition_regions\":11,\"max_cut_width\":24,",
     "\"partition_error_bound\":0.5,\"changed_gates\":2,",
     "\"fixpoint_iters\":2,\"repropagations\":1,\"stale_power_discrepancy_w\":0,",
@@ -94,6 +117,7 @@ const GOLDEN_JSON: &str = concat!(
     "\"worst_w\":0.0000006,\"reduction_percent\":12.5},",
     "\"per_gate\":[{\"gate\":\"n10\",\"cell\":\"nand2\",\"config_before\":0,",
     "\"config_after\":1,\"power_w\":0.000000025}],",
+    "\"perf\":{\"peak_live_nodes\":4096,\"cache_hit_rate\":0.75,\"region_utilization\":1},",
     "\"timings\":{\"load_s\":0.001,\"stats_s\":0.0005,\"optimize_s\":0.25,",
     "\"timing_s\":0.002,\"sim_s\":1.5,\"write_s\":0,\"total_s\":1.7535}}",
 );
@@ -123,14 +147,15 @@ fn csv_header_is_pinned() {
     assert_eq!(
         FlowReport::csv_header(),
         "circuit,scenario,gates,inputs,outputs,depth,objective,delay_bound,prob_mode,\
-         degraded,degrade_reason,degrade_rung,\
+         degraded,degrade_reason,degrade_rung,degrade_events,\
          independence_error,partition_regions,max_cut_width,partition_error_bound,\
          changed_gates,\
          fixpoint_iters,repropagations,stale_power_discrepancy_w,\
          model_before_w,model_after_w,reduction_percent,model_best_w,model_worst_w,\
          headroom_percent,critical_path_before_s,critical_path_after_s,delay_increase_percent,\
          sim_duration_s,sim_baseline_w,sim_optimized_w,sim_best_w,sim_worst_w,\
-         sim_reduction_percent,load_s,stats_s,optimize_s,timing_s,sim_s,write_s,total_s"
+         sim_reduction_percent,peak_live_nodes,cache_hit_rate,region_utilization,\
+         load_s,stats_s,optimize_s,timing_s,sim_s,write_s,total_s"
     );
 }
 
@@ -158,6 +183,7 @@ fn live_report_matches_the_schema_key_set() {
         "\"degraded\":",
         "\"degrade_reason\":",
         "\"degrade_rung\":",
+        "\"degrade_events\":",
         "\"independence_error\":",
         "\"partition_regions\":",
         "\"max_cut_width\":",
@@ -182,6 +208,10 @@ fn live_report_matches_the_schema_key_set() {
         "\"config_before\":",
         "\"config_after\":",
         "\"power_w\":",
+        "\"perf\":",
+        "\"peak_live_nodes\":",
+        "\"cache_hit_rate\":",
+        "\"region_utilization\":",
         "\"timings\":",
         "\"load_s\":",
         "\"stats_s\":",

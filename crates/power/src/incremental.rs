@@ -44,7 +44,7 @@ use crate::model::{PowerModel, Scratch, MAX_CELL_ARITY};
 use crate::monte;
 use crate::partition::{packing_options, RegionEvaluator};
 use crate::{propagate, PropagationError, PropagationMode};
-use tr_bdd::{BuildOptions, CircuitBdds};
+use tr_bdd::{BuildOptions, CircuitBdds, EngineStats};
 use tr_boolean::govern::Governor;
 use tr_boolean::{prob, SignalStats};
 use tr_gatelib::Library;
@@ -351,6 +351,18 @@ impl IncrementalPropagator {
         self.partition.as_ref().map(|s| &s.partition)
     }
 
+    /// Cumulative engine health (caches, GC, peak live) of the exact
+    /// backend: the monolithic engine for `ExactBdd`, the region
+    /// evaluator's engine for `PartitionedBdd` (counters accumulate
+    /// across its per-region resets); `None` for the backends with no
+    /// BDD engine (`Independent`, `Monte`).
+    pub fn engine_stats(&self) -> Option<EngineStats> {
+        if let Some(bdds) = &self.bdds {
+            return Some(bdds.manager().engine_stats());
+        }
+        self.partition.as_ref().map(|s| s.evaluator.engine_stats())
+    }
+
     /// Number of [`IncrementalPropagator::refresh`] calls so far.
     pub fn repropagations(&self) -> usize {
         self.repropagations
@@ -395,6 +407,7 @@ impl IncrementalPropagator {
             self.net_stats.len(),
             "circuit must keep its net numbering across edits"
         );
+        let _g = tr_trace::span!("prop.refresh", dirty_gates = dirty_gates.len());
         self.repropagations += 1;
         let dirty = match self.mode {
             PropagationMode::Independent => {

@@ -36,8 +36,9 @@
 
 use crate::mode::PropagationError;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
+use std::time::Instant;
 use tr_bdd::{
     apportioned_gc_threshold, order::rank_by_information, Bdd, BddError, BuildOptions, CircuitBdds,
     DensityScratch, Edge, ProbScratch, VisitScratch,
@@ -112,6 +113,45 @@ pub struct PartitionReport {
     pub threads: usize,
     /// Largest per-region engine live-node count observed.
     pub peak_region_nodes: usize,
+    /// Fraction of the pool's thread-time spent inside region
+    /// evaluations (`Σ busy / (threads × wall)`); 1.0 for a serial run.
+    /// Low values expose stragglers and dependency stalls in the
+    /// dataflow schedule.
+    pub pool_utilization: f64,
+    /// Combined op-cache hit fraction over every region engine.
+    pub cache_hit_rate: f64,
+}
+
+/// Counters shared by the dataflow pool's workers, folded into the
+/// [`PartitionReport`] after the run.
+#[derive(Default)]
+struct PoolCounters {
+    peak_nodes: AtomicUsize,
+    busy_us: AtomicU64,
+    cache_lookups: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+impl PoolCounters {
+    /// Folds one engine's cumulative cache counters in (workers call
+    /// this once, when they exit).
+    fn absorb_cache(&self, stats: &tr_bdd::CacheStats) {
+        self.cache_lookups.fetch_add(
+            stats.ite_lookups + stats.restrict_lookups,
+            Ordering::Relaxed,
+        );
+        self.cache_hits
+            .fetch_add(stats.ite_hits + stats.restrict_hits, Ordering::Relaxed);
+    }
+
+    fn hit_rate(&self) -> f64 {
+        let lookups = self.cache_lookups.load(Ordering::Relaxed);
+        if lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits.load(Ordering::Relaxed) as f64 / lookups as f64
+        }
+    }
 }
 
 /// Maps the mode-level `(max_region_nodes, max_cut_width)` pair onto
@@ -403,6 +443,7 @@ pub fn propagate_partitioned_compiled(
     // A single region is the monolithic backend: delegate so the result
     // is bitwise `ExactBdd` (same engine, same order, same budget).
     if part.regions().len() == 1 {
+        let _g = tr_trace::span!("part.propagate", regions = 1usize, threads = 1usize);
         let mut bdds = CircuitBdds::build_governed(
             compiled,
             library,
@@ -410,7 +451,7 @@ pub fn propagate_partitioned_compiled(
             config.governor.as_ref(),
         )?;
         let stats = bdds.exact_stats(pi_stats)?;
-        let peak = bdds.stats().peak_live;
+        let engine = bdds.manager().engine_stats();
         return Ok((
             stats,
             PartitionReport {
@@ -418,7 +459,9 @@ pub fn propagate_partitioned_compiled(
                 cut_nets: 0,
                 approx_fraction: 0.0,
                 threads: 1,
-                peak_region_nodes: peak,
+                peak_region_nodes: engine.gc.peak_live,
+                pool_utilization: 1.0,
+                cache_hit_rate: engine.caches.hit_rate(),
             },
         ));
     }
@@ -442,7 +485,14 @@ pub fn propagate_partitioned_compiled(
 
     let approx_fraction = part.approx_fraction(compiled);
     let n_nets = compiled.net_count();
-    let peak_nodes = AtomicUsize::new(0);
+    let counters = PoolCounters::default();
+    let _g = tr_trace::span!(
+        "part.propagate",
+        regions = n_regions,
+        threads = threads,
+        cut_nets = part.cut_nets().len()
+    );
+    let wall_start = Instant::now();
 
     let stats = if threads == 1 {
         let mut scratch = RegionScratch::new(n_nets, node_limit, threads, config.governor.clone());
@@ -450,16 +500,25 @@ pub fn propagate_partitioned_compiled(
         for (pi, s) in pis.iter().zip(pi_stats) {
             stats[pi.0] = *s;
         }
-        for region in part.regions() {
+        for (r, region) in part.regions().iter().enumerate() {
             {
+                let _g = tr_trace::span!(
+                    "part.region",
+                    id = r,
+                    gates = region.gates.len(),
+                    cut = region.inputs.len()
+                );
                 let stats = &stats;
                 evaluate_region(&mut scratch, compiled, library, region, |net| stats[net.0])?;
             }
             for (net, s) in region.outputs.iter().zip(&scratch.out) {
                 stats[net.0] = *s;
             }
-            peak_nodes.fetch_max(scratch.bdd.node_count(), Ordering::Relaxed);
+            counters
+                .peak_nodes
+                .fetch_max(scratch.bdd.node_count(), Ordering::Relaxed);
         }
+        counters.absorb_cache(&scratch.bdd.cache_stats());
         stats
     } else {
         evaluate_parallel(
@@ -470,10 +529,17 @@ pub fn propagate_partitioned_compiled(
             node_limit,
             threads,
             config.governor.clone(),
-            &peak_nodes,
+            &counters,
         )?
     };
 
+    let wall_us = wall_start.elapsed().as_micros().max(1) as u64;
+    let pool_utilization = if threads == 1 {
+        1.0
+    } else {
+        (counters.busy_us.load(Ordering::Relaxed) as f64 / (threads as f64 * wall_us as f64))
+            .clamp(0.0, 1.0)
+    };
     Ok((
         stats,
         PartitionReport {
@@ -481,7 +547,9 @@ pub fn propagate_partitioned_compiled(
             cut_nets: part.cut_nets().len(),
             approx_fraction,
             threads,
-            peak_region_nodes: peak_nodes.load(Ordering::Relaxed),
+            peak_region_nodes: counters.peak_nodes.load(Ordering::Relaxed),
+            pool_utilization,
+            cache_hit_rate: counters.hit_rate(),
         },
     ))
 }
@@ -499,7 +567,7 @@ fn evaluate_parallel(
     node_limit: usize,
     threads: usize,
     governor: Option<Governor>,
-    peak_nodes: &AtomicUsize,
+    counters: &PoolCounters,
 ) -> Result<Vec<SignalStats>, PropagationError> {
     let n_nets = compiled.net_count();
     let n_regions = part.regions().len();
@@ -523,7 +591,7 @@ fn evaluate_parallel(
     let error: Mutex<Option<PropagationError>> = Mutex::new(None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let slots = &slots;
             let pending = &pending;
             let queue = &queue;
@@ -533,6 +601,7 @@ fn evaluate_parallel(
             let error = &error;
             let governor = governor.clone();
             scope.spawn(move || {
+                tr_trace::set_thread_name(&format!("part-worker-{w}"));
                 let mut scratch = RegionScratch::new(n_nets, node_limit, threads, governor);
                 loop {
                     let next = {
@@ -551,10 +620,24 @@ fn evaluate_parallel(
                     };
                     let Some(r) = next else { break };
                     let region = &part.regions()[r];
-                    let result = evaluate_region(&mut scratch, compiled, library, region, |net| {
-                        *slots[net.0].get().expect("dependency published")
-                    });
-                    peak_nodes.fetch_max(scratch.bdd.node_count(), Ordering::Relaxed);
+                    let busy_start = Instant::now();
+                    let result = {
+                        let _g = tr_trace::span!(
+                            "part.region",
+                            id = r,
+                            gates = region.gates.len(),
+                            cut = region.inputs.len()
+                        );
+                        evaluate_region(&mut scratch, compiled, library, region, |net| {
+                            *slots[net.0].get().expect("dependency published")
+                        })
+                    };
+                    counters
+                        .busy_us
+                        .fetch_add(busy_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    counters
+                        .peak_nodes
+                        .fetch_max(scratch.bdd.node_count(), Ordering::Relaxed);
                     match result {
                         Ok(()) => {
                             for (net, s) in region.outputs.iter().zip(&scratch.out) {
@@ -581,6 +664,7 @@ fn evaluate_parallel(
                         }
                     }
                 }
+                counters.absorb_cache(&scratch.bdd.cache_stats());
             });
         }
     });
@@ -655,6 +739,14 @@ impl RegionEvaluator {
         self.scratch.bdd.node_count()
     }
 
+    /// The engine's cumulative health counters (caches, GC, peak live)
+    /// across every region this evaluator has processed — counters
+    /// survive the per-region [`Bdd::reset`], so this tells the whole
+    /// backend's story for the report's `perf` block.
+    pub fn engine_stats(&self) -> tr_bdd::EngineStats {
+        self.scratch.bdd.engine_stats()
+    }
+
     /// Re-evaluates `region` from `stats` (indexed by net), returning
     /// the fresh output statistics parallel to `region.outputs`.
     ///
@@ -668,6 +760,11 @@ impl RegionEvaluator {
         region: &Region,
         stats: &[SignalStats],
     ) -> Result<&[SignalStats], PropagationError> {
+        let _g = tr_trace::span!(
+            "part.region",
+            gates = region.gates.len(),
+            cut = region.inputs.len()
+        );
         evaluate_region(&mut self.scratch, compiled, library, region, |net| {
             stats[net.0]
         })?;

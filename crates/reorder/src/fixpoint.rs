@@ -226,6 +226,11 @@ pub fn optimize_to_fixpoint_governed(
 ) -> Result<FixpointReport, PropagationError> {
     assert!(options.threads > 0, "need at least one thread");
     assert!(options.max_iterations > 0, "need at least one iteration");
+    let _g = tr_trace::span!(
+        "opt.fixpoint",
+        max_iterations = options.max_iterations,
+        threads = options.threads
+    );
     let repropagations_before = propagator.repropagations();
     let refreshed_before = propagator.refreshed_nets();
     let mut scratch = Scratch::new();
@@ -240,6 +245,7 @@ pub fn optimize_to_fixpoint_governed(
             g.check_now("fixpoint")?;
         }
         iterations += 1;
+        let _g = tr_trace::span!("opt.iteration", iteration = iterations);
         let r = if options.threads > 1 {
             optimize_parallel_governed_with_net_stats(
                 &current,

@@ -179,6 +179,7 @@ pub fn optimize_governed_with_net_stats(
         compiled.net_count(),
         "one SignalStats per net"
     );
+    let _g = tr_trace::span!("opt.pass", gates = compiled.gates().len());
     let loads = external_loads_compiled(&compiled, model);
     let before = circuit_total_compiled(&compiled, model, net_stats, &loads, scratch, |i| {
         compiled.gates()[i].config as usize
@@ -380,6 +381,11 @@ pub fn optimize_parallel_governed_with_net_stats(
         compiled.net_count(),
         "one SignalStats per net"
     );
+    let _g = tr_trace::span!(
+        "opt.parallel",
+        gates = compiled.gates().len(),
+        threads = threads
+    );
     let loads = external_loads_compiled(&compiled, model);
     let mut scratch = Scratch::new();
     let before = circuit_total_compiled(&compiled, model, net_stats, &loads, &mut scratch, |i| {
@@ -520,15 +526,22 @@ pub fn optimize_sharded_governed_with_net_stats(
     });
 
     let n_regions = partition.regions().len();
+    let _g = tr_trace::span!(
+        "opt.sharded",
+        regions = n_regions,
+        threads = threads,
+        gates = compiled.gates().len()
+    );
     let next = AtomicUsize::new(0);
     let partials: Vec<Result<Vec<(usize, usize)>, Interrupted>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let compiled = &compiled;
                 let net_stats = &net_stats;
                 let loads = &loads;
                 let next = &next;
                 scope.spawn(move || {
+                    tr_trace::set_thread_name(&format!("opt-worker-{w}"));
                     let mut scratch = Scratch::new();
                     let mut buf = [SignalStats::constant(false); MAX_CELL_ARITY];
                     let mut out = Vec::new();
@@ -537,6 +550,11 @@ pub fn optimize_sharded_governed_with_net_stats(
                         if r >= n_regions {
                             break;
                         }
+                        let _g = tr_trace::span!(
+                            "opt.shard",
+                            id = r,
+                            gates = partition.regions()[r].gates.len()
+                        );
                         for &gid in &partition.regions()[r].gates {
                             if let Some(g) = governor {
                                 g.check("optimize")?;

@@ -231,6 +231,11 @@ fn run(
         "duration must exceed warmup"
     );
     circuit.validate(library).expect("invalid circuit");
+    let _g = tr_trace::span!(
+        "sim.run",
+        gates = circuit.gates().len(),
+        duration = config.duration
+    );
 
     let loads = timing.external_loads(circuit);
     let fanouts = circuit.fanouts();

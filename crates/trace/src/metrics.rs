@@ -1,0 +1,341 @@
+//! Process-wide metrics registry: named atomic counters, gauges, and
+//! log₂-bucketed latency histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc` clones of
+//! registry slots; look one up once (e.g. in a constructor) and update it on
+//! the hot path with relaxed atomics. [`snapshot`] and [`render_text`] read
+//! everything at once — `render_text` emits the Prometheus text exposition
+//! format so a future `tr-serve` `/metrics` endpoint can serve it verbatim.
+//!
+//! Unlike the span tracer, the registry is always live (it does not consult
+//! [`crate::is_enabled`]): metric updates are single relaxed atomic ops on
+//! cold-to-warm paths, and callers that need zero cost gate on
+//! [`crate::is_enabled`] themselves.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating-point level (stored as `f64` bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of histogram buckets: bucket 0 holds the value 0, bucket `i ≥ 1`
+/// holds `[2^(i-1), 2^i)`, and bucket 64 tops out at `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// Lock-free latency histogram with power-of-two buckets. Values are
+/// unitless `u64`s; the workspace records microseconds.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Bucket index for a recorded value: 0 for 0, else `64 - leading_zeros`.
+pub fn bucket_index(value: u64) -> usize {
+    (64 - value.leading_zeros()) as usize
+}
+
+/// Largest value the bucket can hold (`2^i - 1`, saturating at `u64::MAX`);
+/// quantiles report this inclusive upper bound.
+pub fn bucket_upper(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else if index >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << index) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0 < q ≤ 1`);
+    /// 0 when empty. `quantile(0.5)` is the median bucket bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            seen += self.0.buckets[i].load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Per-bucket counts (index `i` as in [`bucket_index`]).
+    pub fn buckets(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.0.buckets[i].load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+/// Looks up (creating on first use) the named counter.
+pub fn counter(name: &str) -> Counter {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.counters.entry(name.to_string()).or_default().clone()
+}
+
+/// Looks up (creating on first use) the named gauge.
+pub fn gauge(name: &str) -> Gauge {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.gauges.entry(name.to_string()).or_default().clone()
+}
+
+/// Looks up (creating on first use) the named histogram.
+pub fn histogram(name: &str) -> Histogram {
+    let mut reg = registry().lock().expect("metrics registry poisoned");
+    reg.histograms.entry(name.to_string()).or_default().clone()
+}
+
+/// Drops every registered metric (existing handles keep working but are
+/// orphaned from future snapshots). Intended for tests.
+pub fn reset() {
+    *registry().lock().expect("metrics registry poisoned") = Registry::default();
+}
+
+/// Point-in-time view of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Median bucket upper bound.
+    pub p50: u64,
+    /// 90th-percentile bucket upper bound.
+    pub p90: u64,
+    /// 99th-percentile bucket upper bound.
+    pub p99: u64,
+}
+
+/// Point-in-time view of the whole registry, sorted by metric name.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Reads every registered metric at once.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry().lock().expect("metrics registry poisoned");
+    MetricsSnapshot {
+        counters: reg
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .iter()
+            .map(|(k, v)| {
+                (
+                    k.clone(),
+                    HistogramSnapshot {
+                        count: v.count(),
+                        sum: v.sum(),
+                        p50: v.quantile(0.50),
+                        p90: v.quantile(0.90),
+                        p99: v.quantile(0.99),
+                    },
+                )
+            })
+            .collect(),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Renders the registry in the Prometheus text exposition format
+/// (metric names sanitized to `[a-zA-Z0-9_]`; histograms expose
+/// `_count`, `_sum`, and quantile series).
+pub fn render_text() -> String {
+    let snap = snapshot();
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} counter\n{n} {value}\n"));
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} gauge\n{n} {value}\n"));
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize(name);
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        out.push_str(&format!("{n}{{quantile=\"0.5\"}} {}\n", h.p50));
+        out.push_str(&format!("{n}{{quantile=\"0.9\"}} {}\n", h.p90));
+        out.push_str(&format!("{n}{{quantile=\"0.99\"}} {}\n", h.p99));
+        out.push_str(&format!("{n}_sum {}\n{n}_count {}\n", h.sum, h.count));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        assert_eq!(g.get(), 0.0);
+        g.set(0.75);
+        assert!((g.get() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Pin the bucketing scheme: 0 → bucket 0; [2^(i-1), 2^i) → bucket i.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_upper(0), 0);
+        assert_eq!(bucket_upper(1), 1);
+        assert_eq!(bucket_upper(2), 3);
+        assert_eq!(bucket_upper(11), 2047);
+        assert_eq!(bucket_upper(64), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_quantiles_report_bucket_upper_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.99), 0);
+        // 99 fast observations and one slow outlier: p50 stays in the fast
+        // bucket, p99 lands exactly on the 99th rank (still fast), and only
+        // p100 sees the outlier.
+        for _ in 0..99 {
+            h.record(100); // bucket 7: [64, 128)
+        }
+        h.record(1_000_000); // bucket 20
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 99 * 100 + 1_000_000);
+        assert_eq!(h.quantile(0.50), bucket_upper(7));
+        assert_eq!(h.quantile(0.99), bucket_upper(7));
+        assert_eq!(h.quantile(1.0), bucket_upper(20));
+    }
+
+    #[test]
+    fn registry_snapshot_and_render() {
+        reset();
+        counter("test.reqs").add(3);
+        gauge("test.load").set(1.5);
+        histogram("test.lat_us").record(9);
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("test.reqs".to_string(), 3)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+        assert_eq!(snap.histograms[0].1.p99, bucket_upper(4));
+        let text = render_text();
+        assert!(text.contains("# TYPE test_reqs counter"));
+        assert!(text.contains("test_reqs 3"));
+        assert!(text.contains("test_lat_us{quantile=\"0.99\"} 15"));
+        reset();
+    }
+}

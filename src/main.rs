@@ -5,11 +5,12 @@
 //! tr-opt optimize <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|part|monte]
 //!                 [--region-nodes N] [--cut-width N]
 //!                 [--objective min|max] [--delay-bound none|local|slack]
-//!                 [--simulate] [--vcd FILE] [--out FILE] [--json]
+//!                 [--simulate] [--vcd FILE] [--out FILE] [--trace FILE] [--json]
 //! tr-opt analyze  <netlist> [--scenario a|b] [--seed N] [--prob indep|bdd|part|monte]
+//!                 [--trace FILE]
 //! tr-opt batch    <dir|files...> [--suite small|quick|full|large] [--scenarios M]
 //!                 [--prob indep|bdd|part|monte] [--report json|csv] [--simulate]
-//!                 [--threads N]
+//!                 [--threads N] [--trace FILE]
 //! tr-opt library
 //! ```
 //!
@@ -95,6 +96,9 @@ OPTIONS (optimize/analyze):
   --simulate            validate with the switch-level simulator
   --vcd FILE            dump a simulation waveform (implies --simulate)
   --out FILE            write the optimized netlist (native format)
+  --trace FILE          write a Chrome trace-event JSON self-profile of
+                        the run (open in Perfetto or chrome://tracing;
+                        summarize with `trace_summary FILE`)
   --json                print the full flow report as JSON (optimize only)
   --deadline-ms N       wall-clock budget for the run (optimize only)
   --node-budget N       live-node budget for the exact BDD backend
@@ -124,6 +128,8 @@ OPTIONS (batch):
   --deadline-ms N       per-cell wall-clock budget
   --node-budget N       per-cell BDD live-node budget
   --degrade on|off      as above (per cell)
+  --trace FILE          one merged self-profile for the whole batch, every
+                        worker on its own named track
 
 FORMATS: .bench (ISCAS), .blif (combinational subset), .trnet (native)";
 
@@ -141,6 +147,7 @@ struct Options {
     simulate: bool,
     vcd: Option<String>,
     out: Option<String>,
+    trace: Option<String>,
     json: bool,
     budget: RunBudget,
     degrade: bool,
@@ -270,6 +277,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
         simulate: false,
         vcd: None,
         out: None,
+        trace: None,
         json: false,
         budget: RunBudget::default(),
         degrade: true,
@@ -307,6 +315,7 @@ fn parse_options(args: &[String]) -> Result<Options, Error> {
                 opts.simulate = true;
             }
             "--out" => opts.out = Some(flag_value(&mut it, "--out")?.to_string()),
+            "--trace" => opts.trace = Some(flag_value(&mut it, "--trace")?.to_string()),
             "--json" => opts.json = true,
             flag @ ("--deadline-ms" | "--node-budget") => {
                 parse_budget_flag(&mut opts.budget, flag, &mut it)?;
@@ -365,6 +374,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
     }
     if let Some(out) = &opts.out {
         flow = flow.write_netlist(out);
+    }
+    if let Some(trace) = &opts.trace {
+        flow = flow.trace(trace);
     }
 
     let (report, circuit) = flow.run_full(&env)?;
@@ -431,6 +443,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), Error> {
     if let Some(out) = &opts.out {
         println!("netlist → {out}");
     }
+    if let Some(trace) = &opts.trace {
+        println!("trace → {trace}");
+    }
     Ok(())
 }
 
@@ -449,11 +464,22 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
         ));
     }
     let env = FlowEnv::new();
-    let circuit = load_path(
-        std::path::Path::new(&opts.path),
-        &env.library,
-        &Default::default(),
-    )?;
+    // Analyze bypasses `Flow`, so the self-profile is managed here: the
+    // backend spans (BDD builds, GCs, region evaluations) still land in
+    // the file.
+    if opts.trace.is_some() {
+        tr_trace::reset();
+        tr_trace::enable();
+        tr_trace::set_thread_name("analyze-main");
+    }
+    let circuit = {
+        let _load = tr_trace::span!("analyze.load");
+        load_path(
+            std::path::Path::new(&opts.path),
+            &env.library,
+            &Default::default(),
+        )?
+    };
     let stats = opts
         .scenario
         .input_stats(circuit.primary_inputs().len(), opts.seed);
@@ -463,12 +489,14 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
     let summary: Vec<String> = hist.iter().map(|(n, c)| format!("{n}×{c}")).collect();
     println!("cells: {}", summary.join(" "));
     let mode = opts.prob_mode()?;
+    let stats_span = tr_trace::span!("analyze.stats", gates = circuit.gates().len());
     let nets = propagate_with_mode(&circuit, &env.library, &stats, mode)?;
     if mode != PropagationMode::Independent {
         let indep = propagate(&circuit, &env.library, &stats);
         let err = max_probability_deviation(&nets, &indep);
         println!("probability backend: {mode} (independence error up to {err:.3e} in P)");
     }
+    drop(stats_span);
     let power = circuit_power(&circuit, &env.model, &nets);
     println!(
         "model power: {:.4e} W (output nodes {:.4e} W, internal {:.4e} W)",
@@ -513,6 +541,11 @@ fn cmd_analyze(args: &[String]) -> Result<(), Error> {
             rep.stale_discrepancy_w()
         );
     }
+    if let Some(trace) = &opts.trace {
+        tr_trace::disable();
+        tr_trace::write_chrome_trace(trace).map_err(|e| Error::io(trace.as_str(), e))?;
+        println!("trace → {trace}");
+    }
     Ok(())
 }
 
@@ -538,6 +571,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     let mut threads = default_threads();
     let mut budget = RunBudget::default();
     let mut degrade = true;
+    let mut trace: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -567,6 +601,7 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
                 parse_budget_flag(&mut budget, flag, &mut it)?;
             }
             "--degrade" => degrade = parse_degrade(it.next().map(String::as_str))?,
+            "--trace" => trace = Some(flag_value(&mut it, "--trace")?.to_string()),
             other if !other.starts_with('-') => inputs.push(other.to_string()),
             other => return Err(usage(format!("unexpected argument `{other}`"))),
         }
@@ -614,6 +649,11 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
     .fixpoint(fixpoint)
     .budget(budget)
     .degrade(degrade);
+    if let Some(trace) = &trace {
+        // The runner hoists a traced template to the run level: one
+        // merged file, every worker on its own named track.
+        template = template.trace(trace);
+    }
     // The Monte Carlo backend takes one fixed seed across the grid —
     // per-cell scenarios already vary the input statistics.
     let mut mode = match &prob {
@@ -659,6 +699,16 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
                     ReportFormat::Json => println!("{}", report.to_json()),
                     ReportFormat::Csv => println!("{}", report.to_csv_row()),
                 }
+                // One progress line per completed cell, so a long batch
+                // shows where the time went while it runs.
+                let rung = match report.degrade_rung.as_deref() {
+                    Some(r) => format!(", degraded: {r}"),
+                    None => String::new(),
+                };
+                eprintln!(
+                    "  {} × {}: {:.2} s{rung}",
+                    result.job, result.scenario, report.timings.total_s
+                );
             }
             Err(e) => {
                 failed_cells += if result.scenario == "-" {

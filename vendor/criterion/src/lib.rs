@@ -8,18 +8,24 @@
 //! measurement budget is spent, reporting mean ns/iter to stdout. There
 //! is no statistical analysis or HTML report — just honest numbers.
 //!
-//! One extra borrowed from upstream: `--save-baseline <path>` (upstream
-//! takes a name, we take a file path) writes every measurement of the run
-//! as machine-readable JSON, so CI can archive benchmark baselines (e.g.
-//! `BENCH_PR2.json`) and track the performance trajectory across PRs:
+//! Two extras borrowed from upstream:
+//!
+//! - `--save-baseline <path>` (upstream takes a name, we take a file
+//!   path) writes every measurement of the run as machine-readable
+//!   JSON, so CI can archive benchmark baselines (e.g. `BENCH_PR2.json`)
+//!   and track the performance trajectory across PRs.
+//! - A positional name filter: `cargo bench ... -- <substring>` runs
+//!   only the benchmarks whose name contains the substring, so CI can
+//!   time one benchmark (the idle-overhead gate) without paying for the
+//!   whole suite.
 //!
 //! ```text
-//! cargo bench -p tr-bench --bench perf -- --save-baseline BENCH_PR2.json
+//! cargo bench -p tr-bench --bench perf -- p6 --save-baseline P6.json
 //! ```
 
 #![forbid(unsafe_code)]
 
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// One finished measurement, queued for baseline serialization.
@@ -84,16 +90,53 @@ impl Bencher {
     }
 }
 
+/// Extracts the positional name filter from an argument list: the first
+/// token that is not a flag (or a flag's value). Flags and `libtest`
+/// passthroughs (anything starting with `-`) are skipped; the value of
+/// `--save-baseline` is consumed with its flag.
+fn filter_from(args: &[String]) -> Option<String> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--save-baseline" => {
+                let _ = it.next();
+            }
+            a if a.starts_with('-') => {}
+            a => return Some(a.to_string()),
+        }
+    }
+    None
+}
+
+/// The process-wide positional filter (`cargo bench ... -- <substring>`),
+/// parsed once from the CLI.
+fn name_filter() -> Option<&'static str> {
+    static FILTER: OnceLock<Option<String>> = OnceLock::new();
+    FILTER
+        .get_or_init(|| {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            filter_from(&args)
+        })
+        .as_deref()
+}
+
 /// The benchmark registry/driver.
 #[derive(Default)]
 pub struct Criterion {}
 
 impl Criterion {
     /// Runs one named benchmark and prints its mean time per iteration.
+    /// A benchmark whose name does not contain the CLI's positional
+    /// filter (when one was given) is skipped silently, like upstream.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
+        if let Some(filter) = name_filter() {
+            if !name.contains(filter) {
+                return self;
+            }
+        }
         let mut b = Bencher {
             iters: 0,
             elapsed: Duration::ZERO,
@@ -181,5 +224,26 @@ mod tests {
             .expect("measurement recorded");
         assert!(m.iters > 0);
         assert!(m.mean_ns >= 0.0);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn positional_filter_skips_flags_and_their_values() {
+        assert_eq!(filter_from(&args(&[])), None);
+        assert_eq!(filter_from(&args(&["--bench", "-q"])), None);
+        assert_eq!(filter_from(&args(&["p6"])), Some("p6".to_string()));
+        assert_eq!(
+            filter_from(&args(&["--bench", "p6_bdd"])),
+            Some("p6_bdd".to_string())
+        );
+        // The baseline path is a flag value, never a filter.
+        assert_eq!(filter_from(&args(&["--save-baseline", "out.json"])), None);
+        assert_eq!(
+            filter_from(&args(&["--save-baseline", "out.json", "p6"])),
+            Some("p6".to_string())
+        );
     }
 }
