@@ -101,7 +101,7 @@ pub struct CircuitBddStats {
 /// let stats = bdds.exact_stats(&pi).unwrap();
 /// assert_eq!(stats.len(), compiled.net_count());
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CircuitBdds {
     manager: Bdd,
     roots: Vec<Edge>,

@@ -104,6 +104,46 @@ pub fn parse_prob_mode(s: &str, seed: u64) -> Result<PropagationMode, Error> {
     }
 }
 
+/// Initial BDD variable-order heuristic of the exact backend (ignored
+/// by the other backends, whose ordering is internal). The degradation
+/// ladder may still retry a blown build under the information-measure
+/// order regardless of this choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderHeuristic {
+    /// The backend's default fanin-DFS structural order.
+    #[default]
+    Structural,
+    /// [`tr_bdd::order::info_measure`] — high-entropy inputs driving
+    /// large fanout cones get the top levels. Statistics-dependent, so
+    /// two scenarios may settle different orders for the same netlist.
+    InfoMeasure,
+}
+
+impl OrderHeuristic {
+    /// The CLI/report spelling (`struct`, `info`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            OrderHeuristic::Structural => "struct",
+            OrderHeuristic::InfoMeasure => "info",
+        }
+    }
+
+    /// Parses the CLI spelling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Usage`] on an unknown spelling.
+    pub fn parse(s: &str) -> Result<Self, Error> {
+        match s {
+            "struct" => Ok(OrderHeuristic::Structural),
+            "info" => Ok(OrderHeuristic::InfoMeasure),
+            other => Err(Error::Usage(format!(
+                "bad --order `{other}` (expected struct or info)"
+            ))),
+        }
+    }
+}
+
 /// How long to simulate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DurationPolicy {
@@ -222,6 +262,112 @@ impl LadderState {
     }
 }
 
+/// The output of stage 2 ([`Flow::prepare_stats`]): input statistics
+/// resolved, per-net statistics computed, and the backend propagator
+/// live — everything [`Flow::run_staged`] needs to optimize and finish
+/// the run. Holds the run's governor, so the deadline clock spans both
+/// halves exactly as it does for the unsplit pipeline.
+#[derive(Debug)]
+pub struct StatsStage {
+    run_governor: Option<Governor>,
+    stats: Vec<SignalStats>,
+    scenario_label: String,
+    propagator: IncrementalPropagator,
+    prob: PropagationMode,
+    net_stats: Vec<SignalStats>,
+    independence_error: Option<f64>,
+    ladder: LadderState,
+    stats_s: f64,
+}
+
+impl StatsStage {
+    /// Whether the statistics stage walked the degradation ladder.
+    pub fn degraded(&self) -> bool {
+        self.ladder.degraded
+    }
+
+    /// The backend that actually produced the statistics (post-ladder).
+    pub fn prob_mode(&self) -> PropagationMode {
+        self.prob
+    }
+
+    /// The computed per-net statistics.
+    pub fn net_stats(&self) -> &[SignalStats] {
+        &self.net_stats
+    }
+
+    /// Seconds spent computing the statistics.
+    pub fn stats_seconds(&self) -> f64 {
+        self.stats_s
+    }
+
+    /// Max |ΔP| against the independence assumption (`None` for the
+    /// independent backend, which has nothing to compare against).
+    pub fn independence_error(&self) -> Option<f64> {
+        self.independence_error
+    }
+
+    /// Captures the staged artifacts for a warm cache: a clone of the
+    /// propagator (BDD engine and all) detached from this run's
+    /// governor, plus the resolved input statistics it answers for.
+    /// Must be taken *before* [`Flow::run_staged`] consumes the stage —
+    /// optimization refreshes mutate the propagator's counters.
+    ///
+    /// Returns `None` when the stage degraded: a degraded build may be
+    /// deadline- (i.e. timing-) dependent, so replaying it as if
+    /// deterministic would be wrong, and caching a fallback artifact
+    /// would pin the degradation past the transient that caused it.
+    pub fn snapshot(&self) -> Option<StatsSnapshot> {
+        if self.ladder.degraded {
+            return None;
+        }
+        let mut propagator = self.propagator.clone();
+        propagator.set_governor(None);
+        Some(StatsSnapshot {
+            stats: self.stats.clone(),
+            scenario_label: self.scenario_label.clone(),
+            propagator,
+            prob: self.prob,
+            independence_error: self.independence_error,
+        })
+    }
+}
+
+/// A cacheable clone of a [`StatsStage`]'s artifacts — the value a
+/// content-addressed warm cache retains per (netlist, scenario, backend,
+/// order) key. [`Flow::rehydrate`] turns it back into a runnable stage
+/// without re-parsing, re-compiling, or re-building BDDs.
+#[derive(Debug, Clone)]
+pub struct StatsSnapshot {
+    stats: Vec<SignalStats>,
+    scenario_label: String,
+    propagator: IncrementalPropagator,
+    prob: PropagationMode,
+    independence_error: Option<f64>,
+}
+
+impl StatsSnapshot {
+    /// The backend the snapshot was prepared under.
+    pub fn prob_mode(&self) -> PropagationMode {
+        self.prob
+    }
+
+    /// Live BDD nodes retained by the snapshot's engine (0 for the
+    /// engine-less backends) — what a cache's node budget accounts.
+    pub fn live_bdd_nodes(&self) -> usize {
+        self.propagator.engine_stats().map_or(0, |s| s.live)
+    }
+
+    /// Rough heap footprint of the snapshot in bytes (statistics
+    /// vectors plus ~16 bytes per live BDD node) — what a cache's byte
+    /// budget accounts. An estimate, not an allocator measurement.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let stats_bytes = (self.stats.len() + 2 * self.propagator.net_stats().len())
+            * std::mem::size_of::<SignalStats>();
+        stats_bytes + 16 * self.live_bdd_nodes()
+    }
+}
+
 /// Disables the tracer when a traced [`Flow::run`] unwinds through an
 /// error (the success path disables before writing the trace file).
 struct TraceOff;
@@ -269,6 +415,7 @@ pub struct Flow {
     map_options: MapOptions,
     stats: StatsSpec,
     prob: PropagationMode,
+    order: OrderHeuristic,
     objective: Objective,
     delay_bound: DelayBound,
     fixpoint: bool,
@@ -294,6 +441,7 @@ impl Flow {
                 seed: 1,
             },
             prob: PropagationMode::Independent,
+            order: OrderHeuristic::Structural,
             objective: Objective::MinimizePower,
             delay_bound: DelayBound::Unbounded,
             fixpoint: false,
@@ -356,6 +504,13 @@ impl Flow {
     /// then records the independence error).
     pub fn prob(mut self, mode: PropagationMode) -> Self {
         self.prob = mode;
+        self
+    }
+
+    /// Initial BDD variable-order heuristic for the exact backend
+    /// (default structural fanin-DFS; see [`OrderHeuristic`]).
+    pub fn order(mut self, order: OrderHeuristic) -> Self {
+        self.order = order;
         self
     }
 
@@ -580,32 +735,13 @@ impl Flow {
         load_s: f64,
         scratch: &mut Scratch,
     ) -> Result<(FlowReport, Circuit), Error> {
-        if self.vcd.is_some() && self.sim.is_none() {
-            return Err(Error::Usage(
-                "a VCD dump needs a simulation: set Flow::simulate alongside Flow::vcd".into(),
-            ));
-        }
-        // Pre-flight: a token cancelled before the run starts aborts it
-        // before any work is done.
-        if let Some(governor) = self.cancel_governor() {
-            governor.check_now("flow")?;
-        }
-        // One governor for the whole run: every governed stage shares
-        // its deadline, token and work counter.
-        let run_governor = self.full_governor();
-        let t_total = Instant::now();
-        let mut timings = StageTimings {
-            load_s,
-            ..StageTimings::default()
-        };
+        let stage = self.prepare_stats(env, circuit)?;
+        self.run_staged(env, circuit, name, load_s, stage, scratch)
+    }
 
-        // 2. Input statistics.
-        let t = Instant::now();
-        let stats_span = tr_trace::span!(
-            "flow.stats",
-            gates = circuit.gates().len(),
-            mode = self.prob.as_str()
-        );
+    /// The configured input statistics resolved against `circuit`, with
+    /// their report label.
+    fn resolve_input_stats(&self, circuit: &Circuit) -> Result<(Vec<SignalStats>, String), Error> {
         let n_inputs = circuit.primary_inputs().len();
         let (stats, scenario_label) = match &self.stats {
             StatsSpec::Scenario { scenario, seed } => (
@@ -620,6 +756,49 @@ impl Flow {
                 got: stats.len(),
             });
         }
+        Ok((stats, scenario_label))
+    }
+
+    /// Cheap configuration validation shared by every pipeline entry.
+    fn validate_artifacts(&self) -> Result<(), Error> {
+        if self.vcd.is_some() && self.sim.is_none() {
+            return Err(Error::Usage(
+                "a VCD dump needs a simulation: set Flow::simulate alongside Flow::vcd".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Stage 2 alone: resolves the input statistics and computes per-net
+    /// statistics under the configured backend, returning a
+    /// [`StatsStage`] that [`Flow::run_staged`] finishes. Splitting the
+    /// pipeline here lets a caller snapshot the expensive artifacts
+    /// ([`StatsStage::snapshot`]) before optimization mutates them —
+    /// the warm path of a serving cache.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flow::run`]: statistics-stage failures (compile errors, a
+    /// blown budget with [`Flow::degrade`] off, cancellation).
+    pub fn prepare_stats(&self, env: &FlowEnv, circuit: &Circuit) -> Result<StatsStage, Error> {
+        self.validate_artifacts()?;
+        // Pre-flight: a token cancelled before the run starts aborts it
+        // before any work is done.
+        if let Some(governor) = self.cancel_governor() {
+            governor.check_now("flow")?;
+        }
+        // One governor for the whole run: every governed stage shares
+        // its deadline, token and work counter.
+        let run_governor = self.full_governor();
+
+        // 2. Input statistics.
+        let t = Instant::now();
+        let stats_span = tr_trace::span!(
+            "flow.stats",
+            gates = circuit.gates().len(),
+            mode = self.prob.as_str()
+        );
+        let (stats, scenario_label) = self.resolve_input_stats(circuit)?;
         // 2b. Per-net statistics under the chosen probability backend,
         // held by an incremental propagator so later stages can
         // re-derive dirty cones instead of rebuilding; exact backends
@@ -628,7 +807,7 @@ impl Flow {
         // degradation ladder lives: `prob` tracks the backend that
         // actually produced the statistics.
         let mut ladder = LadderState::new();
-        let (mut propagator, mut prob) = self.build_propagator(
+        let (propagator, prob) = self.build_propagator(
             env,
             circuit,
             &stats,
@@ -645,7 +824,109 @@ impl Flow {
             }
         };
         drop(stats_span);
-        timings.stats_s = t.elapsed().as_secs_f64();
+        Ok(StatsStage {
+            run_governor,
+            stats,
+            scenario_label,
+            propagator,
+            prob,
+            net_stats,
+            independence_error,
+            ladder,
+            stats_s: t.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// Reconstitutes a [`StatsStage`] from a cached [`StatsSnapshot`]
+    /// without re-running stage 2: the snapshot's propagator is cloned
+    /// (so the snapshot stays pristine for the next request) and handed
+    /// this flow's governor. Because a clone resumes bit-for-bit where
+    /// the cold build stood, [`Flow::run_staged`] then produces a report
+    /// identical to a fresh run's apart from wall-clock timings.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Usage`] when this flow's probability backend or resolved
+    /// input statistics differ from the ones the snapshot was prepared
+    /// under (a warm cache keying on them never hits this), plus
+    /// pre-flight cancellation.
+    pub fn rehydrate(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        snapshot: &StatsSnapshot,
+    ) -> Result<StatsStage, Error> {
+        let _ = env; // symmetry with prepare_stats; the models live in the snapshot's stats
+        self.validate_artifacts()?;
+        if self.prob != snapshot.prob {
+            return Err(Error::Usage(format!(
+                "snapshot was prepared under --prob {}, flow wants {}",
+                snapshot.prob, self.prob
+            )));
+        }
+        let (stats, scenario_label) = self.resolve_input_stats(circuit)?;
+        if stats != snapshot.stats || scenario_label != snapshot.scenario_label {
+            return Err(Error::Usage(
+                "snapshot was prepared under different input statistics".into(),
+            ));
+        }
+        if let Some(governor) = self.cancel_governor() {
+            governor.check_now("flow")?;
+        }
+        let run_governor = self.full_governor();
+        let _s = tr_trace::span!("flow.rehydrate", gates = circuit.gates().len());
+        let mut propagator = snapshot.propagator.clone();
+        propagator.set_governor(run_governor.clone());
+        let net_stats = propagator.net_stats().to_vec();
+        Ok(StatsStage {
+            run_governor,
+            stats,
+            scenario_label,
+            propagator,
+            prob: snapshot.prob,
+            net_stats,
+            independence_error: snapshot.independence_error,
+            ladder: LadderState::new(),
+            stats_s: 0.0,
+        })
+    }
+
+    /// Stages 3–7 against an already-prepared statistics stage (from
+    /// [`Flow::prepare_stats`] or [`Flow::rehydrate`]). The stage's
+    /// governor carries over, so a deadline keeps counting from
+    /// preparation time.
+    ///
+    /// # Errors
+    ///
+    /// As [`Flow::run`].
+    pub fn run_staged(
+        &self,
+        env: &FlowEnv,
+        circuit: &Circuit,
+        name: String,
+        load_s: f64,
+        stage: StatsStage,
+        scratch: &mut Scratch,
+    ) -> Result<(FlowReport, Circuit), Error> {
+        self.validate_artifacts()?;
+        let StatsStage {
+            run_governor,
+            stats,
+            scenario_label,
+            mut propagator,
+            mut prob,
+            net_stats,
+            independence_error,
+            mut ladder,
+            stats_s,
+        } = stage;
+        let n_inputs = circuit.primary_inputs().len();
+        let t_total = Instant::now();
+        let mut timings = StageTimings {
+            load_s,
+            stats_s,
+            ..StageTimings::default()
+        };
 
         // 3. Optimize toward the objective — to a statistics fixed
         // point when requested — plus (unbounded only) the opposite
@@ -933,7 +1214,7 @@ impl Flow {
         }
         drop(write_span);
         timings.write_s = t.elapsed().as_secs_f64();
-        timings.total_s = load_s + t_total.elapsed().as_secs_f64();
+        timings.total_s = load_s + stats_s + t_total.elapsed().as_secs_f64();
 
         // Partition-backend shape, from the propagator that actually
         // produced the statistics (post-ladder, so a shrink-regions
@@ -1040,6 +1321,16 @@ impl Flow {
             && faultpoint::hit("exact-build") == Some(Fault::NodeLimit))
             || (matches!(mode, PropagationMode::PartitionedBdd { .. })
                 && faultpoint::hit("part-build") == Some(Fault::NodeLimit));
+        // The configured order heuristic seeds the *first* exact build;
+        // the ladder's info-reorder-retry below is independent of it.
+        let bdd_order = match (mode, self.order) {
+            (PropagationMode::ExactBdd, OrderHeuristic::InfoMeasure) => {
+                let compiled = CompiledCircuit::compile(circuit, &env.library)?;
+                let probs: Vec<f64> = stats.iter().map(|s| s.probability()).collect();
+                Some(tr_bdd::order::info_measure(&compiled, &probs))
+            }
+            _ => None,
+        };
         let first = if injected {
             Err(injected_node_limit(self.budget.bdd_node_budget))
         } else {
@@ -1051,7 +1342,7 @@ impl Flow {
                 &PropagatorOptions {
                     node_limit: self.budget.bdd_node_budget,
                     governor: governor(deadline_on),
-                    bdd_order: None,
+                    bdd_order,
                 },
             )
         };

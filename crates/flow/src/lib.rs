@@ -59,7 +59,7 @@ pub use env::FlowEnv;
 pub use error::Error;
 pub use flow::{
     max_probability_deviation, parse_prob_mode, sim_duration, DelayBound, DurationPolicy, Flow,
-    SimOptions,
+    OrderHeuristic, SimOptions, StatsSnapshot, StatsStage,
 };
 pub use govern::{CancelToken, Governor, Interrupted, RunBudget, TripReason};
 pub use report::{

@@ -72,7 +72,7 @@ pub struct PropagatorOptions {
 }
 
 /// The `PartitionedBdd` backend's long-lived refresh state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct PartitionState {
     partition: Partition,
     evaluator: RegionEvaluator,
@@ -122,7 +122,14 @@ fn expander_map(partition: &Partition, n_gates: usize) -> Vec<Vec<u32>> {
 /// assert_eq!(dirty, vec![y]);
 /// assert!((prop.net_stats()[y.0].probability() - 0.25).abs() < 1e-15);
 /// ```
-#[derive(Debug)]
+/// Cloning duplicates the backend's entire engine state — BDD manager,
+/// partition evaluator, statistics vectors, cumulative counters — so the
+/// clone continues bit-for-bit where the original stood (a warm-cache
+/// server snapshots a freshly built propagator and replays requests
+/// against cheap clones). The attached [`Governor`] is shared with the
+/// original; use [`IncrementalPropagator::set_governor`] to give a clone
+/// its own.
+#[derive(Debug, Clone)]
 pub struct IncrementalPropagator {
     mode: PropagationMode,
     pi_stats: Vec<SignalStats>,

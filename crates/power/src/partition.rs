@@ -188,6 +188,7 @@ pub fn packing_options(
 /// region evaluation touches. Reused across regions via [`Bdd::reset`]
 /// (capacity is retained; external scratches self-invalidate through
 /// the GC epoch).
+#[derive(Clone)]
 struct RegionScratch {
     bdd: Bdd,
     prob: ProbScratch,
@@ -703,6 +704,14 @@ pub fn propagate_partitioned(
 /// engine plus scratches, fed the full per-net statistics vector.
 pub struct RegionEvaluator {
     scratch: RegionScratch,
+}
+
+impl Clone for RegionEvaluator {
+    fn clone(&self) -> Self {
+        RegionEvaluator {
+            scratch: self.scratch.clone(),
+        }
+    }
 }
 
 impl std::fmt::Debug for RegionEvaluator {

@@ -1,0 +1,344 @@
+//! Hand-rolled HTTP/1.1 — just enough for the daemon and nothing more.
+//!
+//! One exchange per connection: every response carries
+//! `Connection: close`, so the server needs no keep-alive bookkeeping
+//! and a streamed body (the `/batch` JSONL feed) is simply
+//! close-delimited. Requests are capped ([`MAX_HEAD_BYTES`],
+//! [`MAX_BODY_BYTES`]) so a confused client cannot balloon a worker.
+//! The module also ships a tiny blocking client for the integration
+//! tests and the `loadgen` harness — the workspace is offline, so there
+//! is no external HTTP client to lean on.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Upper bound on the request line plus headers.
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Upper bound on a request body. Netlists are text; the large suite's
+/// biggest `.trnet` is well under a megabyte, so 64 MiB is vast.
+pub const MAX_BODY_BYTES: usize = 64 * 1024 * 1024;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (as sent; not validated against a list).
+    pub method: String,
+    /// The request target, e.g. `/optimize`.
+    pub path: String,
+    /// Headers with names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this name (lookup name must be lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Transport failure, including read timeouts. No response is owed.
+    Io(io::Error),
+    /// Syntactically invalid request — answer 400.
+    Malformed(String),
+    /// Head or body over its cap — answer 413.
+    TooLarge(String),
+}
+
+/// Reads one request. `Ok(None)` means the peer closed before sending
+/// anything (a health prober or the shutdown self-connect) — not an
+/// error, just nothing to answer.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let mut line = String::new();
+    let first = reader.read_line(&mut line).map_err(HttpError::Io)?;
+    if first == 0 {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing path".into()))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("request line missing version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!("bad version `{version}`")));
+    }
+
+    let mut headers = Vec::new();
+    let mut head_bytes = first;
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::Malformed("connection closed mid-headers".into()));
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head over {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let t = h.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        let (k, v) = t
+            .split_once(':')
+            .ok_or_else(|| HttpError::Malformed(format!("bad header line `{t}`")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    if headers.iter().any(|(k, _)| k == "transfer-encoding") {
+        return Err(HttpError::Malformed(
+            "chunked request bodies are not supported; send Content-Length".into(),
+        ));
+    }
+    let len = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|e| HttpError::Malformed(format!("bad Content-Length: {e}")))?,
+        None => 0,
+    };
+    if len > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge(format!(
+            "request body over {MAX_BODY_BYTES} bytes"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Some(Request {
+        method,
+        path,
+        headers,
+        body,
+    }))
+}
+
+/// The standard reason phrase for the statuses this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete response (status, `Content-Length`,
+/// `Connection: close`, any extra headers, body) and flushes.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, &str)],
+    body: &[u8],
+) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason(status),
+        body.len()
+    )?;
+    for (k, v) in extra {
+        write!(w, "{k}: {v}\r\n")?;
+    }
+    w.write_all(b"\r\n")?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Writes the head of a close-delimited streaming response (no
+/// `Content-Length`; the body ends when the connection does).
+pub fn write_streaming_head(w: &mut impl Write, content_type: &str) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+/// A client-side response.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers with names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The full body (streamed bodies are read to connection close).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First header with this name (lookup name must be lowercase).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as text.
+    pub fn text(&self) -> std::borrow::Cow<'_, str> {
+        String::from_utf8_lossy(&self.body)
+    }
+}
+
+/// One blocking request/response exchange against `addr`.
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    read_response(&mut BufReader::new(stream))
+}
+
+fn bad(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn read_response(reader: &mut impl BufRead) -> io::Result<Response> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let version = parts
+        .next()
+        .ok_or_else(|| bad("empty status line".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("bad version `{version}`")));
+    }
+    let status: u16 = parts
+        .next()
+        .ok_or_else(|| bad("status line missing code".into()))?
+        .parse()
+        .map_err(|e| bad(format!("bad status code: {e}")))?;
+
+    let mut headers = Vec::new();
+    loop {
+        let mut h = String::new();
+        let n = reader.read_line(&mut h)?;
+        if n == 0 {
+            return Err(bad("connection closed mid-headers".into()));
+        }
+        let t = h.trim_end();
+        if t.is_empty() {
+            break;
+        }
+        let (k, v) = t
+            .split_once(':')
+            .ok_or_else(|| bad(format!("bad header line `{t}`")))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let body = match headers.iter().find(|(k, _)| k == "content-length") {
+        Some((_, v)) => {
+            let len: usize = v
+                .parse()
+                .map_err(|e| bad(format!("bad Content-Length: {e}")))?;
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body)?;
+            body
+        }
+        // Close-delimited (the streaming /batch feed).
+        None => {
+            let mut body = Vec::new();
+            reader.read_to_end(&mut body)?;
+            body
+        }
+    };
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /optimize HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/optimize");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        assert!(read_request(&mut Cursor::new(&b""[..])).unwrap().is_none());
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let raw = b"NOT A REQUEST\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(&mut Cursor::new(raw.as_bytes())),
+            Err(HttpError::TooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn chunked_is_rejected() {
+        let raw = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut Cursor::new(&raw[..])),
+            Err(HttpError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let mut buf = Vec::new();
+        write_response(
+            &mut buf,
+            200,
+            "application/json",
+            &[("X-Cache", "hit")],
+            b"{}",
+        )
+        .unwrap();
+        let resp = read_response(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.header("x-cache"), Some("hit"));
+        assert_eq!(resp.body, b"{}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # tr-serve — the warm-cache optimization daemon
+//!
+//! A long-running server wrapping the `tr-flow` pipeline behind
+//! hand-rolled HTTP/1.1 over `std::net` (the workspace is offline: no
+//! hyper, no tokio — blocking sockets and a worker pool, in the
+//! vendored-shim spirit). Endpoints:
+//!
+//! * `POST /optimize` — one netlist through the full flow; the JSON
+//!   [`FlowReport`](tr_flow::FlowReport) back.
+//! * `POST /analyze` — statistics + power + critical path, read-only.
+//! * `POST /batch` — circuits × scenarios, streamed as JSONL, one
+//!   report per line as cells complete.
+//! * `GET /healthz` — liveness.
+//! * `GET /metrics` — the `tr_trace::metrics` registry in Prometheus
+//!   text exposition (cache hit/miss/evict, queue depth/wait,
+//!   per-endpoint latency histograms).
+//!
+//! The performance core is the **content-addressed warm cache**
+//! ([`WarmCache`]): a cold request's staged artifacts — parsed
+//! [`Circuit`](tr_netlist::Circuit), compiled gates, built BDDs with
+//! their settled variable order — are snapshotted
+//! ([`tr_flow::StatsSnapshot`]) under a hash of everything that shaped
+//! them (netlist bytes, format, library/process, scenario + seed,
+//! backend + knobs, order heuristic). A repeat request rehydrates the
+//! snapshot and skips parse/compile/build entirely; because cloning
+//! the propagator replicates its whole engine state, the warm report
+//! is bit-identical to a cold one apart from wall-clock timings.
+//!
+//! Admission is bounded (429 past the queue depth), per-request
+//! deadlines and node budgets map onto [`tr_flow::RunBudget`] clamped
+//! by server caps, and SIGTERM (or [`ServerHandle::shutdown`]) drains
+//! queued and in-flight work before exit.
+
+#![deny(unsafe_code)] // granted back, once, in `signal` (one FFI binding)
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod request;
+mod server;
+pub mod signal;
+
+pub use cache::{content_key, CacheEntry, WarmCache};
+pub use request::{parse_batch, parse_optimize, BatchRequest, Knobs, OptimizeRequest};
+pub use server::{ServeConfig, Server, ServerHandle};

@@ -1,0 +1,670 @@
+//! The daemon: accept loop, bounded admission queue, worker pool,
+//! endpoint routing, warm cache, graceful drain.
+//!
+//! Life of a request: the accept loop pushes the raw connection onto a
+//! bounded queue (or answers 429 when it is full — admission control
+//! happens before any parsing, so overload costs the server almost
+//! nothing); a worker pops it, parses the HTTP request and the JSON
+//! body, clamps the requested budgets against the server caps, then
+//! either *rehydrates* a warm-cache entry (skipping parse, map,
+//! compile and BDD build) or runs the cold path and snapshots the
+//! staged artifacts for next time. Shutdown — [`ServerHandle::shutdown`]
+//! or SIGTERM — stops the accept loop and lets the workers finish
+//! everything already queued or in flight before `run` returns.
+
+use std::collections::VecDeque;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use tr_flow::json::{json_f64, json_opt_f64, json_string};
+use tr_flow::{parse_netlist, BatchJob, BatchRunner, Error, Flow, FlowEnv, RunBudget, StatsStage};
+use tr_netlist::Circuit;
+use tr_power::{circuit_power, Scratch};
+use tr_timing::critical_path_delay;
+use tr_trace::metrics;
+
+use crate::cache::{content_key, WarmCache};
+use crate::http::{self, HttpError, Request};
+use crate::request::{parse_batch, parse_optimize, BatchRequest, Knobs, OptimizeRequest};
+use crate::signal;
+
+/// Server configuration. The caps (`max_*`) clamp what clients may
+/// request; they never reject — a request asking for more than the cap
+/// simply runs under the cap.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Worker threads (each serves one request at a time).
+    pub threads: usize,
+    /// Admission queue depth; connections beyond it are answered 429.
+    pub queue_depth: usize,
+    /// Cap on per-request `deadline_ms` (`None` = uncapped).
+    pub max_deadline_ms: Option<u64>,
+    /// Cap on per-request `node_budget` (`None` = uncapped).
+    pub max_node_budget: Option<usize>,
+    /// Cap on per-request optimizer `threads`.
+    pub max_request_threads: usize,
+    /// Warm-cache budget: live BDD nodes across all entries.
+    pub cache_nodes: usize,
+    /// Warm-cache budget: approximate heap bytes across all entries.
+    pub cache_bytes: usize,
+    /// Install a SIGTERM/SIGINT handler and drain when one arrives
+    /// (the CLI turns this on; tests drive [`ServerHandle::shutdown`]).
+    pub watch_signals: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            threads: 4,
+            queue_depth: 64,
+            max_deadline_ms: None,
+            max_node_budget: None,
+            max_request_threads: 4,
+            cache_nodes: 4_000_000,
+            cache_bytes: 256 * 1024 * 1024,
+            watch_signals: false,
+        }
+    }
+}
+
+struct Queue {
+    conns: VecDeque<(TcpStream, Instant)>,
+    /// `false` once the accept loop has stopped: workers exit when the
+    /// queue runs dry instead of waiting for more.
+    open: bool,
+}
+
+struct Shared {
+    env: FlowEnv,
+    config: ServeConfig,
+    cache: WarmCache,
+    /// Key part tying cached artifacts to this server's library/process.
+    library_fingerprint: String,
+    queue: Mutex<Queue>,
+    ready: Condvar,
+    draining: AtomicBool,
+}
+
+/// A bound, not-yet-running server. [`Server::run`] blocks until
+/// shutdown; [`Server::spawn`] runs it on its own thread.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+/// Cloneable remote control for a running [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listener and builds the shared environment (library,
+    /// process, power/timing models) the workers will run against.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let env = FlowEnv::new();
+        let library_fingerprint = format!(
+            "cells:{}/process:{:?}",
+            env.library.cells().len(),
+            env.process
+        );
+        let cache = WarmCache::new(config.cache_nodes, config.cache_bytes);
+        Ok(Server {
+            listener,
+            addr,
+            shared: Arc::new(Shared {
+                env,
+                config,
+                cache,
+                library_fingerprint,
+                queue: Mutex::new(Queue {
+                    conns: VecDeque::new(),
+                    open: true,
+                }),
+                ready: Condvar::new(),
+                draining: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+            addr: self.addr,
+        }
+    }
+
+    /// Runs accept loop + workers; returns after a graceful drain.
+    pub fn run(self) -> io::Result<()> {
+        tr_trace::set_thread_name("serve-accept");
+        let workers: Vec<JoinHandle<()>> = (0..self.shared.config.threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&self.shared);
+                std::thread::spawn(move || worker(&shared, i))
+            })
+            .collect();
+        if self.shared.config.watch_signals {
+            signal::install();
+            let handle = self.handle();
+            std::thread::spawn(move || loop {
+                if handle.shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                if signal::pending() {
+                    handle.shutdown();
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            });
+        }
+
+        for stream in self.listener.incoming() {
+            if self.shared.draining.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue, // transient accept failure
+            };
+            let _span = tr_trace::span!("serve.accept");
+            let mut q = self.shared.queue.lock().unwrap();
+            if q.conns.len() >= self.shared.config.queue_depth {
+                drop(q);
+                metrics::counter("serve.http.rejected").inc();
+                let mut s = stream;
+                let _ = reject(&mut s, 429, "admission queue full, retry later");
+                continue;
+            }
+            q.conns.push_back((stream, Instant::now()));
+            metrics::gauge("serve.queue.depth").set(q.conns.len() as f64);
+            drop(q);
+            self.shared.ready.notify_one();
+        }
+
+        // Drain: close the queue so workers exit once it runs dry, but
+        // let them finish everything already accepted.
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.open = false;
+        }
+        self.shared.ready.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(())
+    }
+
+    /// Runs the server on its own thread; the caller keeps the handle.
+    pub fn spawn(self) -> (ServerHandle, JoinHandle<io::Result<()>>) {
+        let handle = self.handle();
+        let join = std::thread::spawn(move || self.run());
+        (handle, join)
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This instance's warm-cache (hits, misses, evictions) — local
+    /// counters, so tests don't race the process-global `/metrics`
+    /// registry.
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Resident warm-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Starts a graceful drain: stop accepting, finish queued and
+    /// in-flight requests, then let [`Server::run`] return. Idempotent.
+    pub fn shutdown(&self) {
+        if self.shared.draining.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        self.shared.ready.notify_all();
+    }
+}
+
+fn worker(shared: &Shared, idx: usize) {
+    tr_trace::set_thread_name(&format!("serve-worker-{idx}"));
+    let mut scratch = Scratch::new();
+    loop {
+        let (stream, accepted) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(conn) = q.conns.pop_front() {
+                    metrics::gauge("serve.queue.depth").set(q.conns.len() as f64);
+                    break conn;
+                }
+                if !q.open {
+                    return;
+                }
+                q = shared.ready.wait(q).unwrap();
+            }
+        };
+        let wait_us = accepted.elapsed().as_micros() as u64;
+        metrics::histogram("serve.queue.wait_us").record(wait_us);
+        let _span = tr_trace::span!("serve.request", wait_us = wait_us);
+        handle_connection(shared, stream, &mut scratch);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream, scratch: &mut Scratch) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut out = stream;
+    match http::read_request(&mut reader) {
+        Ok(Some(req)) => dispatch(shared, &req, &mut out, scratch),
+        Ok(None) => {} // probe or shutdown self-connect
+        Err(HttpError::Malformed(m)) => {
+            let _ = reject(&mut out, 400, &m);
+        }
+        Err(HttpError::TooLarge(m)) => {
+            let _ = reject(&mut out, 413, &m);
+        }
+        Err(HttpError::Io(_)) => {} // peer vanished; nothing to answer
+    }
+}
+
+fn dispatch(shared: &Shared, req: &Request, out: &mut TcpStream, scratch: &mut Scratch) {
+    let t = Instant::now();
+    metrics::counter("serve.requests.total").inc();
+    let endpoint = match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => "healthz",
+        ("GET", "/metrics") => "metrics",
+        ("POST", "/optimize") => "optimize",
+        ("POST", "/analyze") => "analyze",
+        ("POST", "/batch") => "batch",
+        _ => "other",
+    };
+    let _span = tr_trace::span!("serve.handle", endpoint = endpoint);
+    let result = match endpoint {
+        "healthz" => http::write_response(out, 200, "text/plain", &[], b"ok\n"),
+        "metrics" => http::write_response(
+            out,
+            200,
+            "text/plain; version=0.0.4",
+            &[],
+            metrics::render_text().as_bytes(),
+        ),
+        "optimize" => handle_optimize(shared, req, out, scratch, false),
+        "analyze" => handle_optimize(shared, req, out, scratch, true),
+        "batch" => handle_batch(shared, req, out),
+        _ => reject(
+            out,
+            404,
+            &format!("no such endpoint: {} {}", req.method, req.path),
+        ),
+    };
+    let _ = result; // the peer may already be gone; that's its problem
+    metrics::histogram(&format!("serve.http.{endpoint}.latency_us"))
+        .record(t.elapsed().as_micros() as u64);
+}
+
+/// The JSON error envelope every non-200 carries.
+fn reject(out: &mut impl Write, status: u16, msg: &str) -> io::Result<()> {
+    let kind = match status {
+        400 | 404 | 405 | 413 => "usage",
+        429 | 503 => "overload",
+        _ => "internal",
+    };
+    let body = format!(
+        "{{\"error\": {}, \"kind\": {}}}\n",
+        json_string(msg),
+        json_string(kind)
+    );
+    http::write_response(out, status, "application/json", &[], body.as_bytes())
+}
+
+/// Maps a pipeline error onto a status: caller mistakes are 400,
+/// cancellations 503, everything else 500.
+fn error_status(e: &Error) -> u16 {
+    match e {
+        Error::Usage(_)
+        | Error::Unsupported(_)
+        | Error::UnknownFormat(_)
+        | Error::StatsMismatch { .. }
+        | Error::Bench(_)
+        | Error::Blif(_)
+        | Error::Format(_)
+        | Error::Circuit(_)
+        | Error::Stats(_)
+        | Error::Arity(_) => 400,
+        Error::Interrupted(_) => 503,
+        _ => 500,
+    }
+}
+
+/// Budgets and threads a request may actually use: its ask clamped by
+/// the server caps (a missing ask inherits the cap itself, so a capped
+/// server never runs an unbounded request).
+fn clamp(knobs: &Knobs, config: &ServeConfig) -> (RunBudget, usize) {
+    let mut budget = RunBudget::default();
+    let deadline = match (knobs.deadline_ms, config.max_deadline_ms) {
+        (Some(req), Some(cap)) => Some(req.min(cap)),
+        (Some(req), None) => Some(req),
+        (None, cap) => cap,
+    };
+    if let Some(ms) = deadline {
+        budget = budget.deadline_ms(ms);
+    }
+    let nodes = match (knobs.node_budget, config.max_node_budget) {
+        (Some(req), Some(cap)) => Some(req.min(cap)),
+        (Some(req), None) => Some(req),
+        (None, cap) => cap,
+    };
+    if let Some(n) = nodes {
+        budget = budget.bdd_nodes(n);
+    }
+    let threads = knobs.threads.min(config.max_request_threads).max(1);
+    (budget, threads)
+}
+
+/// The `Flow` template for one request's knobs (no source: the staged
+/// entry points take the circuit explicitly).
+fn request_flow(preq: &OptimizeRequest, budget: RunBudget, threads: usize) -> Flow {
+    Flow::from_circuit(Circuit::new("template"))
+        .scenario(preq.scenario.scenario, preq.scenario.seed)
+        .prob(preq.knobs.prob)
+        .order(preq.knobs.order)
+        .objective(preq.knobs.objective)
+        .delay_bound(preq.knobs.delay_bound)
+        .fixpoint(preq.knobs.fixpoint)
+        .threads(threads)
+        .headroom(preq.headroom)
+        .budget(budget)
+        .degrade(preq.knobs.degrade)
+}
+
+fn handle_optimize(
+    shared: &Shared,
+    req: &Request,
+    out: &mut TcpStream,
+    scratch: &mut Scratch,
+    analyze_only: bool,
+) -> io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return reject(out, 400, "request body must be UTF-8 JSON");
+    };
+    let preq = match parse_optimize(body) {
+        Ok(p) => p,
+        Err(e) => return reject(out, error_status(&e), &e.to_string()),
+    };
+    // Panic fence: one poisoned request answers 500, the worker lives
+    // on (with a rebuilt scratch arena — the unwound stage may have
+    // left it mid-update).
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        run_optimize(shared, &preq, scratch, analyze_only)
+    }));
+    match outcome {
+        Ok(Ok((json, cache_state))) => http::write_response(
+            out,
+            200,
+            "application/json",
+            &[("X-Cache", cache_state)],
+            json.as_bytes(),
+        ),
+        Ok(Err(e)) => reject(out, error_status(&e), &e.to_string()),
+        Err(payload) => {
+            *scratch = Scratch::new();
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "request panicked".to_string());
+            reject(out, 500, &format!("request panicked: {msg}"))
+        }
+    }
+}
+
+/// The warm/cold core shared by `/optimize` and `/analyze`. Returns the
+/// response JSON plus the `X-Cache` verdict.
+fn run_optimize(
+    shared: &Shared,
+    preq: &OptimizeRequest,
+    scratch: &mut Scratch,
+    analyze_only: bool,
+) -> Result<(String, &'static str), Error> {
+    let env = &shared.env;
+    let (budget, threads) = clamp(&preq.knobs, &shared.config);
+    let flow = request_flow(preq, budget, threads);
+    let key = preq.cache_key(&shared.library_fingerprint);
+    let rkey = result_key(preq, &shared.config, threads, analyze_only);
+
+    if let Some(entry) = shared.cache.get(key) {
+        // Warmest: the exact same request ran before and its response
+        // is memoized on the entry — replay it without even touching
+        // the optimizer. (Timings are the original run's; the response
+        // is otherwise deterministic, so byte-replay is exact.)
+        if let Some(json) = entry.result(rkey) {
+            return Ok((json.as_ref().clone(), "hit"));
+        }
+        // Warm: rehydrate clones the snapshot's propagator and attaches
+        // this request's governor — no parse, no map, no BDD build.
+        let stage = flow.rehydrate(env, &entry.circuit, &entry.snapshot)?;
+        let (json, degraded) = finish(
+            &flow,
+            env,
+            &entry.circuit,
+            preq,
+            0.0,
+            stage,
+            scratch,
+            analyze_only,
+        )?;
+        if !degraded {
+            entry.memoize(rkey, &json);
+        }
+        return Ok((json, "hit"));
+    }
+
+    // Cold: full load + stage 2, then snapshot the staged artifacts
+    // before optimization mutates the propagator's counters.
+    let t = Instant::now();
+    let circuit = {
+        let _s = tr_trace::span!("serve.load", name = preq.name.as_str());
+        let circuit = parse_netlist(
+            &preq.name,
+            &preq.netlist,
+            preq.format,
+            &env.library,
+            &Default::default(),
+        )?;
+        circuit.validate(&env.library)?;
+        circuit
+    };
+    let load_s = t.elapsed().as_secs_f64();
+    let stage = flow.prepare_stats(env, &circuit)?;
+    let entry = stage
+        .snapshot()
+        .map(|snapshot| shared.cache.insert(key, circuit.clone(), snapshot));
+    let (json, degraded) = finish(
+        &flow,
+        env,
+        &circuit,
+        preq,
+        load_s,
+        stage,
+        scratch,
+        analyze_only,
+    )?;
+    if let (Some(entry), false) = (entry, degraded) {
+        entry.memoize(rkey, &json);
+    }
+    Ok((json, "miss"))
+}
+
+/// The key for per-entry response memoization: everything that shapes
+/// the *result* given the staged artifacts. The circuit name is
+/// included (the report carries it), as are the clamped budgets — the
+/// same ask under a reconfigured server is a different result.
+fn result_key(
+    preq: &OptimizeRequest,
+    config: &ServeConfig,
+    threads: usize,
+    analyze_only: bool,
+) -> u128 {
+    let deadline = preq.knobs.deadline_ms.map_or_else(
+        || format!("{:?}", config.max_deadline_ms),
+        |v| v.to_string(),
+    );
+    let nodes = preq.knobs.node_budget.map_or_else(
+        || format!("{:?}", config.max_node_budget),
+        |v| v.to_string(),
+    );
+    content_key(&[
+        if analyze_only { "analyze" } else { "optimize" }.as_bytes(),
+        preq.name.as_bytes(),
+        format!("{:?}", preq.knobs.objective).as_bytes(),
+        format!("{:?}", preq.knobs.delay_bound).as_bytes(),
+        format!("{:?}", preq.knobs.fixpoint).as_bytes(),
+        threads.to_string().as_bytes(),
+        preq.headroom.to_string().as_bytes(),
+        preq.knobs.degrade.to_string().as_bytes(),
+        deadline.as_bytes(),
+        nodes.as_bytes(),
+    ])
+}
+
+/// Stages 3–7 (optimize) or the read-only summary (analyze). Returns
+/// the response JSON plus whether the run degraded (degraded responses
+/// must not be memoized).
+#[allow(clippy::too_many_arguments)]
+fn finish(
+    flow: &Flow,
+    env: &FlowEnv,
+    circuit: &Circuit,
+    preq: &OptimizeRequest,
+    load_s: f64,
+    stage: StatsStage,
+    scratch: &mut Scratch,
+    analyze_only: bool,
+) -> Result<(String, bool), Error> {
+    if analyze_only {
+        let power = circuit_power(circuit, &env.model, stage.net_stats());
+        let delay = critical_path_delay(circuit, &env.timing);
+        let degraded = stage.degraded();
+        return Ok((
+            format!(
+                "{{\"circuit\": {}, \"scenario\": {}, \"gates\": {}, \"inputs\": {}, \
+             \"depth\": {}, \"prob_mode\": {}, \"power_w\": {}, \"critical_path_s\": {}, \
+             \"independence_error\": {}, \"degraded\": {}}}",
+                json_string(&preq.name),
+                json_string(&preq.scenario.label),
+                circuit.gates().len(),
+                circuit.primary_inputs().len(),
+                circuit.logic_depth(),
+                json_string(stage.prob_mode().as_str()),
+                json_f64(power.total),
+                json_f64(delay),
+                json_opt_f64(stage.independence_error()),
+                degraded
+            ),
+            degraded,
+        ));
+    }
+    let (report, _) = flow.run_staged(env, circuit, preq.name.clone(), load_s, stage, scratch)?;
+    Ok((report.to_json(), report.degraded))
+}
+
+fn handle_batch(shared: &Shared, req: &Request, out: &mut TcpStream) -> io::Result<()> {
+    let Ok(body) = std::str::from_utf8(&req.body) else {
+        return reject(out, 400, "request body must be UTF-8 JSON");
+    };
+    let preq = match parse_batch(body) {
+        Ok(p) => p,
+        Err(e) => return reject(out, error_status(&e), &e.to_string()),
+    };
+    let BatchRequest {
+        circuits,
+        scenarios,
+        knobs,
+    } = preq;
+    // Parse every netlist before the first response byte: a bad input
+    // still gets a clean 400 instead of a truncated stream.
+    let mut jobs = Vec::with_capacity(circuits.len());
+    for (name, netlist, format) in &circuits {
+        let circuit = match parse_netlist(
+            name,
+            netlist,
+            *format,
+            &shared.env.library,
+            &Default::default(),
+        )
+        .and_then(|c| {
+            c.validate(&shared.env.library)?;
+            Ok(c)
+        }) {
+            Ok(c) => c,
+            Err(e) => return reject(out, error_status(&e), &format!("circuit `{name}`: {e}")),
+        };
+        jobs.push(BatchJob::from_circuit(name.clone(), circuit));
+    }
+    let (budget, pool_threads) = clamp(&knobs, &shared.config);
+    let dummy = OptimizeRequest {
+        name: "template".to_string(),
+        netlist: String::new(),
+        format: tr_flow::NetlistFormat::Trnet,
+        scenario: tr_flow::ScenarioSpec::a(1),
+        headroom: false,
+        knobs,
+    };
+    // Cells are single-threaded; the request's `threads` sizes the pool
+    // (still capped by the server), exactly as `tr-opt batch` does.
+    let runner = BatchRunner::new(request_flow(&dummy, budget, 1)).threads(pool_threads);
+
+    // From here the response streams: one JSONL report per finished
+    // (circuit, scenario) cell, close-delimited.
+    http::write_streaming_head(out, "application/x-ndjson")?;
+    let mut sink_err: Option<io::Error> = None;
+    runner.run(&shared.env, &jobs, &scenarios, |res| {
+        if sink_err.is_some() {
+            return; // peer is gone; let the grid finish quietly
+        }
+        let line = match &res.outcome {
+            Ok(report) => report.to_json(),
+            Err(e) => format!(
+                "{{\"job\": {}, \"scenario\": {}, \"error\": {}, \"kind\": \"cell\"}}",
+                json_string(&res.job),
+                json_string(&res.scenario),
+                json_string(&e.to_string())
+            ),
+        };
+        if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+            sink_err = Some(e);
+        }
+    });
+    match sink_err {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

@@ -1,0 +1,53 @@
+//! SIGTERM/SIGINT latch for graceful drain.
+//!
+//! The workspace is offline (no `libc`/`signal-hook`), so this binds
+//! `signal(2)` directly. The handler does the only async-signal-safe
+//! thing possible — one atomic store — and a monitor thread inside the
+//! server polls [`pending`] to start the drain. This module is the one
+//! place the workspace allows `unsafe`: a single FFI declaration plus
+//! the two registration calls.
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod ffi {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        super::TERMINATE.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub(super) fn install() {
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store is async-signal-safe; the prototype matches the
+        // C declaration (the sighandler_t return is pointer-sized).
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs the SIGTERM/SIGINT handler (no-op off Unix). Idempotent.
+pub fn install() {
+    #[cfg(unix)]
+    ffi::install();
+}
+
+/// Whether a termination signal has arrived since the last [`clear`].
+pub fn pending() -> bool {
+    TERMINATE.load(Ordering::SeqCst)
+}
+
+/// Resets the latch (tests, or a supervisor restarting the listener).
+pub fn clear() {
+    TERMINATE.store(false, Ordering::SeqCst);
+}

@@ -24,6 +24,7 @@
 //! | [`sim`] | `tr-sim` | the switch-level validation simulator |
 //! | [`reorder`] | `tr-reorder` | the optimization algorithm (Fig. 3) and variants |
 //! | [`flow`] | `tr-flow` | the typed end-to-end pipeline (`Flow`), structured reports, the parallel batch runner |
+//! | [`serve`] | `tr-serve` | the warm-cache optimization daemon (`tr-opt serve`): HTTP/1.1 endpoints, content-addressed staged artifacts, bounded admission |
 //!
 //! ## Quickstart
 //!
@@ -62,6 +63,7 @@ pub use tr_gatelib as gatelib;
 pub use tr_netlist as netlist;
 pub use tr_power as power;
 pub use tr_reorder as reorder;
+pub use tr_serve as serve;
 pub use tr_sim as sim;
 pub use tr_spnet as spnet;
 pub use tr_timing as timing;

@@ -43,6 +43,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args[1..]),
         "analyze" => cmd_analyze(&args[1..]),
         "batch" => cmd_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "library" => cmd_library(),
         "--version" | "-V" | "version" => {
             println!("tr-opt {}", env!("CARGO_PKG_VERSION"));
@@ -70,6 +71,7 @@ USAGE:
   tr-opt optimize <netlist> [options]   pick per-gate transistor orderings
   tr-opt analyze  <netlist> [options]   report power/delay without changes
   tr-opt batch    <inputs> [options]    run the flow over circuits × scenarios
+  tr-opt serve    [options]             run the optimization daemon (HTTP)
   tr-opt library                        print the Table 2 cell library
   tr-opt --version                      print the version
 
@@ -130,6 +132,24 @@ OPTIONS (batch):
   --degrade on|off      as above (per cell)
   --trace FILE          one merged self-profile for the whole batch, every
                         worker on its own named track
+
+OPTIONS (serve):
+  --addr HOST:PORT      listen address (default 127.0.0.1:7878; :0 picks
+                        a free port, printed on startup)
+  --threads N           worker threads (default: all cores)
+  --queue-depth N       admission queue bound; excess connections get 429
+                        (default 64)
+  --max-deadline-ms N   cap on per-request deadline_ms; requests without
+                        one inherit the cap (default: uncapped)
+  --max-node-budget N   cap on per-request node_budget (default: uncapped)
+  --max-request-threads N
+                        cap on per-request optimizer threads (default 4)
+  --cache-nodes N       warm-cache budget, live BDD nodes (default 4e6)
+  --cache-bytes N       warm-cache budget, approx heap bytes (default 256 MiB)
+  --trace FILE          write a Chrome trace of the server's whole life
+                        (accept loop, queue waits, worker spans) on exit
+  Endpoints: POST /optimize /analyze /batch (JSON; batch streams JSONL),
+  GET /healthz /metrics. SIGTERM/SIGINT drain in-flight work, then exit.
 
 FORMATS: .bench (ISCAS), .blif (combinational subset), .trnet (native)";
 
@@ -738,6 +758,68 @@ fn cmd_batch(args: &[String]) -> Result<(), Error> {
             failed: failed_cells,
             total: jobs.len() * matrix.len(),
         });
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let mut config = tr_serve::ServeConfig {
+        threads: default_threads(),
+        watch_signals: true,
+        ..Default::default()
+    };
+    let mut trace: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => config.addr = flag_value(&mut it, "--addr")?.to_string(),
+            "--threads" => config.threads = parse_threads(&mut it)?,
+            "--queue-depth" => {
+                config.queue_depth = parse_usize_flag(&mut it, "--queue-depth")?;
+                if config.queue_depth == 0 {
+                    return Err(Error::Usage("--queue-depth must be at least 1".into()));
+                }
+            }
+            "--max-deadline-ms" => {
+                config.max_deadline_ms = Some(
+                    flag_value(&mut it, "--max-deadline-ms")?
+                        .parse()
+                        .map_err(|e| Error::Usage(format!("bad --max-deadline-ms: {e}")))?,
+                );
+            }
+            "--max-node-budget" => {
+                config.max_node_budget = Some(parse_usize_flag(&mut it, "--max-node-budget")?);
+            }
+            "--max-request-threads" => {
+                config.max_request_threads = parse_usize_flag(&mut it, "--max-request-threads")?;
+                if config.max_request_threads == 0 {
+                    return Err(Error::Usage(
+                        "--max-request-threads must be at least 1".into(),
+                    ));
+                }
+            }
+            "--cache-nodes" => config.cache_nodes = parse_usize_flag(&mut it, "--cache-nodes")?,
+            "--cache-bytes" => config.cache_bytes = parse_usize_flag(&mut it, "--cache-bytes")?,
+            "--trace" => trace = Some(flag_value(&mut it, "--trace")?.to_string()),
+            other => return Err(Error::Usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    // The trace spans the server's whole life: the accept loop, every
+    // queue wait and every worker's request spans on named tracks.
+    if trace.is_some() {
+        tr_trace::reset();
+        tr_trace::enable();
+    }
+    let server = tr_serve::Server::bind(config).map_err(|e| Error::io("serve", e))?;
+    // Machine-readable startup line (the smoke test and loadgen watch
+    // for it to learn the resolved port).
+    println!("tr-serve listening on http://{}", server.addr());
+    server.run().map_err(|e| Error::io("serve", e))?;
+    eprintln!("tr-serve: drained, exiting");
+    if let Some(path) = &trace {
+        tr_trace::disable();
+        tr_trace::write_chrome_trace(path).map_err(|e| Error::io(path.as_str(), e))?;
+        eprintln!("trace → {path}");
     }
     Ok(())
 }

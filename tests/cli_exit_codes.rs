@@ -31,6 +31,20 @@ fn usage_errors_exit_2() {
         .output()
         .expect("binary runs");
     assert_eq!(out.status.code(), Some(2), "bad --degrade value is usage");
+    let out = tr_opt()
+        .args(["serve", "--queue-depth", "0"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "zero queue depth is usage");
+    let out = tr_opt()
+        .args(["serve", "--out", "x.trnet"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "serve takes no artifact flags: per-request outputs are rejected"
+    );
 }
 
 #[test]
